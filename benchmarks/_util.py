@@ -1,0 +1,48 @@
+"""Helpers shared by the figure benchmarks."""
+
+from __future__ import annotations
+
+from statistics import geometric_mean
+from typing import Dict, List, Sequence
+
+from repro.core.engine import TimingMatcher
+
+from .conftest import DEFAULT_SIZE, DEFAULT_WINDOW, Workload
+
+
+def timing_micro_run(workload: Workload, *, edges: int = 300):
+    """A small representative Timing run, used as the pytest-benchmark
+    subject so ``--benchmark-only`` reports a stable per-figure number
+    while the (expensive, memoised) sweep happens outside the timer."""
+    query = workload.queries(DEFAULT_SIZE)[2]
+    stream = list(workload.stream)[:edges]
+    duration = workload.window_duration(DEFAULT_WINDOW)
+
+    def run():
+        matcher = TimingMatcher(query, duration)
+        total = 0
+        for edge in stream:
+            total += len(matcher.push(edge))
+        return total
+
+    return run
+
+
+def gmean_tail(values: Sequence[float], skip: int = 1) -> float:
+    """Geometric mean excluding the first ``skip`` points (tiny windows are
+    noise-dominated; the paper's trends live in the mid/large range)."""
+    tail = [max(v, 1e-9) for v in list(values)[skip:]]
+    return geometric_mean(tail) if tail else 0.0
+
+
+def assert_dominates(series: Dict[str, List[float]], winner: str,
+                     losers: Sequence[str], *, margin: float = 1.0,
+                     skip: int = 1) -> None:
+    """Assert ``winner``'s tail geometric mean beats each loser's by
+    ``margin``×."""
+    top = gmean_tail(series[winner], skip)
+    for loser in losers:
+        bottom = gmean_tail(series[loser], skip)
+        assert top > margin * bottom, (
+            f"{winner} ({top:.1f}) does not dominate {loser} "
+            f"({bottom:.1f}) at margin {margin}")

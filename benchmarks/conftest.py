@@ -1,0 +1,123 @@
+"""Shared workloads for the figure-regeneration benchmarks.
+
+Scale: the paper streams 10⁸–10⁹ edges through a C++ engine; this pure-
+Python reproduction processes 10³-edge prefixes of 4×10³-edge synthetic
+streams, with window sizes in the hundreds of inter-arrival units instead of
+tens of thousands.  Orderings and trend shapes are scale-free (see
+EXPERIMENTS.md); absolute throughput obviously is not.
+
+Set ``REPRO_BENCH_SCALE`` (float, default 1.0) to shrink/grow every
+workload proportionally, e.g. ``REPRO_BENCH_SCALE=0.3 pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+import pytest
+
+from repro import ANY
+from repro.core.query import QueryGraph
+from repro.datasets import (
+    generate_lsbench_stream, generate_netflow_stream,
+    generate_wikitalk_stream, generate_query_set, generate_query_with_k,
+    window_slice,
+)
+from repro.graph.stream import GraphStream
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    return max(minimum, int(n * SCALE))
+
+
+#: Stream length per dataset and how many edges each run processes.
+STREAM_EDGES = scaled(4000, 500)
+RUN_EDGES = scaled(1000, 200)
+
+#: Sweep axes (units: mean inter-arrival gaps / query edges / decomposition
+#: k).  The paper sweeps 10K–50K-unit windows and 6–21-edge queries; both
+#: axes are scaled down by roughly two orders of magnitude together with the
+#: stream length (see module docstring).  Windows must stay large enough
+#: that partial matches actually accumulate — that is where the methods
+#: differ (tiny windows make every method trivially fast).
+WINDOW_UNITS = [100, 200, 300, 400, 500]
+QUERY_SIZES = [3, 4, 5, 6]
+DEFAULT_WINDOW = 300
+DEFAULT_SIZE = 5
+K_VALUES = [1, 2, 3, 6]
+
+#: Query variants per cell: full order, empty order, one random order —
+#: a compressed version of the paper's five-variant protocol.
+VARIANTS = (0, 1, 2)
+
+_NETFLOW_GENERALIZE = lambda lbl: (ANY, lbl[1], lbl[2])
+
+DATASET_BUILDERS: Dict[str, Tuple[Callable, dict, Optional[Callable]]] = {
+    "NetworkFlow": (generate_netflow_stream, {"num_ips": 120},
+                    _NETFLOW_GENERALIZE),
+    "Wiki-talk": (generate_wikitalk_stream, {}, None),
+    "SocialStream": (generate_lsbench_stream, {}, None),
+}
+
+
+class Workload:
+    """One dataset's stream plus memoised query sets."""
+
+    def __init__(self, name: str) -> None:
+        generator, kwargs, generalize = DATASET_BUILDERS[name]
+        self.name = name
+        self.stream: GraphStream = generator(STREAM_EDGES, seed=42, **kwargs)
+        self.generalize = generalize
+        self._query_cache: Dict[Tuple, List[QueryGraph]] = {}
+
+    def queries(self, size: int, *, seed: int = 0) -> List[QueryGraph]:
+        """Query variants of ``size`` edges (full / empty / random order)."""
+        key = ("size", size, seed)
+        if key not in self._query_cache:
+            rng = random.Random(seed)
+            population = window_slice(self.stream, DEFAULT_WINDOW)
+            full_set = generate_query_set(
+                population, sizes=[size], per_size=1, rng=rng,
+                generalize_label=self.generalize)
+            self._query_cache[key] = [full_set[i] for i in VARIANTS]
+        return self._query_cache[key]
+
+    def queries_with_k(self, size: int, k: int, *,
+                       seed: int = 0) -> List[QueryGraph]:
+        key = ("k", size, k, seed)
+        if key not in self._query_cache:
+            rng = random.Random(seed)
+            population = window_slice(self.stream, DEFAULT_WINDOW)
+            query = generate_query_with_k(
+                population, size, k, rng, generalize_label=self.generalize)
+            self._query_cache[key] = [] if query is None else [query]
+        return self._query_cache[key]
+
+    def run_edges(self) -> list:
+        return list(self.stream)[:RUN_EDGES]
+
+    def window_duration(self, units: float) -> float:
+        return self.stream.window_units_to_duration(units)
+
+
+_workloads: Dict[str, Workload] = {}
+
+
+def workload(name: str) -> Workload:
+    if name not in _workloads:
+        _workloads[name] = Workload(name)
+    return _workloads[name]
+
+
+@pytest.fixture(scope="session", params=sorted(DATASET_BUILDERS))
+def dataset_workload(request) -> Workload:
+    return workload(request.param)
+
+
+@pytest.fixture(scope="session")
+def all_workloads() -> List[Workload]:
+    return [workload(name) for name in sorted(DATASET_BUILDERS)]

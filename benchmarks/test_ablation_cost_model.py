@@ -1,0 +1,57 @@
+"""Ablation: validating the Theorem-7 cost model against measured joins.
+
+The decomposition strategy rests on Theorem 7's prediction that the expected
+number of join operations per arrival grows with the decomposition size k.
+This bench measures the engine's *actual* join counter over the same stream
+for queries with controlled k and checks the prediction's monotonicity —
+the analytical result that justifies Algorithm 6's greedy minimisation.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series_table, write_result
+from repro.core.decomposition import expected_join_operations
+from repro.core.engine import TimingMatcher
+
+from .conftest import DEFAULT_WINDOW, K_VALUES, workload
+from ._util import timing_micro_run
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_cost_model_monotone_in_k(benchmark):
+    wl = workload("Wiki-talk")
+    edges = wl.run_edges()
+    duration = wl.window_duration(DEFAULT_WINDOW)
+
+    ks, predicted, measured = [], [], []
+    for k in K_VALUES:
+        queries = wl.queries_with_k(6, k)
+        if not queries:
+            continue
+        query = queries[0]
+        matcher = TimingMatcher(query, duration)
+        for edge in edges:
+            matcher.push(edge)
+        ks.append(k)
+        predicted.append(expected_join_operations(query, k))
+        measured.append(matcher.stats.join_operations /
+                        max(1, matcher.stats.edges_seen))
+
+    table = format_series_table(
+        "Ablation — Theorem 7 cost model vs measured joins (Wiki-talk)",
+        "k", ks,
+        {"predicted joins/arrival": predicted,
+         "measured joins/arrival": measured},
+        value_format="{:>12.3f}",
+        note="query size 6, fixed window; prediction is the worst-case "
+             "expectation, measurement the engine's join counter")
+    print("\n" + table)
+    write_result("ablation_cost_model", table)
+
+    assert len(ks) >= 3
+    # The model's defining property: monotone growth in k...
+    assert predicted == sorted(predicted)
+    # ...and the measurement moves the same way end-to-end.
+    assert measured[-1] > measured[0]
+
+    benchmark.pedantic(timing_micro_run(wl), rounds=3, iterations=1)

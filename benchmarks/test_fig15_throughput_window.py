@@ -1,0 +1,37 @@
+"""Fig. 15: throughput vs window size, all methods, three datasets.
+
+Expected shape (paper): Timing on top (≈ an order of magnitude over the
+IncMat variants and SJ-tree at larger windows), Timing-IND close behind,
+throughput decreasing as the window grows.
+"""
+
+import pytest
+
+from repro.bench.reporting import (
+    format_series_table, shape_check_monotone, write_result,
+)
+
+from ._sweeps import window_sweep
+from ._util import assert_dominates, timing_micro_run
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_throughput_over_window_size(dataset_workload, benchmark):
+    sweep = window_sweep(dataset_workload)
+    table = format_series_table(
+        f"Fig. 15 — Throughput vs window size ({dataset_workload.name})",
+        "window (units)", sweep.xs, sweep.throughput,
+        note="edges/second, averaged over the query set")
+    print("\n" + table)
+    write_result(f"fig15_{dataset_workload.name}", table)
+
+    # Shape: Timing dominates every baseline beyond the smallest window.
+    assert_dominates(sweep.throughput, "Timing",
+                     ["SJ-tree", "QuickSI", "TurboISO", "BoostISO"],
+                     margin=1.5)
+    # Shape: throughput decreases with window size for the stateful methods.
+    assert shape_check_monotone(sweep.throughput["Timing"], decreasing=True)
+    assert shape_check_monotone(sweep.throughput["SJ-tree"], decreasing=True)
+
+    benchmark.pedantic(timing_micro_run(dataset_workload),
+                       rounds=3, iterations=1)

@@ -1,0 +1,32 @@
+"""Fig. 16: throughput vs query size, all methods, three datasets.
+
+Expected shape (paper): Timing on top across all query sizes; the gap to
+the re-search baselines (IncMat×algorithms) widens as queries grow.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series_table, write_result
+
+from ._sweeps import size_sweep
+from ._util import assert_dominates, timing_micro_run
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_throughput_over_query_size(dataset_workload, benchmark):
+    sweep = size_sweep(dataset_workload)
+    table = format_series_table(
+        f"Fig. 16 — Throughput vs query size ({dataset_workload.name})",
+        "query size", sweep.xs, sweep.throughput,
+        note="edges/second, averaged over the query set")
+    print("\n" + table)
+    write_result(f"fig16_{dataset_workload.name}", table)
+
+    assert_dominates(sweep.throughput, "Timing",
+                     ["SJ-tree", "QuickSI", "TurboISO", "BoostISO"],
+                     margin=1.2, skip=0)
+    # Every method still finds matches (sanity that the sweep isn't vacuous).
+    assert all(v > 0 for v in sweep.throughput["Timing"])
+
+    benchmark.pedantic(timing_micro_run(dataset_workload),
+                       rounds=3, iterations=1)

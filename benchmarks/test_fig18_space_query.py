@@ -1,0 +1,33 @@
+"""Fig. 18: space vs query size, all methods, three datasets.
+
+Expected shape (paper): Timing/Timing-IND below SJ-tree throughout; MS-tree
+compression keeps Timing ≤ Timing-IND.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series_table, write_result
+
+from ._sweeps import size_sweep
+from ._util import gmean_tail, timing_micro_run
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18_space_over_query_size(dataset_workload, benchmark):
+    sweep = size_sweep(dataset_workload)
+    table = format_series_table(
+        f"Fig. 18 — Space vs query size ({dataset_workload.name})",
+        "query size", sweep.xs, sweep.space_kb,
+        note="average KB per window (logical accounting), query-set mean")
+    print("\n" + table)
+    write_result(f"fig18_{dataset_workload.name}", table)
+
+    assert gmean_tail(sweep.space_kb["Timing"], skip=0) < \
+        gmean_tail(sweep.space_kb["SJ-tree"], skip=0)
+    # 1.27: accounting-bound margin for level-1-dominated workloads — see
+    # the comment in test_fig17_space_window.py.
+    assert gmean_tail(sweep.space_kb["Timing"], skip=0) <= \
+        1.27 * gmean_tail(sweep.space_kb["Timing-IND"], skip=0)
+
+    benchmark.pedantic(timing_micro_run(dataset_workload),
+                       rounds=3, iterations=1)

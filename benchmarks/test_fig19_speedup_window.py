@@ -1,0 +1,49 @@
+"""Fig. 19: concurrency speed-up vs window size (Timing-N vs All-locks-N).
+
+Expected shape (paper): Timing-N speed-up grows with the thread count N
+(towards ≈3–3.5× at N=5) while All-locks-N stays nearly flat around 1.2
+regardless of N.  Speed-up here is measured by the deterministic
+discrete-event simulator replaying real lock traces (see
+``repro.concurrency.simulation`` for why the GIL forces this substitution).
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series_table, write_result
+
+from ._sweeps import speedup_curves
+from ._util import timing_micro_run
+
+
+@pytest.mark.benchmark(group="fig19")
+def test_fig19_speedup_over_window_size(dataset_workload, benchmark):
+    curves = speedup_curves(dataset_workload, x_axis="window")
+    series = {}
+    for n in sorted(curves["fine"]):
+        series[f"Timing-{n}"] = curves["fine"][n]
+    for n in sorted(curves["coarse"]):
+        series[f"All-locks-{n}"] = curves["coarse"][n]
+    table = format_series_table(
+        f"Fig. 19 — Speed-up vs window size ({dataset_workload.name})",
+        "window (units)", curves["xs"], series,
+        value_format="{:>12.2f}",
+        note="simulated makespan(1)/makespan(N); fine-grained vs all-locks")
+    print("\n" + table)
+    write_result(f"fig19_{dataset_workload.name}", table)
+
+    fine5 = curves["fine"][5]
+    coarse = [v for n in (2, 3, 4, 5) for v in curves["coarse"][n]]
+    # Fine-grained locking extracts real concurrency...
+    assert max(fine5) > 1.25
+    # ...and beats all-locks at every x for N=5.
+    assert all(f >= c - 1e-9 for f, c in zip(fine5, curves["coarse"][5]))
+    # All-locks hovers near 1 (flat) exactly as in the paper.
+    assert max(coarse) < 1.7
+    # Monotone in N on average.
+    means = [sum(curves["fine"][n]) / len(curves["fine"][n])
+             for n in (1, 2, 3, 4, 5)]
+    assert means[0] == pytest.approx(1.0)
+    assert means[-1] >= means[1] - 0.05
+
+    benchmark.pedantic(timing_micro_run(dataset_workload),
+                       rounds=3, iterations=1)

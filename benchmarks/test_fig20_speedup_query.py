@@ -1,0 +1,40 @@
+"""Fig. 20: concurrency speed-up vs query size (Timing-N vs All-locks-N).
+
+Expected shape (paper): same protocol gap as Fig. 19, and the speed-up
+*improves with query size* — bigger queries mean more expansion-list items,
+hence fewer lock conflicts between concurrent transactions.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series_table, write_result
+
+from ._sweeps import speedup_curves
+from ._util import timing_micro_run
+
+
+@pytest.mark.benchmark(group="fig20")
+def test_fig20_speedup_over_query_size(dataset_workload, benchmark):
+    curves = speedup_curves(dataset_workload, x_axis="size")
+    series = {}
+    for n in sorted(curves["fine"]):
+        series[f"Timing-{n}"] = curves["fine"][n]
+    for n in sorted(curves["coarse"]):
+        series[f"All-locks-{n}"] = curves["coarse"][n]
+    table = format_series_table(
+        f"Fig. 20 — Speed-up vs query size ({dataset_workload.name})",
+        "query size", curves["xs"], series,
+        value_format="{:>12.2f}",
+        note="simulated makespan(1)/makespan(N); fine-grained vs all-locks")
+    print("\n" + table)
+    write_result(f"fig20_{dataset_workload.name}", table)
+
+    assert max(curves["fine"][5]) > 1.25
+    coarse = [v for n in (2, 3, 4, 5) for v in curves["coarse"][n]]
+    assert max(coarse) < 1.7
+    # Fine-grained N=5 beats all-locks N=5 at every query size.
+    assert all(f >= c - 1e-9
+               for f, c in zip(curves["fine"][5], curves["coarse"][5]))
+
+    benchmark.pedantic(timing_micro_run(dataset_workload),
+                       rounds=3, iterations=1)

@@ -1,0 +1,59 @@
+"""Fig. 21: decomposition & join-order optimizations (Timing vs -RJ/-RD/-RDJ).
+
+Expected shape (paper): the cost-model-guided greedy decomposition and the
+joint-number join order beat random choices on both throughput and space
+(Fig. 21a/21b), because they minimise the partial matches that must be
+maintained.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series_table, write_result
+from repro.core.decomposition import greedy_decomposition, random_decomposition
+
+from .conftest import DEFAULT_SIZE
+from ._sweeps import ablation_sweep
+from ._util import timing_micro_run
+
+
+@pytest.mark.benchmark(group="fig21")
+def test_fig21_optimization_ablation(all_workloads, benchmark):
+    throughput = {}
+    space = {}
+    names = ["Timing", "Timing-RJ", "Timing-RD", "Timing-RDJ"]
+    for wl in all_workloads:
+        sweep = ablation_sweep(wl)
+        for name in names:
+            throughput.setdefault(name, []).append(sweep.throughput[name][0])
+            space.setdefault(name, []).append(sweep.space_kb[name][0])
+    xs = [wl.name for wl in all_workloads]
+    table = (format_series_table(
+        "Fig. 21a — Optimization ablation: throughput", "dataset",
+        xs, throughput, note="edges/second, query-set mean") +
+        format_series_table(
+        "Fig. 21b — Optimization ablation: space", "dataset",
+        xs, space, note="average KB per window"))
+    print("\n" + table)
+    write_result("fig21_optimizations", table)
+
+    # Deterministic part of the claim: greedy decompositions are never
+    # larger than random ones on the benchmark queries (the cost model of
+    # Theorem 7 is monotone in k).
+    import random as _random
+    for wl in all_workloads:
+        for query in wl.queries(DEFAULT_SIZE):
+            k_greedy = len(greedy_decomposition(query))
+            for seed in range(5):
+                k_random = len(random_decomposition(
+                    query, _random.Random(seed)))
+                assert k_greedy <= k_random
+
+    # Measured part (soft, noise-tolerant): Timing is competitive with or
+    # better than every ablation on average.
+    for name in ("Timing-RJ", "Timing-RD", "Timing-RDJ"):
+        mean_timing = sum(throughput["Timing"]) / len(xs)
+        mean_other = sum(throughput[name]) / len(xs)
+        assert mean_timing > 0.8 * mean_other, (name, mean_timing, mean_other)
+
+    benchmark.pedantic(timing_micro_run(all_workloads[0]),
+                       rounds=3, iterations=1)

@@ -1,0 +1,36 @@
+"""Fig. 23: throughput vs decomposition size k, all methods.
+
+Expected shape (paper): Timing's throughput *decreases* as k grows (more
+TC-subqueries → more global joins, Theorem 7), while it still beats the
+comparative methods by a wide margin; the k=1 (full timing order) case is
+the fastest because pruning is maximal.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series_table, write_result
+
+from ._sweeps import k_sweep
+from ._util import timing_micro_run
+
+
+@pytest.mark.benchmark(group="fig23")
+def test_fig23_throughput_over_decomposition_size(dataset_workload, benchmark):
+    sweep = k_sweep(dataset_workload)
+    table = format_series_table(
+        f"Fig. 23 — Throughput vs decomposition size k "
+        f"({dataset_workload.name})",
+        "k", sweep.xs, sweep.throughput,
+        note="edges/second; query size fixed at 6, window fixed")
+    print("\n" + table)
+    write_result(f"fig23_{dataset_workload.name}", table)
+
+    timing = sweep.throughput["Timing"]
+    assert len(sweep.xs) >= 3, "k-controlled query generation failed"
+    # k = 1 (full order, maximal pruning) beats the largest k.
+    assert timing[0] > timing[-1]
+    # Timing beats SJ-tree at every k (SJ-tree never exploits the order).
+    assert all(t > s for t, s in zip(timing, sweep.throughput["SJ-tree"]))
+
+    benchmark.pedantic(timing_micro_run(dataset_workload),
+                       rounds=3, iterations=1)

@@ -1,0 +1,77 @@
+"""Fig. 25: selectivity of the generated query sets.
+
+Expected shape (paper): the number of answers grows with the window size
+(more co-resident edges) and shrinks with the query size (more constraints).
+Measured with the Timing engine (all engines report identical answers —
+asserted by the harness tests).
+"""
+
+import pytest
+
+from repro.bench.reporting import (
+    format_series_table, shape_check_monotone, write_result,
+)
+from repro.core.engine import TimingMatcher
+
+from .conftest import DEFAULT_SIZE, DEFAULT_WINDOW, QUERY_SIZES, WINDOW_UNITS
+from ._util import timing_micro_run
+
+
+def _answers(workload, query, units):
+    matcher = TimingMatcher(query, workload.window_duration(units))
+    total = 0
+    for edge in workload.run_edges():
+        total += len(matcher.push(edge))
+    return total
+
+
+@pytest.mark.benchmark(group="fig25")
+def test_fig25a_selectivity_over_window_size(all_workloads, benchmark):
+    series = {}
+    for wl in all_workloads:
+        queries = wl.queries(DEFAULT_SIZE)
+        series[wl.name] = [
+            sum(_answers(wl, q, units) for q in queries) / len(queries)
+            for units in WINDOW_UNITS]
+    table = format_series_table(
+        "Fig. 25a — Number of answers vs window size",
+        "window (units)", WINDOW_UNITS, series,
+        note="matches reported over the run, query-set mean")
+    print("\n" + table)
+    write_result("fig25a_selectivity_window", table)
+
+    for name, values in series.items():
+        assert shape_check_monotone(values, decreasing=False), name
+        assert values[-1] >= values[0]
+
+    benchmark.pedantic(timing_micro_run(all_workloads[0]),
+                       rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig25")
+def test_fig25b_selectivity_over_query_size(all_workloads, benchmark):
+    series = {}
+    for wl in all_workloads:
+        values = []
+        for size in QUERY_SIZES:
+            queries = wl.queries(size)
+            values.append(sum(_answers(wl, q, DEFAULT_WINDOW)
+                              for q in queries) / len(queries))
+        series[wl.name] = values
+    table = format_series_table(
+        "Fig. 25b — Number of answers vs query size",
+        "query size", QUERY_SIZES, series,
+        note="matches reported over the run, query-set mean.  The paper "
+             "reports 'almost decreases' with query size; at this scale the "
+             "per-query variance (hub-adjacent walks explode combinatorially)"
+             " dominates the trend — see EXPERIMENTS.md, deviation D3.")
+    print("\n" + table)
+    write_result("fig25b_selectivity_query", table)
+
+    # Direction is not reproducible at this scale (documented deviation D3);
+    # assert only that the query sets are non-vacuous.
+    for name, values in series.items():
+        assert any(v > 0 for v in values), name
+
+    benchmark.pedantic(timing_micro_run(all_workloads[0]),
+                       rounds=3, iterations=1)

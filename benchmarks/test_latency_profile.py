@@ -1,0 +1,55 @@
+"""Extension bench: per-arrival latency tails across engines.
+
+Throughput (Figs. 15–16) averages away the tail; a streaming monitor's
+operational constraint is usually the p99 arrival-processing latency.  This
+bench profiles p50/p95/p99/max per method on one workload.  Expected shape:
+Timing's tail stays orders of magnitude below SJ-tree's, whose expiry scans
+every stored partial match (§VII-C1) and therefore spikes exactly when the
+store is large.
+"""
+
+import pytest
+
+from repro.bench.harness import METHODS
+from repro.bench.metrics import LatencyRecorder, run_stream
+from repro.bench.reporting import format_series_table, write_result
+
+from .conftest import DEFAULT_SIZE, DEFAULT_WINDOW, workload
+from ._util import timing_micro_run
+
+
+@pytest.mark.benchmark(group="latency")
+def test_latency_tails(benchmark):
+    wl = workload("Wiki-talk")
+    query = wl.queries(DEFAULT_SIZE)[2]
+    edges = wl.run_edges()
+    duration = wl.window_duration(DEFAULT_WINDOW)
+
+    names, p50s, p95s, p99s, maxes = [], [], [], [], []
+    recorders = {}
+    for name in ("Timing", "Timing-IND", "SJ-tree", "QuickSI"):
+        recorder = LatencyRecorder()
+        run_stream(METHODS[name](query, duration), edges,
+                   name=name, latency=recorder)
+        recorders[name] = recorder
+        names.append(name)
+        p50s.append(recorder.p50 * 1e6)
+        p95s.append(recorder.p95 * 1e6)
+        p99s.append(recorder.p99 * 1e6)
+        maxes.append(recorder.max * 1e6)
+
+    table = format_series_table(
+        "Extension — per-arrival latency tails (Wiki-talk)",
+        "method", names,
+        {"p50 µs": p50s, "p95 µs": p95s, "p99 µs": p99s, "max µs": maxes},
+        value_format="{:>12.1f}",
+        note="one representative random-order query, default window")
+    print("\n" + table)
+    write_result("latency_tails", table)
+
+    timing = recorders["Timing"]
+    sjtree = recorders["SJ-tree"]
+    assert timing.p99 < sjtree.p99
+    assert timing.p50 < sjtree.p50
+
+    benchmark.pedantic(timing_micro_run(wl), rounds=3, iterations=1)

@@ -1,0 +1,66 @@
+"""repro — Time-Constrained Continuous Subgraph Search over Streaming Graphs.
+
+A from-scratch Python reproduction of Li, Zou, Özsu & Zhao (ICDE 2019):
+continuous subgraph-isomorphism search over sliding-window streaming graphs
+with timing-order constraints on query edges.
+
+Quickstart::
+
+    from repro import QueryGraph, StreamEdge, TimingMatcher
+
+    q = QueryGraph()
+    q.add_vertex("a", label="A")
+    q.add_vertex("b", label="B")
+    q.add_vertex("c", label="C")
+    q.add_edge("e1", "a", "b")
+    q.add_edge("e2", "b", "c")
+    q.add_timing_constraint("e1", "e2")     # e1's match must arrive first
+
+    matcher = TimingMatcher(q, window=10.0)
+    for edge in stream_edges:
+        for match in matcher.push(edge):
+            print("new match:", match)
+
+Subpackages
+-----------
+``repro.graph``
+    Streaming substrate: edges, streams, sliding windows, snapshots.
+``repro.core``
+    The paper's contribution: TC decomposition, expansion lists, MS-tree,
+    the Timing engine.
+``repro.isomorphism``
+    Static subgraph-isomorphism algorithms (Ullmann/VF2/QuickSI/TurboISO/
+    BoostISO flavours) used by the baselines.
+``repro.baselines``
+    SJ-tree, IncMat and naive comparators with the same streaming API.
+``repro.concurrency``
+    S/X-lock concurrency manager (§V) and the speed-up simulator.
+``repro.datasets``
+    Seeded synthetic workload generators and the query-set generator.
+``repro.bench``
+    Measurement harness regenerating the paper's figures.
+"""
+
+from .core.engine import TimingMatcher
+from .core.matches import Match, verify_match
+from .core.plan import explain
+from .core.query import ANY, QueryGraph
+from .core.timing import TimingOrder
+from .graph.count_window import CountSlidingWindow
+from .graph.edge import StreamEdge
+from .graph.snapshot import SnapshotGraph
+from .graph.stream import GraphStream
+from .graph.window import SlidingWindow
+from .multi import MultiQueryMatcher
+from .persistence import load_checkpoint, save_checkpoint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QueryGraph", "TimingOrder", "ANY",
+    "StreamEdge", "GraphStream", "SlidingWindow", "CountSlidingWindow",
+    "SnapshotGraph",
+    "TimingMatcher", "Match", "verify_match", "explain",
+    "MultiQueryMatcher", "save_checkpoint", "load_checkpoint",
+    "__version__",
+]

@@ -1,0 +1,123 @@
+"""Workload analysis: stream statistics and query selectivity reports.
+
+Operational tooling around the engine: before deploying a continuous query,
+inspect the stream's label distribution and the query's per-edge match
+probabilities, and get the planner's cardinality estimates next to the plan.
+Exposed on the CLI as ``python -m repro analyze``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .core.estimate import TermLabelStatistics, estimate_subquery_cardinality
+from .core.plan import explain
+from .core.query import QueryGraph
+from .graph.edge import StreamEdge
+from .graph.stream import GraphStream
+
+
+class StreamReport:
+    """Summary statistics of an edge stream."""
+
+    def __init__(self, edges: Sequence[StreamEdge]) -> None:
+        if not edges:
+            raise ValueError("cannot analyse an empty stream")
+        self.num_edges = len(edges)
+        self.stats = TermLabelStatistics.from_edges(edges)
+        self.first_timestamp = edges[0].timestamp
+        self.last_timestamp = edges[-1].timestamp
+        stream = GraphStream(edges) if not isinstance(edges, GraphStream) \
+            else edges
+        self.mean_interarrival = stream.mean_interarrival
+
+    @property
+    def timespan(self) -> float:
+        return self.last_timestamp - self.first_timestamp
+
+    @property
+    def num_vertices(self) -> int:
+        return self.stats.distinct_vertices
+
+    @property
+    def distinct_term_labels(self) -> int:
+        return len(self.stats.term_counts)
+
+    def top_term_labels(self, n: int = 10) -> List[Tuple[Tuple, int]]:
+        return self.stats.term_counts.most_common(n)
+
+    def head_concentration(self, n: int = 6) -> float:
+        """Fraction of edges covered by the ``n`` most common term labels —
+        the skew statistic the paper reports for CAIDA (top 6 ports > 50%)."""
+        top = sum(count for _, count in self.top_term_labels(n))
+        return top / self.num_edges
+
+    def render(self) -> str:
+        lines = [
+            "Stream report",
+            "=============",
+            f"edges:               {self.num_edges:,}",
+            f"vertices:            {self.num_vertices:,}",
+            f"distinct term labels:{self.distinct_term_labels:>8}",
+            f"timespan:            {self.timespan:.3f}",
+            f"mean inter-arrival:  {self.mean_interarrival:.6f}",
+            f"top-6 label share:   {self.head_concentration():.1%}",
+            "most common term labels:",
+        ]
+        for term, count in self.top_term_labels(8):
+            src_label, label, dst_label, is_loop = term
+            loop = " (loop)" if is_loop else ""
+            lines.append(f"  {src_label!r} -[{label!r}]-> {dst_label!r}"
+                         f"{loop}: {count:,}")
+        return "\n".join(lines)
+
+
+class SelectivityReport:
+    """Per-edge match probabilities + planner cardinality estimates."""
+
+    def __init__(self, query: QueryGraph, edges: Sequence[StreamEdge],
+                 window_edges: float) -> None:
+        query.validate()
+        self.query = query
+        self.window_edges = window_edges
+        self.stats = TermLabelStatistics.from_edges(edges)
+        self.plan = explain(query)
+        self.edge_probabilities: Dict = {
+            eid: self.stats.edge_match_probability(query, eid)
+            for eid in query.edge_ids()}
+        self.subquery_estimates: List[Tuple[Tuple, float]] = [
+            (seq, estimate_subquery_cardinality(
+                query, seq, self.stats, window_edges))
+            for seq in self.plan.join_order]
+
+    @property
+    def dead_edges(self) -> List:
+        """Query edges no sample arrival can match — a misconfigured query
+        (wrong label, wrong direction) shows up here before deployment."""
+        return [eid for eid, p in self.edge_probabilities.items() if p == 0.0]
+
+    def render(self) -> str:
+        lines = [
+            "Selectivity report",
+            "==================",
+            f"window size (edges): {self.window_edges:g}",
+            "per-edge match probability:",
+        ]
+        for eid, probability in sorted(self.edge_probabilities.items(),
+                                       key=lambda kv: str(kv[0])):
+            flag = "   ← never matches!" if probability == 0.0 else ""
+            lines.append(f"  {eid}: {probability:.5f}{flag}")
+        lines.append("estimated TC-subquery cardinalities (join order):")
+        for seq, estimate in self.subquery_estimates:
+            name = "{" + ",".join(map(str, seq)) + "}"
+            lines.append(f"  {name}: ≈{estimate:.2f} matches/window")
+        return "\n".join(lines)
+
+
+def analyze_stream(edges: Iterable[StreamEdge]) -> StreamReport:
+    return StreamReport(list(edges))
+
+
+def analyze_selectivity(query: QueryGraph, edges: Iterable[StreamEdge],
+                        window_edges: float) -> SelectivityReport:
+    return SelectivityReport(query, list(edges), window_edges)

@@ -1,0 +1,7 @@
+"""Comparative baselines: SJ-tree, IncMat (×static algorithms), naive."""
+
+from .incmat import IncMatMatcher
+from .naive import NaiveSnapshotMatcher
+from .sjtree import SJTreeMatcher
+
+__all__ = ["SJTreeMatcher", "IncMatMatcher", "NaiveSnapshotMatcher"]

@@ -1,0 +1,67 @@
+"""Naive per-snapshot recomputation — the test suite's oracle.
+
+"A naive solution … is to run a classical subgraph isomorphism algorithm on
+each snapshot, … followed by a check of the timing order constraint"
+(paper §III-A1).  This matcher does exactly that: it keeps the window's
+snapshot graph, recomputes *all* time-constrained matches after every
+arrival, and reports the ones containing the new edge.
+
+It is deliberately simple and independent of the expansion-list machinery,
+which is what makes it a trustworthy oracle for the property-based tests:
+the Timing engine's incremental answers must equal this matcher's
+from-scratch answers at every time point (streaming consistency,
+Definition 11, for the single-threaded case).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.matches import Match
+from ..core.query import QueryGraph
+from ..graph.edge import StreamEdge
+from ..graph.snapshot import SnapshotGraph
+from ..graph.window import SlidingWindow
+from ..isomorphism.base import StaticMatcher
+
+
+class NaiveSnapshotMatcher:
+    """Recompute-from-scratch continuous matcher (oracle / worst baseline)."""
+
+    name = "Naive"
+
+    def __init__(self, query: QueryGraph, window: float,
+                 algorithm: Optional[StaticMatcher] = None) -> None:
+        query.validate()
+        self.query = query
+        if isinstance(window, (int, float)):
+            self.window = SlidingWindow(window)
+        else:
+            self.window = window
+        self.snapshot = SnapshotGraph()
+        self.algorithm = algorithm if algorithm is not None else StaticMatcher()
+
+    def push(self, edge: StreamEdge) -> List[Match]:
+        """Process one arrival; returns the new matches (those using it)."""
+        for old in self.window.push(edge):
+            self.snapshot.remove_edge(old)
+        self.snapshot.add_edge(edge)
+        return [match for match in self.current_matches()
+                if match.uses_edge(edge)]
+
+    def advance_time(self, timestamp: float) -> None:
+        for old in self.window.advance(timestamp):
+            self.snapshot.remove_edge(old)
+
+    def current_matches(self) -> List[Match]:
+        """Every time-constrained match in the current snapshot."""
+        return [Match(assignment) for assignment in
+                self.algorithm.find(self.query, self.snapshot,
+                                    enforce_timing=True)]
+
+    def result_count(self) -> int:
+        return len(self.current_matches())
+
+    def space_cells(self) -> int:
+        """Snapshot adjacency only — nothing else is materialised."""
+        return self.snapshot.logical_space_cells()

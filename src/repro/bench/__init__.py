@@ -1,0 +1,17 @@
+"""Benchmark harness: metrics, method registry, sweeps, reporting."""
+
+from .harness import (
+    ABLATIONS, METHODS, SweepResult, comparative_sweep,
+    run_method_over_queries,
+)
+from .metrics import (
+    CELL_BYTES, LatencyRecorder, RunResult, cells_to_kb, run_stream,
+)
+from .reporting import format_series_table, shape_check_monotone, write_result
+
+__all__ = [
+    "METHODS", "ABLATIONS", "SweepResult", "comparative_sweep",
+    "run_method_over_queries",
+    "RunResult", "run_stream", "cells_to_kb", "CELL_BYTES", "LatencyRecorder",
+    "format_series_table", "write_result", "shape_check_monotone",
+]

@@ -1,0 +1,69 @@
+"""Figure-style reporting: aligned series tables, written to results files.
+
+Each benchmark regenerates one paper figure as a plain-text table — the
+same rows/series the figure plots (methods × x-axis) — printed to stdout
+and archived under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "results")
+
+
+def format_series_table(
+    title: str, x_label: str, xs: Sequence,
+    series: Dict[str, List[float]], *,
+    value_format: str = "{:>12.1f}", note: Optional[str] = None,
+) -> str:
+    """Render one figure's data as an aligned text table."""
+    lines = [title, "=" * len(title)]
+    if note:
+        lines.append(note)
+    header = f"{x_label:>16} |" + "".join(
+        f"{name:>14}" for name in series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for index, x in enumerate(xs):
+        row = f"{str(x):>16} |"
+        for name in series:
+            values = series[name]
+            if index < len(values):
+                row += "  " + value_format.format(values[index])
+            else:
+                row += "  " + " " * 10 + "--"
+        lines.append(row)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a table under ``benchmarks/results/<name>.txt``; returns path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+def shape_check_monotone(values: Sequence[float], *,
+                         decreasing: bool = True,
+                         tolerance: float = 0.35) -> bool:
+    """Loose monotonicity check for trend assertions in benchmarks.
+
+    Benchmarks assert *shapes*, not absolute numbers; ``tolerance`` allows
+    per-step noise (a step may move against the trend by up to this
+    fraction) while the endpoints must respect the trend.
+    """
+    if len(values) < 2:
+        return True
+    first, last = values[0], values[-1]
+    if decreasing and last > first * (1 + tolerance):
+        return False
+    if not decreasing and last < first * (1 - tolerance):
+        return False
+    return True

@@ -1,0 +1,191 @@
+"""Command-line interface: run, explain, and generate.
+
+Subcommands
+-----------
+``repro explain QUERY.tq``
+    Parse a query file (see :mod:`repro.io.dsl`) and print its plan —
+    decomposition, join order, expansion-list layout, cost estimate.
+
+``repro run QUERY.tq STREAM.csv [--window W] [--quiet]``
+    Replay a CSV edge stream (see :mod:`repro.io.csv_stream`) through the
+    Timing engine and print every match as it is found.
+
+``repro generate {netflow,wikitalk,lsbench} N OUT.csv [--seed S]``
+    Write a seeded synthetic stream to CSV.
+
+Invoke as ``python -m repro ...`` or through the console entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.engine import TimingMatcher
+from .core.plan import explain
+from .datasets import (
+    generate_lsbench_stream, generate_netflow_stream,
+    generate_wikitalk_stream,
+)
+from .io.csv_stream import read_stream, write_stream
+from .io.dsl import parse_query
+
+GENERATORS = {
+    "netflow": generate_netflow_stream,
+    "wikitalk": generate_wikitalk_stream,
+    "lsbench": generate_lsbench_stream,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Time-constrained continuous subgraph search "
+                    "(Li et al., ICDE 2019 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_explain = sub.add_parser("explain", help="show the plan for a query")
+    p_explain.add_argument("query_file")
+
+    p_run = sub.add_parser("run", help="replay a CSV stream through a query")
+    p_run.add_argument("query_file")
+    p_run.add_argument("stream_file")
+    p_run.add_argument("--window", type=float, default=None,
+                       help="window duration (overrides the query file)")
+    p_run.add_argument("--no-mstree", action="store_true",
+                       help="use independent storage (Timing-IND)")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="print only the final summary")
+
+    p_gen = sub.add_parser("generate", help="write a synthetic stream CSV")
+    p_gen.add_argument("dataset", choices=sorted(GENERATORS))
+    p_gen.add_argument("num_edges", type=int)
+    p_gen.add_argument("output")
+    p_gen.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser(
+        "simulate",
+        help="simulate concurrent speed-up of a query over a stream")
+    p_sim.add_argument("query_file")
+    p_sim.add_argument("stream_file")
+    p_sim.add_argument("--window", type=float, default=None)
+    p_sim.add_argument("--threads", type=int, nargs="+",
+                       default=[1, 2, 3, 4, 5])
+
+    p_analyze = sub.add_parser(
+        "analyze", help="stream statistics and query selectivity")
+    p_analyze.add_argument("stream_file")
+    p_analyze.add_argument("--query", default=None,
+                           help="query file for a selectivity report")
+    p_analyze.add_argument("--window-edges", type=float, default=1000,
+                           help="window size in edges for estimates")
+    return parser
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    with open(args.query_file, encoding="utf-8") as handle:
+        query, window = parse_query(handle.read())
+    plan = explain(query)
+    print(plan.render())
+    if window is not None:
+        print(f"window hint: {window}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.query_file, encoding="utf-8") as handle:
+        query, window_hint = parse_query(handle.read())
+    window = args.window if args.window is not None else window_hint
+    if window is None:
+        print("error: no window given (use --window or a 'window' line)",
+              file=sys.stderr)
+        return 2
+    matcher = TimingMatcher(query, window,
+                            use_mstree=not args.no_mstree)
+    total = 0
+    for edge in read_stream(args.stream_file):
+        for match in matcher.push(edge):
+            total += 1
+            if not args.quiet:
+                mapping = match.vertex_mapping(query)
+                binding = " ".join(f"{qv}={dv}"
+                                   for qv, dv in sorted(
+                                       mapping.items(), key=lambda kv: str(kv[0])))
+                print(f"match @ {edge.timestamp}: {binding}")
+    stats = matcher.stats
+    print(f"processed {stats.edges_seen} edges, "
+          f"{total} matches, "
+          f"{stats.edges_discarded} discardable arrivals pruned")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = GENERATORS[args.dataset]
+    stream = generator(args.num_edges, seed=args.seed)
+    written = write_stream(stream, args.output)
+    print(f"wrote {written} edges to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .concurrency.simulation import ConcurrencySimulator, collect_trace
+
+    with open(args.query_file, encoding="utf-8") as handle:
+        query, window_hint = parse_query(handle.read())
+    window = args.window if args.window is not None else window_hint
+    if window is None:
+        print("error: no window given (use --window or a 'window' line)",
+              file=sys.stderr)
+        return 2
+    matcher = TimingMatcher(query, window)
+    traces = collect_trace(matcher, read_stream(args.stream_file))
+    if not traces:
+        print("no transactions recorded — the stream never matched the query")
+        return 0
+    sim = ConcurrencySimulator(traces)
+    print(f"{len(traces)} transactions recorded")
+    print(f"{'threads':>8} | {'fine-grained':>13} | {'all-locks':>10}")
+    print("-" * 38)
+    for n in args.threads:
+        fine = sim.speedup(n)
+        coarse = sim.speedup(n, all_locks=True)
+        print(f"{n:>8} | {fine:>12.2f}x | {coarse:>9.2f}x")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import analyze_selectivity, analyze_stream
+
+    edges = list(read_stream(args.stream_file))
+    print(analyze_stream(edges).render())
+    if args.query is not None:
+        with open(args.query, encoding="utf-8") as handle:
+            query, _ = parse_query(handle.read())
+        print()
+        report = analyze_selectivity(query, edges, args.window_edges)
+        print(report.render())
+        if report.dead_edges:
+            print(f"warning: {len(report.dead_edges)} query edge(s) can "
+                  "never match this stream", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"explain": _cmd_explain, "run": _cmd_run,
+                "generate": _cmd_generate, "simulate": _cmd_simulate,
+                "analyze": _cmd_analyze}
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `head`) closed the pipe — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

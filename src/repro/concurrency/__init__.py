@@ -1,0 +1,13 @@
+"""Concurrency management (§V): S/X locks, executor, speed-up simulator."""
+
+from .executor import ConcurrentStreamExecutor
+from .locks import AllLocksGuard, ItemLock, ItemLockGuard, LockTable
+from .simulation import ConcurrencySimulator, TxnTrace, collect_trace
+from .transactions import lock_requests_for_delete, lock_requests_for_insert
+
+__all__ = [
+    "ConcurrentStreamExecutor",
+    "ItemLock", "LockTable", "ItemLockGuard", "AllLocksGuard",
+    "ConcurrencySimulator", "TxnTrace", "collect_trace",
+    "lock_requests_for_insert", "lock_requests_for_delete",
+]

@@ -1,0 +1,108 @@
+"""TC decomposition of arbitrary queries (paper §VI-A/B, Algorithms 5–6).
+
+A *TC decomposition* ``D = {Q¹ … Qᵏ}`` partitions a query's edges into
+timing-connected subqueries.  The cost model (Theorem 7) shows the expected
+number of join operations per arrival grows with ``k``, so the greedy
+strategy of Algorithm 6 repeatedly takes the largest TC-subquery from
+``TCsub(Q)`` that is edge-disjoint from those already chosen.
+
+``random_decomposition`` implements the ``Timing-RD`` ablation of §VII-E:
+a valid but arbitrary decomposition used to quantify the benefit of the
+greedy choice.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .query import EdgeId, QueryGraph
+from .tc import tc_subqueries
+
+Decomposition = List[Tuple[EdgeId, ...]]
+
+
+def greedy_decomposition(
+    query: QueryGraph,
+    subqueries: Optional[Dict[FrozenSet[EdgeId], Tuple[EdgeId, ...]]] = None,
+) -> Decomposition:
+    """Algorithm 6: repeatedly pick the largest edge-disjoint TC-subquery.
+
+    Termination and coverage are guaranteed because every single edge is a
+    TC-subquery.  Ties on size are broken deterministically (lexicographic on
+    the repr of the sequence) so engine construction is reproducible.
+    """
+    if subqueries is None:
+        subqueries = tc_subqueries(query)
+    candidates = sorted(
+        subqueries.values(), key=lambda seq: (-len(seq), repr(seq)))
+    chosen: Decomposition = []
+    covered: set = set()
+    total = set(query.edge_ids())
+    for seq in candidates:
+        if covered >= total:
+            break
+        if covered.isdisjoint(seq):
+            chosen.append(seq)
+            covered.update(seq)
+    assert covered == total, "greedy decomposition failed to cover the query"
+    return chosen
+
+
+def random_decomposition(
+    query: QueryGraph,
+    rng: random.Random,
+    subqueries: Optional[Dict[FrozenSet[EdgeId], Tuple[EdgeId, ...]]] = None,
+) -> Decomposition:
+    """Timing-RD: a uniformly arbitrary (valid) TC decomposition.
+
+    Repeatedly draws a random TC-subquery disjoint from the edges already
+    covered.  Single edges keep it total, so this always terminates.
+    """
+    if subqueries is None:
+        subqueries = tc_subqueries(query)
+    pool = list(subqueries.values())
+    chosen: Decomposition = []
+    covered: set = set()
+    total = set(query.edge_ids())
+    while covered != total:
+        viable = [seq for seq in pool if covered.isdisjoint(seq)]
+        seq = viable[rng.randrange(len(viable))]
+        chosen.append(seq)
+        covered.update(seq)
+    return chosen
+
+
+def validate_decomposition(query: QueryGraph, decomposition: Decomposition) -> None:
+    """Raise ``ValueError`` unless ``decomposition`` is a TC decomposition.
+
+    Checks: edge-disjoint, covering, and each part a genuine timing sequence
+    (chain + prefix-connected).
+    """
+    from .tc import is_timing_sequence
+
+    seen: set = set()
+    for seq in decomposition:
+        if not seq:
+            raise ValueError("empty TC-subquery in decomposition")
+        overlap = seen & set(seq)
+        if overlap:
+            raise ValueError(f"subqueries share edges: {sorted(map(repr, overlap))}")
+        if not is_timing_sequence(query, seq):
+            raise ValueError(f"not a timing sequence: {seq!r}")
+        seen.update(seq)
+    if seen != set(query.edge_ids()):
+        missing = set(query.edge_ids()) - seen
+        raise ValueError(f"decomposition misses edges: {sorted(map(repr, missing))}")
+
+
+def expected_join_operations(query: QueryGraph, k: int) -> float:
+    """Theorem 7: expected joins per arrival for a ``k``-part decomposition.
+
+    ``N = (1/d) · (|E(Q)| − 1 + k(k−1)/2)`` with ``d`` the number of distinct
+    term labels in ``Q``.  Monotone in ``k`` — the analytic justification for
+    minimising decomposition size.
+    """
+    d = query.distinct_term_labels()
+    m = query.num_edges
+    return (m - 1 + k * (k - 1) / 2.0) / d

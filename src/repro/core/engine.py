@@ -1,0 +1,438 @@
+"""The Timing engine: continuous time-constrained subgraph search.
+
+This is the paper's proposed method ("Timing" in §VII): expansion lists over
+a TC decomposition, incremental insertion (Algorithm 1), expiry-driven
+deletion (Algorithm 2), MS-tree or independent storage, cost-model-guided
+decomposition and joint-number join ordering.
+
+The engine is storage-agnostic (MS-tree vs independent flat tuples — the
+``Timing`` vs ``Timing-IND`` comparison) and guard-agnostic (serial vs
+locked vs traced — see :mod:`repro.core.guard`), so the exact same algorithm
+code runs in every experimental configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..graph.edge import StreamEdge
+from ..graph.window import SlidingWindow
+from .decomposition import (
+    Decomposition, greedy_decomposition, random_decomposition,
+    validate_decomposition,
+)
+from .guard import NullGuard
+from .join import ExtensionSpec, UnionSpec
+from .join_order import jn_join_order, random_join_order
+from .matches import Match
+from .mstree import GlobalMSTreeStore, MSTreeTCStore
+from .query import EdgeId, QueryGraph
+from .stores import GlobalIndependentStore, IndependentTCStore
+from .tc import tc_subqueries
+
+
+class EngineStats:
+    """Counters exposed for the cost-model experiments and tests."""
+
+    __slots__ = ("edges_seen", "edges_matched", "edges_discarded",
+                 "join_operations", "partial_matches_created",
+                 "matches_emitted", "expired_edges", "expired_partials")
+
+    def __init__(self) -> None:
+        self.edges_seen = 0
+        self.edges_matched = 0
+        self.edges_discarded = 0
+        self.join_operations = 0
+        self.partial_matches_created = 0
+        self.matches_emitted = 0
+        self.expired_edges = 0
+        self.expired_partials = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class TimingMatcher:
+    """Continuous matcher for one time-constrained query over one stream.
+
+    Parameters
+    ----------
+    query:
+        The query graph (validated on construction).
+    window:
+        Sliding-window duration ``|W|``.
+    use_mstree:
+        ``True`` → MS-tree storage (the paper's ``Timing``);
+        ``False`` → independent flat storage (``Timing-IND``).
+    decomposition_strategy:
+        ``"greedy"`` (Algorithm 6) or ``"random"`` (``Timing-RD``).
+    join_order_strategy:
+        ``"jn"`` (joint-number heuristic, §VI-C) or ``"random"``
+        (``Timing-RJ``).
+    rng:
+        Source of randomness for the ``random`` strategies (default seeded
+        deterministically so engine construction is reproducible).
+
+    Usage::
+
+        matcher = TimingMatcher(query, window=30.0)
+        for edge in stream:
+            for match in matcher.push(edge):
+                ...  # a newly completed time-constrained match
+    """
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        window: float,
+        *,
+        use_mstree: bool = True,
+        decomposition_strategy: str = "greedy",
+        join_order_strategy: str = "jn",
+        decomposition: Optional[Decomposition] = None,
+        join_order: Optional[Decomposition] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        query.validate()
+        self.query = query
+        # ``window`` is a duration (time-based window, the paper's model) or
+        # any window-policy object with the push/advance interface (e.g.
+        # repro.graph.count_window.CountSlidingWindow).
+        if isinstance(window, (int, float)):
+            self.window = SlidingWindow(window)
+        else:
+            self.window = window
+        self.use_mstree = use_mstree
+        self.stats = EngineStats()
+        rng = rng if rng is not None else random.Random(0)
+
+        # --- planning: decomposition + join order ----------------------- #
+        if decomposition is None:
+            subs = tc_subqueries(query)
+            if decomposition_strategy == "greedy":
+                decomposition = greedy_decomposition(query, subs)
+            elif decomposition_strategy == "random":
+                decomposition = random_decomposition(query, rng, subs)
+            else:
+                raise ValueError(
+                    f"unknown decomposition strategy: {decomposition_strategy!r}")
+        validate_decomposition(query, decomposition)
+        if join_order is not None:
+            # Explicit order (e.g. from repro.core.estimate): must permute
+            # the decomposition and stay prefix-connected.
+            from .join_order import is_prefix_connected_order
+            if sorted(map(sorted, join_order)) != \
+                    sorted(map(sorted, decomposition)):
+                raise ValueError(
+                    "join_order must be a permutation of the decomposition")
+            if not is_prefix_connected_order(query, join_order):
+                raise ValueError("join_order must be prefix-connected")
+            ordered = list(join_order)
+        elif join_order_strategy == "jn":
+            ordered = jn_join_order(query, decomposition)
+        elif join_order_strategy == "random":
+            ordered = random_join_order(query, decomposition, rng)
+        else:
+            raise ValueError(
+                f"unknown join order strategy: {join_order_strategy!r}")
+        #: TC-subqueries in join order; each entry is a timing sequence.
+        self.join_order: Decomposition = ordered
+        self.k = len(ordered)
+
+        # --- storage ----------------------------------------------------- #
+        if use_mstree:
+            self._tc_stores = [MSTreeTCStore(len(seq)) for seq in ordered]
+            self._global = (GlobalMSTreeStore(self._tc_stores)
+                            if self.k > 1 else None)
+        else:
+            self._tc_stores = [IndependentTCStore(len(seq)) for seq in ordered]
+            self._global = (GlobalIndependentStore(self._tc_stores)
+                            if self.k > 1 else None)
+
+        # --- compiled join specs ------------------------------------------
+        # Position of each query edge: edge id -> (subquery index, 0-based
+        # position in that subquery's timing sequence).
+        self._position: Dict[EdgeId, Tuple[int, int]] = {}
+        for si, seq in enumerate(ordered):
+            for j, eid in enumerate(seq):
+                self._position[eid] = (si, j)
+        # Extension specs for level-(j+1) insertions in subquery si.
+        self._ext_specs: Dict[Tuple[int, int], ExtensionSpec] = {}
+        for si, seq in enumerate(ordered):
+            for j in range(1, len(seq)):
+                self._ext_specs[(si, j)] = ExtensionSpec(
+                    query, seq[:j], seq[j])
+        # Union specs for global level l in [2, k]: prefix vs subquery l.
+        self._union_specs: Dict[int, UnionSpec] = {}
+        prefix: List[EdgeId] = list(ordered[0])
+        for level in range(2, self.k + 1):
+            self._union_specs[level] = UnionSpec(
+                query, tuple(prefix), ordered[level - 1])
+            prefix.extend(ordered[level - 1])
+        #: Flattened slot order of complete matches (global list level k).
+        self.all_slots: Tuple[EdgeId, ...] = tuple(prefix)
+        # Edge-identity guard: StreamEdge equality is by edge_id, and the
+        # expiry registries key on it — a second in-window arrival with the
+        # same id would alias and corrupt deletion.  Track live ids.
+        self._live_edge_ids: set = set()
+
+    # ------------------------------------------------------------------ #
+    # Public streaming API
+    # ------------------------------------------------------------------ #
+    def push(self, edge: StreamEdge, guard=None) -> List[Match]:
+        """Process one arrival: expire, then insert; returns new matches.
+
+        Rejects an arrival whose ``edge_id`` collides with an edge still in
+        the window — identity aliasing would corrupt the expiry registries.
+        """
+        if edge.edge_id in self._live_edge_ids:
+            raise ValueError(
+                f"duplicate in-window edge id: {edge.edge_id!r}")
+        guard = guard if guard is not None else NullGuard()
+        expired = self.window.push(edge)
+        for old in expired:
+            self._live_edge_ids.discard(old.edge_id)
+            self.delete_edge(old, guard)
+        self._live_edge_ids.add(edge.edge_id)
+        return self.insert_edge(edge, guard)
+
+    def advance_time(self, timestamp: float, guard=None) -> None:
+        """Slide the window forward without inserting an edge."""
+        guard = guard if guard is not None else NullGuard()
+        for old in self.window.advance(timestamp):
+            self._live_edge_ids.discard(old.edge_id)
+            self.delete_edge(old, guard)
+
+    def current_matches(self) -> List[Match]:
+        """All matches of the query in the current window (``Ω(Q)``)."""
+        store = self._global if self._global is not None else self._tc_stores[0]
+        level = self.k if self._global is not None else self._tc_stores[0].length
+        return [self._to_match(flat) for _, flat in store.read(level)]
+
+    def result_count(self) -> int:
+        """Number of current matches (selectivity metric, Fig. 25)."""
+        store = self._global if self._global is not None else self._tc_stores[0]
+        level = self.k if self._global is not None else self._tc_stores[0].length
+        return store.count(level)
+
+    def space_cells(self) -> int:
+        """Logical cells held in partial-match storage (see bench.metrics)."""
+        cells = sum(store.space_cells() for store in self._tc_stores)
+        if self._global is not None:
+            cells += self._global.space_cells()
+        return cells
+
+    # ------------------------------------------------------------------ #
+    # Insertion — Algorithm 1
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, edge: StreamEdge, guard=None) -> List[Match]:
+        """Handle ``Ins(σ)``: extend expansion lists, report new matches."""
+        guard = guard if guard is not None else NullGuard()
+        self.stats.edges_seen += 1
+        results: List[Match] = []
+        produced_anything = False
+        matched_any = False
+        for eid in self.query.matching_edge_ids(edge):
+            matched_any = True
+            si, j = self._position[eid]
+            delta = self._insert_into_subquery(si, j, edge, guard)
+            if delta:
+                produced_anything = True
+                if j == len(self.join_order[si]) - 1:
+                    results.extend(self._propagate(si, delta, guard))
+        if matched_any:
+            self.stats.edges_matched += 1
+            if not produced_anything:
+                self.stats.edges_discarded += 1
+        self.stats.matches_emitted += len(results)
+        return results
+
+    def _insert_into_subquery(self, si: int, j: int, edge: StreamEdge,
+                              guard) -> List[Tuple[object, Tuple[StreamEdge, ...]]]:
+        """Lines 1–10 of Algorithm 1 for one matched query edge."""
+        store = self._tc_stores[si]
+        item_cur = ("L", si, j + 1)
+        if j == 0:
+            guard.acquire(item_cur, "X")
+            handle = store.insert(1, getattr(store, "root", None), (), edge)
+            guard.release(item_cur, cost=1)
+            self.stats.partial_matches_created += 1
+            return [(handle, (edge,))]
+        item_prev = ("L", si, j)
+        guard.acquire(item_prev, "S")
+        prev_entries = store.read(j)
+        guard.release(item_prev, cost=len(prev_entries))
+        self.stats.join_operations += 1
+        spec = self._ext_specs[(si, j)]
+        joined = [(handle, flat) for handle, flat in prev_entries
+                  if spec.check(flat, edge)]
+        if not joined:
+            return []
+        guard.acquire(item_cur, "X")
+        delta = []
+        for handle, flat in joined:
+            new_handle = store.insert(j + 1, handle, flat, edge)
+            delta.append((new_handle, flat + (edge,)))
+        guard.release(item_cur, cost=len(delta))
+        self.stats.partial_matches_created += len(delta)
+        return delta
+
+    def _propagate(self, si: int, delta, guard) -> List[Match]:
+        """Lines 11–24 of Algorithm 1: fold a completed TC-subquery match
+        into the global expansion list and cascade to deeper levels."""
+        if self.k == 1:
+            return [self._to_match(flat) for _, flat in delta]
+        level = si + 1  # 1-based global level of subquery si
+        if si == 0:
+            current = list(delta)
+        else:
+            current = self._join_into_global(
+                prefix_level=si, prefix_from_global=True,
+                delta=delta, delta_is_prefix_side=False, guard=guard)
+        while level < self.k and current:
+            next_si = level  # 0-based index of the next subquery
+            current = self._join_with_next_subquery(
+                current, level, next_si, guard)
+            level += 1
+        if level == self.k:
+            return [self._to_match(flat) for _, flat in current]
+        return []
+
+    def _join_into_global(self, prefix_level: int, prefix_from_global: bool,
+                          delta, delta_is_prefix_side: bool, guard):
+        """``∆(Qⁱ) ⋈ᵀ Ω(L₀^{i-1})`` (Algorithm 1 lines 15–17)."""
+        item = (("L0", prefix_level) if prefix_level >= 2
+                else ("L", 0, self._tc_stores[0].length))
+        guard.acquire(item, "S")
+        prefix_entries = self._global.read(prefix_level)
+        guard.release(item, cost=len(prefix_entries))
+        self.stats.join_operations += 1
+        spec = self._union_specs[prefix_level + 1]
+        pairs = [(gh, gflat, lh, lflat)
+                 for gh, gflat in prefix_entries
+                 for lh, lflat in delta
+                 if spec.check(gflat, lflat)]
+        if not pairs:
+            return []
+        out_item = ("L0", prefix_level + 1)
+        guard.acquire(out_item, "X")
+        created = []
+        for gh, gflat, lh, lflat in pairs:
+            handle = self._global.insert(prefix_level + 1, gh, gflat, lh, lflat)
+            created.append((handle, gflat + lflat))
+        guard.release(out_item, cost=len(created))
+        self.stats.partial_matches_created += len(created)
+        return created
+
+    def _join_with_next_subquery(self, current, level: int, next_si: int,
+                                 guard):
+        """``∆(L₀ⁱ) ⋈ᵀ Ω(Qⁱ⁺¹)`` (Algorithm 1 lines 18–22)."""
+        store = self._tc_stores[next_si]
+        item = ("L", next_si, store.length)
+        guard.acquire(item, "S")
+        omega = store.read(store.length)
+        guard.release(item, cost=len(omega))
+        self.stats.join_operations += 1
+        spec = self._union_specs[level + 1]
+        pairs = [(gh, gflat, lh, lflat)
+                 for gh, gflat in current
+                 for lh, lflat in omega
+                 if spec.check(gflat, lflat)]
+        if not pairs:
+            return []
+        out_item = ("L0", level + 1)
+        guard.acquire(out_item, "X")
+        created = []
+        for gh, gflat, lh, lflat in pairs:
+            handle = self._global.insert(level + 1, gh, gflat, lh, lflat)
+            created.append((handle, gflat + lflat))
+        guard.release(out_item, cost=len(created))
+        self.stats.partial_matches_created += len(created)
+        return created
+
+    def _to_match(self, flat: Tuple[StreamEdge, ...]) -> Match:
+        return Match(dict(zip(self.all_slots, flat)))
+
+    def is_discardable(self, edge: StreamEdge) -> bool:
+        """Lemma 1's discardability test, as a side-effect-free probe.
+
+        ``True`` means pushing ``edge`` right now would store nothing: for
+        every query edge it matches, the prerequisite subquery has no
+        partial match the edge can extend, so no future arrival can ever
+        complete a match through it.  (Edges matching no query edge at all
+        are trivially discardable.)  The cost is the paper's
+        ``O(|Lᵢ₋₁|)`` per matched query edge (Theorem 3).
+        """
+        for eid in self.query.matching_edge_ids(edge):
+            si, j = self._position[eid]
+            if j == 0:
+                return False  # σ alone is a match of Preq(ε₁)
+            spec = self._ext_specs[(si, j)]
+            store = self._tc_stores[si]
+            if any(spec.check(flat, edge) for _, flat in store.read(j)):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Deletion — Algorithm 2
+    # ------------------------------------------------------------------ #
+    def delete_edge(self, edge: StreamEdge, guard=None) -> int:
+        """Handle ``Del(σ)``: drop every partial match containing ``σ``.
+
+        Returns the number of partial matches removed.  Edges that never
+        matched a query edge are skipped without touching any store
+        (Algorithm 3 line 12).
+        """
+        guard = guard if guard is not None else NullGuard()
+        self.stats.expired_edges += 1
+        matched = self.query.matching_edge_ids(edge)
+        if not matched:
+            return 0
+        # Only the subqueries owning a matched query edge can store σ
+        # (Algorithm 2 line 1).
+        touched = sorted({self._position[eid][0] for eid in matched})
+        # Deletion locks every item it may touch up-front, in canonical
+        # order.  This is slightly more conservative than the paper's
+        # level-by-level scan but deadlock-free by construction (inserts
+        # hold one lock at a time; deletes acquire in a global total order)
+        # and the MS-tree cross-tree cascade then always runs under the L₀
+        # locks it mutates.
+        items = [("L", si, level)
+                 for si in touched
+                 for level in range(1, self._tc_stores[si].length + 1)]
+        if self._global is not None:
+            items += [("L0", level) for level in range(2, self.k + 1)]
+        for item in items:
+            guard.acquire(item, "X")
+        removed = 0
+        try:
+            for si in touched:
+                removed += self._tc_stores[si].delete_edge(edge)
+            if self._global is not None:
+                removed += self._global.delete_edge(edge)
+        finally:
+            for item in reversed(items):
+                guard.release(item, cost=0)
+        self.stats.expired_partials += removed
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def store_profile(self) -> Dict[str, int]:
+        """Per-item entry counts — handy when debugging space behaviour."""
+        profile: Dict[str, int] = {}
+        for si, store in enumerate(self._tc_stores):
+            for level in range(1, store.length + 1):
+                profile[f"L{si + 1}^{level}"] = store.count(level)
+        if self._global is not None:
+            for level in range(2, self.k + 1):
+                profile[f"L0^{level}"] = self._global.count(level)
+        return profile
+
+    def __repr__(self) -> str:
+        kind = "MS-tree" if self.use_mstree else "independent"
+        extent = getattr(self.window, "duration",
+                         getattr(self.window, "capacity", "?"))
+        return (f"TimingMatcher(k={self.k}, storage={kind}, |W|={extent})")

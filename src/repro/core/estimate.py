@@ -1,0 +1,139 @@
+"""Sampling-based selectivity estimation (an extension beyond the paper).
+
+§VI-C notes that classical join-selectivity estimation "is infeasible for
+streaming graph data due to dynamic data distribution" and falls back to the
+joint-number heuristic.  This module implements the obvious middle ground
+the paper leaves open: estimate selectivities from a *sample* of the stream
+(e.g. a warm-up prefix or a periodic reservoir) under an independence model,
+and derive a cardinality-driven join order.  It is deliberately optional —
+the engine's default remains the paper's JN heuristic — and the Fig.-21
+ablation machinery can compare the two.
+
+Model: a query edge ``ε`` matches a random arrival with probability ``p(ε)``
+(measured on the sample, wildcard-aware).  In a window of ``W`` edges over
+``V`` distinct vertices, a TC-subquery with edges ``ε₁..εₙ`` is estimated as
+
+    ``|Ω| ≈ Π (p(εᵢ)·W) · (c/V)^(n−1)``
+
+where each of the ``n−1`` connecting joins keeps a ``c/V`` fraction of the
+cross product (``c`` = average endpoint multiplicity, folded into the
+constant 1 here).  Coarse, but monotone in the quantities that matter for
+*ordering* subqueries — which is all a join order needs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+from ..graph.edge import StreamEdge
+from .decomposition import Decomposition
+from .query import EdgeId, QueryGraph
+
+
+class TermLabelStatistics:
+    """Label statistics gathered from a sample of stream edges."""
+
+    def __init__(self) -> None:
+        self.total_edges = 0
+        self.term_counts: Counter = Counter()
+        self._vertices: set = set()
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[StreamEdge]) -> "TermLabelStatistics":
+        stats = cls()
+        for edge in edges:
+            stats.add(edge)
+        return stats
+
+    def add(self, edge: StreamEdge) -> None:
+        self.total_edges += 1
+        self.term_counts[(edge.src_label, edge.label, edge.dst_label,
+                          edge.src == edge.dst)] += 1
+        self._vertices.add(edge.src)
+        self._vertices.add(edge.dst)
+
+    @property
+    def distinct_vertices(self) -> int:
+        return len(self._vertices)
+
+    def edge_match_probability(self, query: QueryGraph,
+                               eid: EdgeId) -> float:
+        """Fraction of sample arrivals label-compatible with ``eid``.
+
+        Computed over the distinct term-label groups (wildcard-aware), so
+        the cost is O(distinct labels), not O(sample size).
+        """
+        if self.total_edges == 0:
+            return 0.0
+        qedge = query.edge(eid)
+        matching = 0
+        for (src_label, label, dst_label, is_loop), count in \
+                self.term_counts.items():
+            probe = StreamEdge(
+                "u", "u" if is_loop else "v",
+                src_label=src_label, dst_label=dst_label,
+                timestamp=0.0, label=label)
+            if query.edge_matches(eid, probe):
+                matching += count
+        return matching / self.total_edges
+
+
+def estimate_subquery_cardinality(
+    query: QueryGraph, sequence: Sequence[EdgeId],
+    stats: TermLabelStatistics, window_edges: float,
+) -> float:
+    """Independence estimate of ``|Ω(sequence)|`` in a W-edge window."""
+    vertices = max(2, stats.distinct_vertices)
+    cardinality = 1.0
+    for index, eid in enumerate(sequence):
+        expected_matches = stats.edge_match_probability(query, eid) \
+            * window_edges
+        cardinality *= expected_matches
+        if index > 0:
+            cardinality /= vertices
+    return cardinality
+
+
+def estimated_join_order(
+    query: QueryGraph, decomposition: Decomposition,
+    sample: Iterable[StreamEdge], window_edges: float,
+) -> Decomposition:
+    """Cardinality-driven prefix-connected join order (smallest first).
+
+    Greedy System-R flavour: start from the TC-subquery with the smallest
+    estimated match count, then repeatedly append the connected subquery
+    with the smallest estimate — small intermediate results early keep every
+    subsequent ``⋈ᵀ`` cheap.
+    """
+    if len(decomposition) <= 1:
+        return list(decomposition)
+    stats = sample if isinstance(sample, TermLabelStatistics) \
+        else TermLabelStatistics.from_edges(sample)
+    estimates: Dict[int, float] = {
+        index: estimate_subquery_cardinality(query, seq, stats, window_edges)
+        for index, seq in enumerate(decomposition)}
+
+    def vertices_of(seq) -> set:
+        out = set()
+        for eid in seq:
+            out.update(query.edge(eid).endpoints)
+        return out
+
+    remaining = list(range(len(decomposition)))
+    remaining.sort(key=lambda i: (estimates[i], repr(decomposition[i])))
+    first = remaining.pop(0)
+    order = [decomposition[first]]
+    covered = vertices_of(decomposition[first])
+    while remaining:
+        viable = [i for i in remaining
+                  if covered & vertices_of(decomposition[i])]
+        if not viable:
+            raise ValueError(
+                "no connected extension — query must be weakly connected")
+        pick = min(viable, key=lambda i: (estimates[i],
+                                          repr(decomposition[i])))
+        remaining.remove(pick)
+        order.append(decomposition[pick])
+        covered |= vertices_of(decomposition[pick])
+    return order

@@ -1,0 +1,132 @@
+"""Join-order selection over a TC decomposition (paper §VI-C).
+
+Joining the TC-subquery match sets ``Ω(Q¹) ⋈ … ⋈ Ω(Qᵏ)`` must follow a
+*prefix-connected permutation* (every prefix of the order induces a weakly
+connected subquery), and different orders produce very different intermediate
+result sizes.  Selectivity estimation is infeasible on a stream, so the paper
+uses the *joint number* heuristic (Definition 12):
+
+    ``JN(A, B) = |V(A) ∩ V(B)| + #{(εa, εb) ∈ E(A)×E(B) : εa ≺ εb or εb ≺ εa}``
+
+More shared vertices and more cross timing constraints both make the join
+more selective, so the order greedily maximises JN against the already-joined
+prefix.  ``random_join_order`` is the ``Timing-RJ`` ablation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Set, Tuple
+
+from .decomposition import Decomposition
+from .query import EdgeId, QueryGraph
+
+
+def _vertices_of(query: QueryGraph, edge_ids: Sequence[EdgeId]) -> Set:
+    vertices: Set = set()
+    for eid in edge_ids:
+        edge = query.edge(eid)
+        vertices.update(edge.endpoints)
+    return vertices
+
+
+def joint_number(
+    query: QueryGraph,
+    edges_a: Sequence[EdgeId],
+    edges_b: Sequence[EdgeId],
+) -> int:
+    """Definition 12's ``JN`` between two edge-disjoint subqueries."""
+    nv = len(_vertices_of(query, edges_a) & _vertices_of(query, edges_b))
+    nt = sum(1 for ea in edges_a for eb in edges_b
+             if query.timing.comparable(ea, eb))
+    return nv + nt
+
+
+def _connected(query: QueryGraph, prefix_vertices: Set,
+               candidate: Sequence[EdgeId]) -> bool:
+    return bool(prefix_vertices & _vertices_of(query, candidate))
+
+
+def jn_join_order(query: QueryGraph, decomposition: Decomposition) -> Decomposition:
+    """Greedy maximum-JN prefix-connected permutation (paper §VI-C).
+
+    Starts from the connected pair with maximum JN, then repeatedly appends
+    the connected subquery with maximum JN against the union of the prefix.
+    Ties break deterministically.  Falls back to any connected candidate when
+    all JNs are zero (the query is connected, so one always exists).
+    """
+    if len(decomposition) <= 1:
+        return list(decomposition)
+    parts = list(decomposition)
+
+    # Seed: best connected pair.
+    best_pair: Tuple[int, int] = (0, 1)
+    best_score = -1
+    for i in range(len(parts)):
+        for j in range(i + 1, len(parts)):
+            if not _connected(query, _vertices_of(query, parts[i]), parts[j]):
+                continue
+            score = joint_number(query, parts[i], parts[j])
+            key = (score, -i, -j)
+            if score > best_score:
+                best_score = score
+                best_pair = (i, j)
+    first, second = parts[best_pair[0]], parts[best_pair[1]]
+    order: Decomposition = [first, second]
+    remaining = [p for idx, p in enumerate(parts) if idx not in best_pair]
+    prefix_edges: List[EdgeId] = list(first) + list(second)
+    prefix_vertices = _vertices_of(query, prefix_edges)
+
+    while remaining:
+        best_idx = -1
+        best_score = -1
+        for idx, part in enumerate(remaining):
+            if not _connected(query, prefix_vertices, part):
+                continue
+            score = joint_number(query, prefix_edges, part)
+            if score > best_score:
+                best_score = score
+                best_idx = idx
+        if best_idx < 0:
+            raise ValueError(
+                "no connected extension — query must be weakly connected")
+        part = remaining.pop(best_idx)
+        order.append(part)
+        prefix_edges.extend(part)
+        prefix_vertices |= _vertices_of(query, part)
+    return order
+
+
+def random_join_order(
+    query: QueryGraph, decomposition: Decomposition, rng: random.Random,
+) -> Decomposition:
+    """Timing-RJ: a uniformly random prefix-connected permutation."""
+    if len(decomposition) <= 1:
+        return list(decomposition)
+    parts = list(decomposition)
+    start = parts.pop(rng.randrange(len(parts)))
+    order: Decomposition = [start]
+    prefix_vertices = _vertices_of(query, start)
+    while parts:
+        viable = [idx for idx, part in enumerate(parts)
+                  if _connected(query, prefix_vertices, part)]
+        if not viable:
+            raise ValueError(
+                "no connected extension — query must be weakly connected")
+        idx = viable[rng.randrange(len(viable))]
+        part = parts.pop(idx)
+        order.append(part)
+        prefix_vertices |= _vertices_of(query, part)
+    return order
+
+
+def is_prefix_connected_order(query: QueryGraph, order: Decomposition) -> bool:
+    """Whether every prefix of ``order`` induces a connected subquery."""
+    if not order:
+        return False
+    prefix_vertices = _vertices_of(query, order[0])
+    for part in order[1:]:
+        if not _connected(query, prefix_vertices, part):
+            return False
+        prefix_vertices |= _vertices_of(query, part)
+    return True

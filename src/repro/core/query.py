@@ -1,0 +1,300 @@
+"""Query graphs: structure + labels + timing order (paper Definition 3).
+
+A query graph is ``Q = (V(Q), E(Q), L, ≺)``: labelled vertices, directed
+edges, and a strict partial order ``≺`` over the edges.  This module provides
+the user-facing builder plus everything the engine derives from it:
+
+* label-compatibility between query edges and stream edges (with wildcard
+  support — the CAIDA workload of §VII-A replaces source ports by ``*``);
+* prerequisite subqueries ``Preq(ε)`` (Definition 6);
+* induced subqueries, weak connectivity, query diameter (IncMat's affected
+  area radius).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple,
+)
+
+from ..graph.edge import StreamEdge
+from .timing import TimingOrder
+
+VertexId = Hashable
+EdgeId = Hashable
+
+
+class _Wildcard:
+    """Sentinel matching any value in a label position."""
+
+    _instance: Optional["_Wildcard"] = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+#: Wildcard label component.  A query edge label of ``ANY`` matches every
+#: data edge label; inside a tuple label it matches that position only,
+#: e.g. ``(ANY, 80, "tcp")`` matches any source port to port 80 over tcp.
+ANY = _Wildcard()
+
+
+def labels_compatible(query_label: Hashable, data_label: Hashable) -> bool:
+    """Wildcard-aware label comparison (query side may contain ``ANY``)."""
+    if query_label is ANY:
+        return True
+    if isinstance(query_label, tuple):
+        if not isinstance(data_label, tuple) or len(query_label) != len(data_label):
+            return False
+        return all(labels_compatible(q, d)
+                   for q, d in zip(query_label, data_label))
+    return query_label == data_label
+
+
+class QueryVertex:
+    """A labelled query vertex."""
+
+    __slots__ = ("vertex_id", "label")
+
+    def __init__(self, vertex_id: VertexId, label: Hashable) -> None:
+        self.vertex_id = vertex_id
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"QueryVertex({self.vertex_id!r}:{self.label!r})"
+
+
+class QueryEdge:
+    """A directed query edge with an optional (wildcard-able) label."""
+
+    __slots__ = ("edge_id", "src", "dst", "label")
+
+    def __init__(self, edge_id: EdgeId, src: VertexId, dst: VertexId,
+                 label: Hashable = ANY) -> None:
+        self.edge_id = edge_id
+        self.src = src
+        self.dst = dst
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"QueryEdge({self.edge_id!r}: {self.src!r}->{self.dst!r})"
+
+    @property
+    def endpoints(self) -> Tuple[VertexId, VertexId]:
+        return (self.src, self.dst)
+
+    def shares_vertex_with(self, other: "QueryEdge") -> bool:
+        return bool({self.src, self.dst} & {other.src, other.dst})
+
+
+class QueryGraph:
+    """Builder and read model for a time-constrained continuous query."""
+
+    def __init__(self) -> None:
+        self._vertices: Dict[VertexId, QueryVertex] = {}
+        self._edges: Dict[EdgeId, QueryEdge] = {}
+        self.timing = TimingOrder()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex_id: VertexId, label: Hashable) -> QueryVertex:
+        if vertex_id in self._vertices:
+            raise ValueError(f"duplicate query vertex: {vertex_id!r}")
+        vertex = QueryVertex(vertex_id, label)
+        self._vertices[vertex_id] = vertex
+        return vertex
+
+    def add_edge(self, edge_id: EdgeId, src: VertexId, dst: VertexId,
+                 label: Hashable = ANY) -> QueryEdge:
+        if edge_id in self._edges:
+            raise ValueError(f"duplicate query edge: {edge_id!r}")
+        for vertex in (src, dst):
+            if vertex not in self._vertices:
+                raise KeyError(f"unknown query vertex: {vertex!r}")
+        edge = QueryEdge(edge_id, src, dst, label)
+        self._edges[edge_id] = edge
+        self.timing.add_edge_id(edge_id)
+        return edge
+
+    def add_timing_constraint(self, before: EdgeId, after: EdgeId) -> None:
+        """Declare ``before ≺ after`` (matched timestamps must respect it)."""
+        self.timing.add_constraint(before, after)
+
+    def add_timing_chain(self, *edge_ids: EdgeId) -> None:
+        """Declare ``e1 ≺ e2 ≺ ... ≺ en`` in one call."""
+        for before, after in zip(edge_ids, edge_ids[1:]):
+            self.timing.add_constraint(before, after)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def vertices(self) -> List[QueryVertex]:
+        return list(self._vertices.values())
+
+    def edges(self) -> List[QueryEdge]:
+        return list(self._edges.values())
+
+    def edge_ids(self) -> List[EdgeId]:
+        return list(self._edges.keys())
+
+    def vertex(self, vertex_id: VertexId) -> QueryVertex:
+        return self._vertices[vertex_id]
+
+    def edge(self, edge_id: EdgeId) -> QueryEdge:
+        return self._edges[edge_id]
+
+    def vertex_label(self, vertex_id: VertexId) -> Hashable:
+        return self._vertices[vertex_id].label
+
+    def has_edge_id(self, edge_id: EdgeId) -> bool:
+        return edge_id in self._edges
+
+    # ------------------------------------------------------------------ #
+    # Matching helpers
+    # ------------------------------------------------------------------ #
+    def edge_matches(self, edge_id: EdgeId, stream_edge: StreamEdge) -> bool:
+        """Compatibility of a stream edge with one query edge in isolation.
+
+        Checks endpoint labels and the edge label (wildcard-aware), plus the
+        one structural condition decidable per-edge: loop shape.  A self-loop
+        query edge can only map to a self-loop data edge, and a non-loop
+        query edge can never map to a self-loop (its two query vertices
+        would collapse onto one data vertex, violating injectivity).
+        Consistency with partially built matches is the join's job
+        (:mod:`repro.core.join`), not this predicate's.
+        """
+        qedge = self._edges[edge_id]
+        if (qedge.src == qedge.dst) != (stream_edge.src == stream_edge.dst):
+            return False
+        return (labels_compatible(self._vertices[qedge.src].label,
+                                  stream_edge.src_label)
+                and labels_compatible(self._vertices[qedge.dst].label,
+                                      stream_edge.dst_label)
+                and labels_compatible(qedge.label, stream_edge.label))
+
+    def matching_edge_ids(self, stream_edge: StreamEdge) -> List[EdgeId]:
+        """All query edges a stream edge is label-compatible with."""
+        return [eid for eid in self._edges
+                if self.edge_matches(eid, stream_edge)]
+
+    def distinct_term_labels(self) -> int:
+        """Number of distinct (src-label, edge-label, dst-label) triples.
+
+        This is the ``d`` of the cost model (Theorem 7): the probability a
+        random compatible arrival matches a given query edge is ``1/d``.
+        """
+        terms = {(self._vertices[e.src].label, e.label,
+                  self._vertices[e.dst].label)
+                 for e in self._edges.values()}
+        return len(terms)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def edges_adjacent(self, a: EdgeId, b: EdgeId) -> bool:
+        """Whether two query edges share an endpoint."""
+        return self._edges[a].shares_vertex_with(self._edges[b])
+
+    def is_weakly_connected(self, edge_ids: Optional[Iterable[EdgeId]] = None) -> bool:
+        """Weak connectivity of the subquery induced by ``edge_ids``.
+
+        With ``edge_ids=None`` the whole query is checked.  Connectivity is
+        over the *edge* set: the induced subgraph on the edges' endpoints,
+        ignoring direction (Definition 7 uses weak connectivity).
+        """
+        ids = list(self._edges if edge_ids is None else edge_ids)
+        if not ids:
+            return True
+        adjacency: Dict[EdgeId, List[EdgeId]] = {e: [] for e in ids}
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                if self.edges_adjacent(a, b):
+                    adjacency[a].append(b)
+                    adjacency[b].append(a)
+        seen = {ids[0]}
+        stack = [ids[0]]
+        while stack:
+            for nbr in adjacency[stack.pop()]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        return len(seen) == len(ids)
+
+    def diameter(self) -> int:
+        """Undirected diameter of the query graph (∞-free: assumes connected).
+
+        IncMat bounds its affected area by this value.
+        """
+        vertices = list(self._vertices)
+        neighbors: Dict[VertexId, Set[VertexId]] = {v: set() for v in vertices}
+        for edge in self._edges.values():
+            neighbors[edge.src].add(edge.dst)
+            neighbors[edge.dst].add(edge.src)
+        best = 0
+        for source in vertices:
+            depth = {source: 0}
+            frontier = [source]
+            while frontier:
+                nxt = []
+                for vertex in frontier:
+                    for nbr in neighbors[vertex]:
+                        if nbr not in depth:
+                            depth[nbr] = depth[vertex] + 1
+                            nxt.append(nbr)
+                frontier = nxt
+            best = max(best, max(depth.values()))
+        return best
+
+    def preq(self, edge_id: EdgeId) -> FrozenSet[EdgeId]:
+        """Prerequisite edge set of Definition 6."""
+        return self.timing.preq(edge_id)
+
+    def subquery(self, edge_ids: Iterable[EdgeId]) -> "QueryGraph":
+        """Subquery induced by a set of edges, timing order restricted."""
+        ids = list(edge_ids)
+        sub = QueryGraph()
+        needed_vertices: Set[VertexId] = set()
+        for eid in ids:
+            edge = self._edges[eid]
+            needed_vertices.update(edge.endpoints)
+        for vid in needed_vertices:
+            sub.add_vertex(vid, self._vertices[vid].label)
+        for eid in ids:
+            edge = self._edges[eid]
+            sub.add_edge(eid, edge.src, edge.dst, edge.label)
+        restricted = self.timing.restricted_to(ids)
+        for before, after in restricted.direct_constraints():
+            sub.timing.add_constraint(before, after)
+        return sub
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the query is well-formed.
+
+        Well-formed means: at least one edge, weakly connected (the paper
+        assumes connected queries — §III-B constructs prefix-connected
+        permutations from this), and an acyclic timing order (guaranteed by
+        construction in :class:`TimingOrder`).
+        """
+        if not self._edges:
+            raise ValueError("query graph has no edges")
+        if not self.is_weakly_connected():
+            raise ValueError("query graph must be weakly connected")
+
+    def __repr__(self) -> str:
+        return (f"QueryGraph({self.num_vertices} vertices, "
+                f"{self.num_edges} edges, "
+                f"{len(self.timing.direct_constraints())} timing constraints)")

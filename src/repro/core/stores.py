@@ -1,0 +1,176 @@
+"""Independent (uncompressed) partial-match storage — the ``Timing-IND``
+ablation of §VII-C.
+
+Every partial match is stored as a full, flat tuple of data edges, with no
+prefix sharing.  Functionally identical to the MS-tree stores (same engine
+interface, same results); the differences the paper measures are
+
+* **space** — a level-``i`` entry costs ``i`` cells instead of one node;
+* **maintenance** — inserting copies the whole prefix (O(i) vs O(1)).
+
+Both stores keep an edge → entries registry so deletion remains linear in
+the number of expired partial matches (the comparison isolates the storage
+representation, not the expiry algorithm).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graph.edge import StreamEdge
+
+#: Logical cells charged per stored tuple beyond its edges (key + length +
+#: registry slot).
+IND_ENTRY_OVERHEAD = 3
+
+#: Sentinel handle for "insert at level 1" (no parent entry).
+ROOT = object()
+
+_Entry = Tuple[int, int]  # (level, key)
+
+
+class _FlatLevels:
+    """Shared guts: per-level dict of key → flat edge tuple + edge registry."""
+
+    def __init__(self, length: int) -> None:
+        self.length = length
+        self._levels: List[Dict[int, Tuple[StreamEdge, ...]]] = [
+            {} for _ in range(length)]
+        self._by_edge: Dict[StreamEdge, Set[_Entry]] = {}
+        # itertools.count is effectively atomic under the GIL; a plain
+        # ``+= 1`` would race when two transactions hold X locks on
+        # *different* levels of the same store.
+        self._next_key = itertools.count()
+
+    def store(self, level: int, edges: Tuple[StreamEdge, ...]) -> _Entry:
+        key = next(self._next_key)
+        self._levels[level - 1][key] = edges
+        entry = (level, key)
+        for edge in edges:
+            self._by_edge.setdefault(edge, set()).add(entry)
+        return entry
+
+    def read(self, level: int) -> List[Tuple[_Entry, Tuple[StreamEdge, ...]]]:
+        return [((level, key), edges)
+                for key, edges in self._levels[level - 1].items()]
+
+    def delete_edge(self, edge: StreamEdge) -> int:
+        entries = self._by_edge.pop(edge, None)
+        if not entries:
+            return 0
+        removed = 0
+        for level, key in entries:
+            edges = self._levels[level - 1].pop(key, None)
+            if edges is None:
+                continue
+            removed += 1
+            for other in edges:
+                if other != edge:
+                    bucket = self._by_edge.get(other)
+                    if bucket is not None:
+                        bucket.discard((level, key))
+                        if not bucket:
+                            self._by_edge.pop(other, None)
+        return removed
+
+    def count(self, level: int) -> int:
+        return len(self._levels[level - 1])
+
+    def entry_count(self) -> int:
+        return sum(len(level) for level in self._levels)
+
+    def space_cells(self) -> int:
+        return sum(len(edges) + IND_ENTRY_OVERHEAD
+                   for level in self._levels for edges in level.values())
+
+
+class IndependentTCStore:
+    """Expansion-list storage for one TC-subquery, flat tuples per entry."""
+
+    def __init__(self, length: int) -> None:
+        self.length = length
+        self._flat = _FlatLevels(length)
+
+    @property
+    def root(self):
+        return ROOT
+
+    def insert(self, level: int, parent, prefix: Tuple[StreamEdge, ...],
+               edge: StreamEdge):
+        """Store ``prefix + (edge,)`` as an independent flat tuple.
+
+        ``parent`` (the handle of the prefix entry) is ignored — independent
+        storage has no structural sharing; copying the prefix is exactly the
+        O(i) maintenance overhead the MS-tree comparison measures.
+        """
+        return self._flat.store(level, prefix + (edge,))
+
+    def read(self, level: int):
+        return self._flat.read(level)
+
+    def flat(self, handle) -> Tuple[StreamEdge, ...]:
+        level, key = handle
+        return self._flat._levels[level - 1][key]
+
+    def delete_edge(self, edge: StreamEdge) -> int:
+        return self._flat.delete_edge(edge)
+
+    def count(self, level: int) -> int:
+        return self._flat.count(level)
+
+    def entry_count(self) -> int:
+        return self._flat.entry_count()
+
+    def space_cells(self) -> int:
+        return self._flat.space_cells()
+
+
+class GlobalIndependentStore:
+    """``L₀`` storage with flat concatenated tuples (Timing-IND).
+
+    Level 1 is virtual exactly as in the MS-tree global store: ``Ω(L₀¹)``
+    delegates to the first subquery store.  Unlike the MS-tree variant,
+    expired edges must be deleted here explicitly (the engine calls
+    :meth:`delete_edge` for every expired edge) because there are no
+    dependency links.
+    """
+
+    def __init__(self, sub_stores: Sequence[IndependentTCStore]) -> None:
+        if len(sub_stores) < 2:
+            raise ValueError("global store needs ≥ 2 subqueries")
+        self.sub_stores = list(sub_stores)
+        self.k = len(sub_stores)
+        self._flat = _FlatLevels(self.k)
+
+    def read(self, level: int):
+        first = self.sub_stores[0]
+        if level == 1:
+            return first.read(first.length)
+        return self._flat.read(level)
+
+    def insert(self, level: int, parent, prefix: Tuple[StreamEdge, ...],
+               sub_handle, sub_flat: Tuple[StreamEdge, ...]):
+        """Store the concatenation ``prefix + sub_flat`` as a flat tuple.
+
+        ``parent`` and ``sub_handle`` are ignored (no pointer compression) —
+        see :class:`IndependentTCStore.insert` for the rationale.
+        """
+        if level < 2 or level > self.k:
+            raise ValueError(f"global insert level out of range: {level}")
+        return self._flat.store(level, prefix + sub_flat)
+
+    def delete_edge(self, edge: StreamEdge) -> int:
+        return self._flat.delete_edge(edge)
+
+    def count(self, level: int) -> int:
+        if level == 1:
+            first = self.sub_stores[0]
+            return first.count(first.length)
+        return self._flat.count(level)
+
+    def entry_count(self) -> int:
+        return self._flat.entry_count()
+
+    def space_cells(self) -> int:
+        return self._flat.space_cells()

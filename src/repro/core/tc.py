@@ -1,0 +1,128 @@
+"""Timing-connected (TC) queries: Definitions 7–8 and ``TCsub(Q)``.
+
+A *prefix-connected sequence* of a query is a permutation of its edges whose
+every prefix induces a weakly connected subquery (Definition 7).  A query is
+*timing-connected* when some prefix-connected sequence is also a ``≺``-chain
+(Definition 8); that sequence is its *timing sequence*.
+
+TC-queries are the unit of efficient evaluation: along a timing sequence the
+prerequisite subqueries are exactly the prefixes, and a new arrival can only
+ever extend the single expansion-list item matching its query edge
+(Theorem 2).  Arbitrary queries are decomposed into TC-subqueries
+(:mod:`repro.core.decomposition`).
+
+``TCsub(Q)`` — the set of *all* TC-subqueries of ``Q`` — is computed by the
+paper's Algorithm 5, a dynamic program growing timing sequences one edge at a
+time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .query import EdgeId, QueryGraph
+
+
+def is_prefix_connected(query: QueryGraph, sequence: Sequence[EdgeId]) -> bool:
+    """Whether every prefix of ``sequence`` induces a connected subquery.
+
+    Incremental check: each edge after the first must share a vertex with
+    some earlier edge, which is equivalent to Definition 7 for edge-induced
+    subqueries.
+    """
+    if not sequence:
+        return False
+    for idx in range(1, len(sequence)):
+        if not any(query.edges_adjacent(sequence[idx], earlier)
+                   for earlier in sequence[:idx]):
+            return False
+    return True
+
+
+def is_timing_sequence(query: QueryGraph, sequence: Sequence[EdgeId]) -> bool:
+    """Whether ``sequence`` is a timing sequence (Definition 8).
+
+    Requires prefix-connectivity and the consecutive-chain property
+    ``sequence[i] ≺ sequence[i+1]``; by transitivity the chain totally orders
+    the sequence, so it subsumes every declared constraint among its edges.
+    """
+    return (is_prefix_connected(query, sequence)
+            and query.timing.is_chain(sequence))
+
+
+def find_timing_sequence(
+    query: QueryGraph, edge_ids: Optional[Sequence[EdgeId]] = None,
+) -> Optional[Tuple[EdgeId, ...]]:
+    """A timing sequence for the (sub)query, or ``None`` if none exists.
+
+    Backtracking over linear chains of the timing order's transitive closure
+    with the prefix-connectivity side condition.  Queries are small (the
+    paper evaluates ≤ 21 edges) so exhaustive search is fine.
+    """
+    ids: List[EdgeId] = list(query.edge_ids() if edge_ids is None else edge_ids)
+    if not ids:
+        return None
+    remaining = set(ids)
+    prefix: List[EdgeId] = []
+
+    def backtrack() -> Optional[Tuple[EdgeId, ...]]:
+        if not remaining:
+            return tuple(prefix)
+        for candidate in list(remaining):
+            if prefix:
+                if not query.timing.precedes(prefix[-1], candidate):
+                    continue
+                if not any(query.edges_adjacent(candidate, p) for p in prefix):
+                    continue
+            remaining.discard(candidate)
+            prefix.append(candidate)
+            found = backtrack()
+            if found is not None:
+                return found
+            prefix.pop()
+            remaining.add(candidate)
+        return None
+
+    return backtrack()
+
+
+def is_tc_query(query: QueryGraph,
+                edge_ids: Optional[Sequence[EdgeId]] = None) -> bool:
+    """Whether the (sub)query is timing-connected (Definition 8)."""
+    return find_timing_sequence(query, edge_ids) is not None
+
+
+def tc_subqueries(query: QueryGraph) -> Dict[FrozenSet[EdgeId], Tuple[EdgeId, ...]]:
+    """``TCsub(Q)``: every TC-subquery, as edge-set → timing sequence.
+
+    Paper Algorithm 5: seed with all single edges; repeatedly extend a known
+    timing sequence ``{ε1..εj}`` by any edge ``x`` with ``εj ≺ x`` that is
+    adjacent to some edge of the sequence.  Distinct sequences over the same
+    edge set are collapsed (one representative sequence per set) because the
+    decomposition only needs edge sets with *a* valid sequence.
+    """
+    result: Dict[FrozenSet[EdgeId], Tuple[EdgeId, ...]] = {}
+    queue: deque = deque()
+    for eid in query.edge_ids():
+        seq = (eid,)
+        key = frozenset(seq)
+        result[key] = seq
+        queue.append(seq)
+    while queue:
+        seq = queue.popleft()
+        last = seq[-1]
+        members = set(seq)
+        for x in query.edge_ids():
+            if x in members:
+                continue
+            if not query.timing.precedes(last, x):
+                continue
+            if not any(query.edges_adjacent(x, e) for e in seq):
+                continue
+            extended = seq + (x,)
+            key = frozenset(extended)
+            if key not in result:
+                result[key] = extended
+                queue.append(extended)
+    return result

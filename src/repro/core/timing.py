@@ -1,0 +1,189 @@
+"""Strict partial order over query edges — the paper's timing order ``≺``.
+
+Definition 3 equips a query graph with a strict partial order ``≺`` over its
+edges: ``i ≺ j`` requires the data edge matched to ``i`` to carry a
+smaller timestamp than the one matched to ``j``.
+
+:class:`TimingOrder` stores the user-declared constraints, maintains their
+transitive closure, rejects cycles (a cyclic "order" admits no match at all
+and almost certainly indicates a user error), and answers the queries the
+engine needs:
+
+* ``predecessors(e)`` / ``successors(e)`` under the closure;
+* ``preq(e)`` — the prerequisite edge set of Definition 6;
+* whether a permutation of edges is a *linear extension* of ``≺`` (needed for
+  timing sequences of TC-queries, Definition 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+EdgeId = Hashable
+
+
+class TimingCycleError(ValueError):
+    """Raised when declared timing constraints contain a cycle."""
+
+
+class TimingOrder:
+    """Mutable strict partial order over a set of edge identifiers."""
+
+    def __init__(self, edges: Iterable[EdgeId] = ()) -> None:
+        self._edges: Set[EdgeId] = set(edges)
+        self._direct: Dict[EdgeId, Set[EdgeId]] = {e: set() for e in self._edges}
+        self._closure_cache: Dict[EdgeId, FrozenSet[EdgeId]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_edge_id(self, edge: EdgeId) -> None:
+        """Register an edge identifier with no constraints yet."""
+        if edge not in self._edges:
+            self._edges.add(edge)
+            self._direct[edge] = set()
+
+    def add_constraint(self, before: EdgeId, after: EdgeId) -> None:
+        """Declare ``before ≺ after``; raises on unknown ids or cycles."""
+        for edge in (before, after):
+            if edge not in self._edges:
+                raise KeyError(f"unknown query edge id: {edge!r}")
+        if before == after:
+            raise TimingCycleError(f"edge cannot precede itself: {before!r}")
+        if self.precedes(after, before):
+            raise TimingCycleError(
+                f"adding {before!r} ≺ {after!r} would create a cycle")
+        self._direct[before].add(after)
+        self._closure_cache.clear()
+
+    @classmethod
+    def from_pairs(
+        cls, edges: Iterable[EdgeId], pairs: Iterable[Tuple[EdgeId, EdgeId]],
+    ) -> "TimingOrder":
+        order = cls(edges)
+        for before, after in pairs:
+            order.add_constraint(before, after)
+        return order
+
+    @classmethod
+    def total_order(cls, sequence: Sequence[EdgeId]) -> "TimingOrder":
+        """The full chain ``sequence[0] ≺ sequence[1] ≺ ...``."""
+        order = cls(sequence)
+        for before, after in zip(sequence, sequence[1:]):
+            order.add_constraint(before, after)
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def edge_ids(self) -> FrozenSet[EdgeId]:
+        return frozenset(self._edges)
+
+    def direct_constraints(self) -> List[Tuple[EdgeId, EdgeId]]:
+        """The user-declared (non-transitive) ``(before, after)`` pairs."""
+        return [(b, a) for b, afters in self._direct.items() for a in afters]
+
+    def successors(self, edge: EdgeId) -> FrozenSet[EdgeId]:
+        """All edges that must come strictly after ``edge`` (closure)."""
+        cached = self._closure_cache.get(edge)
+        if cached is not None:
+            return cached
+        seen: Set[EdgeId] = set()
+        stack = list(self._direct.get(edge, ()))
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._direct.get(node, ()))
+        result = frozenset(seen)
+        self._closure_cache[edge] = result
+        return result
+
+    def predecessors(self, edge: EdgeId) -> FrozenSet[EdgeId]:
+        """All edges that must come strictly before ``edge`` (closure)."""
+        return frozenset(e for e in self._edges if edge in self.successors(e))
+
+    def precedes(self, before: EdgeId, after: EdgeId) -> bool:
+        """Whether ``before ≺ after`` holds in the transitive closure."""
+        return after in self.successors(before)
+
+    def comparable(self, a: EdgeId, b: EdgeId) -> bool:
+        return self.precedes(a, b) or self.precedes(b, a)
+
+    def preq(self, edge: EdgeId) -> FrozenSet[EdgeId]:
+        """Prerequisite edge set ``Preq(ε) = {ε' | ε' ≺ ε} ∪ {ε}`` (Def. 6)."""
+        return self.predecessors(edge) | {edge}
+
+    def is_linear_extension(self, sequence: Sequence[EdgeId]) -> bool:
+        """Whether ``sequence`` lists all edges consistently with ``≺``."""
+        if set(sequence) != self._edges or len(sequence) != len(self._edges):
+            return False
+        position = {edge: i for i, edge in enumerate(sequence)}
+        return all(position[b] < position[a]
+                   for b, a in self.direct_constraints())
+
+    def is_chain(self, sequence: Sequence[EdgeId]) -> bool:
+        """Whether consecutive elements satisfy ``seq[i] ≺ seq[i+1]``.
+
+        This is the timing-sequence condition of Definition 8 (and, by
+        transitivity, implies the sequence is a linear extension covering
+        every declared constraint among its elements).
+        """
+        return all(self.precedes(b, a) for b, a in zip(sequence, sequence[1:]))
+
+    def is_total(self) -> bool:
+        """Whether ``≺`` totally orders the edge set."""
+        return all(self.comparable(a, b)
+                   for a in self._edges for b in self._edges if a != b)
+
+    def is_empty(self) -> bool:
+        """Whether no constraints are declared."""
+        return all(not afters for afters in self._direct.values())
+
+    def restricted_to(self, edges: Iterable[EdgeId]) -> "TimingOrder":
+        """The induced partial order on a subset of edges.
+
+        The restriction keeps *closure* pairs, not merely declared pairs, so
+        ``a ≺ c`` survives the removal of an intermediate ``b``.
+        """
+        subset = set(edges)
+        unknown = subset - self._edges
+        if unknown:
+            raise KeyError(f"unknown edge ids: {sorted(map(repr, unknown))}")
+        sub = TimingOrder(subset)
+        for before in subset:
+            for after in self.successors(before):
+                if after in subset:
+                    sub._direct[before].add(after)
+        return sub
+
+    def linear_extensions(self) -> Iterable[Tuple[EdgeId, ...]]:
+        """Yield every linear extension (exponential; tests/tools only)."""
+        remaining = set(self._edges)
+        prefix: List[EdgeId] = []
+
+        def backtrack():
+            if not remaining:
+                yield tuple(prefix)
+                return
+            for edge in sorted(remaining, key=repr):
+                if all(p not in remaining for p in self.predecessors(edge)):
+                    remaining.discard(edge)
+                    prefix.append(edge)
+                    yield from backtrack()
+                    prefix.pop()
+                    remaining.add(edge)
+
+        yield from backtrack()
+
+    def check_timestamps(self, timestamps: Dict[EdgeId, float]) -> bool:
+        """Whether concrete timestamps satisfy every declared constraint."""
+        return all(timestamps[b] < timestamps[a]
+                   for b, a in self.direct_constraints()
+                   if b in timestamps and a in timestamps)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{b!r}≺{a!r}" for b, a in self.direct_constraints())
+        return f"TimingOrder({len(self._edges)} edges: {pairs})"

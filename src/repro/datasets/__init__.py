@@ -1,0 +1,20 @@
+"""Seeded synthetic workloads (§VII-A substitutes) and query generation."""
+
+from .base import Clock, ZipfSampler
+from .lsbench import generate_lsbench_stream
+from .netflow import (
+    exfiltration_attack_query, generate_netflow_stream, inject_attack,
+)
+from .query_gen import (
+    build_query, generate_query, generate_query_set, generate_query_with_k,
+    random_walk_edges, window_slice,
+)
+from .wikitalk import generate_wikitalk_stream
+
+__all__ = [
+    "ZipfSampler", "Clock",
+    "generate_netflow_stream", "inject_attack", "exfiltration_attack_query",
+    "generate_wikitalk_stream", "generate_lsbench_stream",
+    "random_walk_edges", "build_query", "generate_query",
+    "generate_query_with_k", "generate_query_set", "window_slice",
+]

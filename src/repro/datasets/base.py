@@ -1,0 +1,71 @@
+"""Shared generator utilities: seeded skewed sampling, timestamp clocks.
+
+All dataset generators are deterministic functions of their seed, producing
+:class:`~repro.graph.stream.GraphStream` objects with strictly increasing
+timestamps.  Skew matters: the paper's pruning and selectivity behaviour is
+driven by heavy-tailed label/degree distributions (e.g. the top 0.01% of
+destination ports covering >50% of CAIDA records), so the synthetic
+substitutes are Zipf-distributed throughout.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class ZipfSampler:
+    """Zipf(α) sampler over ``items`` (rank-1 item most likely).
+
+    Precomputes the cumulative mass so each draw is a binary search — the
+    generators draw millions of times.
+    """
+
+    def __init__(self, items: Sequence[T], alpha: float = 1.0) -> None:
+        if not items:
+            raise ValueError("cannot sample from an empty population")
+        self.items: List[T] = list(items)
+        weights = [1.0 / (rank ** alpha)
+                   for rank in range(1, len(self.items) + 1)]
+        total = sum(weights)
+        self._cumulative: List[float] = list(
+            itertools.accumulate(w / total for w in weights))
+        self._cumulative[-1] = 1.0  # guard against float drift
+
+    def sample(self, rng: random.Random) -> T:
+        return self.items[bisect.bisect_left(self._cumulative, rng.random())]
+
+    def sample_pair(self, rng: random.Random) -> tuple:
+        """Two *distinct* items (used for edge endpoints)."""
+        if len(self.items) < 2:
+            raise ValueError("need at least two items for a pair")
+        first = self.sample(rng)
+        second = self.sample(rng)
+        while second == first:
+            second = self.sample(rng)
+        return first, second
+
+
+class Clock:
+    """Strictly increasing timestamp source with exponential inter-arrivals.
+
+    ``rate`` is the mean number of arrivals per time unit; a small floor on
+    each increment guarantees strict monotonicity (Definition 1 requires
+    strictly increasing timestamps).
+    """
+
+    _FLOOR = 1e-9
+
+    def __init__(self, rate: float = 1.0, start: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.now = start
+
+    def tick(self, rng: random.Random) -> float:
+        self.now += rng.expovariate(self.rate) + self._FLOOR
+        return self.now

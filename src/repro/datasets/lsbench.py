@@ -1,0 +1,106 @@
+"""Synthetic social stream (Linked Stream Benchmark substitute, §VII-A).
+
+The paper's "Social Stream" dataset comes from the LSBench generator:
+subject/predicate/object records over typed social entities (users, posts,
+photos, GPS traces), converted into a streaming graph whose vertex labels
+are the entity types and edge labels the predicates.  This generator
+reproduces that schema with a small behavioural simulation:
+
+* a user population with Zipf-skewed activity;
+* events drawn from a weighted mix — follow/knows, post creation, likes,
+  replies, photo uploads with tags, and GPS check-ins;
+* referential integrity (likes and replies target previously created posts,
+  tags attach to existing photos), so the graph grows the same way an
+  LSBench trace does.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..graph.edge import StreamEdge
+from ..graph.stream import GraphStream
+from .base import Clock, ZipfSampler
+
+#: Event mix: (predicate, weight).  Weights loosely follow LSBench's default
+#: stream composition (posts and likes dominate).
+EVENT_MIX = (
+    ("likes", 0.30),
+    ("posts", 0.25),
+    ("knows", 0.15),
+    ("replyOf", 0.12),
+    ("uploads", 0.08),
+    ("tags", 0.05),
+    ("locatedAt", 0.05),
+)
+
+
+def generate_lsbench_stream(
+    num_edges: int,
+    *,
+    num_users: int = 150,
+    num_places: int = 20,
+    num_topics: int = 15,
+    rate: float = 1.0,
+    seed: int = 0,
+    user_alpha: float = 0.9,
+) -> GraphStream:
+    """Seeded synthetic social stream of ``num_edges`` typed records."""
+    rng = random.Random(seed)
+    users = [f"user{i}" for i in range(num_users)]
+    places = [f"place{i}" for i in range(num_places)]
+    topics = [f"topic{i}" for i in range(num_topics)]
+    user_sampler = ZipfSampler(users, alpha=user_alpha)
+    place_sampler = ZipfSampler(places, alpha=1.0)
+    topic_sampler = ZipfSampler(topics, alpha=1.0)
+    events = [name for name, _ in EVENT_MIX]
+    weights = [w for _, w in EVENT_MIX]
+    clock = Clock(rate=rate)
+
+    posts: List[str] = []
+    photos: List[str] = []
+    post_serial = 0
+    photo_serial = 0
+
+    stream = GraphStream()
+
+    def emit(src, dst, src_label, dst_label, predicate) -> None:
+        stream.append(StreamEdge(
+            src, dst, src_label=src_label, dst_label=dst_label,
+            timestamp=clock.tick(rng), label=predicate))
+
+    while len(stream) < num_edges:
+        event = rng.choices(events, weights=weights)[0]
+        user = user_sampler.sample(rng)
+        if event == "posts" or (event in ("likes", "replyOf") and not posts):
+            post = f"post{post_serial}"
+            post_serial += 1
+            posts.append(post)
+            emit(user, post, "user", "post", "posts")
+        elif event == "likes":
+            emit(user, rng.choice(posts), "user", "post", "likes")
+        elif event == "replyOf":
+            post = f"post{post_serial}"
+            post_serial += 1
+            target = rng.choice(posts)
+            posts.append(post)
+            emit(user, post, "user", "post", "posts")
+            if len(stream) < num_edges:
+                emit(post, target, "post", "post", "replyOf")
+        elif event == "knows":
+            other = user_sampler.sample(rng)
+            while other == user:
+                other = user_sampler.sample(rng)
+            emit(user, other, "user", "user", "knows")
+        elif event == "uploads" or (event == "tags" and not photos):
+            photo = f"photo{photo_serial}"
+            photo_serial += 1
+            photos.append(photo)
+            emit(user, photo, "user", "photo", "uploads")
+        elif event == "tags":
+            emit(rng.choice(photos), topic_sampler.sample(rng),
+                 "photo", "topic", "tags")
+        elif event == "locatedAt":
+            emit(user, place_sampler.sample(rng), "user", "place", "locatedAt")
+    return stream

@@ -1,0 +1,154 @@
+"""Synthetic network-traffic stream (CAIDA-2015 substitute, paper §VII-A).
+
+The paper's "Network Flow" dataset is the proprietary anonymised CAIDA 2015
+trace: five-tuple communication records transformed into a streaming graph
+where every vertex is labelled ``"IP"`` and each edge carries the term label
+``⟨source port, destination port, protocol⟩`` — with the source port
+replaced by a wildcard because ephemeral source ports would make query edges
+unmatchable.  The reported statistics that matter to matching behaviour:
+
+* extreme destination-port skew — the top 6 of 65,520 ports (0.01%) appear
+  in more than 50% of all records;
+* heavy-tailed IP activity (few hosts dominate traffic).
+
+This generator reproduces that regime with seeded Zipf distributions over a
+configurable IP population and a port universe headed by the usual suspects
+(80/443/53/22/25/8080).  It also supports splicing an information-
+exfiltration attack (Fig. 1 / Fig. 22 case study) into the background
+traffic at a chosen time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.query import ANY, QueryGraph
+from ..graph.edge import StreamEdge
+from ..graph.stream import GraphStream
+from .base import Clock, ZipfSampler
+
+#: Head of the destination-port distribution — mirrors the paper's
+#: observation that a handful of well-known ports dominate.
+COMMON_PORTS: Tuple[int, ...] = (80, 443, 53, 22, 25, 8080, 123, 3389, 110, 143)
+
+PROTOCOLS: Tuple[str, ...] = ("tcp", "udp")
+
+#: Well-known port used for the C&C channel in the injected attack.
+CNC_PORT = 6667
+
+
+def _edge_label(rng: random.Random, port_sampler: ZipfSampler,
+                proto_sampler: ZipfSampler) -> Tuple[int, int, str]:
+    source_port = rng.randrange(49152, 65536)  # ephemeral range
+    return (source_port, port_sampler.sample(rng), proto_sampler.sample(rng))
+
+
+def generate_netflow_stream(
+    num_edges: int,
+    *,
+    num_ips: int = 200,
+    rate: float = 1.0,
+    seed: int = 0,
+    extra_ports: int = 40,
+    port_alpha: float = 1.2,
+    ip_alpha: float = 0.9,
+) -> GraphStream:
+    """Seeded synthetic traffic stream of ``num_edges`` records.
+
+    ``extra_ports`` random unprivileged ports form the distribution's tail
+    behind :data:`COMMON_PORTS`.
+    """
+    rng = random.Random(seed)
+    ips = [f"10.0.{i // 256}.{i % 256}" for i in range(num_ips)]
+    ports = list(COMMON_PORTS) + sorted(
+        rng.sample(range(1024, 49151), extra_ports))
+    ip_sampler = ZipfSampler(ips, alpha=ip_alpha)
+    port_sampler = ZipfSampler(ports, alpha=port_alpha)
+    proto_sampler = ZipfSampler(PROTOCOLS, alpha=1.0)
+    clock = Clock(rate=rate)
+
+    stream = GraphStream()
+    for _ in range(num_edges):
+        src, dst = ip_sampler.sample_pair(rng)
+        stream.append(StreamEdge(
+            src, dst, src_label="IP", dst_label="IP",
+            timestamp=clock.tick(rng),
+            label=_edge_label(rng, port_sampler, proto_sampler)))
+    return stream
+
+
+# --------------------------------------------------------------------- #
+# Case-study support (Fig. 1 pattern / Fig. 22 detection)
+# --------------------------------------------------------------------- #
+def exfiltration_attack_query() -> QueryGraph:
+    """The information-exfiltration pattern of Fig. 1 as a query graph.
+
+    Vertices: victim V, web server W, C&C server B (all label ``"IP"``).
+    Edges (with the paper's timing chain t1 < t2 < t3 < t4 < t5):
+
+    ====  ==========  =======================================
+    id    direction   meaning
+    ====  ==========  =======================================
+    t1    V → W       victim browses compromised site (HTTP)
+    t2    W → V       malware script download (HTTP)
+    t3    V → B       victim registers at C&C (TCP)
+    t4    B → V       command from C&C (TCP)
+    t5    V → B       exfiltration upload (TCP)
+    ====  ==========  =======================================
+
+    Source ports are wildcards, exactly as the paper prepares the CAIDA
+    labels.
+    """
+    q = QueryGraph()
+    q.add_vertex("V", label="IP")
+    q.add_vertex("W", label="IP")
+    q.add_vertex("B", label="IP")
+    q.add_edge("t1", "V", "W", label=(ANY, 80, "tcp"))
+    q.add_edge("t2", "W", "V", label=(ANY, 80, "tcp"))
+    q.add_edge("t3", "V", "B", label=(ANY, CNC_PORT, "tcp"))
+    q.add_edge("t4", "B", "V", label=(ANY, CNC_PORT, "tcp"))
+    q.add_edge("t5", "V", "B", label=(ANY, CNC_PORT, "tcp"))
+    q.add_timing_chain("t1", "t2", "t3", "t4", "t5")
+    return q
+
+
+def inject_attack(stream: GraphStream, *, start_time: Optional[float] = None,
+                  victim: str = "10.0.0.66", web_server: str = "172.16.0.80",
+                  cnc_server: str = "203.0.113.9",
+                  step: float = 0.01, seed: int = 7) -> GraphStream:
+    """Splice one Fig.-1 attack into ``stream``, returning a new stream.
+
+    The five attack edges are placed ``step`` apart starting at
+    ``start_time`` (default: 60% through the stream's timespan), nudged onto
+    unoccupied timestamps so the merged sequence stays strictly increasing.
+    """
+    rng = random.Random(seed)
+    edges: List[StreamEdge] = list(stream)
+    if start_time is None:
+        start_time = edges[0].timestamp + 0.6 * stream.timespan
+
+    def sport() -> int:
+        return rng.randrange(49152, 65536)
+
+    attack_spec = [
+        (victim, web_server, (sport(), 80, "tcp")),
+        (web_server, victim, (sport(), 80, "tcp")),
+        (victim, cnc_server, (sport(), CNC_PORT, "tcp")),
+        (cnc_server, victim, (sport(), CNC_PORT, "tcp")),
+        (victim, cnc_server, (sport(), CNC_PORT, "tcp")),
+    ]
+    taken = {edge.timestamp for edge in edges}
+    attack_edges: List[StreamEdge] = []
+    t = start_time
+    for src, dst, label in attack_spec:
+        t += step
+        while t in taken:
+            t += step * 1e-3
+        taken.add(t)
+        attack_edges.append(StreamEdge(
+            src, dst, src_label="IP", dst_label="IP",
+            timestamp=t, label=label))
+
+    merged = sorted(edges + attack_edges, key=lambda e: e.timestamp)
+    return GraphStream(merged)

@@ -1,0 +1,212 @@
+"""Query-set generation by random walks (paper §VII-B, §VII-G).
+
+The paper generates continuous queries so that (1) the timing order is
+random enough to be representative and (2) the query — structure *and*
+timing order — is guaranteed to have at least one embedding in the data:
+
+1. random-walk the data graph to retrieve a connected subgraph ``g``;
+2. draw a random permutation of ``g``'s edges;
+3. declare ``εᵢ ≺ εⱼ`` iff ``εᵢ`` precedes ``εⱼ`` in the permutation *and*
+   the timestamp of ``εᵢ`` in ``g`` is smaller — so the constraints are
+   random (permutation) yet satisfiable (consistent with real timestamps).
+
+Per query graph the paper instantiates five timing orders: one full (the
+timestamp chain), one empty, three random.  §VII-G additionally controls
+the decomposition size ``k`` by re-drawing permutations until the greedy
+decomposition has exactly ``k`` TC-subqueries.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
+
+from ..core.decomposition import greedy_decomposition
+from ..core.query import QueryGraph
+from ..core.tc import tc_subqueries
+from ..graph.edge import StreamEdge
+from ..graph.stream import GraphStream
+
+LabelGeneralizer = Callable[[Hashable], Hashable]
+
+
+def window_slice(stream: GraphStream, units: float,
+                 *, end_fraction: float = 0.5) -> List[StreamEdge]:
+    """Edges inside one window-sized span of the stream.
+
+    Walking inside a window span guarantees the walked subgraph is co-resident
+    in some window, i.e. the generated query has at least one in-window
+    answer (the paper's embedding condition).  ``end_fraction`` places the
+    span's end within the stream.
+    """
+    edges = list(stream)
+    duration = stream.window_units_to_duration(units)
+    end_time = edges[0].timestamp + end_fraction * stream.timespan
+    return [e for e in edges if end_time - duration < e.timestamp <= end_time]
+
+
+def random_walk_edges(edges: Sequence[StreamEdge], size: int,
+                      rng: random.Random, *,
+                      max_tries: int = 100) -> Optional[List[StreamEdge]]:
+    """A connected subgraph of ``size`` distinct edges via random expansion.
+
+    Starts from a random edge and repeatedly adds a random edge incident to
+    the current vertex set (the "random walk" of §VII-B, robust to dead
+    ends by retrying from a fresh seed).
+    """
+    if len(edges) < size:
+        return None
+    incident: Dict[Hashable, List[StreamEdge]] = defaultdict(list)
+    for edge in edges:
+        incident[edge.src].append(edge)
+        incident[edge.dst].append(edge)
+    for _ in range(max_tries):
+        seed = edges[rng.randrange(len(edges))]
+        chosen = [seed]
+        chosen_set = {seed}
+        # Vertices kept as an ordered list (not a set): iteration order feeds
+        # the rng, and set order would depend on PYTHONHASHSEED, breaking
+        # seeded reproducibility across processes.
+        vertices = [seed.src] if seed.src == seed.dst else [seed.src, seed.dst]
+        vertex_set = set(vertices)
+        dead = False
+        while len(chosen) < size:
+            frontier = []
+            frontier_seen = set()
+            for vertex in vertices:
+                for candidate in incident[vertex]:
+                    if candidate not in chosen_set \
+                            and candidate not in frontier_seen:
+                        frontier.append(candidate)
+                        frontier_seen.add(candidate)
+            if not frontier:
+                dead = True
+                break
+            nxt = frontier[rng.randrange(len(frontier))]
+            chosen.append(nxt)
+            chosen_set.add(nxt)
+            for vertex in (nxt.src, nxt.dst):
+                if vertex not in vertex_set:
+                    vertex_set.add(vertex)
+                    vertices.append(vertex)
+        if not dead:
+            return chosen
+    return None
+
+
+def build_query(walk: Sequence[StreamEdge], *, timing: str = "random",
+                rng: Optional[random.Random] = None,
+                generalize_label: Optional[LabelGeneralizer] = None,
+                ) -> QueryGraph:
+    """Turn a walked subgraph into a query graph with a timing order.
+
+    ``timing`` is ``"random"`` (permutation rule above), ``"full"``
+    (timestamp chain — total order), or ``"empty"`` (no constraints).
+    ``generalize_label`` maps data edge labels to query edge labels (e.g.
+    wild-carding the source port on network-flow data).
+    """
+    if timing not in ("random", "full", "empty"):
+        raise ValueError(f"unknown timing mode: {timing!r}")
+    if timing == "random" and rng is None:
+        raise ValueError("timing='random' requires an rng")
+    query = QueryGraph()
+    vertex_ids: Dict[Hashable, str] = {}
+    for edge in walk:
+        for vid, label in ((edge.src, edge.src_label),
+                           (edge.dst, edge.dst_label)):
+            if vid not in vertex_ids:
+                name = f"u{len(vertex_ids)}"
+                vertex_ids[vid] = name
+                query.add_vertex(name, label)
+    eid_of: Dict[StreamEdge, str] = {}
+    for index, edge in enumerate(walk):
+        eid = f"e{index}"
+        eid_of[edge] = eid
+        label = edge.label
+        if generalize_label is not None:
+            label = generalize_label(label)
+        query.add_edge(eid, vertex_ids[edge.src], vertex_ids[edge.dst], label)
+
+    if timing == "full":
+        chain = sorted(walk, key=lambda e: e.timestamp)
+        for before, after in zip(chain, chain[1:]):
+            query.add_timing_constraint(eid_of[before], eid_of[after])
+    elif timing == "random":
+        perm = rng.sample(list(walk), len(walk))
+        for i, earlier in enumerate(perm):
+            for later in perm[i + 1:]:
+                if earlier.timestamp < later.timestamp:
+                    query.add_timing_constraint(eid_of[earlier], eid_of[later])
+    return query
+
+
+def generate_query(edges: Sequence[StreamEdge], size: int,
+                   rng: random.Random, *, timing: str = "random",
+                   generalize_label: Optional[LabelGeneralizer] = None,
+                   max_tries: int = 100) -> Optional[QueryGraph]:
+    """One random query of ``size`` edges over the edge population."""
+    walk = random_walk_edges(edges, size, rng, max_tries=max_tries)
+    if walk is None:
+        return None
+    return build_query(walk, timing=timing, rng=rng,
+                       generalize_label=generalize_label)
+
+
+def generate_query_with_k(edges: Sequence[StreamEdge], size: int, k: int,
+                          rng: random.Random, *,
+                          generalize_label: Optional[LabelGeneralizer] = None,
+                          max_tries: int = 300) -> Optional[QueryGraph]:
+    """A query whose greedy TC decomposition has exactly ``k`` subqueries.
+
+    §VII-G's protocol: keep re-drawing timing orders over walked subgraphs
+    until the decomposition size matches.  ``k == size`` short-circuits to
+    the empty order (every edge its own TC-subquery); ``k == 1`` requires
+    the full order over a walk whose timestamp order is prefix-connected,
+    so walks are also re-drawn.
+    """
+    if not 1 <= k <= size:
+        raise ValueError(f"k must be in [1, {size}], got {k}")
+    for _ in range(max_tries):
+        walk = random_walk_edges(edges, size, rng, max_tries=10)
+        if walk is None:
+            continue
+        if k == size:
+            query = build_query(walk, timing="empty",
+                                generalize_label=generalize_label)
+        elif k == 1:
+            query = build_query(walk, timing="full",
+                                generalize_label=generalize_label)
+        else:
+            query = build_query(walk, timing="random", rng=rng,
+                                generalize_label=generalize_label)
+        decomposition = greedy_decomposition(query, tc_subqueries(query))
+        if len(decomposition) == k:
+            return query
+    return None
+
+
+def generate_query_set(edges: Sequence[StreamEdge], sizes: Iterable[int],
+                       per_size: int, rng: random.Random, *,
+                       generalize_label: Optional[LabelGeneralizer] = None,
+                       ) -> List[QueryGraph]:
+    """The paper's query-set protocol, scaled.
+
+    For each size, ``per_size`` walked graphs; for each graph five timing
+    orders — one full, one empty, three random (§VII-B).
+    """
+    queries: List[QueryGraph] = []
+    for size in sizes:
+        built = 0
+        attempts = 0
+        while built < per_size and attempts < per_size * 20:
+            attempts += 1
+            walk = random_walk_edges(edges, size, rng, max_tries=10)
+            if walk is None:
+                continue
+            for timing in ("full", "empty", "random", "random", "random"):
+                queries.append(build_query(
+                    walk, timing=timing, rng=rng,
+                    generalize_label=generalize_label))
+            built += 1
+    return queries

@@ -1,0 +1,55 @@
+"""Synthetic wiki-talk stream (SNAP ``wiki-talk-temporal`` substitute).
+
+The paper's Wiki-talk dataset is a directed temporal network where an edge
+``(A, B, t)`` records user A editing user B's talk page at time ``t``; the
+vertex label is the first character of the user name.  The properties that
+drive matching behaviour: a small label alphabet with a skewed letter
+distribution (names are not uniform over initials) and heavy-tailed user
+activity (few prolific editors).  This generator reproduces both with seeded
+Zipf distributions; edges carry no edge label, exactly like the original.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+from ..graph.edge import StreamEdge
+from ..graph.stream import GraphStream
+from .base import Clock, ZipfSampler
+
+#: Letters ordered by (approximate) English initial-letter frequency, so the
+#: Zipf head lands on realistic initials.
+_LETTER_ORDER = "sabcmdprtjlhgkewnfoivquyzx"
+
+
+def generate_wikitalk_stream(
+    num_edges: int,
+    *,
+    num_users: int = 300,
+    rate: float = 1.0,
+    seed: int = 0,
+    user_alpha: float = 1.0,
+    letter_alpha: float = 1.1,
+) -> GraphStream:
+    """Seeded synthetic talk-page edit stream."""
+    rng = random.Random(seed)
+    letter_sampler = ZipfSampler(list(_LETTER_ORDER), alpha=letter_alpha)
+    users = []
+    labels = {}
+    for i in range(num_users):
+        initial = letter_sampler.sample(rng)
+        name = initial + "".join(rng.choices(string.ascii_lowercase, k=5)) + str(i)
+        users.append(name)
+        labels[name] = initial
+    user_sampler = ZipfSampler(users, alpha=user_alpha)
+    clock = Clock(rate=rate)
+
+    stream = GraphStream()
+    for _ in range(num_edges):
+        editor, owner = user_sampler.sample_pair(rng)
+        stream.append(StreamEdge(
+            editor, owner,
+            src_label=labels[editor], dst_label=labels[owner],
+            timestamp=clock.tick(rng)))
+    return stream

@@ -1,0 +1,17 @@
+"""Streaming-graph substrate: edges, streams, windows, snapshots, combinators."""
+
+from .count_window import CountSlidingWindow
+from .edge import StreamEdge
+from .ops import (
+    filter_stream, merge_streams, relabel_stream, rescale_time, time_slice,
+)
+from .snapshot import SnapshotGraph
+from .stream import GraphStream
+from .window import SlidingWindow
+
+__all__ = [
+    "StreamEdge", "GraphStream", "SlidingWindow", "CountSlidingWindow",
+    "SnapshotGraph",
+    "merge_streams", "filter_stream", "rescale_time", "time_slice",
+    "relabel_stream",
+]

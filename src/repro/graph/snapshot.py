@@ -1,0 +1,182 @@
+"""Indexed snapshot of the in-window graph.
+
+``Definition 2`` of the paper: the snapshot ``G_t`` is the graph induced by
+the edges whose timestamps lie in the current window.  The Timing engine
+itself never materialises the snapshot (that is one of its selling points —
+see Fig. 17/18 where the IncMat baselines pay for keeping adjacency lists),
+but the static-isomorphism substrate and the baselines need an incrementally
+maintained, indexed snapshot graph, which this module provides.
+
+The indexes kept:
+
+* out/in adjacency per vertex (``dict`` of vertex id -> set of edges);
+* vertex label per vertex (with multiplicity counting so a vertex disappears
+  only when its last incident edge expires);
+* edges grouped by *term label* ``(src_label, label, dst_label)`` — the unit
+  of selectivity in the paper's cost model (§VI-A).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .edge import StreamEdge
+
+TermLabel = Tuple[Hashable, Optional[Hashable], Hashable]
+
+
+class SnapshotGraph:
+    """Incrementally maintained, label-indexed directed multigraph."""
+
+    def __init__(self) -> None:
+        self._out: Dict[Hashable, Set[StreamEdge]] = defaultdict(set)
+        self._in: Dict[Hashable, Set[StreamEdge]] = defaultdict(set)
+        self._vertex_labels: Dict[Hashable, Hashable] = {}
+        self._vertex_refcount: Dict[Hashable, int] = defaultdict(int)
+        self._by_term_label: Dict[TermLabel, Set[StreamEdge]] = defaultdict(set)
+        self._edges: Set[StreamEdge] = set()
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, edge: StreamEdge) -> None:
+        """Insert an edge, registering both endpoints."""
+        if edge in self._edges:
+            raise ValueError(f"duplicate edge: {edge!r}")
+        self._edges.add(edge)
+        self._out[edge.src].add(edge)
+        self._in[edge.dst].add(edge)
+        self._register_vertex(edge.src, edge.src_label)
+        self._register_vertex(edge.dst, edge.dst_label)
+        self._by_term_label[self._term(edge)].add(edge)
+
+    def remove_edge(self, edge: StreamEdge) -> None:
+        """Remove an expired edge; vertices vanish with their last edge."""
+        if edge not in self._edges:
+            raise KeyError(f"edge not in snapshot: {edge!r}")
+        self._edges.discard(edge)
+        self._out[edge.src].discard(edge)
+        self._in[edge.dst].discard(edge)
+        if not self._out[edge.src]:
+            del self._out[edge.src]
+        if not self._in[edge.dst]:
+            del self._in[edge.dst]
+        self._unregister_vertex(edge.src)
+        self._unregister_vertex(edge.dst)
+        term = self._term(edge)
+        bucket = self._by_term_label[term]
+        bucket.discard(edge)
+        if not bucket:
+            del self._by_term_label[term]
+
+    def _register_vertex(self, vertex: Hashable, label: Hashable) -> None:
+        existing = self._vertex_labels.get(vertex)
+        if existing is not None and existing != label:
+            raise ValueError(
+                f"vertex {vertex!r} already has label {existing!r}, got {label!r}")
+        self._vertex_labels[vertex] = label
+        self._vertex_refcount[vertex] += 1
+
+    def _unregister_vertex(self, vertex: Hashable) -> None:
+        self._vertex_refcount[vertex] -= 1
+        if self._vertex_refcount[vertex] == 0:
+            del self._vertex_refcount[vertex]
+            del self._vertex_labels[vertex]
+
+    @staticmethod
+    def _term(edge: StreamEdge) -> TermLabel:
+        return (edge.src_label, edge.label, edge.dst_label)
+
+    # ------------------------------------------------------------------ #
+    # Read access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, edge: StreamEdge) -> bool:
+        return edge in self._edges
+
+    def edges(self) -> Iterator[StreamEdge]:
+        return iter(self._edges)
+
+    def vertices(self) -> Iterable[Hashable]:
+        return self._vertex_labels.keys()
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_labels)
+
+    def vertex_label(self, vertex: Hashable) -> Hashable:
+        return self._vertex_labels[vertex]
+
+    def has_vertex(self, vertex: Hashable) -> bool:
+        return vertex in self._vertex_labels
+
+    def out_edges(self, vertex: Hashable) -> Set[StreamEdge]:
+        return self._out.get(vertex, set())
+
+    def in_edges(self, vertex: Hashable) -> Set[StreamEdge]:
+        return self._in.get(vertex, set())
+
+    def incident_edges(self, vertex: Hashable) -> Set[StreamEdge]:
+        """All edges touching ``vertex`` in either direction."""
+        return self.out_edges(vertex) | self.in_edges(vertex)
+
+    def degree(self, vertex: Hashable) -> int:
+        return len(self.out_edges(vertex)) + len(self.in_edges(vertex))
+
+    def neighbors(self, vertex: Hashable) -> Set[Hashable]:
+        """Undirected neighbour set of ``vertex``."""
+        result: Set[Hashable] = set()
+        for edge in self.out_edges(vertex):
+            result.add(edge.dst)
+        for edge in self.in_edges(vertex):
+            result.add(edge.src)
+        result.discard(vertex)
+        return result
+
+    def edges_with_term_label(
+        self,
+        src_label: Hashable,
+        label: Optional[Hashable],
+        dst_label: Hashable,
+    ) -> Set[StreamEdge]:
+        """Edges whose (src label, edge label, dst label) triple matches."""
+        return self._by_term_label.get((src_label, label, dst_label), set())
+
+    def vertices_within_hops(self, roots: Iterable[Hashable], hops: int) -> Set[Hashable]:
+        """Vertices reachable from ``roots`` in ≤ ``hops`` undirected steps.
+
+        This is the "affected area" primitive of the IncMat baseline
+        (Fan et al.): the subgraph possibly touched by an update is bounded
+        by the query diameter around the updated edge's endpoints.
+        """
+        frontier: Set[Hashable] = {v for v in roots if self.has_vertex(v)}
+        seen: Set[Hashable] = set(frontier)
+        for _ in range(hops):
+            nxt: Set[Hashable] = set()
+            for vertex in frontier:
+                nxt |= self.neighbors(vertex)
+            frontier = nxt - seen
+            if not frontier:
+                break
+            seen |= frontier
+        return seen
+
+    def induced_edges(self, vertices: Set[Hashable]) -> List[StreamEdge]:
+        """Edges with both endpoints inside ``vertices``."""
+        result = []
+        for vertex in vertices:
+            for edge in self.out_edges(vertex):
+                if edge.dst in vertices:
+                    result.append(edge)
+        return result
+
+    def logical_space_cells(self) -> int:
+        """Deterministic logical size: one cell per adjacency entry.
+
+        Used by the space benchmarks (Figs. 17/18/24) — see
+        ``repro.bench.metrics`` for the cell→KB conversion.
+        """
+        return 2 * len(self._edges) + len(self._vertex_labels)

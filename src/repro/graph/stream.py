@@ -1,0 +1,98 @@
+"""Streaming-graph container: an ordered edge sequence with strict timestamps.
+
+``GraphStream`` is the paper's ``G`` (Definition 1): an append-only sequence
+of :class:`~repro.graph.edge.StreamEdge` with strictly increasing timestamps.
+It is deliberately dumb — windows and snapshots are separate concerns — but
+it validates the invariants every other component relies on and offers
+convenience constructors used by the dataset generators and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .edge import StreamEdge
+
+
+class GraphStream:
+    """Validated, append-only sequence of stream edges."""
+
+    def __init__(self, edges: Optional[Iterable[StreamEdge]] = None) -> None:
+        self._edges: List[StreamEdge] = []
+        if edges is not None:
+            for edge in edges:
+                self.append(edge)
+
+    def append(self, edge: StreamEdge) -> None:
+        """Append one arrival; timestamps must strictly increase."""
+        if self._edges and edge.timestamp <= self._edges[-1].timestamp:
+            raise ValueError(
+                "stream timestamps must strictly increase: "
+                f"{edge.timestamp} <= {self._edges[-1].timestamp}")
+        self._edges.append(edge)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[StreamEdge]:
+        return iter(self._edges)
+
+    def __getitem__(self, index: int) -> StreamEdge:
+        return self._edges[index]
+
+    @property
+    def timespan(self) -> float:
+        """Distance between first and last timestamp (0 when < 2 edges)."""
+        if len(self._edges) < 2:
+            return 0.0
+        return self._edges[-1].timestamp - self._edges[0].timestamp
+
+    @property
+    def mean_interarrival(self) -> float:
+        """Average gap between consecutive arrivals.
+
+        The paper expresses window sizes in multiples of this unit
+        ("each unit of the window size is the average time span between two
+        consecutive arrivals", §VII-C); the benchmark harness does the same.
+        """
+        if len(self._edges) < 2:
+            return 1.0
+        return self.timespan / (len(self._edges) - 1)
+
+    def window_units_to_duration(self, units: float) -> float:
+        """Convert a window size in inter-arrival units to a duration."""
+        return units * self.mean_interarrival
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tuples(
+        cls,
+        rows: Sequence[Tuple],
+        vertex_labels: Optional[Mapping[Hashable, Hashable]] = None,
+    ) -> "GraphStream":
+        """Build a stream from ``(src, dst, timestamp[, label])`` rows.
+
+        ``vertex_labels`` maps vertex id -> label; when omitted, the vertex id
+        itself is used as its label (handy in tests).
+        """
+        def label_of(vertex: Hashable) -> Hashable:
+            if vertex_labels is None:
+                return vertex
+            return vertex_labels[vertex]
+
+        stream = cls()
+        for row in rows:
+            if len(row) == 3:
+                src, dst, ts = row
+                label = None
+            elif len(row) == 4:
+                src, dst, ts, label = row
+            else:
+                raise ValueError(f"expected 3- or 4-tuple, got {row!r}")
+            stream.append(StreamEdge(
+                src, dst,
+                src_label=label_of(src), dst_label=label_of(dst),
+                timestamp=ts, label=label))
+        return stream

@@ -1,0 +1,7 @@
+"""I/O: the query DSL and CSV stream readers/writers."""
+
+from .csv_stream import StreamFormatError, read_stream, write_stream
+from .dsl import DSLError, format_query, parse_query
+
+__all__ = ["parse_query", "format_query", "DSLError",
+           "read_stream", "write_stream", "StreamFormatError"]

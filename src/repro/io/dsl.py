@@ -1,0 +1,148 @@
+"""A small text DSL for time-constrained continuous queries.
+
+Queries are declared in a line-oriented format (``#`` starts a comment)::
+
+    # information-exfiltration pattern (paper Fig. 1)
+    vertex V IP
+    vertex W IP
+    vertex B IP
+    edge t1 V -> W [*, 80, tcp]
+    edge t2 W -> V [*, 80, tcp]
+    edge t3 V -> B [*, 6667, tcp]
+    edge t4 B -> V [*, 6667, tcp]
+    edge t5 V -> B [*, 6667, tcp]
+    order t1 < t2 < t3 < t4 < t5
+    window 30
+
+Grammar:
+
+* ``vertex <id> <label>`` — declare a labelled query vertex;
+* ``edge <id> <src> -> <dst> [<label>]`` — directed edge; the bracketed
+  label is optional.  A label of ``*`` is the wildcard; a comma-separated
+  label becomes a tuple, each component parsed as int when possible and
+  ``*`` meaning per-position wildcard;
+* ``order e1 < e2 < … `` — a timing chain (each ``<`` one constraint);
+* ``window <seconds>`` — optional window duration hint.
+
+``parse_query`` returns ``(QueryGraph, window_or_None)``;
+``format_query`` serialises back to the DSL (round-trip tested).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from ..core.query import ANY, QueryGraph
+
+
+class DSLError(ValueError):
+    """Raised on malformed query text, with a line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _parse_label_component(text: str) -> Hashable:
+    text = text.strip()
+    if text == "*":
+        return ANY
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _parse_label(text: str) -> Hashable:
+    """``[...]`` contents → label value (ANY / scalar / tuple)."""
+    if "," in text:
+        return tuple(_parse_label_component(part)
+                     for part in text.split(","))
+    return _parse_label_component(text)
+
+
+def _format_label_component(value: Hashable) -> str:
+    return "*" if value is ANY else str(value)
+
+
+def _format_label(value: Hashable) -> str:
+    if isinstance(value, tuple):
+        return ", ".join(_format_label_component(part) for part in value)
+    return _format_label_component(value)
+
+
+def parse_query(text: str) -> Tuple[QueryGraph, Optional[float]]:
+    """Parse DSL text into a validated query graph plus window hint."""
+    query = QueryGraph()
+    window: Optional[float] = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0].lower()
+        try:
+            if keyword == "vertex":
+                if len(tokens) != 3:
+                    raise DSLError(line_no, "expected: vertex <id> <label>")
+                query.add_vertex(tokens[1], tokens[2])
+            elif keyword == "edge":
+                _parse_edge_line(query, tokens, line, line_no)
+            elif keyword == "order":
+                _parse_order_line(query, line, line_no)
+            elif keyword == "window":
+                if len(tokens) != 2:
+                    raise DSLError(line_no, "expected: window <duration>")
+                window = float(tokens[1])
+                if window <= 0:
+                    raise DSLError(line_no, "window must be positive")
+            else:
+                raise DSLError(line_no, f"unknown directive {keyword!r}")
+        except DSLError:
+            raise
+        except (ValueError, KeyError) as exc:
+            raise DSLError(line_no, str(exc)) from exc
+    query.validate()
+    return query, window
+
+
+def _parse_edge_line(query: QueryGraph, tokens: List[str], line: str,
+                     line_no: int) -> None:
+    # edge <id> <src> -> <dst> [label...]
+    if len(tokens) < 5 or tokens[3] != "->":
+        raise DSLError(line_no, "expected: edge <id> <src> -> <dst> [label]")
+    eid, src, dst = tokens[1], tokens[2], tokens[4]
+    label: Hashable = ANY
+    if "[" in line:
+        if not line.rstrip().endswith("]"):
+            raise DSLError(line_no, "unterminated label bracket")
+        label_text = line[line.index("[") + 1:line.rindex("]")]
+        label = _parse_label(label_text)
+    query.add_edge(eid, src, dst, label)
+
+
+def _parse_order_line(query: QueryGraph, line: str, line_no: int) -> None:
+    body = line.split(None, 1)[1] if len(line.split(None, 1)) > 1 else ""
+    chain = [part.strip() for part in body.split("<")]
+    if len(chain) < 2 or any(not part for part in chain):
+        raise DSLError(line_no, "expected: order e1 < e2 [< e3 ...]")
+    for before, after in zip(chain, chain[1:]):
+        query.add_timing_constraint(before, after)
+
+
+def format_query(query: QueryGraph, window: Optional[float] = None) -> str:
+    """Serialise a query graph back into DSL text (stable ordering)."""
+    lines: List[str] = []
+    for vertex in query.vertices():
+        lines.append(f"vertex {vertex.vertex_id} {vertex.label}")
+    for edge in query.edges():
+        suffix = ""
+        if edge.label is not ANY:
+            suffix = f" [{_format_label(edge.label)}]"
+        lines.append(f"edge {edge.edge_id} {edge.src} -> {edge.dst}{suffix}")
+    for before, after in sorted(query.timing.direct_constraints(),
+                                key=lambda pair: (str(pair[0]), str(pair[1]))):
+        lines.append(f"order {before} < {after}")
+    if window is not None:
+        lines.append(f"window {window}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,22 @@
+"""Static subgraph-isomorphism substrate (baseline algorithms)."""
+
+from .base import StaticMatcher
+from .boostiso import BoostISO
+from .quicksi import QuickSI
+from .turboiso import TurboISO
+from .ullmann import Ullmann
+from .vf2 import VF2
+from .wcoj import WCOJMatcher
+
+#: Registry used by the benchmark harness to instantiate IncMat variants.
+ALGORITHMS = {
+    "Ullmann": Ullmann,
+    "VF2": VF2,
+    "QuickSI": QuickSI,
+    "TurboISO": TurboISO,
+    "BoostISO": BoostISO,
+    "WCOJ": WCOJMatcher,
+}
+
+__all__ = ["StaticMatcher", "Ullmann", "VF2", "QuickSI", "TurboISO",
+           "BoostISO", "WCOJMatcher", "ALGORITHMS"]

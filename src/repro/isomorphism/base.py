@@ -1,0 +1,215 @@
+"""Generic backtracking subgraph-isomorphism search over snapshots.
+
+The comparative baselines (IncMat in the paper's §VII, plus the from-scratch
+oracle used by the test suite) need classic *static* subgraph isomorphism:
+enumerate every edge-mapping of a query graph into a snapshot graph.  All of
+the algorithms the paper plugs into IncMat — QuickSI, TurboISO, BoostISO —
+share the same backtracking skeleton and differ in (a) the matching order and
+(b) candidate pruning.  :class:`StaticMatcher` implements the skeleton with
+those two strategy hooks; the per-algorithm modules subclass it.
+
+Matching is edge-at-a-time: the state maps query vertices to data vertices
+injectively and query edges to pairwise-distinct data edges.  Timing-order
+constraints are (optionally) verified on completion — exactly the
+posterior-filtering the paper ascribes to timing-unaware competitors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.matches import satisfies_timing
+from ..core.query import EdgeId, QueryGraph, VertexId, labels_compatible
+from ..graph.edge import StreamEdge
+from ..graph.snapshot import SnapshotGraph
+
+Assignment = Dict[EdgeId, StreamEdge]
+
+
+class StaticMatcher:
+    """Backtracking matcher; subclasses override ordering and pruning."""
+
+    name = "generic"
+
+    # ------------------------------------------------------------------ #
+    # Strategy hooks
+    # ------------------------------------------------------------------ #
+    def order(self, query: QueryGraph, snapshot: SnapshotGraph,
+              seed: Optional[EdgeId] = None) -> List[EdgeId]:
+        """Matching order: a connectivity-respecting permutation of query
+        edges (starting at ``seed`` when anchored).  Default: input order,
+        repaired for connectivity."""
+        return self._connectivity_order(query, list(query.edge_ids()), seed)
+
+    def prune(self, query: QueryGraph, snapshot: SnapshotGraph,
+              eid: EdgeId, candidate: StreamEdge) -> bool:
+        """Extra per-candidate filter; return ``False`` to discard.
+
+        The default accepts everything beyond label compatibility (which the
+        skeleton always enforces).  BoostISO-style matchers override this
+        with degree/neighbourhood conditions.
+        """
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Shared machinery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _connectivity_order(query: QueryGraph, preference: Sequence[EdgeId],
+                            seed: Optional[EdgeId]) -> List[EdgeId]:
+        """Greedy connected permutation following ``preference`` ranking."""
+        remaining = list(preference)
+        order: List[EdgeId] = []
+        if seed is not None:
+            remaining.remove(seed)
+            order.append(seed)
+        while remaining:
+            pick = None
+            if order:
+                for eid in remaining:
+                    if any(query.edges_adjacent(eid, done) for done in order):
+                        pick = eid
+                        break
+            if pick is None:
+                pick = remaining[0]  # disconnected query (or first edge)
+            remaining.remove(pick)
+            order.append(pick)
+        return order
+
+    def find(self, query: QueryGraph, snapshot: SnapshotGraph, *,
+             anchor: Optional[Tuple[EdgeId, StreamEdge]] = None,
+             enforce_timing: bool = True) -> Iterator[Assignment]:
+        """Enumerate matches of ``query`` in ``snapshot``.
+
+        ``anchor=(eid, edge)`` restricts the search to matches that assign
+        ``edge`` to ``eid`` — the incremental primitive: new matches caused
+        by an arrival are exactly the anchored matches over each query edge
+        it is label-compatible with.
+        """
+        if anchor is not None:
+            seed_eid, seed_edge = anchor
+            if not query.edge_matches(seed_eid, seed_edge):
+                return
+            if seed_edge not in snapshot:
+                return
+            order = self.order(query, snapshot, seed=seed_eid)
+        else:
+            order = self.order(query, snapshot)
+
+        vertex_map: Dict[VertexId, Hashable] = {}
+        mapped_data: Set[Hashable] = set()
+        used_edges: Set[StreamEdge] = set()
+        assignment: Assignment = {}
+
+        def bind(eid: EdgeId, data_edge: StreamEdge) -> Optional[List[VertexId]]:
+            """Try to extend the vertex map; returns newly bound vertices or
+            ``None`` on conflict."""
+            qedge = query.edge(eid)
+            new_bindings: List[VertexId] = []
+            for qv, dv in ((qedge.src, data_edge.src), (qedge.dst, data_edge.dst)):
+                bound = vertex_map.get(qv)
+                if bound is None:
+                    if dv in mapped_data:
+                        for undo in new_bindings:
+                            mapped_data.discard(vertex_map.pop(undo))
+                        return None
+                    # A self-loop query edge binds the same vertex twice.
+                    if qv in vertex_map:
+                        if vertex_map[qv] != dv:
+                            for undo in new_bindings:
+                                mapped_data.discard(vertex_map.pop(undo))
+                            return None
+                        continue
+                    vertex_map[qv] = dv
+                    mapped_data.add(dv)
+                    new_bindings.append(qv)
+                elif bound != dv:
+                    for undo in new_bindings:
+                        mapped_data.discard(vertex_map.pop(undo))
+                    return None
+            return new_bindings
+
+        def candidates(eid: EdgeId) -> Iterator[StreamEdge]:
+            qedge = query.edge(eid)
+            src_bound = vertex_map.get(qedge.src)
+            dst_bound = vertex_map.get(qedge.dst)
+            if src_bound is not None:
+                pool: Iterator[StreamEdge] = iter(snapshot.out_edges(src_bound))
+            elif dst_bound is not None:
+                pool = iter(snapshot.in_edges(dst_bound))
+            else:
+                # Disconnected jump (first edge, or disconnected subquery):
+                # use the term-label index when the labels are concrete,
+                # otherwise scan.
+                src_label = query.vertex_label(qedge.src)
+                dst_label = query.vertex_label(qedge.dst)
+                pool = (edge for edge in snapshot.edges())
+            for data_edge in pool:
+                if data_edge in used_edges:
+                    continue
+                if dst_bound is not None and data_edge.dst != dst_bound:
+                    continue
+                if src_bound is not None and data_edge.src != src_bound:
+                    continue
+                if not query.edge_matches(eid, data_edge):
+                    continue
+                if not self.prune(query, snapshot, eid, data_edge):
+                    continue
+                yield data_edge
+
+        def backtrack(depth: int) -> Iterator[Assignment]:
+            if depth == len(order):
+                if not enforce_timing or satisfies_timing(query, assignment):
+                    yield dict(assignment)
+                return
+            eid = order[depth]
+            if anchor is not None and depth == 0:
+                pool: Iterator[StreamEdge] = iter((anchor[1],))
+            else:
+                pool = candidates(eid)
+            for data_edge in pool:
+                if data_edge in used_edges:
+                    continue
+                new_bindings = bind(eid, data_edge)
+                if new_bindings is None:
+                    continue
+                used_edges.add(data_edge)
+                assignment[eid] = data_edge
+                yield from backtrack(depth + 1)
+                del assignment[eid]
+                used_edges.discard(data_edge)
+                for qv in new_bindings:
+                    mapped_data.discard(vertex_map.pop(qv))
+
+        yield from backtrack(0)
+
+    def find_all(self, query: QueryGraph, snapshot: SnapshotGraph, *,
+                 enforce_timing: bool = True) -> List[Assignment]:
+        """Materialised :meth:`find` (convenience for tests/benchmarks)."""
+        return list(self.find(query, snapshot, enforce_timing=enforce_timing))
+
+    # ------------------------------------------------------------------ #
+    # Shared ranking helpers for subclasses
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def term_frequency(query: QueryGraph, snapshot: SnapshotGraph,
+                       eid: EdgeId) -> int:
+        """Number of snapshot edges label-compatible with query edge ``eid``.
+
+        Exact for concrete labels via the term-label index; wildcard labels
+        fall back to an upper bound (the snapshot size) — infrequent-first
+        orders then rank concrete edges ahead of wildcards, which is the
+        right bias anyway.
+        """
+        qedge = query.edge(eid)
+        src_label = query.vertex_label(qedge.src)
+        dst_label = query.vertex_label(qedge.dst)
+        from ..core.query import ANY
+        wildcarded = (qedge.label is ANY or src_label is ANY or dst_label is ANY
+                      or isinstance(qedge.label, tuple)
+                      and any(part is ANY for part in qedge.label))
+        if wildcarded:
+            return sum(1 for edge in snapshot.edges()
+                       if query.edge_matches(eid, edge))
+        return len(snapshot.edges_with_term_label(src_label, qedge.label,
+                                                  dst_label))

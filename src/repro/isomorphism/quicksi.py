@@ -1,0 +1,29 @@
+"""QuickSI-style matcher (Shang et al., 2008).
+
+QuickSI's contribution is the *QI-sequence*: match infrequent structures
+first so the search tree collapses early.  Our rendition ranks query edges
+by the number of label-compatible data edges in the current snapshot
+(ascending) and repairs the ranking into a connected order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.query import EdgeId, QueryGraph
+from ..graph.snapshot import SnapshotGraph
+from .base import StaticMatcher
+
+
+class QuickSI(StaticMatcher):
+    """Infrequent-term-first (QI-sequence-like) matching order."""
+
+    name = "QuickSI"
+
+    def order(self, query: QueryGraph, snapshot: SnapshotGraph,
+              seed: Optional[EdgeId] = None) -> List[EdgeId]:
+        ranked = sorted(
+            query.edge_ids(),
+            key=lambda eid: (self.term_frequency(query, snapshot, eid),
+                             repr(eid)))
+        return self._connectivity_order(query, ranked, seed)

@@ -1,0 +1,18 @@
+"""Ullmann-style matcher: the 1976 baseline ordering.
+
+Ullmann's algorithm enumerates a state space in input order with only basic
+feasibility pruning.  Our edge-at-a-time rendition keeps the defining
+characteristics — no selectivity-aware ordering, no structural pruning
+beyond label compatibility and injectivity — so it serves as the
+lower-bound comparator among the static algorithms.
+"""
+
+from __future__ import annotations
+
+from .base import StaticMatcher
+
+
+class Ullmann(StaticMatcher):
+    """Input-order matching with baseline pruning only."""
+
+    name = "Ullmann"

@@ -1,0 +1,63 @@
+"""VF2-style matcher (Cordella et al., 2004).
+
+VF2 grows a partial mapping along the *frontier*: the next pair to match is
+always adjacent to the already-mapped region, and candidates are filtered by
+look-ahead degree feasibility.  Our edge-at-a-time rendition prefers, among
+the connected extensions, query edges whose *both* endpoints are already
+mapped (cheapest to verify, strongest constraint first) and applies a degree
+look-ahead prune.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.query import EdgeId, QueryGraph
+from ..graph.edge import StreamEdge
+from ..graph.snapshot import SnapshotGraph
+from .base import StaticMatcher
+
+
+class VF2(StaticMatcher):
+    """Frontier-driven ordering with degree look-ahead pruning."""
+
+    name = "VF2"
+
+    def order(self, query: QueryGraph, snapshot: SnapshotGraph,
+              seed: Optional[EdgeId] = None) -> List[EdgeId]:
+        remaining = list(query.edge_ids())
+        order: List[EdgeId] = []
+        mapped_vertices = set()
+
+        def vertex_ids(eid):
+            edge = query.edge(eid)
+            return {edge.src, edge.dst}
+
+        if seed is not None:
+            remaining.remove(seed)
+            order.append(seed)
+            mapped_vertices |= vertex_ids(seed)
+        while remaining:
+            # Rank: both endpoints mapped (0) < one endpoint (1) < none (2).
+            def rank(eid: EdgeId) -> int:
+                covered = len(vertex_ids(eid) & mapped_vertices)
+                return 2 - covered
+
+            pick = min(remaining, key=lambda eid: (rank(eid), repr(eid)))
+            remaining.remove(pick)
+            order.append(pick)
+            mapped_vertices |= vertex_ids(pick)
+        return order
+
+    def prune(self, query: QueryGraph, snapshot: SnapshotGraph,
+              eid: EdgeId, candidate: StreamEdge) -> bool:
+        """Degree look-ahead: a data vertex must carry at least the degree of
+        the query vertex it would realise."""
+        qedge = query.edge(eid)
+        out_deg_needed = sum(1 for e in query.edges() if e.src == qedge.src)
+        in_deg_needed = sum(1 for e in query.edges() if e.dst == qedge.dst)
+        if len(snapshot.out_edges(candidate.src)) < out_deg_needed:
+            return False
+        if len(snapshot.in_edges(candidate.dst)) < in_deg_needed:
+            return False
+        return True

@@ -1,0 +1,67 @@
+"""Engine checkpointing: save/restore a live matcher's full state.
+
+Long-running monitors need restarts without losing the window's partial
+matches (rebuilding them would require replaying up to ``|W|`` of history).
+Checkpoints capture the entire :class:`~repro.core.engine.TimingMatcher` —
+window contents, expansion-list stores (MS-tree or independent), compiled
+specs and statistics — via pickle, wrapped in a versioned envelope so stale
+checkpoint files fail loudly instead of deserialising garbage.
+
+The restore-equals-continuous-run property is covered by
+``tests/test_persistence.py``: running a stream through a checkpoint/restore
+cycle yields exactly the matches and state of an uninterrupted run.
+
+Security note: checkpoints are pickles — only restore files you wrote.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import BinaryIO, Union
+
+from .core.engine import TimingMatcher
+
+#: Bump when the engine's state layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+_MAGIC = b"timingsubg-checkpoint"
+
+_PathOrFile = Union[str, BinaryIO]
+
+
+class CheckpointError(RuntimeError):
+    """Raised for malformed or version-incompatible checkpoint files."""
+
+
+def save_checkpoint(matcher: TimingMatcher, target: _PathOrFile) -> None:
+    """Serialise a matcher (and everything it holds) to ``target``."""
+    envelope = {
+        "magic": _MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "matcher": matcher,
+    }
+    if isinstance(target, str):
+        with open(target, "wb") as handle:
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    else:
+        pickle.dump(envelope, target, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_checkpoint(source: _PathOrFile) -> TimingMatcher:
+    """Restore a matcher saved with :func:`save_checkpoint`."""
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            envelope = pickle.load(handle)
+    else:
+        envelope = pickle.load(source)
+    if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
+        raise CheckpointError("not a timingsubg checkpoint file")
+    version = envelope.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version} incompatible with "
+            f"{CHECKPOINT_VERSION}")
+    matcher = envelope.get("matcher")
+    if not isinstance(matcher, TimingMatcher):
+        raise CheckpointError("checkpoint does not contain a TimingMatcher")
+    return matcher

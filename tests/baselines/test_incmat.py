@@ -1,0 +1,60 @@
+"""IncMat baseline: anchored re-search + affected-area semantics."""
+
+import pytest
+
+from repro.baselines.incmat import IncMatMatcher
+from repro.baselines.naive import NaiveSnapshotMatcher
+from repro.isomorphism import ALGORITHMS
+
+from ..conftest import fig3_stream, fig5_query, random_stream
+
+
+class TestIncMat:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_matches_oracle_on_running_example(self, algorithm):
+        q = fig5_query()
+        incmat = IncMatMatcher(q, 9.0, ALGORITHMS[algorithm]())
+        oracle = NaiveSnapshotMatcher(q, 9.0)
+        for edge in fig3_stream():
+            assert set(incmat.push(edge)) == set(oracle.push(edge))
+            assert set(incmat.current_matches()) == \
+                set(oracle.current_matches())
+
+    def test_matches_oracle_on_random_stream(self):
+        q = fig5_query()
+        incmat = IncMatMatcher(q, 6.0)
+        oracle = NaiveSnapshotMatcher(q, 6.0)
+        for edge in random_stream(7, 80, 8, labels="abcdef"):
+            assert set(incmat.push(edge)) == set(oracle.push(edge))
+
+    def test_name_includes_algorithm(self):
+        q = fig5_query()
+        assert IncMatMatcher(q, 9.0, ALGORITHMS["TurboISO"]()).name == \
+            "IncMat-TurboISO"
+
+    def test_affected_area_bounded_by_diameter(self):
+        q = fig5_query()
+        incmat = IncMatMatcher(q, 9.0)
+        stream = fig3_stream()
+        for edge in stream[:5]:
+            incmat.push(edge)
+        area = incmat.affected_area(stream[4])
+        assert {"b3", "c4"} <= area
+        assert area <= set(incmat.snapshot.vertices())
+
+    def test_expiry_drops_results_and_registry(self):
+        q = fig5_query()
+        incmat = IncMatMatcher(q, 9.0)
+        for edge in fig3_stream():
+            incmat.push(edge)
+        # After σ1 expires (t=10) the match must be gone.
+        assert incmat.result_count() == 0
+        # Registry cleaned: no stale entries for any edge.
+        assert not incmat._by_edge
+
+    def test_space_includes_snapshot(self):
+        q = fig5_query()
+        incmat = IncMatMatcher(q, 9.0)
+        for edge in fig3_stream()[:6]:
+            incmat.push(edge)
+        assert incmat.space_cells() >= incmat.snapshot.logical_space_cells()

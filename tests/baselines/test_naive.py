@@ -1,0 +1,47 @@
+"""Naive per-snapshot matcher (the oracle itself gets sanity checks)."""
+
+import pytest
+
+from repro import verify_match
+from repro.baselines.naive import NaiveSnapshotMatcher
+
+from ..conftest import fig3_stream, fig5_query
+
+
+class TestNaive:
+    def test_running_example(self):
+        q = fig5_query()
+        matcher = NaiveSnapshotMatcher(q, window=9.0)
+        found_at = {}
+        for edge in fig3_stream():
+            found_at[edge.timestamp] = matcher.push(edge)
+        assert len(found_at[8]) == 1
+        assert verify_match(q, found_at[8][0].edge_map)
+        assert matcher.result_count() == 0   # expired at t=10
+
+    def test_new_matches_contain_the_new_edge(self):
+        q = fig5_query()
+        matcher = NaiveSnapshotMatcher(q, window=9.0)
+        for edge in fig3_stream():
+            for match in matcher.push(edge):
+                assert match.uses_edge(edge)
+
+    def test_advance_time_only(self):
+        q = fig5_query()
+        matcher = NaiveSnapshotMatcher(q, window=9.0)
+        for edge in fig3_stream():
+            if edge.timestamp > 8:
+                break
+            matcher.push(edge)
+        assert matcher.result_count() == 1
+        matcher.advance_time(50.0)
+        assert matcher.result_count() == 0
+
+    def test_space_is_snapshot_only(self):
+        q = fig5_query()
+        matcher = NaiveSnapshotMatcher(q, window=9.0)
+        for edge in fig3_stream():
+            if edge.timestamp > 3:
+                break
+            matcher.push(edge)
+        assert matcher.space_cells() == matcher.snapshot.logical_space_cells()

@@ -1,0 +1,72 @@
+"""SJ-tree baseline: correctness + its deliberate cost characteristics."""
+
+import pytest
+
+from repro.baselines.naive import NaiveSnapshotMatcher
+from repro.baselines.sjtree import SJTreeMatcher
+from repro import TimingMatcher
+
+from ..conftest import fig3_stream, fig5_query, random_stream
+
+
+class TestCorrectness:
+    def test_matches_oracle_on_running_example(self):
+        q = fig5_query()
+        sj = SJTreeMatcher(q, 9.0)
+        oracle = NaiveSnapshotMatcher(q, 9.0)
+        for edge in fig3_stream():
+            assert set(sj.push(edge)) == set(oracle.push(edge))
+            assert set(sj.current_matches()) == set(oracle.current_matches())
+
+    def test_matches_oracle_on_random_stream(self):
+        q = fig5_query()
+        sj = SJTreeMatcher(q, 6.0)
+        oracle = NaiveSnapshotMatcher(q, 6.0)
+        for edge in random_stream(11, 80, 8, labels="abcdef"):
+            assert set(sj.push(edge)) == set(oracle.push(edge))
+
+    def test_custom_leaf_order(self):
+        q = fig5_query()
+        order = [6, 5, 4, 2, 3, 1]
+        sj = SJTreeMatcher(q, 9.0, leaf_order=order)
+        oracle = NaiveSnapshotMatcher(q, 9.0)
+        for edge in fig3_stream():
+            assert set(sj.push(edge)) == set(oracle.push(edge))
+
+    def test_bad_leaf_order_rejected(self):
+        q = fig5_query()
+        with pytest.raises(ValueError):
+            SJTreeMatcher(q, 9.0, leaf_order=[6, 5])
+
+
+class TestCostCharacteristics:
+    def test_sjtree_stores_timing_discardable_partials(self):
+        """The paper's core criticism: SJ-tree maintains partial matches the
+        timing order would discard, so it stores strictly more than Timing
+        on the running example (where σ6, σ2... are discardable)."""
+        q = fig5_query()
+        sj = SJTreeMatcher(q, 9.0)
+        timing = TimingMatcher(q, 9.0)
+        for edge in fig3_stream():
+            sj.push(edge)
+            timing.push(edge)
+        assert sj.stored_partial_count() > sum(
+            timing.store_profile().values())
+        assert sj.space_cells() > timing.space_cells()
+
+    def test_posterior_timing_filter_on_root(self):
+        """Structurally complete but timing-violating matches are stored at
+        the root yet never reported."""
+        q = fig5_query()
+        sj = SJTreeMatcher(q, 100.0)
+        # Feed the running-example edges in reverse-ish time order mapped to
+        # fresh timestamps so structure completes but timing fails.
+        rows = [("a1", "b3", 1), ("d5", "b3", 2), ("b3", "c4", 3),
+                ("d5", "c4", 4), ("c4", "e7", 5), ("e7", "f8", 6)]
+        from ..conftest import make_stream
+        reported = []
+        for edge in make_stream(rows):
+            reported.extend(sj.push(edge))
+        assert reported == []                      # timing filter rejects
+        assert sj.stored_partial_count() > 0       # but the tree stored work
+        assert sj.current_matches() == []

@@ -1,0 +1,78 @@
+"""Benchmark harness: registries, sweeps, and cross-engine agreement."""
+
+import random
+
+import pytest
+
+from repro.bench.harness import (
+    ABLATIONS, METHODS, SweepResult, comparative_sweep,
+    run_method_over_queries,
+)
+from repro.bench.metrics import RunResult
+from repro.datasets import generate_wikitalk_stream, generate_query_set, window_slice
+
+
+@pytest.fixture(scope="module")
+def workload():
+    stream = generate_wikitalk_stream(800, seed=12)
+    rng = random.Random(0)
+    queries = generate_query_set(window_slice(stream, 200), sizes=[3],
+                                 per_size=1, rng=rng)
+    return stream, queries
+
+
+class TestRegistries:
+    def test_method_registry_covers_paper_figures(self):
+        assert set(METHODS) == {"Timing", "Timing-IND", "SJ-tree",
+                                "QuickSI", "TurboISO", "BoostISO"}
+
+    def test_ablation_registry(self):
+        assert set(ABLATIONS) == {"Timing", "Timing-RJ", "Timing-RD",
+                                  "Timing-RDJ"}
+
+
+class TestRunMethodOverQueries:
+    def test_all_methods_report_identical_match_counts(self, workload):
+        """Correctness across the whole registry: every method must emit the
+        same number of matches on the same workload."""
+        stream, queries = workload
+        counts = {}
+        for name, factory in METHODS.items():
+            runs = run_method_over_queries(factory, queries, stream, 200,
+                                           name=name, max_edges=400)
+            counts[name] = [r.matches_emitted for r in runs]
+        reference = counts["Timing"]
+        for name, got in counts.items():
+            assert got == reference, name
+
+    def test_ablations_report_identical_match_counts(self, workload):
+        stream, queries = workload
+        counts = {}
+        for name, factory in ABLATIONS.items():
+            runs = run_method_over_queries(factory, queries, stream, 200,
+                                           name=name, max_edges=400)
+            counts[name] = [r.matches_emitted for r in runs]
+        reference = counts["Timing"]
+        for name, got in counts.items():
+            assert got == reference, name
+
+
+class TestSweep:
+    def test_sweep_result_shapes(self, workload):
+        stream, queries = workload
+        subset = {"Timing": METHODS["Timing"],
+                  "SJ-tree": METHODS["SJ-tree"]}
+        sweep = comparative_sweep(
+            subset, lambda x: queries, stream, xs=[100, 200],
+            window_units_for_x=lambda x: x, max_edges=300)
+        assert sweep.xs == [100, 200]
+        assert len(sweep.throughput["Timing"]) == 2
+        assert len(sweep.space_kb["SJ-tree"]) == 2
+        assert all(v > 0 for v in sweep.throughput["Timing"])
+
+    def test_record_rejects_empty(self):
+        sweep = SweepResult([1])
+        with pytest.raises(ValueError):
+            sweep.record("x", [])
+        sweep.record("x", [RunResult("x")])
+        assert sweep.answers["x"] == [0.0]

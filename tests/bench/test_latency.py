@@ -1,0 +1,38 @@
+"""LatencyRecorder percentiles and run_stream integration."""
+
+import pytest
+
+from repro import TimingMatcher
+from repro.bench.metrics import LatencyRecorder, run_stream
+
+from ..conftest import fig3_stream, fig5_query
+
+
+class TestLatencyRecorder:
+    def test_empty(self):
+        recorder = LatencyRecorder()
+        assert recorder.p50 == 0.0
+        assert recorder.max == 0.0
+
+    def test_percentiles(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):          # 1..100
+            recorder.record(float(value))
+        assert recorder.p50 == 51.0          # nearest-rank
+        assert recorder.p95 == 96.0
+        assert recorder.p99 == 100.0
+        assert recorder.max == 100.0
+
+    def test_fraction_validation(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(1.5)
+
+    def test_run_stream_integration(self):
+        recorder = LatencyRecorder()
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        result = run_stream(matcher, fig3_stream(), latency=recorder)
+        assert result.edges_processed == 10
+        assert len(recorder.samples) == 10
+        assert recorder.p99 >= recorder.p50 > 0.0

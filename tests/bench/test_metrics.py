@@ -1,0 +1,68 @@
+"""Measurement utilities: RunResult arithmetic and run_stream wiring."""
+
+import pytest
+
+from repro import TimingMatcher
+from repro.bench.metrics import CELL_BYTES, RunResult, cells_to_kb, run_stream
+from repro.bench.reporting import format_series_table, shape_check_monotone
+
+from ..conftest import fig3_stream, fig5_query
+
+
+class TestCells:
+    def test_conversion(self):
+        assert cells_to_kb(1024 // CELL_BYTES) == pytest.approx(1.0)
+        assert cells_to_kb(0) == 0.0
+
+
+class TestRunResult:
+    def test_zero_division_guards(self):
+        r = RunResult("x")
+        assert r.throughput == 0.0
+        assert r.avg_space_kb == 0.0
+
+    def test_averaging(self):
+        r = RunResult("x")
+        r.space_samples_cells = [100, 300]
+        assert r.avg_space_cells == 200
+        r.edges_processed = 50
+        r.elapsed_seconds = 2.0
+        assert r.throughput == 25.0
+        assert "x" in repr(r)
+
+
+class TestRunStream:
+    def test_counts_and_samples(self):
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        result = run_stream(matcher, fig3_stream(), space_sample_every=3)
+        assert result.edges_processed == 10
+        assert result.matches_emitted == 1
+        assert result.elapsed_seconds > 0
+        assert len(result.space_samples_cells) >= 4
+        assert result.final_answer_count == 0   # match expired at t=10
+
+    def test_engine_name_detection(self):
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        assert run_stream(matcher, []).engine_name == "TimingMatcher"
+        assert run_stream(matcher, [], name="Custom").engine_name == "Custom"
+
+
+class TestReporting:
+    def test_table_contains_series(self):
+        text = format_series_table(
+            "Fig X", "window", [10, 20],
+            {"Timing": [1.0, 2.0], "SJ-tree": [3.0, 4.0]},
+            note="units: edges/s")
+        assert "Fig X" in text and "Timing" in text and "SJ-tree" in text
+        assert "units: edges/s" in text
+        assert "10" in text and "4.0" in text
+
+    def test_table_handles_short_series(self):
+        text = format_series_table("T", "x", [1, 2], {"A": [5.0]})
+        assert "--" in text
+
+    def test_shape_check(self):
+        assert shape_check_monotone([10, 8, 9, 5], decreasing=True)
+        assert not shape_check_monotone([5, 9, 8, 10], decreasing=True)
+        assert shape_check_monotone([1, 2, 3], decreasing=False)
+        assert shape_check_monotone([7], decreasing=True)

@@ -1,0 +1,29 @@
+"""Lock-contention reporting from the real-thread executor."""
+
+from repro import TimingMatcher
+from repro.concurrency import ConcurrentStreamExecutor
+
+from ..conftest import fig5_query, random_stream
+
+
+class TestContentionReport:
+    def test_grants_counted_and_items_named(self):
+        matcher = TimingMatcher(fig5_query(), 4.0)
+        executor = ConcurrentStreamExecutor(matcher, num_threads=3)
+        executor.run(random_stream(4, 150, 8, labels="abcdef"))
+        report = executor.contention_report()
+        assert report, "some items must have been locked"
+        total_grants = sum(grants for grants, _ in report.values())
+        total_waits = sum(waits for _, waits in report.values())
+        assert total_grants > 0
+        assert total_waits <= total_grants
+        # Items follow the engine's naming scheme.
+        for item in report:
+            assert item[0] in ("L", "L0")
+
+    def test_single_thread_never_waits(self):
+        matcher = TimingMatcher(fig5_query(), 4.0)
+        executor = ConcurrentStreamExecutor(matcher, num_threads=1)
+        executor.run(random_stream(4, 100, 8, labels="abcdef"))
+        report = executor.contention_report()
+        assert sum(waits for _, waits in report.values()) == 0

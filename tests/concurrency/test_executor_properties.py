@@ -1,0 +1,48 @@
+"""Property-based streaming consistency for the concurrent executor.
+
+Hypothesis drives random query shapes, streams and thread counts through
+the real-thread executor; the reported match multiset and final store state
+must equal the chronological serial run every time (Definition 11).
+Example counts are kept small — each example spins up a thread pool.
+"""
+
+import random
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import TimingMatcher
+from repro.concurrency import ConcurrentStreamExecutor
+
+from ..core.test_engine_properties import (
+    build_random_query, build_random_stream,
+)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=1_000),
+       n_edges=st.integers(min_value=2, max_value=4),
+       num_threads=st.integers(min_value=2, max_value=5),
+       all_locks=st.booleans())
+def test_concurrent_equals_serial(seed, n_edges, num_threads, all_locks):
+    rng = random.Random(seed)
+    query = build_random_query(rng, n_edges)
+    if not query.is_weakly_connected():
+        return
+    stream = build_random_stream(rng, 120, 7)
+
+    serial = TimingMatcher(build_random_query(random.Random(seed), n_edges),
+                           4.0)
+    serial_matches = []
+    for edge in stream:
+        serial_matches.extend(serial.push(edge))
+
+    concurrent = TimingMatcher(query, 4.0)
+    executor = ConcurrentStreamExecutor(concurrent, num_threads=num_threads,
+                                        all_locks=all_locks)
+    got = executor.run(stream)
+
+    assert Counter(got) == Counter(serial_matches)
+    assert set(concurrent.current_matches()) == set(serial.current_matches())
+    assert concurrent.store_profile() == serial.store_profile()

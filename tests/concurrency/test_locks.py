@@ -1,0 +1,77 @@
+"""Item locks with chronological wait-lists (Algorithm 4 semantics)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency.locks import ItemLock, LockTable
+
+
+class TestItemLockSerial:
+    def test_grant_requires_head_of_waitlist(self):
+        lock = ItemLock(("L", 0, 1))
+        lock.enqueue((1.0, 0), "X")
+        lock.enqueue((2.0, 1), "X")
+        done = []
+        t = threading.Thread(target=lambda: (lock.acquire((2.0, 1), "X"),
+                                             done.append(True)))
+        t.start()
+        time.sleep(0.05)
+        assert not done            # blocked behind the older request
+        lock.acquire((1.0, 0), "X")
+        lock.release((1.0, 0))
+        t.join(timeout=2)
+        assert done
+
+    def test_shared_locks_coexist(self):
+        lock = ItemLock("item")
+        lock.enqueue((1.0, 0), "S")
+        lock.enqueue((2.0, 1), "S")
+        lock.acquire((1.0, 0), "S")
+        acquired = []
+        t = threading.Thread(target=lambda: (lock.acquire((2.0, 1), "S"),
+                                             acquired.append(True)))
+        t.start()
+        t.join(timeout=2)
+        assert acquired            # S + S compatible, no release needed
+
+    def test_exclusive_blocks_shared(self):
+        lock = ItemLock("item")
+        lock.enqueue((1.0, 0), "X")
+        lock.enqueue((2.0, 1), "S")
+        lock.acquire((1.0, 0), "X")
+        got = []
+        t = threading.Thread(target=lambda: (lock.acquire((2.0, 1), "S"),
+                                             got.append(True)))
+        t.start()
+        time.sleep(0.05)
+        assert not got
+        lock.release((1.0, 0))
+        t.join(timeout=2)
+        assert got
+
+    def test_cancel_unblocks_waiters(self):
+        lock = ItemLock("item")
+        lock.enqueue((1.0, 0), "X")   # will be withdrawn, never acquired
+        lock.enqueue((2.0, 1), "X")
+        got = []
+        t = threading.Thread(target=lambda: (lock.acquire((2.0, 1), "X"),
+                                             got.append(True)))
+        t.start()
+        time.sleep(0.05)
+        assert not got
+        lock.cancel((1.0, 0))
+        t.join(timeout=2)
+        assert got
+
+
+class TestLockTable:
+    def test_lock_identity_per_item(self):
+        table = LockTable()
+        a = table.lock_for(("L", 0, 1))
+        b = table.lock_for(("L", 0, 1))
+        c = table.lock_for(("L", 0, 2))
+        assert a is b
+        assert a is not c
+        assert len(table.items()) == 2

@@ -1,0 +1,72 @@
+"""Discrete-event concurrency simulator: protocol properties & figure shapes."""
+
+import pytest
+
+from repro import TimingMatcher
+from repro.concurrency.simulation import ConcurrencySimulator, collect_trace
+
+from ..conftest import fig5_query, random_stream
+
+
+@pytest.fixture(scope="module")
+def traces():
+    matcher = TimingMatcher(fig5_query(), window=4.0)
+    return collect_trace(matcher, random_stream(1, 400, 8, labels="abcdef"))
+
+
+class TestCollectTrace:
+    def test_traces_are_chronological(self, traces):
+        stamps = [t.timestamp for t in traces]
+        assert stamps == sorted(stamps)
+
+    def test_traces_have_ops_and_requests(self, traces):
+        assert traces
+        for trace in traces:
+            assert trace.kind in ("ins", "del")
+            assert trace.requests
+            assert "TxnTrace" in repr(trace)
+
+    def test_unmatched_edges_skipped(self):
+        matcher = TimingMatcher(fig5_query(), window=4.0)
+        stream = random_stream(2, 50, 6, labels="zz")   # labels never match
+        assert collect_trace(matcher, stream) == []
+
+
+class TestSimulator:
+    def test_single_worker_makespan_is_total_service(self, traces):
+        sim = ConcurrencySimulator(traces, base_cost=1.0, unit_cost=0.0)
+        total_ops = sum(len(t.ops) for t in traces)
+        assert sim.makespan(1) == pytest.approx(total_ops)
+
+    def test_makespan_never_increases_with_workers(self, traces):
+        sim = ConcurrencySimulator(traces)
+        spans = [sim.makespan(n) for n in (1, 2, 3, 4, 5)]
+        for a, b in zip(spans, spans[1:]):
+            assert b <= a + 1e-9
+
+    def test_speedup_bounded_by_thread_count(self, traces):
+        sim = ConcurrencySimulator(traces)
+        for n in (1, 2, 4):
+            assert 1.0 <= sim.speedup(n) <= n + 1e-9
+
+    def test_fine_grained_beats_all_locks(self, traces):
+        """The Fig. 19/20 headline: Timing-N speed-up grows with N while
+        All-locks-N stays near flat."""
+        sim = ConcurrencySimulator(traces)
+        fine = sim.speedup_curve([1, 2, 3, 4, 5])
+        coarse = sim.speedup_curve([1, 2, 3, 4, 5], all_locks=True)
+        assert fine[0] == pytest.approx(1.0)
+        assert fine[-1] > fine[0] * 1.2          # speed-up grows
+        assert fine[-1] > coarse[-1]             # fine-grained wins
+        assert max(coarse) < 1.6                 # all-locks ~flat
+
+    def test_zero_traces(self):
+        assert ConcurrencySimulator([]).makespan(3) == 0.0
+
+    def test_worker_validation(self, traces):
+        with pytest.raises(ValueError):
+            ConcurrencySimulator(traces).makespan(0)
+
+    def test_deterministic(self, traces):
+        sim = ConcurrencySimulator(traces)
+        assert sim.makespan(3) == sim.makespan(3)

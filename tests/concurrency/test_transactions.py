@@ -1,0 +1,94 @@
+"""Lock-request prediction must cover the engine's actual access trace."""
+
+import pytest
+
+from repro import TimingMatcher
+from repro.core.guard import TraceGuard
+from repro.concurrency.transactions import (
+    lock_requests_for_delete, lock_requests_for_insert,
+)
+
+from ..conftest import fig3_stream, fig5_query, random_stream
+
+
+def is_subsequence(needle, haystack):
+    it = iter(haystack)
+    return all(any(x == y for y in it) for x in needle)
+
+
+class TestPredictionCoversTrace:
+    def test_running_example_insertions(self):
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        for edge in fig3_stream():
+            expired = matcher.window.push(edge)
+            for old in expired:
+                predicted = [(i, m) for i, m in
+                             lock_requests_for_delete(matcher, old)]
+                guard = TraceGuard()
+                matcher.delete_edge(old, guard)
+                actual = [(item, mode) for item, mode, _ in guard.ops]
+                assert is_subsequence(actual, predicted), (actual, predicted)
+            predicted = lock_requests_for_insert(matcher, edge)
+            guard = TraceGuard()
+            matcher.insert_edge(edge, guard)
+            actual = [(item, mode) for item, mode, _ in guard.ops]
+            assert is_subsequence(actual, predicted), (edge, actual, predicted)
+
+    def test_random_stream_insertions(self):
+        matcher = TimingMatcher(fig5_query(), window=6.0)
+        for edge in random_stream(3, 120, 8, labels="abcdef"):
+            for old in matcher.window.push(edge):
+                guard = TraceGuard()
+                predicted = lock_requests_for_delete(matcher, old)
+                matcher.delete_edge(old, guard)
+                actual = [(item, mode) for item, mode, _ in guard.ops]
+                assert is_subsequence(actual, predicted)
+            guard = TraceGuard()
+            predicted = lock_requests_for_insert(matcher, edge)
+            matcher.insert_edge(edge, guard)
+            actual = [(item, mode) for item, mode, _ in guard.ops]
+            assert is_subsequence(actual, predicted)
+
+
+class TestFig13Pattern:
+    """Fig. 13's dispatch example on the running example's decomposition."""
+
+    def test_edge_matching_first_edge_of_q1(self):
+        """σ matching only ε6 (first edge of Q¹) needs exactly X(L1¹)."""
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        from ..conftest import make_edge
+        sigma = make_edge("e9", "f9", 1.0)
+        assert lock_requests_for_insert(matcher, sigma) == \
+            [(("L", 0, 1), "X")]
+
+    def test_edge_completing_q1_joins_through_global(self):
+        """σ matching ε4 (last edge of Q¹): S(L1²), X(L1³), then the global
+        cascade S(Ω(Q²)), X(L0²), S(Ω(Q³)), X(L0³) — Fig. 13's Ins(σ13)."""
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        from ..conftest import make_edge
+        sigma = make_edge("d5", "c11", 1.0)
+        got = lock_requests_for_insert(matcher, sigma)
+        # Positions of the subqueries in the join order:
+        # Q1 = (6,5,4) at index 0, Q2 = (3,1) at 1, Q3 = (2,) at 2.
+        assert got == [
+            (("L", 0, 2), "S"), (("L", 0, 3), "X"),
+            (("L", 1, 2), "S"), (("L0", 2), "X"),
+            (("L", 2, 1), "S"), (("L0", 3), "X"),
+        ]
+
+    def test_delete_requests_cover_touched_lists(self):
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        from ..conftest import make_edge
+        sigma = make_edge("d5", "c11", 1.0)   # matches ε4 in Q1 only
+        got = lock_requests_for_delete(matcher, sigma)
+        assert (("L", 0, 1), "X") in got
+        assert (("L", 0, 3), "X") in got
+        assert (("L0", 2), "X") in got and (("L0", 3), "X") in got
+        assert all(mode == "X" for _, mode in got)
+
+    def test_unmatched_edge_has_no_requests(self):
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        from ..conftest import make_edge
+        sigma = make_edge("z1", "z2", 1.0)
+        assert lock_requests_for_insert(matcher, sigma) == []
+        assert lock_requests_for_delete(matcher, sigma) == []

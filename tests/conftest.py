@@ -1,0 +1,108 @@
+"""Shared fixtures and builders for the test suite.
+
+The paper's running example (query Q of Fig. 5, stream G of Fig. 3) appears
+throughout §II–§IV, so it is provided as a fixture pair; every structural
+claim the paper makes about it (TCsub contents, decomposition, the match at
+t=8 expiring at t=10, the MS-tree shapes of Figs. 10–11) is asserted
+somewhere in the suite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+import pytest
+
+from repro import QueryGraph, StreamEdge
+from repro.graph.stream import GraphStream
+
+
+def make_edge(src: str, dst: str, timestamp: float, label=None,
+              label_of=lambda v: v[0]) -> StreamEdge:
+    """Stream edge whose vertex labels default to the id's first character
+    (the convention of the paper's Fig. 3, where vertex ``e7`` has label
+    ``e``)."""
+    return StreamEdge(src, dst, src_label=label_of(src),
+                      dst_label=label_of(dst), timestamp=timestamp,
+                      label=label)
+
+
+def make_stream(rows: Sequence[Tuple[str, str, float]]) -> List[StreamEdge]:
+    return [make_edge(src, dst, ts) for src, dst, ts in rows]
+
+
+def fig5_query() -> QueryGraph:
+    """The running-example query Q (Fig. 5): 6 edges, timing orders
+    6 ≺ 3 ≺ 1 and 6 ≺ 5 ≺ 4."""
+    q = QueryGraph()
+    for vid in "abcdef":
+        q.add_vertex(vid, vid)
+    q.add_edge(1, "a", "b")
+    q.add_edge(2, "b", "c")
+    q.add_edge(3, "d", "b")
+    q.add_edge(4, "d", "c")
+    q.add_edge(5, "c", "e")
+    q.add_edge(6, "e", "f")
+    q.add_timing_chain(6, 3, 1)
+    q.add_timing_chain(6, 5, 4)
+    return q
+
+
+def fig3_stream() -> List[StreamEdge]:
+    """The running-example stream G (Fig. 3), σ1..σ10 at t=1..10."""
+    rows = [
+        ("e7", "f8", 1), ("c4", "e9", 2), ("c4", "e7", 3), ("d5", "c4", 4),
+        ("b3", "c4", 5), ("a2", "b3", 6), ("d5", "b3", 7), ("a1", "b3", 8),
+        ("d6", "c4", 9), ("d5", "e7", 10),
+    ]
+    return make_stream(rows)
+
+
+def path_query(n_edges: int, *, labels: str = "ABC",
+               timing: str = "chain") -> QueryGraph:
+    """A directed path query v0→v1→…→vn with cyclic labels.
+
+    ``timing``: ``"chain"`` (e0 ≺ e1 ≺ …), ``"reverse"`` or ``"empty"``.
+    """
+    q = QueryGraph()
+    for i in range(n_edges + 1):
+        q.add_vertex(f"v{i}", labels[i % len(labels)])
+    for i in range(n_edges):
+        q.add_edge(f"e{i}", f"v{i}", f"v{i + 1}")
+    eids = [f"e{i}" for i in range(n_edges)]
+    if timing == "chain":
+        q.add_timing_chain(*eids)
+    elif timing == "reverse":
+        q.add_timing_chain(*reversed(eids))
+    elif timing != "empty":
+        raise ValueError(timing)
+    return q
+
+
+def random_stream(seed: int, n: int, n_vertices: int, *,
+                  labels: str = "AB") -> List[StreamEdge]:
+    """Seeded random edge stream over a small vertex population."""
+    rng = random.Random(seed)
+    t = 0.0
+    out = []
+    label_of = lambda v: labels[int(v[1:]) % len(labels)]
+    for _ in range(n):
+        t += rng.random() * 0.5 + 0.01
+        u = f"d{rng.randrange(n_vertices)}"
+        v = f"d{rng.randrange(n_vertices)}"
+        while v == u:
+            v = f"d{rng.randrange(n_vertices)}"
+        out.append(StreamEdge(u, v, src_label=label_of(u),
+                              dst_label=label_of(v), timestamp=t))
+    return out
+
+
+@pytest.fixture
+def running_example_query() -> QueryGraph:
+    return fig5_query()
+
+
+@pytest.fixture
+def running_example_stream() -> List[StreamEdge]:
+    return fig3_stream()

@@ -1,0 +1,89 @@
+"""Global MS-tree anchor lifecycle: the trickiest pointer bookkeeping.
+
+Anchors are the lazily created depth-1 nodes of ``M₀`` standing in for the
+virtual ``L₀¹`` level.  Their lifecycle (create on first level-2 insert,
+reuse while alive, die with their Q¹ leaf, survive their children) is where
+dangling-pointer bugs would live; these tests pin each transition.
+"""
+
+import pytest
+
+from repro.core.mstree import GlobalMSTreeStore, MSTreeTCStore
+
+from ..conftest import make_edge
+
+
+def build():
+    q1 = MSTreeTCStore(1)
+    q2 = MSTreeTCStore(1)
+    store = GlobalMSTreeStore([q1, q2])
+    return store, q1, q2
+
+
+def sigma(ts):
+    return make_edge(f"x{ts}", f"y{ts}", ts)
+
+
+class TestAnchorLifecycle:
+    def test_anchor_created_lazily(self):
+        store, q1, q2 = build()
+        s1 = sigma(1)
+        leaf1 = q1.insert(1, q1.root, (), s1)
+        assert leaf1.anchor is None               # no global entry yet
+        s2 = sigma(2)
+        leaf2 = q2.insert(1, q2.root, (), s2)
+        store.insert(2, leaf1, (s1,), leaf2, (s2,))
+        assert leaf1.anchor is not None
+        assert leaf1.anchor.alive
+
+    def test_anchor_survives_children_and_is_reused(self):
+        store, q1, q2 = build()
+        s1, s2, s3 = sigma(1), sigma(2), sigma(3)
+        leaf1 = q1.insert(1, q1.root, (), s1)
+        leaf2 = q2.insert(1, q2.root, (), s2)
+        store.insert(2, leaf1, (s1,), leaf2, (s2,))
+        anchor = leaf1.anchor
+        q2.delete_edge(s2)                        # child dies, anchor stays
+        assert store.count(2) == 0
+        assert anchor.alive
+        leaf3 = q2.insert(1, q2.root, (), s3)
+        store.insert(2, leaf1, (s1,), leaf3, (s3,))
+        assert leaf1.anchor is anchor             # reused, not re-created
+        assert store.tree.count(1) == 1
+
+    def test_anchor_dies_with_its_leaf(self):
+        store, q1, q2 = build()
+        s1, s2 = sigma(1), sigma(2)
+        leaf1 = q1.insert(1, q1.root, (), s1)
+        leaf2 = q2.insert(1, q2.root, (), s2)
+        store.insert(2, leaf1, (s1,), leaf2, (s2,))
+        anchor = leaf1.anchor
+        q1.delete_edge(s1)
+        assert not anchor.alive
+        assert leaf1.anchor is None               # back-pointer cleared
+        assert store.tree.node_count == 0
+        # The Q² match itself is untouched.
+        assert q2.count(1) == 1
+
+    def test_dependents_cleaned_on_global_node_death(self):
+        store, q1, q2 = build()
+        s1, s2 = sigma(1), sigma(2)
+        leaf1 = q1.insert(1, q1.root, (), s1)
+        leaf2 = q2.insert(1, q2.root, (), s2)
+        node = store.insert(2, leaf1, (s1,), leaf2, (s2,))
+        assert node in leaf2.dependents
+        q1.delete_edge(s1)                        # kills node via cascade
+        assert node not in leaf2.dependents       # no dangling dependent
+
+    def test_fresh_q1_match_gets_fresh_anchor(self):
+        store, q1, q2 = build()
+        s1, s2, s4 = sigma(1), sigma(2), sigma(4)
+        leaf1 = q1.insert(1, q1.root, (), s1)
+        leaf2 = q2.insert(1, q2.root, (), s2)
+        store.insert(2, leaf1, (s1,), leaf2, (s2,))
+        q1.delete_edge(s1)
+        # A new Q¹ match arrives; joining builds a brand-new anchor.
+        leaf4 = q1.insert(1, q1.root, (), s4)
+        store.insert(2, leaf4, (s4,), leaf2, (s2,))
+        assert store.count(2) == 1
+        assert leaf4.anchor is not None and leaf4.anchor.alive

@@ -1,0 +1,112 @@
+"""TC decomposition (Algorithm 6), validation, and the Theorem-7 cost model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decomposition import (
+    expected_join_operations, greedy_decomposition, random_decomposition,
+    validate_decomposition,
+)
+from repro.core.tc import tc_subqueries
+
+from ..conftest import fig5_query, path_query
+
+
+class TestGreedy:
+    def test_running_example_decomposition(self):
+        """§VI-B: greedy picks {6,5,4}, then {3,1}, then {2}."""
+        decomposition = greedy_decomposition(fig5_query())
+        assert decomposition == [(6, 5, 4), (3, 1), (2,)]
+
+    def test_full_chain_path_gives_single_subquery(self):
+        q = path_query(4, timing="chain")
+        assert greedy_decomposition(q) == [("e0", "e1", "e2", "e3")]
+
+    def test_empty_order_gives_singletons(self):
+        q = path_query(3, timing="empty")
+        decomposition = greedy_decomposition(q)
+        assert sorted(decomposition) == [("e0",), ("e1",), ("e2",)]
+
+    def test_greedy_is_deterministic(self):
+        q = fig5_query()
+        assert greedy_decomposition(q) == greedy_decomposition(q)
+
+    def test_validates(self):
+        q = fig5_query()
+        validate_decomposition(q, greedy_decomposition(q))
+
+
+class TestRandom:
+    def test_random_decomposition_is_valid(self):
+        q = fig5_query()
+        for seed in range(10):
+            decomposition = random_decomposition(q, random.Random(seed))
+            validate_decomposition(q, decomposition)
+
+    def test_random_can_differ_from_greedy(self):
+        q = fig5_query()
+        greedy = greedy_decomposition(q)
+        seen_different = any(
+            random_decomposition(q, random.Random(seed)) != greedy
+            for seed in range(20))
+        assert seen_different
+
+    def test_random_never_smaller_than_greedy(self):
+        """Greedy minimises cardinality among the strategies used here (it
+        always takes a maximum-size TC-subquery first on this query)."""
+        q = fig5_query()
+        k_greedy = len(greedy_decomposition(q))
+        for seed in range(20):
+            assert len(random_decomposition(q, random.Random(seed))) >= k_greedy
+
+
+class TestValidation:
+    def test_rejects_overlap(self):
+        q = fig5_query()
+        with pytest.raises(ValueError, match="share edges"):
+            validate_decomposition(q, [(6, 5, 4), (4,), (3, 1), (2,)])
+
+    def test_rejects_missing_edges(self):
+        q = fig5_query()
+        with pytest.raises(ValueError, match="misses"):
+            validate_decomposition(q, [(6, 5, 4), (3, 1)])
+
+    def test_rejects_non_tc_part(self):
+        q = fig5_query()
+        with pytest.raises(ValueError, match="not a timing sequence"):
+            validate_decomposition(q, [(6, 5), (4, 3, 1), (2,)])
+
+    def test_rejects_empty_part(self):
+        q = fig5_query()
+        with pytest.raises(ValueError, match="empty"):
+            validate_decomposition(q, [(), (6, 5, 4), (3, 1), (2,)])
+
+
+class TestCostModel:
+    def test_theorem7_formula(self):
+        """N = (1/d)(|E(Q)| − 1 + k(k−1)/2)."""
+        q = fig5_query()
+        d = q.distinct_term_labels()
+        assert expected_join_operations(q, 1) == pytest.approx(5 / d)
+        assert expected_join_operations(q, 3) == pytest.approx((5 + 3) / d)
+        assert expected_join_operations(q, 6) == pytest.approx((5 + 15) / d)
+
+    def test_cost_increases_with_k(self):
+        """The paper's conclusion: prefer the smallest decomposition."""
+        q = fig5_query()
+        costs = [expected_join_operations(q, k) for k in range(1, 7)]
+        assert costs == sorted(costs)
+        assert costs[0] < costs[-1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=5),
+       st.sampled_from(["chain", "reverse", "empty"]),
+       st.integers(min_value=0, max_value=999))
+def test_property_decompositions_always_valid(n_edges, timing, seed):
+    q = path_query(n_edges, timing=timing)
+    subs = tc_subqueries(q)
+    validate_decomposition(q, greedy_decomposition(q, subs))
+    validate_decomposition(q, random_decomposition(q, random.Random(seed), subs))

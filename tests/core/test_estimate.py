@@ -1,0 +1,124 @@
+"""Sampling-based selectivity estimation and cardinality-driven ordering."""
+
+import pytest
+
+from repro import ANY, QueryGraph, StreamEdge, TimingMatcher
+from repro.core.decomposition import greedy_decomposition
+from repro.core.estimate import (
+    TermLabelStatistics, estimate_subquery_cardinality, estimated_join_order,
+)
+from repro.core.join_order import is_prefix_connected_order
+from repro.datasets import generate_wikitalk_stream
+
+from ..conftest import fig3_stream, fig5_query, make_edge
+
+
+class TestTermLabelStatistics:
+    def test_counts_and_vertices(self):
+        stats = TermLabelStatistics.from_edges(fig3_stream())
+        assert stats.total_edges == 10
+        assert stats.distinct_vertices == 9
+        assert stats.term_counts[("a", None, "b", False)] == 2  # σ6, σ8
+
+    def test_match_probability_exact_labels(self):
+        q = fig5_query()
+        stats = TermLabelStatistics.from_edges(fig3_stream())
+        # Edge 1 (a→b): σ6 and σ8 match → 2/10.
+        assert stats.edge_match_probability(q, 1) == pytest.approx(0.2)
+        # Edge 6 (e→f): only σ1 → 1/10.
+        assert stats.edge_match_probability(q, 6) == pytest.approx(0.1)
+
+    def test_match_probability_with_wildcards(self):
+        q = QueryGraph()
+        q.add_vertex("u", "IP")
+        q.add_vertex("v", "IP")
+        q.add_edge("e", "u", "v", label=(ANY, 80, "tcp"))
+        edges = [
+            StreamEdge("a", "b", src_label="IP", dst_label="IP",
+                       timestamp=1, label=(5000, 80, "tcp")),
+            StreamEdge("b", "c", src_label="IP", dst_label="IP",
+                       timestamp=2, label=(5001, 443, "tcp")),
+        ]
+        stats = TermLabelStatistics.from_edges(edges)
+        assert stats.edge_match_probability(q, "e") == pytest.approx(0.5)
+
+    def test_empty_sample(self):
+        q = fig5_query()
+        assert TermLabelStatistics().edge_match_probability(q, 1) == 0.0
+
+    def test_loop_shape_respected(self):
+        q = QueryGraph()
+        q.add_vertex("u", "a")
+        q.add_edge("loop", "u", "u")
+        stats = TermLabelStatistics.from_edges(
+            [make_edge("a1", "a1", 1), make_edge("a1", "b1", 2)])
+        # Only the self-loop arrival can match the loop query edge.
+        assert stats.edge_match_probability(q, "loop") == pytest.approx(0.5)
+
+
+class TestCardinality:
+    def test_monotone_in_window(self):
+        q = fig5_query()
+        stats = TermLabelStatistics.from_edges(fig3_stream())
+        small = estimate_subquery_cardinality(q, (6, 5, 4), stats, 10)
+        large = estimate_subquery_cardinality(q, (6, 5, 4), stats, 100)
+        assert large > small
+
+    def test_longer_sequences_less_likely_in_sparse_windows(self):
+        """When the expected per-edge matches are below the vertex count,
+        each join shrinks the estimate (sparse regime — the usual one)."""
+        q = fig5_query()
+        stats = TermLabelStatistics.from_edges(fig3_stream())
+        single = estimate_subquery_cardinality(q, (6,), stats, 10)
+        triple = estimate_subquery_cardinality(q, (6, 5, 4), stats, 10)
+        assert triple < single
+
+
+class TestEstimatedJoinOrder:
+    def test_prefix_connected_and_complete(self):
+        q = fig5_query()
+        decomposition = greedy_decomposition(q)
+        order = estimated_join_order(q, decomposition, fig3_stream(), 50)
+        assert is_prefix_connected_order(q, order)
+        assert sorted(map(sorted, order)) == \
+            sorted(map(sorted, decomposition))
+
+    def test_single_part_passthrough(self):
+        q = fig5_query()
+        assert estimated_join_order(q, [(6, 5, 4)], fig3_stream(), 50) == \
+            [(6, 5, 4)]
+
+    def test_engine_accepts_estimated_order(self):
+        """The explicit join_order parameter feeds the estimate through the
+        engine; results must equal the default JN order's."""
+        stream = generate_wikitalk_stream(600, seed=31)
+        from repro.datasets import generate_query_set, window_slice
+        import random
+        queries = generate_query_set(window_slice(stream, 150), sizes=[4],
+                                     per_size=1, rng=random.Random(2))
+        query = queries[2]
+        decomposition = greedy_decomposition(query)
+        order = estimated_join_order(query, decomposition,
+                                     list(stream)[:200], 150)
+        duration = stream.window_units_to_duration(150)
+        default = TimingMatcher(query, duration)
+        estimated = TimingMatcher(query, duration,
+                                  decomposition=decomposition,
+                                  join_order=order)
+        d_matches, e_matches = [], []
+        for edge in stream:
+            d_matches.extend(default.push(edge))
+            e_matches.extend(estimated.push(edge))
+        assert set(d_matches) == set(e_matches)
+
+    def test_engine_rejects_bad_explicit_order(self):
+        from ..conftest import path_query
+        q = fig5_query()
+        with pytest.raises(ValueError, match="permutation"):
+            TimingMatcher(q, 9.0, decomposition=[(6, 5, 4), (3, 1), (2,)],
+                          join_order=[(6, 5, 4), (3, 1)])
+        pq = path_query(3, timing="empty")   # decomposes into singletons
+        with pytest.raises(ValueError, match="prefix-connected"):
+            TimingMatcher(pq, 9.0,
+                          decomposition=[("e0",), ("e1",), ("e2",)],
+                          join_order=[("e0",), ("e2",), ("e1",)])

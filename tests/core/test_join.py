@@ -1,0 +1,129 @@
+"""Compiled join specs: ExtensionSpec and UnionSpec (the ⋈ᵀ operator)."""
+
+import pytest
+
+from repro.core.join import ExtensionSpec, UnionSpec, join_candidates
+
+from ..conftest import fig5_query, make_edge
+
+
+@pytest.fixture
+def q():
+    return fig5_query()
+
+
+class TestExtensionSpec:
+    """Extending a timing-sequence prefix by the next matching edge."""
+
+    def test_valid_extension(self, q):
+        # Prefix {6}: σ1 = e7→f8; extend with 5 (c→e): σ3 = c4→e7.
+        spec = ExtensionSpec(q, (6,), 5)
+        assert spec.check((make_edge("e7", "f8", 1),), make_edge("c4", "e7", 3))
+
+    def test_shared_vertex_mismatch_rejected(self, q):
+        spec = ExtensionSpec(q, (6,), 5)
+        # 5's dst must equal 6's src (query vertex e = e7), but e9 ≠ e7.
+        assert not spec.check((make_edge("e7", "f8", 1),),
+                              make_edge("c4", "e9", 3))
+
+    def test_timestamp_must_strictly_increase(self, q):
+        spec = ExtensionSpec(q, (6,), 5)
+        prefix = (make_edge("e7", "f8", 3),)
+        assert not spec.check(prefix, make_edge("c4", "e7", 3))
+        assert not spec.check(prefix, make_edge("c4", "e7", 2))
+
+    def test_duplicate_data_edge_rejected(self, q):
+        # Artificial: same query uses edge 2 then 5 — craft a prefix reusing
+        # the same data edge object.
+        spec = ExtensionSpec(q, (6, 5), 4)
+        sigma1 = make_edge("e7", "f8", 1)
+        sigma3 = make_edge("c4", "e7", 3)
+        assert not spec.check((sigma1, sigma3), sigma3)
+
+    def test_injectivity_enforced(self, q):
+        # 4 = d→c; if the candidate's d-vertex collides with the data vertex
+        # already bound to f, injectivity fails.
+        spec = ExtensionSpec(q, (6, 5), 4)
+        sigma1 = make_edge("e7", "f8", 1)
+        sigma3 = make_edge("c4", "e7", 3)
+        collide = make_edge("f8", "c4", 4, label_of=lambda v: {"f8": "d",
+                                                               "c4": "c"}[v])
+        assert not spec.check((sigma1, sigma3), collide)
+
+    def test_paper_insertions(self, q):
+        """Fig. 7's expansion list content: σ4 and σ9 both extend {σ1, σ3}."""
+        spec = ExtensionSpec(q, (6, 5), 4)
+        prefix = (make_edge("e7", "f8", 1), make_edge("c4", "e7", 3))
+        assert spec.check(prefix, make_edge("d5", "c4", 4))
+        assert spec.check(prefix, make_edge("d6", "c4", 9))
+
+
+class TestUnionSpec:
+    def test_overlapping_slots_rejected(self, q):
+        with pytest.raises(ValueError):
+            UnionSpec(q, (6, 5), (5, 4))
+
+    def test_compatible_union(self, q):
+        # Q1 = {6,5,4} matched by σ1,σ3,σ4; Q2 = {3,1} matched by σ7,σ8.
+        spec = UnionSpec(q, (6, 5, 4), (3, 1))
+        a = (make_edge("e7", "f8", 1), make_edge("c4", "e7", 3),
+             make_edge("d5", "c4", 4))
+        b = (make_edge("d5", "b3", 7), make_edge("a1", "b3", 8))
+        assert spec.check(a, b)
+
+    def test_shared_vertex_consistency_across_sides(self, q):
+        # d must be the same data vertex on both sides: σ4 = d5→c4 fixes
+        # d ↦ d5; a Q2 match with d6→b3 must be rejected.
+        spec = UnionSpec(q, (6, 5, 4), (3, 1))
+        a = (make_edge("e7", "f8", 1), make_edge("c4", "e7", 3),
+             make_edge("d5", "c4", 4))
+        b = (make_edge("d6", "b3", 7), make_edge("a1", "b3", 8))
+        assert not spec.check(a, b)
+
+    def test_cross_timing_enforced(self, q):
+        # 6 ≺ 3: a Q2 match whose 3-edge precedes σ1 must be rejected.
+        spec = UnionSpec(q, (6, 5, 4), (3, 1))
+        a = (make_edge("e7", "f8", 5), make_edge("c4", "e7", 6),
+             make_edge("d5", "c4", 7))
+        b = (make_edge("d5", "b3", 2), make_edge("a1", "b3", 8))
+        assert not spec.check(a, b)
+
+    def test_cross_timing_disabled_for_sjtree(self, q):
+        spec = UnionSpec(q, (6, 5, 4), (3, 1), enforce_timing=False)
+        a = (make_edge("e7", "f8", 5), make_edge("c4", "e7", 6),
+             make_edge("d5", "c4", 7))
+        b = (make_edge("d5", "b3", 2), make_edge("a1", "b3", 8))
+        assert spec.check(a, b)
+
+    def test_cross_injectivity(self, q):
+        # Q3 = {2} = b→c; its c must be the prefix's c (c4), and its b must
+        # not collide with any other bound vertex.
+        spec = UnionSpec(q, (6, 5, 4, 3, 1), (2,))
+        a = (make_edge("e7", "f8", 1), make_edge("c4", "e7", 3),
+             make_edge("d5", "c4", 4), make_edge("d5", "b3", 7),
+             make_edge("a1", "b3", 8))
+        good = (make_edge("b3", "c4", 5),)
+        assert spec.check(a, good)
+        wrong_b = (make_edge("b9", "c4", 5),)   # b ↦ b9 vs b3 in prefix
+        assert not spec.check(a, wrong_b)
+
+    def test_duplicate_edge_across_sides_rejected(self, q):
+        spec = UnionSpec(q, (6, 5), (2,))
+        shared = make_edge("b3", "c4", 5)
+        a = (make_edge("e7", "f8", 1), make_edge("c4", "e7", 3))
+        # craft b-side reusing an a-side edge object → must fail
+        assert not spec.check((a[0], shared), (shared,))
+
+
+class TestJoinCandidates:
+    def test_nested_loop_yields_compatible_pairs(self, q):
+        spec = UnionSpec(q, (6, 5, 4), (3, 1))
+        a1 = (make_edge("e7", "f8", 1), make_edge("c4", "e7", 3),
+              make_edge("d5", "c4", 4))
+        a2 = (make_edge("e7", "f8", 1), make_edge("c4", "e7", 3),
+              make_edge("d6", "c4", 9))   # d ↦ d6
+        b = (make_edge("d5", "b3", 7), make_edge("a1", "b3", 8))
+        pairs = list(join_candidates(spec, [("h1", a1), ("h2", a2)],
+                                     [("g1", b)]))
+        assert len(pairs) == 1
+        assert pairs[0][0][0] == "h1"

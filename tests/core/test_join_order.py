@@ -1,0 +1,83 @@
+"""Join-order selection: joint number (Definition 12) and permutations."""
+
+import random
+
+import pytest
+
+from repro.core.decomposition import greedy_decomposition
+from repro.core.join_order import (
+    is_prefix_connected_order, jn_join_order, joint_number, random_join_order,
+)
+
+from ..conftest import fig5_query, path_query
+
+
+@pytest.fixture
+def q():
+    return fig5_query()
+
+
+@pytest.fixture
+def decomposition(q):
+    return greedy_decomposition(q)   # [(6,5,4), (3,1), (2,)]
+
+
+class TestJointNumber:
+    def test_common_vertices_counted(self, q):
+        # Q1 = {6,5,4} has vertices {c,d,e,f}; Q3 = {2} has {b,c} → nv = 1.
+        assert joint_number(q, (6, 5, 4), (2,)) == 1
+
+    def test_timing_pairs_counted(self, q):
+        # Q1={6,5,4} vs Q2={3,1}: shared vertex? Q1 vertices {c,d,e,f},
+        # Q2 {a,b,d} → {d} (nv=1).  Timing pairs across: 6≺3, 6≺1 → nt=2.
+        assert joint_number(q, (6, 5, 4), (3, 1)) == 3
+
+    def test_symmetry(self, q):
+        assert joint_number(q, (6, 5, 4), (3, 1)) == \
+            joint_number(q, (3, 1), (6, 5, 4))
+
+    def test_disjoint_unrelated_is_zero(self):
+        q = path_query(3, timing="empty")
+        assert joint_number(q, ("e0",), ("e2",)) == 0
+
+
+class TestJNOrder:
+    def test_order_is_prefix_connected(self, q, decomposition):
+        order = jn_join_order(q, decomposition)
+        assert is_prefix_connected_order(q, order)
+        assert sorted(map(sorted, order)) == sorted(map(sorted, decomposition))
+
+    def test_running_example_starts_with_best_pair(self, q, decomposition):
+        # JN(Q1,Q2)=3 beats JN(Q1,Q3)=1+nt(4≺2? no; cross timing none)=1
+        # and JN(Q2,Q3)=1 (share b) → order starts Q1, Q2.
+        order = jn_join_order(q, decomposition)
+        assert set(order[0]) == {6, 5, 4}
+        assert set(order[1]) == {3, 1}
+
+    def test_single_part_passthrough(self, q):
+        assert jn_join_order(q, [(6, 5, 4)]) == [(6, 5, 4)]
+
+
+class TestRandomOrder:
+    def test_random_orders_are_prefix_connected(self, q, decomposition):
+        for seed in range(15):
+            order = random_join_order(q, decomposition, random.Random(seed))
+            assert is_prefix_connected_order(q, order)
+
+    def test_random_orders_vary(self, q, decomposition):
+        orders = {tuple(map(tuple, random_join_order(
+            q, decomposition, random.Random(seed)))) for seed in range(20)}
+        assert len(orders) > 1
+
+
+class TestPrefixConnectedPredicate:
+    def test_rejects_disconnected_prefix(self, q):
+        # {3,1} (vertices a,b,d) then {6,5,4} (c,d,e,f) — share d → fine;
+        # but {2} first then {6,5,4}: {2}={b,c}, Q1 has c → connected too.
+        # Build a genuinely disconnected order on a path query instead.
+        pq = path_query(3, timing="empty")
+        assert not is_prefix_connected_order(pq, [("e0",), ("e2",), ("e1",)])
+        assert is_prefix_connected_order(pq, [("e0",), ("e1",), ("e2",)])
+
+    def test_empty_order_rejected(self, q):
+        assert not is_prefix_connected_order(q, [])

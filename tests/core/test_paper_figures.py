@@ -1,0 +1,84 @@
+"""Fidelity tests for the paper's worked examples (Figs. 7, 9, 10, 11).
+
+These assert the *internal* state of the engine — expansion-list item
+contents — against the values the paper derives by hand for the running
+example, not just the reported matches.
+"""
+
+import pytest
+
+from repro import TimingMatcher
+
+from ..conftest import fig3_stream, fig5_query
+
+
+@pytest.fixture
+def engine_at(request):
+    def build(until_t):
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        for edge in fig3_stream():
+            if edge.timestamp > until_t:
+                break
+            matcher.push(edge)
+        return matcher
+    return build
+
+
+class TestFig7And9ExpansionLists:
+    def test_profile_at_t9(self, engine_at):
+        """At t=9 the paper's structures hold (Figs. 7, 9, 11):
+
+        * L1 (Q¹ = {6,5,4}): Ω({6}) = {σ1}; Ω({6,5}) = {σ1σ3};
+          Ω({6,5,4}) = {σ1σ3σ4, σ1σ3σ9};
+        * L2 (Q² = {3,1}): Ω({3}) = {σ7}; Ω({3,1}) = {σ7σ8};
+        * L3 (Q³ = {2}): Ω({2}) = {σ5};
+        * L0: Ω(Q¹∪Q²) = 1 entry (the σ9 variant fails on vertex d);
+          Ω(Q¹∪Q²∪Q³) = the single complete match.
+        """
+        matcher = engine_at(9)
+        assert matcher.store_profile() == {
+            "L1^1": 1, "L1^2": 1, "L1^3": 2,
+            "L2^1": 1, "L2^2": 1,
+            "L3^1": 1,
+            "L0^2": 1, "L0^3": 1,
+        }
+
+    def test_fig7_sequential_forms_at_t9(self, engine_at):
+        matcher = engine_at(9)
+        store = matcher._tc_stores[0]          # Q¹ = (6, 5, 4)
+        level3 = {tuple(e.timestamp for e in flat)
+                  for _, flat in store.read(3)}
+        assert level3 == {(1, 3, 4), (1, 3, 9)}   # σ1σ3σ4 and σ1σ3σ9
+        level2 = {tuple(e.timestamp for e in flat)
+                  for _, flat in store.read(2)}
+        assert level2 == {(1, 3)}
+
+    def test_fig10_mstree_shape_at_t9(self, engine_at):
+        """Fig. 10: four nodes — σ1 → σ3 → {σ4, σ9} share their prefix."""
+        matcher = engine_at(9)
+        store = matcher._tc_stores[0]
+        assert store.tree.node_count == 4
+        assert [store.count(level) for level in (1, 2, 3)] == [1, 1, 2]
+
+    def test_sigma2_never_stored(self, engine_at):
+        """σ2 (c4→e9 at t=2) matches query edge 5, but Ω({6}) holds no
+        compatible prefix (e must map to e9's... σ1 binds e↦e7): the paper's
+        example join Ω(Preq(6)) ⋈ σ2 = ∅ — nothing stored."""
+        before = engine_at(1).store_profile()
+        after = engine_at(2).store_profile()
+        assert before == after
+
+    def test_expiry_cascade_at_t10(self, engine_at):
+        """σ1 expires at t=10 (Fig. 4c): the σ1-rooted paths die in M1,
+        which cascades through the pointer links into M0 (Fig. 11)."""
+        matcher = engine_at(10)
+        profile = matcher.store_profile()
+        assert profile["L1^1"] == 0
+        assert profile["L1^2"] == 0
+        assert profile["L1^3"] == 0
+        assert profile["L0^2"] == 0
+        assert profile["L0^3"] == 0
+        # Q² and Q³ stores are untouched by σ1 (σ10 = d5→e7 matches 5 but
+        # joins emptily; σ7, σ8, σ5 still live).
+        assert profile["L2^2"] == 1
+        assert profile["L3^1"] == 1

@@ -1,0 +1,84 @@
+"""Executable checks of the paper's theorems (1, 2, 3) on real runs."""
+
+import random
+
+import pytest
+
+from repro import QueryGraph, SnapshotGraph, StreamEdge, TimingMatcher
+from repro.isomorphism import StaticMatcher
+
+from ..conftest import fig3_stream, fig5_query, make_edge
+from .test_engine_properties import build_random_query, build_random_stream
+
+
+class TestTheorem1Reduction:
+    """Theorem 1 reduces static subgraph isomorphism to our problem: assign
+    arbitrary increasing timestamps to G's edges, use an empty timing order
+    and a window spanning everything — then matches exist iff g ⊑ G."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_reduction_agrees_with_static_solver(self, seed):
+        rng = random.Random(seed)
+        pattern = build_random_query(rng, rng.randint(2, 4))
+        if not pattern.is_weakly_connected():
+            return
+        assert pattern.timing.is_empty() or True
+        # Strip the random timing order: the reduction uses ≺ = ∅.
+        stripped = QueryGraph()
+        for vertex in pattern.vertices():
+            stripped.add_vertex(vertex.vertex_id, vertex.label)
+        for edge in pattern.edges():
+            stripped.add_edge(edge.edge_id, edge.src, edge.dst, edge.label)
+
+        data_edges = build_random_stream(rng, 30, 5)
+        snapshot = SnapshotGraph()
+        for edge in data_edges:
+            snapshot.add_edge(edge)
+        statically_exists = bool(
+            StaticMatcher().find_all(stripped, snapshot,
+                                     enforce_timing=False))
+
+        window = data_edges[-1].timestamp - data_edges[0].timestamp + 1
+        engine = TimingMatcher(stripped, window)
+        found = 0
+        for edge in data_edges:
+            found += len(engine.push(edge))
+        assert (found > 0) == statically_exists
+
+
+class TestTheorem2SingleItemUpdate:
+    """An arrival matching the i-th sequence edge updates only item Lⁱ (and,
+    transitively, global items when it completes a subquery)."""
+
+    def test_sigma3_touches_only_l1_level2(self):
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        stream = fig3_stream()
+        matcher.push(stream[0])           # σ1 → L1¹
+        matcher.push(stream[1])           # σ2 → nothing (join empty)
+        before = matcher.store_profile()
+        matcher.push(stream[2])           # σ3 matches ε5 (position 2 in Q¹)
+        after = matcher.store_profile()
+        changed = {item for item in after if after[item] != before[item]}
+        assert changed == {"L1^2"}
+
+    def test_first_position_arrival_touches_only_level1(self):
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        before = matcher.store_profile()
+        matcher.push(make_edge("e7", "f8", 1))   # σ1 matches ε6 (pos 1, Q¹)
+        after = matcher.store_profile()
+        changed = {item for item in after if after[item] != before[item]}
+        assert changed == {"L1^1"}
+
+
+class TestTheorem3FilterCost:
+    """Determining discardability costs one join against Lⁱ⁻¹ per matched
+    non-first position — visible in the join-operation counter."""
+
+    def test_join_counter_increments_once_per_probe(self):
+        matcher = TimingMatcher(fig5_query(), window=9.0)
+        matcher.push(make_edge("e7", "f8", 1))   # pos 1: no join
+        assert matcher.stats.join_operations == 0
+        matcher.push(make_edge("c4", "e9", 2))   # σ2 matches ε5: one join
+        assert matcher.stats.join_operations == 1
+        matcher.push(make_edge("c4", "e7", 3))   # σ3 matches ε5: one join
+        assert matcher.stats.join_operations == 2

@@ -1,0 +1,145 @@
+"""QueryGraph construction, label matching (incl. wildcards), structure."""
+
+import pytest
+
+from repro import ANY, QueryGraph, StreamEdge
+from repro.core.query import labels_compatible
+
+from ..conftest import fig5_query, make_edge
+
+
+class TestLabelsCompatible:
+    def test_plain_equality(self):
+        assert labels_compatible("http", "http")
+        assert not labels_compatible("http", "tcp")
+
+    def test_any_matches_everything(self):
+        assert labels_compatible(ANY, "anything")
+        assert labels_compatible(ANY, None)
+        assert labels_compatible(ANY, (1, 2, 3))
+
+    def test_tuple_positional_wildcards(self):
+        assert labels_compatible((ANY, 80, "tcp"), (51234, 80, "tcp"))
+        assert not labels_compatible((ANY, 80, "tcp"), (51234, 443, "tcp"))
+
+    def test_tuple_arity_must_match(self):
+        assert not labels_compatible((ANY, 80), (1, 80, "tcp"))
+        assert not labels_compatible((ANY, 80), "not a tuple")
+
+    def test_nested_tuples(self):
+        assert labels_compatible(((ANY,), "x"), ((5,), "x"))
+
+    def test_any_is_singleton(self):
+        from repro.core.query import _Wildcard
+        assert _Wildcard() is ANY
+        assert repr(ANY) == "ANY"
+
+
+class TestConstruction:
+    def test_duplicate_vertex_rejected(self):
+        q = QueryGraph()
+        q.add_vertex("a", "A")
+        with pytest.raises(ValueError):
+            q.add_vertex("a", "B")
+
+    def test_duplicate_edge_rejected(self):
+        q = QueryGraph()
+        q.add_vertex("a", "A")
+        q.add_vertex("b", "B")
+        q.add_edge("e", "a", "b")
+        with pytest.raises(ValueError):
+            q.add_edge("e", "b", "a")
+
+    def test_edge_needs_known_vertices(self):
+        q = QueryGraph()
+        q.add_vertex("a", "A")
+        with pytest.raises(KeyError):
+            q.add_edge("e", "a", "zz")
+
+    def test_validate_rejects_empty_and_disconnected(self):
+        q = QueryGraph()
+        with pytest.raises(ValueError):
+            q.validate()
+        for v in "abcd":
+            q.add_vertex(v, v)
+        q.add_edge("e1", "a", "b")
+        q.add_edge("e2", "c", "d")
+        with pytest.raises(ValueError):
+            q.validate()
+
+    def test_timing_chain_helper(self):
+        q = fig5_query()
+        assert q.timing.precedes(6, 1)   # via 6 ≺ 3 ≺ 1
+        assert q.timing.precedes(6, 4)
+        assert not q.timing.comparable(1, 4)
+
+
+class TestEdgeMatching:
+    def test_matching_respects_vertex_labels(self):
+        q = fig5_query()
+        assert q.edge_matches(6, make_edge("e7", "f8", 1.0))
+        assert not q.edge_matches(6, make_edge("f8", "e7", 1.0))
+
+    def test_matching_edge_ids_multi(self):
+        q = QueryGraph()
+        q.add_vertex("x", "A")
+        q.add_vertex("y", "B")
+        q.add_vertex("z", "B")
+        q.add_edge("e1", "x", "y")
+        q.add_edge("e2", "x", "z")
+        e = StreamEdge("d1", "d2", src_label="A", dst_label="B", timestamp=1)
+        assert set(q.matching_edge_ids(e)) == {"e1", "e2"}
+
+    def test_edge_label_wildcard(self):
+        q = QueryGraph()
+        q.add_vertex("v", "IP")
+        q.add_vertex("w", "IP")
+        q.add_edge("e", "v", "w", label=(ANY, 80, "tcp"))
+        good = StreamEdge("h1", "h2", src_label="IP", dst_label="IP",
+                          timestamp=1, label=(55555, 80, "tcp"))
+        bad = StreamEdge("h1", "h2", src_label="IP", dst_label="IP",
+                         timestamp=2, label=(55555, 22, "tcp"))
+        assert q.edge_matches("e", good)
+        assert not q.edge_matches("e", bad)
+
+    def test_distinct_term_labels(self):
+        q = fig5_query()
+        # All vertex labels distinct → every edge a distinct term label.
+        assert q.distinct_term_labels() == 6
+
+
+class TestStructure:
+    def test_edges_adjacent(self):
+        q = fig5_query()
+        assert q.edges_adjacent(1, 2)       # share b
+        assert q.edges_adjacent(5, 6)       # share e
+        assert not q.edges_adjacent(1, 6)
+
+    def test_weak_connectivity_of_subqueries(self):
+        q = fig5_query()
+        assert q.is_weakly_connected()
+        assert q.is_weakly_connected([6, 5, 4])
+        assert not q.is_weakly_connected([6, 1])   # Preq(1) is disconnected
+        assert q.is_weakly_connected([])
+
+    def test_diameter(self):
+        q = fig5_query()
+        # f–e–c–b–a is the longest shortest path (length 4).
+        assert q.diameter() == 4
+
+    def test_preq(self):
+        q = fig5_query()
+        assert q.preq(1) == {6, 3, 1}
+        assert q.preq(4) == {6, 5, 4}
+        assert q.preq(2) == {2}
+
+    def test_subquery_restricts_structure_and_timing(self):
+        q = fig5_query()
+        sub = q.subquery([6, 5, 4])
+        assert sub.num_edges == 3
+        assert sub.num_vertices == 4            # c, d, e, f
+        assert sub.timing.precedes(6, 4)        # transitive pair kept
+        assert sub.is_weakly_connected()
+
+    def test_repr(self):
+        assert "6 edges" in repr(fig5_query())

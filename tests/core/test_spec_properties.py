@@ -1,0 +1,120 @@
+"""Property-based validation of the compiled join specs against the oracle.
+
+The compiled :class:`ExtensionSpec` / :class:`UnionSpec` checks are the
+engine's hot path; here they are cross-checked against the slow-but-obvious
+semantic verifier (:func:`repro.core.matches.verify_match`) on random
+queries and random candidate matches.  Any divergence between "compiled
+positional constraints" and "build the vertex map from scratch" shows up
+here first.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.join import ExtensionSpec, UnionSpec
+from repro.core.matches import verify_match
+from repro.graph.edge import StreamEdge
+
+from .test_engine_properties import build_random_query
+
+
+def random_edge_for(rng: random.Random, query, eid, serial: int,
+                    vertex_pool) -> StreamEdge:
+    """A data edge label-compatible with query edge ``eid``."""
+    qedge = query.edge(eid)
+    src_label = query.vertex_label(qedge.src)
+    dst_label = query.vertex_label(qedge.dst)
+    if qedge.src == qedge.dst:
+        src = dst = rng.choice(vertex_pool[src_label])
+    else:
+        src = rng.choice(vertex_pool[src_label])
+        dst = rng.choice(vertex_pool[dst_label])
+    return StreamEdge(src, dst, src_label=src_label, dst_label=dst_label,
+                      timestamp=float(serial))
+
+
+def vertex_pool_for(rng: random.Random):
+    return {label: [f"{label.lower()}{i}" for i in range(3)]
+            for label in "AB"}
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=100_000),
+       n_edges=st.integers(min_value=2, max_value=4))
+def test_extension_spec_agrees_with_verifier(seed, n_edges):
+    """ExtensionSpec over a chain-ordered query prefix ≡ verify_match on the
+    assembled partial assignment."""
+    rng = random.Random(seed)
+    query = build_random_query(rng, n_edges)
+    eids = query.edge_ids()
+    # Impose a full chain so any prefix is a valid timing sequence; use the
+    # query's edges in insertion order and skip cases where the random
+    # pre-existing order conflicts with the chain.
+    chain_query = query
+    order = list(eids)
+    for before, after in zip(order, order[1:]):
+        try:
+            chain_query.add_timing_constraint(before, after)
+        except Exception:
+            return  # conflicting random order — skip this case
+
+    pool = vertex_pool_for(rng)
+    prefix_len = rng.randint(1, n_edges - 1)
+    prefix_eids = order[:prefix_len]
+    new_eid = order[prefix_len]
+
+    prefix_edges = tuple(
+        random_edge_for(rng, chain_query, eid, serial, pool)
+        for serial, eid in enumerate(prefix_eids, start=1))
+    new_edge = random_edge_for(rng, chain_query, new_eid,
+                               rng.randint(0, prefix_len + 3), pool)
+
+    # The stored prefix must itself be valid for the comparison to be
+    # meaningful (the engine only ever holds valid prefixes).
+    prefix_assignment = dict(zip(prefix_eids, prefix_edges))
+    if not verify_match(chain_query, prefix_assignment,
+                        require_complete=False):
+        return
+
+    spec = ExtensionSpec(chain_query, prefix_eids, new_eid)
+    compiled = spec.check(prefix_edges, new_edge)
+    assignment = dict(prefix_assignment)
+    assignment[new_eid] = new_edge
+    semantic = verify_match(chain_query, assignment, require_complete=False)
+    assert compiled == semantic, (prefix_edges, new_edge)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_union_spec_agrees_with_verifier(seed):
+    """UnionSpec over a random 2+2 split ≡ verify_match on the union,
+    given both sides are individually valid."""
+    rng = random.Random(seed)
+    query = build_random_query(rng, 4)
+    eids = query.edge_ids()
+    rng.shuffle(eids)
+    side_a, side_b = eids[:2], eids[2:]
+
+    pool = vertex_pool_for(rng)
+    edges_a = tuple(random_edge_for(rng, query, eid, rng.randint(1, 10), pool)
+                    for eid in side_a)
+    edges_b = tuple(random_edge_for(rng, query, eid, rng.randint(1, 10), pool)
+                    for eid in side_b)
+    a_assignment = dict(zip(side_a, edges_a))
+    b_assignment = dict(zip(side_b, edges_b))
+    if not verify_match(query, a_assignment, require_complete=False):
+        return
+    if not verify_match(query, b_assignment, require_complete=False):
+        return
+
+    spec = UnionSpec(query, side_a, side_b)
+    compiled = spec.check(edges_a, edges_b)
+    union = dict(a_assignment)
+    union.update(b_assignment)
+    semantic = verify_match(query, union, require_complete=False)
+    assert compiled == semantic, (side_a, side_b, edges_a, edges_b)

@@ -1,0 +1,105 @@
+"""TC-query machinery: Definitions 7–8 and TCsub(Q) (Algorithm 5)."""
+
+import pytest
+
+from repro import QueryGraph
+from repro.core.tc import (
+    find_timing_sequence, is_prefix_connected, is_tc_query,
+    is_timing_sequence, tc_subqueries,
+)
+
+from ..conftest import fig5_query, path_query
+
+
+class TestPrefixConnected:
+    def test_running_example_sequences(self):
+        q = fig5_query()
+        assert is_prefix_connected(q, [6, 5, 4])
+        assert is_prefix_connected(q, [2, 5, 6])
+        # 6 and 3 share no vertex → not prefix-connected at step 2.
+        assert not is_prefix_connected(q, [6, 3, 1])
+
+    def test_empty_sequence_not_connected(self):
+        assert not is_prefix_connected(fig5_query(), [])
+
+    def test_single_edge_is_connected(self):
+        assert is_prefix_connected(fig5_query(), [1])
+
+
+class TestTimingSequence:
+    def test_paper_example(self):
+        """{6, 5, 4} with 6 ≺ 5 ≺ 4 is the paper's TC-subquery example."""
+        q = fig5_query()
+        assert is_timing_sequence(q, [6, 5, 4])
+        assert not is_timing_sequence(q, [6, 4, 5])   # 4 ⊀ 5
+        assert not is_timing_sequence(q, [6, 3, 1])   # chain ok, connectivity not
+
+    def test_whole_query_is_not_tc(self):
+        """The paper states the running example Q is not a TC-query."""
+        q = fig5_query()
+        assert not is_tc_query(q)
+        assert find_timing_sequence(q) is None
+
+    def test_tc_subquery_detection(self):
+        q = fig5_query()
+        assert is_tc_query(q, [6, 5, 4])
+        assert is_tc_query(q, [3, 1])
+        assert is_tc_query(q, [2])
+        assert not is_tc_query(q, [6, 3, 1])
+
+    def test_chain_path_query_is_tc(self):
+        q = path_query(4, timing="chain")
+        seq = find_timing_sequence(q)
+        assert seq == ("e0", "e1", "e2", "e3")
+
+    def test_reverse_chain_path_is_tc_backwards(self):
+        q = path_query(3, timing="reverse")
+        assert find_timing_sequence(q) == ("e2", "e1", "e0")
+
+    def test_empty_order_multiedge_query_not_tc(self):
+        q = path_query(3, timing="empty")
+        assert not is_tc_query(q)
+        assert is_tc_query(q, ["e1"])   # single edges always are
+
+
+class TestTCsub:
+    def test_running_example_has_exactly_ten(self):
+        """§VI-B enumerates TCsub(Q) for the running example: {6,5,4},
+        {3,1}, {5,4}, {6,5}, and the six single edges."""
+        q = fig5_query()
+        subs = tc_subqueries(q)
+        expected = {
+            frozenset({6, 5, 4}): (6, 5, 4),
+            frozenset({3, 1}): (3, 1),
+            frozenset({5, 4}): (5, 4),
+            frozenset({6, 5}): (6, 5),
+            frozenset({1}): (1,),
+            frozenset({2}): (2,),
+            frozenset({3}): (3,),
+            frozenset({4}): (4,),
+            frozenset({5}): (5,),
+            frozenset({6}): (6,),
+        }
+        assert subs == expected
+
+    def test_every_tcsub_entry_is_a_timing_sequence(self):
+        q = fig5_query()
+        for seq in tc_subqueries(q).values():
+            assert is_timing_sequence(q, seq)
+
+    def test_full_order_path_has_all_prefix_intervals(self):
+        """On a path with full chain order, the TC-subqueries are exactly
+        the contiguous timestamp intervals that stay connected — for a path
+        with aligned chain this is all contiguous subpaths."""
+        q = path_query(3, timing="chain")
+        subs = tc_subqueries(q)
+        # Contiguous runs of e0..e2: 3 singles + 2 pairs + 1 triple... plus
+        # the full 4-run on 4 edges: n(n+1)/2 = 10 for n=4? path_query(3)
+        # has 3 edges → 3 + 2 + 1 = 6.
+        assert len(subs) == 6
+
+    def test_empty_order_yields_singletons_only(self):
+        q = path_query(4, timing="empty")
+        subs = tc_subqueries(q)
+        assert all(len(key) == 1 for key in subs)
+        assert len(subs) == 4

@@ -1,0 +1,142 @@
+"""TimingOrder: strict-partial-order algebra (Definition 3, Definition 6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.timing import TimingCycleError, TimingOrder
+
+
+@pytest.fixture
+def diamond():
+    """a ≺ b, a ≺ c, b ≺ d, c ≺ d."""
+    return TimingOrder.from_pairs(
+        "abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestConstruction:
+    def test_unknown_edge_rejected(self):
+        order = TimingOrder(["a"])
+        with pytest.raises(KeyError):
+            order.add_constraint("a", "z")
+
+    def test_self_loop_rejected(self):
+        order = TimingOrder(["a"])
+        with pytest.raises(TimingCycleError):
+            order.add_constraint("a", "a")
+
+    def test_two_cycle_rejected(self):
+        order = TimingOrder(["a", "b"])
+        order.add_constraint("a", "b")
+        with pytest.raises(TimingCycleError):
+            order.add_constraint("b", "a")
+
+    def test_transitive_cycle_rejected(self):
+        order = TimingOrder.from_pairs("abc", [("a", "b"), ("b", "c")])
+        with pytest.raises(TimingCycleError):
+            order.add_constraint("c", "a")
+
+    def test_total_order_constructor(self):
+        order = TimingOrder.total_order("abc")
+        assert order.is_total()
+        assert order.precedes("a", "c")
+
+
+class TestClosure:
+    def test_successors_are_transitive(self, diamond):
+        assert diamond.successors("a") == {"b", "c", "d"}
+        assert diamond.successors("d") == frozenset()
+
+    def test_predecessors_inverse_of_successors(self, diamond):
+        assert diamond.predecessors("d") == {"a", "b", "c"}
+        assert diamond.predecessors("a") == frozenset()
+
+    def test_precedes(self, diamond):
+        assert diamond.precedes("a", "d")
+        assert not diamond.precedes("b", "c")
+        assert not diamond.precedes("d", "a")
+
+    def test_comparable(self, diamond):
+        assert diamond.comparable("a", "d")
+        assert not diamond.comparable("b", "c")
+
+    def test_preq_definition6(self, diamond):
+        assert diamond.preq("d") == {"a", "b", "c", "d"}
+        assert diamond.preq("b") == {"a", "b"}
+        assert diamond.preq("a") == {"a"}
+
+    def test_closure_cache_invalidated_on_new_constraint(self):
+        order = TimingOrder.from_pairs("abc", [("a", "b")])
+        assert order.successors("a") == {"b"}
+        order.add_constraint("b", "c")
+        assert order.successors("a") == {"b", "c"}
+
+
+class TestSequences:
+    def test_linear_extension_accepts_valid(self, diamond):
+        assert diamond.is_linear_extension(["a", "b", "c", "d"])
+        assert diamond.is_linear_extension(["a", "c", "b", "d"])
+
+    def test_linear_extension_rejects_invalid(self, diamond):
+        assert not diamond.is_linear_extension(["b", "a", "c", "d"])
+        assert not diamond.is_linear_extension(["a", "b", "c"])   # incomplete
+        assert not diamond.is_linear_extension(["a", "a", "b", "d"])
+
+    def test_chain_requires_consecutive_precedence(self, diamond):
+        # a,b,d is a chain; a,b,c is not (b ⊀ c).
+        assert diamond.is_chain(["a", "b", "d"])
+        assert not diamond.is_chain(["a", "b", "c"])
+
+    def test_enumerate_linear_extensions(self, diamond):
+        exts = set(diamond.linear_extensions())
+        assert exts == {("a", "b", "c", "d"), ("a", "c", "b", "d")}
+
+    def test_empty_and_total_predicates(self):
+        assert TimingOrder("ab").is_empty()
+        assert not TimingOrder.total_order("ab").is_empty()
+        assert TimingOrder.total_order("abc").is_total()
+        assert not TimingOrder.from_pairs("abc", [("a", "b")]).is_total()
+
+
+class TestRestriction:
+    def test_restriction_keeps_transitive_pairs(self):
+        order = TimingOrder.from_pairs("abc", [("a", "b"), ("b", "c")])
+        sub = order.restricted_to(["a", "c"])
+        assert sub.precedes("a", "c")
+
+    def test_restriction_unknown_edges_rejected(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.restricted_to(["a", "zz"])
+
+
+class TestTimestamps:
+    def test_check_timestamps(self, diamond):
+        assert diamond.check_timestamps({"a": 1, "b": 2, "c": 3, "d": 4})
+        assert not diamond.check_timestamps({"a": 5, "b": 2, "c": 3, "d": 4})
+
+    def test_check_timestamps_ignores_absent_edges(self, diamond):
+        assert diamond.check_timestamps({"b": 10, "c": 1})  # incomparable
+
+
+@given(st.lists(st.sampled_from("abcdef"), min_size=2, max_size=6,
+                unique=True),
+       st.data())
+def test_random_dag_closure_is_a_strict_partial_order(edges, data):
+    """Property: whatever constraints were accepted, the closure is
+    irreflexive, antisymmetric and transitive."""
+    order = TimingOrder(edges)
+    pairs = data.draw(st.lists(
+        st.tuples(st.sampled_from(edges), st.sampled_from(edges)),
+        max_size=12))
+    for before, after in pairs:
+        try:
+            order.add_constraint(before, after)
+        except (TimingCycleError, KeyError):
+            pass
+    for a in edges:
+        assert not order.precedes(a, a)
+        for b in edges:
+            if order.precedes(a, b):
+                assert not order.precedes(b, a)
+                for c in edges:
+                    if order.precedes(b, c):
+                        assert order.precedes(a, c)

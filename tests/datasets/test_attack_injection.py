@@ -1,0 +1,62 @@
+"""Attack injection into background traffic (Fig. 22 workload machinery)."""
+
+import pytest
+
+from repro import TimingMatcher
+from repro.datasets import (
+    exfiltration_attack_query, generate_netflow_stream, inject_attack,
+)
+from repro.datasets.netflow import CNC_PORT
+
+
+@pytest.fixture(scope="module")
+def background():
+    return generate_netflow_stream(1000, seed=55, num_ips=80)
+
+
+class TestInjectAttack:
+    def test_adds_exactly_five_edges(self, background):
+        merged = inject_attack(background)
+        assert len(merged) == len(background) + 5
+
+    def test_merged_stream_strictly_monotone(self, background):
+        merged = inject_attack(background)
+        stamps = [e.timestamp for e in merged]
+        assert all(a < b for a, b in zip(stamps, stamps[1:]))
+
+    def test_attack_edges_follow_the_pattern(self, background):
+        merged = inject_attack(background, victim="V", web_server="W",
+                               cnc_server="C")
+        attack = [e for e in merged if e.src in ("V", "W", "C")]
+        assert len(attack) == 5
+        assert [(e.src, e.dst) for e in attack] == [
+            ("V", "W"), ("W", "V"), ("V", "C"), ("C", "V"), ("V", "C")]
+        stamps = [e.timestamp for e in attack]
+        assert stamps == sorted(stamps)
+        assert attack[2].label[1] == CNC_PORT
+
+    def test_custom_start_time(self, background):
+        merged = inject_attack(background, start_time=5.0, step=0.001)
+        attack = [e for e in merged
+                  if e.src.startswith("10.0.0.66") or e.dst == "10.0.0.66"
+                  or "203.0.113.9" in (e.src, e.dst)
+                  or "172.16.0.80" in (e.src, e.dst)]
+        assert min(e.timestamp for e in attack) == pytest.approx(5.001)
+
+    def test_detectable_end_to_end(self, background):
+        merged = inject_attack(background)
+        matcher = TimingMatcher(exfiltration_attack_query(), 30.0)
+        found = []
+        for edge in merged:
+            found.extend(matcher.push(edge))
+        assert len(found) == 1
+
+    def test_scrambled_attack_not_detected(self, background):
+        """Injecting the five edges but expiring between steps breaks the
+        window co-residency — no detection (negative control)."""
+        merged = inject_attack(background, step=60.0)   # steps 60 s apart
+        matcher = TimingMatcher(exfiltration_attack_query(), 30.0)
+        found = []
+        for edge in merged:
+            found.extend(matcher.push(edge))
+        assert found == []

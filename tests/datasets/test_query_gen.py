@@ -1,0 +1,128 @@
+"""Query generation (§VII-B protocol): connectivity, satisfiability, k."""
+
+import random
+
+import pytest
+
+from repro import TimingMatcher
+from repro.core.decomposition import greedy_decomposition
+from repro.datasets import (
+    build_query, generate_query, generate_query_set, generate_query_with_k,
+    generate_wikitalk_stream, random_walk_edges, window_slice,
+)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return generate_wikitalk_stream(3000, seed=6)
+
+
+@pytest.fixture(scope="module")
+def population(stream):
+    return window_slice(stream, 600)
+
+
+class TestRandomWalk:
+    def test_walk_is_connected_and_distinct(self, population):
+        rng = random.Random(0)
+        walk = random_walk_edges(population, 6, rng)
+        assert walk is not None
+        assert len(set(walk)) == 6
+        # Connectivity: each edge after the first touches an earlier vertex.
+        seen = {walk[0].src, walk[0].dst}
+        for edge in walk[1:]:
+            assert edge.src in seen or edge.dst in seen
+            seen.update((edge.src, edge.dst))
+
+    def test_walk_too_large_returns_none(self):
+        rng = random.Random(0)
+        assert random_walk_edges([], 3, rng) is None
+
+    def test_walk_deterministic_per_seed(self, population):
+        a = random_walk_edges(population, 5, random.Random(9))
+        b = random_walk_edges(population, 5, random.Random(9))
+        assert [e.edge_id for e in a] == [e.edge_id for e in b]
+
+
+class TestBuildQuery:
+    def test_structure_mirrors_walk(self, population):
+        rng = random.Random(1)
+        walk = random_walk_edges(population, 5, rng)
+        q = build_query(walk, timing="empty")
+        assert q.num_edges == 5
+        assert q.is_weakly_connected()
+
+    def test_full_order_is_timestamp_chain(self, population):
+        rng = random.Random(2)
+        walk = random_walk_edges(population, 4, rng)
+        q = build_query(walk, timing="full")
+        assert q.timing.is_total()
+
+    def test_random_order_consistent_with_timestamps(self, population):
+        """The permutation rule can only produce constraints agreeing with
+        the walk's timestamps, so the walk itself always satisfies them —
+        the paper's embedding guarantee."""
+        rng = random.Random(3)
+        walk = random_walk_edges(population, 5, rng)
+        q = build_query(walk, timing="random", rng=rng)
+        ts = {f"e{i}": walk[i].timestamp for i in range(len(walk))}
+        assert q.timing.check_timestamps(ts)
+
+    def test_random_requires_rng(self, population):
+        walk = random_walk_edges(population, 3, random.Random(4))
+        with pytest.raises(ValueError):
+            build_query(walk, timing="random")
+        with pytest.raises(ValueError):
+            build_query(walk, timing="sometimes")
+
+    def test_generalize_label_applied(self, population):
+        rng = random.Random(5)
+        walk = random_walk_edges(population, 3, rng)
+        q = build_query(walk, timing="empty",
+                        generalize_label=lambda lbl: "WILD")
+        assert all(edge.label == "WILD" for edge in q.edges())
+
+
+class TestGeneratedQueriesHaveAnswers:
+    def test_walked_query_matches_its_stream(self, stream, population):
+        """End-to-end embedding guarantee: replaying the stream through the
+        engine with a window covering the walk must report ≥ 1 match."""
+        rng = random.Random(6)
+        q = generate_query(population, 4, rng, timing="random")
+        assert q is not None
+        duration = stream.window_units_to_duration(600)
+        matcher = TimingMatcher(q, duration)
+        total = 0
+        for edge in stream:
+            total += len(matcher.push(edge))
+        assert total >= 1
+
+
+class TestDecompositionSizeControl:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_exact_k(self, population, k):
+        rng = random.Random(7)
+        q = generate_query_with_k(population, 4, k, rng)
+        assert q is not None
+        assert len(greedy_decomposition(q)) == k
+
+    def test_k_bounds_validated(self, population):
+        rng = random.Random(8)
+        with pytest.raises(ValueError):
+            generate_query_with_k(population, 4, 0, rng)
+        with pytest.raises(ValueError):
+            generate_query_with_k(population, 4, 5, rng)
+
+
+class TestQuerySet:
+    def test_five_orders_per_graph(self, population):
+        rng = random.Random(9)
+        queries = generate_query_set(population, sizes=[3, 4], per_size=2,
+                                     rng=rng)
+        assert len(queries) == 2 * 2 * 5
+        sizes = [q.num_edges for q in queries]
+        assert sizes.count(3) == 10 and sizes.count(4) == 10
+        # Each graph's five variants: one total, one empty, three in between.
+        first_graph = queries[:5]
+        assert first_graph[0].timing.is_total()
+        assert first_graph[1].timing.is_empty()

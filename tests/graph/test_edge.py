@@ -1,0 +1,58 @@
+"""Unit tests for StreamEdge identity, labels and helpers."""
+
+import pytest
+
+from repro import StreamEdge
+
+
+def edge(src="a1", dst="b2", ts=1.0, label=None, edge_id=None):
+    return StreamEdge(src, dst, src_label=src[0], dst_label=dst[0],
+                      timestamp=ts, label=label, edge_id=edge_id)
+
+
+class TestIdentity:
+    def test_default_edge_id_is_src_dst_timestamp(self):
+        e = edge("a1", "b2", 3.0)
+        assert e.edge_id == ("a1", "b2", 3.0)
+
+    def test_equality_is_by_edge_id(self):
+        assert edge(ts=1.0) == edge(ts=1.0)
+        assert edge(ts=1.0) != edge(ts=2.0)
+
+    def test_explicit_edge_id_overrides(self):
+        a = edge(edge_id="x")
+        b = edge(ts=99.0, edge_id="x")
+        assert a == b
+
+    def test_hash_consistent_with_equality(self):
+        assert len({edge(ts=1.0), edge(ts=1.0), edge(ts=2.0)}) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert edge() != "not an edge"
+        assert (edge() == object()) is False
+
+
+class TestAccessors:
+    def test_endpoints(self):
+        assert edge("a1", "b2").endpoints == ("a1", "b2")
+
+    def test_touches(self):
+        e = edge("a1", "b2")
+        assert e.touches("a1")
+        assert e.touches("b2")
+        assert not e.touches("c3")
+
+    def test_labels_stored(self):
+        e = StreamEdge("x", "y", src_label="L1", dst_label="L2",
+                       timestamp=0.5, label=("p", 80))
+        assert e.src_label == "L1"
+        assert e.dst_label == "L2"
+        assert e.label == ("p", 80)
+
+    def test_repr_mentions_endpoints_and_time(self):
+        text = repr(edge("a1", "b2", 7.0))
+        assert "a1" in text and "b2" in text and "7.0" in text
+
+    def test_repr_includes_label_when_present(self):
+        assert "http" in repr(edge(label="http"))
+        assert "label" not in repr(edge(label=None))

@@ -1,0 +1,88 @@
+"""Stream combinators: merge/filter/rescale/slice/relabel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import GraphStream, StreamEdge
+from repro.graph.ops import (
+    filter_stream, merge_streams, relabel_stream, rescale_time, time_slice,
+)
+
+from ..conftest import fig3_stream
+
+
+def edge(ts, src="u", dst="v", label=None):
+    return StreamEdge(f"{src}{ts}", f"{dst}{ts}", src_label=src,
+                      dst_label=dst, timestamp=ts, label=label)
+
+
+class TestMerge:
+    def test_interleaves_by_timestamp(self):
+        a = GraphStream([edge(1.0), edge(3.0)])
+        b = GraphStream([edge(2.0), edge(4.0)])
+        merged = merge_streams(a, b)
+        assert [e.timestamp for e in merged] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_collisions_nudged_forward(self):
+        a = GraphStream([edge(1.0, src="a")])
+        b = GraphStream([edge(1.0, src="b")])
+        merged = merge_streams(a, b)
+        stamps = [e.timestamp for e in merged]
+        assert stamps[0] == 1.0
+        assert stamps[1] > 1.0
+        assert stamps[1] - 1.0 < 1e-6
+
+    def test_empty_inputs(self):
+        assert len(merge_streams(GraphStream(), GraphStream())) == 0
+        only = merge_streams(GraphStream([edge(1.0)]), GraphStream())
+        assert len(only) == 1
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=50, allow_nan=False),
+                    min_size=0, max_size=15, unique=True),
+           st.lists(st.floats(min_value=0.1, max_value=50, allow_nan=False),
+                    min_size=0, max_size=15, unique=True))
+    def test_merge_preserves_strict_monotonicity(self, xs, ys):
+        a = GraphStream([edge(t, src="a") for t in sorted(xs)])
+        b = GraphStream([edge(t, src="b") for t in sorted(ys)])
+        merged = merge_streams(a, b)
+        stamps = [e.timestamp for e in merged]
+        assert len(merged) == len(xs) + len(ys)
+        assert all(s < t for s, t in zip(stamps, stamps[1:]))
+
+
+class TestFilterSliceRescale:
+    def test_filter(self):
+        got = filter_stream(fig3_stream(), lambda e: e.src_label == "d")
+        assert {e.timestamp for e in got} == {4, 7, 9, 10}
+
+    def test_time_slice_half_open(self):
+        got = time_slice(fig3_stream(), 3, 6)
+        assert [e.timestamp for e in got] == [4, 5, 6]
+        with pytest.raises(ValueError):
+            time_slice(fig3_stream(), 6, 3)
+
+    def test_rescale_preserves_order_and_matches(self):
+        """Rescaling cannot change time-constrained matches (relative order
+        is untouched) — verified through the engine."""
+        from repro import TimingMatcher
+        from ..conftest import fig5_query
+        original = fig3_stream()
+        slowed = rescale_time(original, 10.0)
+        m1 = TimingMatcher(fig5_query(), 9.0)
+        m2 = TimingMatcher(fig5_query(), 90.0)   # window scaled alongside
+        count1 = sum(len(m1.push(e)) for e in original)
+        count2 = sum(len(m2.push(e)) for e in slowed)
+        assert count1 == count2 == 1
+
+    def test_rescale_validation_and_empty(self):
+        with pytest.raises(ValueError):
+            rescale_time(fig3_stream(), 0)
+        assert len(rescale_time([], 2.0)) == 0
+
+    def test_relabel(self):
+        got = relabel_stream(fig3_stream(),
+                             vertex_label=str.upper,
+                             edge_label=lambda l: "X")
+        assert got[0].src_label == "E"
+        assert got[0].label == "X"
+        assert got[0].timestamp == 1

@@ -1,0 +1,104 @@
+"""SnapshotGraph: incremental adjacency/label indexes and affected areas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import SnapshotGraph, StreamEdge
+
+
+def edge(src, dst, ts, label=None):
+    return StreamEdge(src, dst, src_label=src[0], dst_label=dst[0],
+                      timestamp=ts, label=label)
+
+
+@pytest.fixture
+def snapshot():
+    s = SnapshotGraph()
+    s.add_edge(edge("a1", "b1", 1))
+    s.add_edge(edge("b1", "c1", 2))
+    s.add_edge(edge("a1", "b1", 3))   # parallel edge, later timestamp
+    return s
+
+
+class TestMutation:
+    def test_add_and_contains(self, snapshot):
+        assert len(snapshot) == 3
+        assert edge("a1", "b1", 1) in snapshot
+
+    def test_duplicate_add_rejected(self, snapshot):
+        with pytest.raises(ValueError):
+            snapshot.add_edge(edge("a1", "b1", 1))
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            SnapshotGraph().remove_edge(edge("x1", "y1", 1))
+
+    def test_vertex_vanishes_with_last_edge(self, snapshot):
+        snapshot.remove_edge(edge("b1", "c1", 2))
+        assert not snapshot.has_vertex("c1")
+        assert snapshot.has_vertex("b1")  # still held by the parallel edges
+
+    def test_vertex_label_conflict_rejected(self):
+        s = SnapshotGraph()
+        s.add_edge(edge("a1", "b1", 1))
+        bad = StreamEdge("a1", "c1", src_label="Z", dst_label="c",
+                         timestamp=2)
+        with pytest.raises(ValueError):
+            s.add_edge(bad)
+
+
+class TestIndexes:
+    def test_adjacency(self, snapshot):
+        assert {e.timestamp for e in snapshot.out_edges("a1")} == {1, 3}
+        assert {e.timestamp for e in snapshot.in_edges("b1")} == {1, 3}
+        assert snapshot.degree("b1") == 3
+        assert snapshot.neighbors("b1") == {"a1", "c1"}
+
+    def test_term_label_index(self, snapshot):
+        assert len(snapshot.edges_with_term_label("a", None, "b")) == 2
+        assert snapshot.edges_with_term_label("a", "x", "b") == set()
+
+    def test_term_label_index_shrinks_on_removal(self, snapshot):
+        snapshot.remove_edge(edge("a1", "b1", 1))
+        assert len(snapshot.edges_with_term_label("a", None, "b")) == 1
+
+    def test_incident_edges(self, snapshot):
+        assert len(snapshot.incident_edges("b1")) == 3
+
+
+class TestAffectedArea:
+    def test_zero_hops_is_roots(self, snapshot):
+        assert snapshot.vertices_within_hops({"a1"}, 0) == {"a1"}
+
+    def test_one_hop(self, snapshot):
+        assert snapshot.vertices_within_hops({"a1"}, 1) == {"a1", "b1"}
+
+    def test_two_hops_reaches_everything(self, snapshot):
+        assert snapshot.vertices_within_hops({"a1"}, 2) == {"a1", "b1", "c1"}
+
+    def test_unknown_roots_ignored(self, snapshot):
+        assert snapshot.vertices_within_hops({"zz"}, 3) == set()
+
+    def test_induced_edges(self, snapshot):
+        got = snapshot.induced_edges({"a1", "b1"})
+        assert {e.timestamp for e in got} == {1, 3}
+
+
+class TestSpaceAccounting:
+    def test_cells_scale_with_content(self):
+        s = SnapshotGraph()
+        assert s.logical_space_cells() == 0
+        s.add_edge(edge("a1", "b1", 1))
+        assert s.logical_space_cells() == 2 + 2  # 2 per edge + 2 vertices
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_add_remove_roundtrip_is_clean(self, n):
+        s = SnapshotGraph()
+        edges = [edge(f"v{i}", f"v{i + 1}", float(i)) for i in range(n)]
+        for e in edges:
+            s.add_edge(e)
+        for e in edges:
+            s.remove_edge(e)
+        assert len(s) == 0
+        assert s.num_vertices == 0
+        assert s.logical_space_cells() == 0

@@ -1,0 +1,64 @@
+"""GraphStream validation and unit conversions."""
+
+import pytest
+
+from repro import GraphStream, StreamEdge
+
+
+def edge(ts):
+    return StreamEdge("u", "v", src_label="A", dst_label="B", timestamp=ts)
+
+
+class TestAppend:
+    def test_append_enforces_strict_monotonicity(self):
+        s = GraphStream()
+        s.append(edge(1.0))
+        with pytest.raises(ValueError):
+            s.append(edge(1.0))
+        with pytest.raises(ValueError):
+            s.append(edge(0.5))
+
+    def test_constructor_accepts_iterable(self):
+        s = GraphStream([edge(1), edge(2), edge(3)])
+        assert len(s) == 3
+        assert s[1].timestamp == 2
+
+    def test_iteration_in_order(self):
+        s = GraphStream([edge(1), edge(2)])
+        assert [e.timestamp for e in s] == [1, 2]
+
+
+class TestUnits:
+    def test_mean_interarrival(self):
+        s = GraphStream([edge(0), edge(2), edge(4), edge(6)])
+        assert s.mean_interarrival == pytest.approx(2.0)
+        assert s.timespan == pytest.approx(6.0)
+
+    def test_window_units_conversion(self):
+        """The paper's window sizes are multiples of the mean inter-arrival
+        gap (§VII-C); 10K units over a unit-gap stream is a 10K duration."""
+        s = GraphStream([edge(float(i)) for i in range(11)])
+        assert s.window_units_to_duration(10_000) == pytest.approx(10_000.0)
+
+    def test_degenerate_stream_units(self):
+        assert GraphStream([edge(5)]).mean_interarrival == 1.0
+        assert GraphStream().timespan == 0.0
+
+
+class TestFromTuples:
+    def test_three_tuples_with_label_map(self):
+        s = GraphStream.from_tuples(
+            [("x", "y", 1.0), ("y", "z", 2.0)],
+            vertex_labels={"x": "A", "y": "B", "z": "A"})
+        assert s[0].src_label == "A"
+        assert s[1].dst_label == "A"
+        assert s[0].label is None
+
+    def test_four_tuples_carry_edge_labels(self):
+        s = GraphStream.from_tuples([("x", "y", 1.0, "knows")])
+        assert s[0].label == "knows"
+        assert s[0].src_label == "x"  # identity labels by default
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ValueError):
+            GraphStream.from_tuples([("x", "y")])

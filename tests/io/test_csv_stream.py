@@ -1,0 +1,93 @@
+"""CSV stream I/O: round-trips, laziness, format validation."""
+
+import io
+
+import pytest
+
+from repro import StreamEdge
+from repro.datasets import generate_netflow_stream
+from repro.io.csv_stream import (
+    StreamFormatError, read_stream, write_stream,
+)
+
+
+def sample_edges():
+    return [
+        StreamEdge("a", "b", src_label="A", dst_label="B", timestamp=1.5),
+        StreamEdge("b", "c", src_label="B", dst_label="C", timestamp=2.25,
+                   label="knows"),
+        StreamEdge("a", "c", src_label="A", dst_label="C", timestamp=3.125,
+                   label=(51234, 80, "tcp")),
+    ]
+
+
+class TestRoundTrip:
+    def test_memory_roundtrip(self):
+        buffer = io.StringIO()
+        assert write_stream(sample_edges(), buffer) == 3
+        buffer.seek(0)
+        back = list(read_stream(buffer))
+        for original, loaded in zip(sample_edges(), back):
+            assert loaded.src == original.src
+            assert loaded.dst == original.dst
+            assert loaded.timestamp == original.timestamp
+            assert loaded.label == original.label
+            assert loaded.src_label == original.src_label
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "stream.csv")
+        write_stream(sample_edges(), path)
+        back = list(read_stream(path))
+        assert len(back) == 3
+        assert back[2].label == (51234, 80, "tcp")
+
+    def test_netflow_roundtrip_preserves_five_tuples(self, tmp_path):
+        path = str(tmp_path / "netflow.csv")
+        stream = generate_netflow_stream(100, seed=3)
+        write_stream(stream, path)
+        back = list(read_stream(path))
+        assert len(back) == 100
+        assert all(isinstance(e.label, tuple) and len(e.label) == 3
+                   for e in back)
+        assert [e.timestamp for e in back] == \
+            [e.timestamp for e in stream]
+
+
+class TestValidation:
+    def test_missing_columns_rejected(self):
+        buffer = io.StringIO("src,dst\na,b\n")
+        with pytest.raises(StreamFormatError, match="missing required"):
+            list(read_stream(buffer))
+
+    def test_bad_timestamp_rejected(self):
+        buffer = io.StringIO(
+            "src,dst,timestamp,src_label,dst_label,label\na,b,zzz,A,B,\n")
+        with pytest.raises(StreamFormatError, match="bad timestamp"):
+            list(read_stream(buffer))
+
+    def test_non_monotone_rejected(self):
+        buffer = io.StringIO(
+            "src,dst,timestamp,src_label,dst_label,label\n"
+            "a,b,2.0,A,B,\n"
+            "b,c,1.0,B,C,\n")
+        with pytest.raises(StreamFormatError, match="strictly increase"):
+            list(read_stream(buffer))
+
+    def test_monotone_check_can_be_disabled(self):
+        buffer = io.StringIO(
+            "src,dst,timestamp,src_label,dst_label,label\n"
+            "a,b,2.0,A,B,\n"
+            "b,c,1.0,B,C,\n")
+        edges = list(read_stream(buffer, enforce_monotone=False))
+        assert len(edges) == 2
+
+    def test_reader_is_lazy(self):
+        buffer = io.StringIO(
+            "src,dst,timestamp,src_label,dst_label,label\n"
+            "a,b,1.0,A,B,\n"
+            "b,c,0.5,B,C,\n")          # invalid second row
+        iterator = read_stream(buffer)
+        first = next(iterator)          # fine — laziness means no error yet
+        assert first.src == "a"
+        with pytest.raises(StreamFormatError):
+            next(iterator)

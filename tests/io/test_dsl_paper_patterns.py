@@ -1,0 +1,58 @@
+"""DSL round-trips for the paper's two motivating patterns + TSV streams."""
+
+import io
+
+import pytest
+
+from repro import TimingMatcher
+from repro.io.csv_stream import read_stream, write_stream
+from repro.io.dsl import format_query, parse_query
+
+FRAUD = """\
+vertex C account
+vertex M account
+vertex X account
+vertex B bank
+edge t1 C -> M [credit_pay]
+edge t2 B -> M [real_payment]
+edge t3 M -> X [transfer]
+edge t4 X -> C [transfer]
+order t1 < t2 < t3 < t4
+window 5
+"""
+
+
+class TestFraudPattern:
+    def test_parse_plan_and_run(self):
+        query, window = parse_query(FRAUD)
+        assert window == 5.0
+        matcher = TimingMatcher(query, window)
+        assert matcher.k == 1           # full chain over connected edges
+        from repro.core.plan import explain
+        assert explain(query).is_tc_query
+
+    def test_roundtrip_preserves_scalar_labels(self):
+        query, window = parse_query(FRAUD)
+        text = format_query(query, window)
+        reparsed, _ = parse_query(text)
+        assert reparsed.edge("t1").label == "credit_pay"
+        assert reparsed.timing.precedes("t1", "t4")
+
+    def test_double_roundtrip_is_stable(self):
+        query, window = parse_query(FRAUD)
+        once = format_query(query, window)
+        twice = format_query(*parse_query(once))
+        assert once == twice
+
+
+class TestTSV:
+    def test_tab_delimited_roundtrip(self):
+        from ..conftest import fig3_stream
+        buffer = io.StringIO()
+        write_stream(fig3_stream(), buffer, delimiter="\t")
+        buffer.seek(0)
+        back = list(read_stream(buffer, delimiter="\t"))
+        assert len(back) == 10
+        assert back[0].src == "e7"
+        assert [e.timestamp for e in back] == \
+            [e.timestamp for e in fig3_stream()]

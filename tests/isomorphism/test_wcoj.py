@@ -1,0 +1,116 @@
+"""WCOJ matcher: independent-implementation cross-validation.
+
+The vertex-at-a-time matcher shares no code with the backtracking skeleton,
+so agreement between the two on random inputs validates both.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import QueryGraph, SnapshotGraph
+from repro.baselines.incmat import IncMatMatcher
+from repro.baselines.naive import NaiveSnapshotMatcher
+from repro.isomorphism import StaticMatcher, WCOJMatcher
+
+from ..conftest import fig3_stream, fig5_query, make_edge
+from ..core.test_engine_properties import (
+    build_random_query, build_random_stream,
+)
+
+
+def canon(assignments):
+    return {frozenset((k, v.edge_id) for k, v in m.items())
+            for m in assignments}
+
+
+@pytest.fixture
+def snapshot_t8():
+    s = SnapshotGraph()
+    for edge in fig3_stream():
+        if edge.timestamp <= 8:
+            s.add_edge(edge)
+    return s
+
+
+class TestAgainstRunningExample:
+    def test_finds_the_paper_match(self, snapshot_t8):
+        q = fig5_query()
+        matches = WCOJMatcher().find_all(q, snapshot_t8)
+        assert len(matches) == 1
+        assert matches[0][6].timestamp == 1
+
+    def test_anchored(self, snapshot_t8):
+        q = fig5_query()
+        sigma8 = make_edge("a1", "b3", 8)
+        anchored = list(WCOJMatcher().find(q, snapshot_t8,
+                                           anchor=(1, sigma8)))
+        assert len(anchored) == 1
+        assert anchored[0][1] == sigma8
+
+    def test_anchor_mismatch_empty(self, snapshot_t8):
+        q = fig5_query()
+        assert list(WCOJMatcher().find(
+            q, snapshot_t8, anchor=(1, make_edge("c4", "e7", 3)))) == []
+
+
+class TestMultigraphAndLoops:
+    def test_parallel_edges_assigned_injectively(self):
+        q = QueryGraph()
+        q.add_vertex("u", "A")
+        q.add_vertex("v", "B")
+        q.add_edge("e1", "u", "v")
+        q.add_edge("e2", "u", "v")
+        upper = lambda x: x[0].upper()
+        s = SnapshotGraph()
+        first = make_edge("a1", "b1", 1, label_of=upper)
+        second = make_edge("a1", "b1", 2, label_of=upper)
+        s.add_edge(first)
+        s.add_edge(second)
+        matches = WCOJMatcher().find_all(q, s, enforce_timing=False)
+        assert len(matches) == 2               # both injective assignments
+        for m in matches:
+            assert m["e1"] != m["e2"]
+
+    def test_self_loop(self):
+        q = QueryGraph()
+        q.add_vertex("u", "A")
+        q.add_edge("loop", "u", "u")
+        s = SnapshotGraph()
+        upper = lambda x: x[0].upper()
+        s.add_edge(make_edge("a1", "a1", 1, label_of=upper))
+        s.add_edge(make_edge("a1", "b1", 2, label_of=upper))
+        matches = WCOJMatcher().find_all(q, s)
+        assert len(matches) == 1
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_edges=st.integers(min_value=1, max_value=5),
+       timing=st.booleans())
+def test_property_agrees_with_backtracking(seed, n_edges, timing):
+    rng = random.Random(seed)
+    query = build_random_query(rng, n_edges)
+    if not query.is_weakly_connected():
+        return
+    snapshot = SnapshotGraph()
+    for edge in build_random_stream(rng, 40, 5):
+        if edge not in snapshot:
+            snapshot.add_edge(edge)
+    reference = canon(StaticMatcher().find_all(
+        query, snapshot, enforce_timing=timing))
+    got = canon(WCOJMatcher().find_all(
+        query, snapshot, enforce_timing=timing))
+    assert got == reference
+
+
+def test_wcoj_plugs_into_incmat():
+    """WCOJ works as IncMat's inner algorithm, matching the oracle."""
+    q = fig5_query()
+    incmat = IncMatMatcher(q, 9.0, WCOJMatcher())
+    oracle = NaiveSnapshotMatcher(q, 9.0)
+    assert incmat.name == "IncMat-WCOJ"
+    for edge in fig3_stream():
+        assert set(incmat.push(edge)) == set(oracle.push(edge))

@@ -1,0 +1,121 @@
+"""MultiQueryMatcher: fan-out, live registration, callbacks."""
+
+import pytest
+
+from repro import QueryGraph, TimingMatcher
+from repro.multi import MultiQueryMatcher
+
+from .conftest import fig3_stream, fig5_query, path_query, make_edge
+
+
+def ab_query():
+    q = QueryGraph()
+    q.add_vertex("x", "a")
+    q.add_vertex("y", "b")
+    q.add_edge("e", "x", "y")
+    return q
+
+
+class TestRegistration:
+    def test_register_and_names(self):
+        multi = MultiQueryMatcher(window=9.0)
+        multi.register("fig5", fig5_query())
+        multi.register("ab", ab_query())
+        assert sorted(multi.names()) == ["ab", "fig5"]
+        assert "fig5" in multi and len(multi) == 2
+
+    def test_duplicate_name_rejected(self):
+        multi = MultiQueryMatcher(window=9.0)
+        multi.register("q", ab_query())
+        with pytest.raises(ValueError):
+            multi.register("q", ab_query())
+
+    def test_deregister(self):
+        multi = MultiQueryMatcher(window=9.0)
+        multi.register("q", ab_query())
+        multi.deregister("q")
+        assert len(multi) == 0
+        with pytest.raises(KeyError):
+            multi.deregister("q")
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            MultiQueryMatcher(window=0)
+
+    def test_per_query_window_override(self):
+        multi = MultiQueryMatcher(window=9.0)
+        matcher = multi.register("q", ab_query(), window=2.0)
+        assert matcher.window.duration == 2.0
+
+
+class TestFanOut:
+    def test_results_tagged_with_query_name(self):
+        multi = MultiQueryMatcher(window=9.0)
+        multi.register("fig5", fig5_query())
+        multi.register("ab", ab_query())
+        tagged = []
+        for edge in fig3_stream():
+            tagged.extend(multi.push(edge))
+        names = [name for name, _ in tagged]
+        assert names.count("fig5") == 1       # the paper's match at t=8
+        assert names.count("ab") == 2         # a2→b3 (t=6) and a1→b3 (t=8)
+
+    def test_matches_equal_individual_engines(self):
+        solo = TimingMatcher(fig5_query(), 9.0)
+        multi = MultiQueryMatcher(window=9.0)
+        multi.register("fig5", fig5_query())
+        solo_matches, multi_matches = [], []
+        for edge in fig3_stream():
+            solo_matches.extend(solo.push(edge))
+            multi_matches.extend(m for _, m in multi.push(edge))
+        assert set(solo_matches) == set(multi_matches)
+
+    def test_callbacks_invoked(self):
+        seen = []
+        multi = MultiQueryMatcher(window=9.0)
+        multi.register("ab", ab_query(),
+                       callback=lambda name, m: seen.append((name, m)))
+        for edge in fig3_stream():
+            multi.push(edge)
+        assert len(seen) == 2
+        assert all(name == "ab" for name, _ in seen)
+
+    def test_timestamps_must_increase_across_queries(self):
+        multi = MultiQueryMatcher(window=9.0)
+        multi.register("ab", ab_query())
+        multi.push(make_edge("a1", "b1", 5.0))
+        with pytest.raises(ValueError):
+            multi.push(make_edge("a1", "b1", 5.0))
+
+
+class TestLiveRegistration:
+    def test_midstream_registration_sees_only_future(self):
+        multi = MultiQueryMatcher(window=9.0)
+        stream = fig3_stream()
+        for edge in stream[:7]:
+            multi.push(edge)
+        multi.register("fig5", fig5_query())
+        late = []
+        for edge in stream[7:]:
+            late.extend(multi.push(edge))
+        # σ1..σ7 were never seen, so the t=8 match cannot be assembled.
+        assert late == []
+
+    def test_advance_time_drains_all(self):
+        multi = MultiQueryMatcher(window=9.0)
+        multi.register("fig5", fig5_query())
+        multi.register("chain", path_query(2, timing="chain"))
+        for edge in fig3_stream():
+            multi.push(edge)
+        multi.advance_time(100.0)
+        assert multi.space_cells() == 0
+        assert all(count == 0 for count in multi.result_counts().values())
+
+    def test_stats_per_query(self):
+        multi = MultiQueryMatcher(window=9.0)
+        multi.register("fig5", fig5_query())
+        for edge in fig3_stream():
+            multi.push(edge)
+        stats = multi.stats()
+        assert stats["fig5"]["edges_seen"] == 10
+        assert stats["fig5"]["matches_emitted"] == 1

@@ -1,0 +1,96 @@
+"""Checkpoint/restore: a resumed engine behaves as if never interrupted."""
+
+import io
+
+import pytest
+
+from repro import TimingMatcher
+from repro.persistence import (
+    CheckpointError, load_checkpoint, save_checkpoint,
+)
+
+from .conftest import fig3_stream, fig5_query, random_stream
+
+
+class TestRoundTrip:
+    def test_restore_equals_continuous_run(self, tmp_path):
+        stream = random_stream(21, 200, 8, labels="abcdef")
+        half = len(stream) // 2
+        path = str(tmp_path / "engine.ckpt")
+
+        continuous = TimingMatcher(fig5_query(), 5.0)
+        continuous_matches = []
+        for edge in stream:
+            continuous_matches.extend(continuous.push(edge))
+
+        interrupted = TimingMatcher(fig5_query(), 5.0)
+        matches = []
+        for edge in stream[:half]:
+            matches.extend(interrupted.push(edge))
+        save_checkpoint(interrupted, path)
+        resumed = load_checkpoint(path)
+        for edge in stream[half:]:
+            matches.extend(resumed.push(edge))
+
+        assert set(matches) == set(continuous_matches)
+        assert set(resumed.current_matches()) == \
+            set(continuous.current_matches())
+        assert resumed.store_profile() == continuous.store_profile()
+
+    def test_wildcard_labels_survive_pickling(self, tmp_path):
+        """ANY is a singleton compared with ``is`` — restoring must keep
+        wildcard matching working."""
+        from repro.datasets import (
+            exfiltration_attack_query, generate_netflow_stream, inject_attack,
+        )
+        stream = inject_attack(generate_netflow_stream(800, seed=4))
+        matcher = TimingMatcher(exfiltration_attack_query(), 30.0)
+        edges = list(stream)
+        midpoint = len(edges) // 3
+        for edge in edges[:midpoint]:
+            matcher.push(edge)
+        buffer = io.BytesIO()
+        save_checkpoint(matcher, buffer)
+        buffer.seek(0)
+        resumed = load_checkpoint(buffer)
+        detections = []
+        for edge in edges[midpoint:]:
+            detections.extend(resumed.push(edge))
+        assert len(detections) == 1
+
+    def test_independent_storage_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ind.ckpt")
+        matcher = TimingMatcher(fig5_query(), 9.0, use_mstree=False)
+        for edge in fig3_stream()[:8]:
+            matcher.push(edge)
+        save_checkpoint(matcher, path)
+        resumed = load_checkpoint(path)
+        assert resumed.result_count() == matcher.result_count() == 1
+
+
+class TestEnvelope:
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        import pickle
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(CheckpointError, match="not a timingsubg"):
+            load_checkpoint(str(path))
+
+    def test_version_mismatch(self, tmp_path):
+        import pickle
+        from repro.persistence import _MAGIC
+        path = tmp_path / "old.ckpt"
+        path.write_bytes(pickle.dumps(
+            {"magic": _MAGIC, "version": 0, "matcher": None}))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(str(path))
+
+    def test_wrong_payload_type(self, tmp_path):
+        import pickle
+        from repro.persistence import _MAGIC, CHECKPOINT_VERSION
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(pickle.dumps(
+            {"magic": _MAGIC, "version": CHECKPOINT_VERSION,
+             "matcher": "nope"}))
+        with pytest.raises(CheckpointError, match="TimingMatcher"):
+            load_checkpoint(str(path))

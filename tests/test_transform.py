@@ -1,0 +1,131 @@
+"""Edge-label reification (the §II "imaginary vertex" reduction)."""
+
+import pytest
+
+from repro import QueryGraph, StreamEdge, TimingMatcher
+from repro.graph.stream import GraphStream
+from repro.transform import (
+    EDGE_TAG, reify_query, reify_stream, unreify_edge_map,
+)
+
+
+def labelled_query():
+    """C → M (credit), B → M (payment), with credit ≺ payment."""
+    q = QueryGraph()
+    q.add_vertex("C", "account")
+    q.add_vertex("M", "account")
+    q.add_vertex("B", "bank")
+    q.add_edge("credit", "C", "M", label="credit_pay")
+    q.add_edge("payment", "B", "M", label="real_payment")
+    q.add_timing_constraint("credit", "payment")
+    return q
+
+
+def labelled_stream(rows):
+    stream = GraphStream()
+    for src, dst, ts, label, src_label, dst_label in rows:
+        stream.append(StreamEdge(src, dst, src_label=src_label,
+                                 dst_label=dst_label, timestamp=ts,
+                                 label=label))
+    return stream
+
+
+GOOD_ROWS = [
+    ("c1", "m1", 1.0, "credit_pay", "account", "account"),
+    ("b1", "m1", 2.0, "real_payment", "bank", "account"),
+]
+
+BAD_ORDER_ROWS = [
+    ("b1", "m1", 1.0, "real_payment", "bank", "account"),
+    ("c1", "m1", 2.0, "credit_pay", "account", "account"),
+]
+
+
+class TestReifyQuery:
+    def test_structure_doubles_edges(self):
+        reified, halves = reify_query(labelled_query())
+        assert reified.num_edges == 4
+        assert reified.num_vertices == 3 + 2
+        assert set(halves) == {"credit", "payment"}
+        reified.validate()
+
+    def test_mid_vertex_labels_carry_edge_labels(self):
+        reified, halves = reify_query(labelled_query())
+        mid = ("mid", "credit")
+        assert reified.vertex_label(mid) == (EDGE_TAG, "credit_pay")
+
+    def test_timing_carried_over(self):
+        reified, halves = reify_query(labelled_query())
+        credit_in, credit_out = halves["credit"]
+        pay_in, pay_out = halves["payment"]
+        assert reified.timing.precedes(credit_in, credit_out)
+        assert reified.timing.precedes(credit_out, pay_in)
+        assert reified.timing.precedes(credit_in, pay_out)   # transitive
+
+
+class TestReifyStream:
+    def test_halves_interleave_correctly(self):
+        reified = reify_stream(labelled_stream(GOOD_ROWS))
+        stamps = [e.timestamp for e in reified]
+        assert len(reified) == 4
+        assert stamps == sorted(stamps)
+        # σ1_out strictly before σ2_in.
+        assert stamps[1] < 2.0
+
+    def test_mid_vertices_unique_per_edge(self):
+        reified = reify_stream(labelled_stream(GOOD_ROWS))
+        mids = {e.dst for e in reified if isinstance(e.dst, tuple)}
+        assert len(mids) == 2
+
+
+class TestEquivalence:
+    def _run(self, query, stream, window):
+        matcher = TimingMatcher(query, window)
+        out = []
+        for edge in stream:
+            out.extend(matcher.push(edge))
+        return out
+
+    def test_match_found_in_both_encodings(self):
+        original = self._run(labelled_query(), labelled_stream(GOOD_ROWS), 100.0)
+        reified_q, halves = reify_query(labelled_query())
+        reified = self._run(reified_q, reify_stream(labelled_stream(GOOD_ROWS)),
+                            100.0)
+        assert len(original) == len(reified) == 1
+        # The reified match unreifies onto the original data edges.
+        back = unreify_edge_map(reified[0].edge_map, halves)
+        assert back["credit"] == ("c1", "m1", 1.0)
+        assert back["payment"] == ("b1", "m1", 2.0)
+
+    def test_timing_violation_rejected_in_both(self):
+        assert self._run(labelled_query(),
+                         labelled_stream(BAD_ORDER_ROWS), 100.0) == []
+        reified_q, _ = reify_query(labelled_query())
+        assert self._run(reified_q,
+                         reify_stream(labelled_stream(BAD_ORDER_ROWS)),
+                         100.0) == []
+
+    def test_equivalence_on_random_landmark_stream(self):
+        """Landmark window (no expiry): match counts agree exactly."""
+        import random
+        rng = random.Random(8)
+        rows = []
+        t = 0.0
+        labels = ["credit_pay", "real_payment", "transfer"]
+        for _ in range(120):
+            t += rng.random() * 0.4 + 0.01
+            kind = rng.choice(labels)
+            if kind == "real_payment":
+                src, src_label = f"b{rng.randrange(2)}", "bank"
+            else:
+                src, src_label = f"a{rng.randrange(6)}", "account"
+            dst = f"a{rng.randrange(6)}"
+            while dst == src:
+                dst = f"a{rng.randrange(6)}"
+            rows.append((src, dst, t, kind, src_label, "account"))
+        stream = labelled_stream(rows)
+        window = stream.timespan * 10 + 1
+        original = self._run(labelled_query(), stream, window)
+        reified_q, _ = reify_query(labelled_query())
+        reified = self._run(reified_q, reify_stream(stream), window)
+        assert len(original) == len(reified)
