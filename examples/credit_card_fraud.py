@@ -18,7 +18,7 @@ Run:  python examples/credit_card_fraud.py
 
 import random
 
-from repro import QueryGraph, StreamEdge, TimingMatcher
+from repro import ListSink, QueryGraph, Session, StreamEdge
 
 ACCOUNT = "account"
 BANK = "bank"
@@ -87,20 +87,22 @@ def build_stream(seed: int = 17, n_background: int = 2000):
     return edges
 
 
-def run_monitor(query: QueryGraph, stream, window: float):
-    monitor = TimingMatcher(query, window)
-    alerts = []
-    for edge in stream:
-        alerts.extend(monitor.push(edge))
-    return alerts
-
-
 def main() -> None:
     stream = build_stream()
-    window = 5.0
 
+    # One session, two monitors over the same stream: the time-constrained
+    # fraud pattern and its structure-only variant (what a matcher without
+    # timing orders would report).  A single pass feeds both.
     timed = fraud_query(enforce_timing=True)
-    alerts = run_monitor(timed, stream, window)
+    structural = fraud_query(enforce_timing=False)
+
+    session = Session(window=5.0)
+    session.register("fraud", timed)
+    session.register("structure-only", structural)
+    sink = session.add_sink(ListSink())
+    session.ingest(stream)
+
+    alerts = sink.for_query("fraud")
     print(f"time-constrained monitor: {len(alerts)} alert(s)")
     for match in alerts:
         mapping = match.vertex_mapping(timed)
@@ -110,8 +112,7 @@ def main() -> None:
     criminals = {m.vertex_mapping(timed)["C"] for m in alerts}
     assert criminals == {"fraudster1", "fraudster2"}, criminals
 
-    structural = fraud_query(enforce_timing=False)
-    noisy = run_monitor(structural, stream, window)
+    noisy = sink.for_query("structure-only")
     print(f"\nstructure-only monitor (no timing order): {len(noisy)} alert(s)"
           f" — {len(noisy) - len(alerts)} false positive(s) avoided by the"
           " timing constraints")

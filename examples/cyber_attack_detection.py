@@ -11,7 +11,7 @@ that attack, in real time, as the final exfiltration edge arrives.
 Run:  python examples/cyber_attack_detection.py
 """
 
-from repro import TimingMatcher
+from repro import Session
 from repro.datasets import (
     exfiltration_attack_query, generate_netflow_stream, inject_attack,
 )
@@ -28,29 +28,34 @@ def main() -> None:
                            web_server=WEB_SERVER, cnc_server=CNC_SERVER)
 
     query = exfiltration_attack_query()
-    monitor = TimingMatcher(query, window=30.0)
+    session = Session(window=30.0)
+    monitor = session.register("exfiltration", query)
     print(f"monitoring pattern with {monitor}\n")
 
     alerts = 0
-    for edge in stream:
-        for match in monitor.push(edge):
-            alerts += 1
-            mapping = match.vertex_mapping(query)
-            print("⚠  EXFILTRATION PATTERN DETECTED")
-            print(f"   victim      : {mapping['V']}")
-            print(f"   web server  : {mapping['W']}")
-            print(f"   C&C server  : {mapping['B']}")
-            for step in range(1, 6):
-                hop = match[f"t{step}"]
-                sport, dport, proto = hop.label
-                print(f"   t{step}: {hop.src:>13} -> {hop.dst:<13} "
-                      f"dst-port {dport}/{proto}  @ {hop.timestamp:.3f}")
-            print()
 
-    processed = monitor.stats.edges_seen
-    discarded = monitor.stats.edges_discarded
-    print(f"processed {processed} flows, "
-          f"{discarded} label-matching flows discarded by timing pruning, "
+    def alarm(name, match):
+        nonlocal alerts
+        alerts += 1
+        mapping = match.vertex_mapping(query)
+        print("⚠  EXFILTRATION PATTERN DETECTED")
+        print(f"   victim      : {mapping['V']}")
+        print(f"   web server  : {mapping['W']}")
+        print(f"   C&C server  : {mapping['B']}")
+        for step in range(1, 6):
+            hop = match[f"t{step}"]
+            sport, dport, proto = hop.label
+            print(f"   t{step}: {hop.src:>13} -> {hop.dst:<13} "
+                  f"dst-port {dport}/{proto}  @ {hop.timestamp:.3f}")
+        print()
+
+    session.add_sink(alarm, query="exfiltration")
+    session.ingest(stream)             # batch ingestion from any iterable
+
+    stats = session.stats()["exfiltration"]
+    print(f"processed {stats['edges_seen']} flows, "
+          f"{stats['edges_discarded']} label-matching flows discarded by "
+          f"timing pruning, "
           f"{alerts} alert(s) raised")
     assert alerts == 1, "expected exactly the injected attack"
 

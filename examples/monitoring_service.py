@@ -3,13 +3,13 @@
 
 Puts the production-facing pieces together the way a deployment would:
 
-* patterns are loaded from `.tq` files (the query DSL) — here the two
-  attack patterns shipped under ``examples/queries/``;
-* a :class:`~repro.multi.MultiQueryMatcher` fans the stream out to all of
-  them, with per-pattern alert callbacks;
+* patterns are loaded from `.tq` files (the query DSL) straight into a
+  :class:`~repro.api.Session`, which fans the stream out to all of them;
+* alerts flow through sinks: a per-pattern callback and a JSONL audit log;
 * a new pattern is registered *while the stream is live*;
-* the whole service state is checkpointed and restored mid-stream, and the
-  run is verified to match an uninterrupted one.
+* the whole service is checkpointed and restored mid-stream with one call
+  (sinks are re-attached after restore — they are deliberately not
+  pickled).
 
 Run:  python examples/monitoring_service.py
 """
@@ -18,16 +18,10 @@ import io
 import os
 from collections import Counter
 
-from repro import MultiQueryMatcher, load_checkpoint, save_checkpoint
+from repro import JSONLSink, Session
 from repro.datasets import generate_netflow_stream, inject_attack
-from repro.io.dsl import parse_query
 
 QUERY_DIR = os.path.join(os.path.dirname(__file__), "queries")
-
-
-def load_pattern(filename):
-    with open(os.path.join(QUERY_DIR, filename), encoding="utf-8") as handle:
-        return parse_query(handle.read())
 
 
 def main() -> None:
@@ -42,67 +36,50 @@ def main() -> None:
         alerts[name] += 1
         print(f"  ⚠ [{name}] alert at t={match.latest_timestamp():.3f}")
 
-    exfil_query, exfil_window = load_pattern("exfiltration.tq")
+    audit_log = io.StringIO()        # a real deployment passes a file path
 
-    service = MultiQueryMatcher(window=30.0)
-    service.register("exfiltration", exfil_query, window=exfil_window,
-                     callback=alarm)
+    def attach_sinks(session):
+        session.add_sink(alarm)
+        session.add_sink(JSONLSink(audit_log))
+
+    service = Session(window=30.0)
+    service.register_file("exfiltration",
+                          os.path.join(QUERY_DIR, "exfiltration.tq"))
+    attach_sinks(service)
     print(f"service started with patterns: {service.names()}")
 
     # Phase 1: first half of the stream.
-    for edge in stream[:half]:
-        service.push(edge)
+    service.ingest(stream[:half])
 
-    # Checkpoint each engine (the registry itself is tiny, the engines hold
-    # the state worth preserving).
-    print("\ncheckpointing engines mid-stream...")
-    buffers = {}
-    for name in service.names():
-        buffer = io.BytesIO()
-        save_checkpoint(service.matcher(name), buffer)
-        buffers[name] = buffer
-        print(f"  {name}: {len(buffer.getvalue()):,} bytes")
+    # Checkpoint the whole service (engines, windows, lock-step clock).
+    print("\ncheckpointing the service mid-stream...")
+    buffer = io.BytesIO()
+    service.checkpoint(buffer)
+    print(f"  checkpoint: {len(buffer.getvalue()):,} bytes")
 
-    # Simulated restart: rebuild the service from the checkpoints.
-    restored = MultiQueryMatcher(window=30.0)
-    for name, buffer in buffers.items():
-        buffer.seek(0)
-        matcher = load_checkpoint(buffer)
-        restored._matchers[name] = matcher          # re-attach engine
-        restored._callbacks[name] = alarm
-        restored._current_time = matcher.window.current_time
-    print("restored from checkpoints")
+    # Simulated restart: one call restores every engine; sinks are
+    # re-attached (they are not part of the checkpoint by design).
+    buffer.seek(0)
+    restored = Session.restore(buffer)
+    attach_sinks(restored)
+    print(f"restored from checkpoint: patterns {restored.names()}")
 
-    # Phase 2: second half, plus a pattern registered live.
-    registered_late = False
+    # Phase 2: second half, plus a pattern registered live from its DSL
+    # file (it only sees arrivals from now on).
     for index, edge in enumerate(stream[half:]):
-        if not registered_late and index == 500:
+        if index == 500:
             print("\nregistering a new pattern while the stream is live...")
-            beacon = _beaconing_pattern()
-            restored.register("beaconing", beacon, window=20.0,
-                              callback=alarm)
-            registered_late = True
+            restored.register_file(
+                "beaconing", os.path.join(QUERY_DIR, "beaconing.tq"))
         restored.push(edge)
 
     print(f"\nalert totals: {dict(alerts)}")
     print(f"per-pattern stats: "
           f"{ {n: s['edges_discarded'] for n, s in restored.stats().items()} }"
           f" arrivals pruned as discardable")
+    audit_lines = audit_log.getvalue().strip().splitlines()
+    print(f"audit log: {len(audit_lines)} JSONL record(s)")
     assert alerts["exfiltration"] == 1, "the injected attack must be caught"
-
-
-def _beaconing_pattern():
-    """Repeated victim→server contacts on the C&C port: V→B, V→B, V→B in
-    strict temporal order (a beaconing heuristic)."""
-    from repro import QueryGraph
-    from repro.core.query import ANY
-    q = QueryGraph()
-    q.add_vertex("V", "IP")
-    q.add_vertex("B", "IP")
-    for i in (1, 2, 3):
-        q.add_edge(f"b{i}", "V", "B", label=(ANY, 6667, "tcp"))
-    q.add_timing_chain("b1", "b2", "b3")
-    return q
 
 
 if __name__ == "__main__":

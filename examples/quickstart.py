@@ -2,31 +2,37 @@
 """Quickstart: continuous time-constrained subgraph search in ~40 lines.
 
 Replays the paper's running example (query Q of Fig. 5 over the stream G of
-Fig. 3 with a window of 9 time units) and prints what the engine reports at
-each arrival: the single match appears when σ8 arrives at t=8 and expires
-when σ1 leaves the window at t=10.
+Fig. 3 with a window of 9 time units) through the unified API:
+
+* the query is declared as DSL text and registered with a :class:`Session`;
+* a :class:`ListSink` collects every match; a callback prints them live;
+* the single match appears when σ8 arrives at t=8 and expires when σ1
+  leaves the window at t=10.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import QueryGraph, StreamEdge, TimingMatcher
+from repro import ListSink, Session, StreamEdge
 
-
-def build_query() -> QueryGraph:
-    """Fig. 5: six labelled vertices, six edges, timing orders
-    6 ≺ 3 ≺ 1 and 6 ≺ 5 ≺ 4."""
-    q = QueryGraph()
-    for vid in "abcdef":
-        q.add_vertex(vid, vid)                 # label = vertex name
-    q.add_edge(1, "a", "b")
-    q.add_edge(2, "b", "c")
-    q.add_edge(3, "d", "b")
-    q.add_edge(4, "d", "c")
-    q.add_edge(5, "c", "e")
-    q.add_edge(6, "e", "f")
-    q.add_timing_chain(6, 3, 1)                # 6 ≺ 3 ≺ 1
-    q.add_timing_chain(6, 5, 4)                # 6 ≺ 5 ≺ 4
-    return q
+FIG5_QUERY = """
+# Fig. 5: six labelled vertices, six edges,
+# timing orders 6 ≺ 3 ≺ 1 and 6 ≺ 5 ≺ 4.
+vertex a a
+vertex b b
+vertex c c
+vertex d d
+vertex e e
+vertex f f
+edge 1 a -> b
+edge 2 b -> c
+edge 3 d -> b
+edge 4 d -> c
+edge 5 c -> e
+edge 6 e -> f
+order 6 < 3 < 1
+order 6 < 5 < 4
+window 9
+"""
 
 
 def build_stream():
@@ -41,21 +47,24 @@ def build_stream():
 
 
 def main() -> None:
-    query = build_query()
-    matcher = TimingMatcher(query, window=9.0)
-    print(f"engine: {matcher}")
-    print(f"decomposition (join order): {matcher.join_order}\n")
+    session = Session()
+    engine = session.register("fig5", FIG5_QUERY)   # window from the DSL
+    collected = session.add_sink(ListSink())
+
+    print(f"engine: {engine}")
+    print(f"decomposition (join order): {engine.join_order}\n")
 
     for edge in build_stream():
-        new_matches = matcher.push(edge)
-        line = (f"t={edge.timestamp:>2}: {edge.src}->{edge.dst:<4} "
-                f"in-window answers: {matcher.result_count()}")
-        print(line)
-        for match in new_matches:
-            mapping = match.vertex_mapping(query)
-            print(f"      NEW MATCH  {mapping}")
+        new_matches = session.push(edge)
+        print(f"t={edge.timestamp:>2}: {edge.src}->{edge.dst:<4} "
+              f"in-window answers: {engine.result_count()}")
+        for name, match in new_matches:
+            print(f"      NEW MATCH [{name}]  "
+                  f"{match.vertex_mapping(engine.query)}")
 
-    print(f"\nstats: {matcher.stats.as_dict()}")
+    print(f"\ncollected {len(collected)} match(es) in total")
+    print(f"stats: {session.stats()['fig5']}")
+    assert len(collected) == 1, "the paper's single match at t=8"
 
 
 if __name__ == "__main__":

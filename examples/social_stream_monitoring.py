@@ -16,7 +16,7 @@ Run:  python examples/social_stream_monitoring.py
 
 from collections import Counter
 
-from repro import QueryGraph, TimingMatcher
+from repro import ListSink, QueryGraph, Session, TimingMatcher
 from repro.concurrency import ConcurrentStreamExecutor
 from repro.datasets import generate_lsbench_stream
 
@@ -41,10 +41,11 @@ def main() -> None:
     window = stream.window_units_to_duration(400)
     query = cascade_query()
 
-    monitor = TimingMatcher(query, window)
-    serial_alerts = []
-    for event in stream:
-        serial_alerts.extend(monitor.push(event))
+    session = Session(window=window)
+    session.register("cascade", query)
+    sink = session.add_sink(ListSink())
+    session.ingest(stream)             # GraphStream is directly ingestible
+    serial_alerts = sink.matches
     print(f"serial monitor: {len(serial_alerts)} cascade seed(s) detected")
 
     influencers = Counter(
@@ -53,7 +54,7 @@ def main() -> None:
         print(f"  {author}: seeded {count} cascade(s)")
 
     print("\nre-running with the 4-thread lock-based executor...")
-    concurrent_monitor = TimingMatcher(query, window)
+    concurrent_monitor = TimingMatcher.from_config(query, window)
     executor = ConcurrentStreamExecutor(concurrent_monitor, num_threads=4)
     concurrent_alerts = executor.run(list(stream))
     assert Counter(serial_alerts) == Counter(concurrent_alerts)

@@ -2,27 +2,52 @@
 
 A from-scratch Python reproduction of Li, Zou, Özsu & Zhao (ICDE 2019):
 continuous subgraph-isomorphism search over sliding-window streaming graphs
-with timing-order constraints on query edges.
+with timing-order constraints on query edges — grown into a small streaming
+pattern-matching system with a unified API.
 
-Quickstart::
+Quickstart (the :class:`Session` facade)::
 
-    from repro import QueryGraph, StreamEdge, TimingMatcher
+    from repro import Session, ListSink
 
-    q = QueryGraph()
-    q.add_vertex("a", label="A")
-    q.add_vertex("b", label="B")
-    q.add_vertex("c", label="C")
-    q.add_edge("e1", "a", "b")
-    q.add_edge("e2", "b", "c")
-    q.add_timing_constraint("e1", "e2")     # e1's match must arrive first
+    PATTERN = '''
+    vertex a A
+    vertex b B
+    vertex c C
+    edge e1 a -> b
+    edge e2 b -> c
+    order e1 < e2        # e1's match must arrive before e2's
+    window 10
+    '''
 
-    matcher = TimingMatcher(q, window=10.0)
+    session = Session()
+    session.register("two-hop", PATTERN)       # from DSL text (or a
+    alerts = session.add_sink(ListSink())      # QueryGraph / a .tq file)
+    session.push_many(stream_edges)            # any edge iterable / CSV
+    for name, match in alerts:
+        print(name, match)
+
+Single-query usage (the :class:`~repro.api.Matcher` protocol)::
+
+    from repro import EngineConfig, QueryGraph, TimingMatcher
+
+    matcher = TimingMatcher.from_config(query, window=10.0)
     for edge in stream_edges:
         for match in matcher.push(edge):
             print("new match:", match)
 
+All four engines (Timing and the SJ-tree / IncMat / naive baselines)
+conform to the same ``Matcher`` protocol, so they interchange anywhere a
+matcher is expected — including ``Session(backend=...)`` and the benchmark
+harness.  Engine knobs live in one :class:`EngineConfig` dataclass; the
+pre-1.x constructor kwargs (``use_mstree=...``,
+``decomposition_strategy=...``, …) and ``MultiQueryMatcher`` still work but
+are deprecated.
+
 Subpackages
 -----------
+``repro.api``
+    The unified public API: ``Matcher`` protocol, ``EngineConfig``,
+    ``Session``.
 ``repro.graph``
     Streaming substrate: edges, streams, sliding windows, snapshots.
 ``repro.core``
@@ -32,7 +57,10 @@ Subpackages
     Static subgraph-isomorphism algorithms (Ullmann/VF2/QuickSI/TurboISO/
     BoostISO flavours) used by the baselines.
 ``repro.baselines``
-    SJ-tree, IncMat and naive comparators with the same streaming API.
+    SJ-tree, IncMat and naive comparators behind the same ``Matcher``
+    protocol.
+``repro.sinks``
+    Match consumers for sessions: collectors, JSONL writers, printers.
 ``repro.concurrency``
     S/X-lock concurrency manager (§V) and the speed-up simulator.
 ``repro.datasets``
@@ -41,6 +69,10 @@ Subpackages
     Measurement harness regenerating the paper's figures.
 """
 
+from .api import (
+    BACKENDS, DUPLICATE_POLICIES, EngineConfig, EngineStats, Matcher,
+    MatcherBase, Session, as_window,
+)
 from .core.engine import TimingMatcher
 from .core.matches import Match, verify_match
 from .core.plan import explain
@@ -52,15 +84,28 @@ from .graph.snapshot import SnapshotGraph
 from .graph.stream import GraphStream
 from .graph.window import SlidingWindow
 from .multi import MultiQueryMatcher
-from .persistence import load_checkpoint, save_checkpoint
+from .persistence import (
+    load_checkpoint, load_session, save_checkpoint, save_session,
+)
+from .sinks import JSONLSink, ListSink, printing_sink
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # queries and streams
     "QueryGraph", "TimingOrder", "ANY",
     "StreamEdge", "GraphStream", "SlidingWindow", "CountSlidingWindow",
     "SnapshotGraph",
+    # the unified API
+    "Matcher", "MatcherBase", "EngineConfig", "EngineStats", "Session",
+    "BACKENDS", "DUPLICATE_POLICIES", "as_window",
+    # engines and results
     "TimingMatcher", "Match", "verify_match", "explain",
-    "MultiQueryMatcher", "save_checkpoint", "load_checkpoint",
+    # sinks
+    "ListSink", "JSONLSink", "printing_sink",
+    # persistence
+    "save_checkpoint", "load_checkpoint", "save_session", "load_session",
+    # deprecated
+    "MultiQueryMatcher",
     "__version__",
 ]

@@ -1,0 +1,693 @@
+"""The unified public API: ``Matcher`` protocol, ``EngineConfig``, ``Session``.
+
+Every continuous matcher in this repo — the paper's Timing engine and the
+three baselines (SJ-tree, IncMat, naive recomputation) — speaks the same
+streaming interface.  This module makes that interface *formal* and hoists
+the behaviour they all share out of the individual classes:
+
+``Matcher``
+    A :func:`typing.runtime_checkable` protocol naming the streaming surface
+    (``push`` / ``push_many`` / ``advance_time`` / ``current_matches`` /
+    ``result_count`` / ``space_cells`` / ``stats``).  Anything conforming can
+    be registered with a :class:`Session`, benchmarked by
+    :mod:`repro.bench`, and cross-validated against the oracle.
+
+``MatcherBase``
+    The shared template implementation: window-policy coercion (a number
+    becomes a time-based :class:`~repro.graph.window.SlidingWindow`, any
+    push/advance object passes through), the in-window duplicate-id guard
+    with a configurable policy (``raise`` / ``skip`` / ``count``), shared
+    :class:`EngineStats`, and the expire-then-insert ``push`` skeleton.
+    Concrete matchers implement the ``_insert`` / ``_expire`` hooks.
+
+``EngineConfig``
+    One dataclass holding every Timing-engine knob (storage, decomposition
+    strategy, join-order strategy, default access guard, RNG seed,
+    duplicate policy), replacing the historical kwarg soup.  The old
+    keyword arguments still work as deprecated shims;
+    ``TimingMatcher.from_config`` is the preferred constructor.
+
+``Session``
+    The facade a deployment talks to: register named queries (from
+    :class:`~repro.core.query.QueryGraph` objects, DSL text, or ``.tq``
+    files), fan arrivals out to all of them in lock-step, attach match
+    sinks (callbacks, collectors, JSONL writers — :mod:`repro.sinks`),
+    ingest batches from any edge iterable or a CSV trace, and
+    checkpoint/restore the whole thing via :mod:`repro.persistence`.
+
+Quickstart::
+
+    from repro import Session, ListSink
+
+    session = Session(window=30.0)
+    session.register("exfil", open("exfiltration.tq").read())
+    alerts = session.add_sink(ListSink())
+    session.push_many(edges)
+    for name, match in alerts:
+        ...
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import (
+    TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Protocol,
+    Tuple, Union, runtime_checkable,
+)
+
+from .graph.edge import StreamEdge
+from .graph.window import SlidingWindow
+
+if TYPE_CHECKING:  # imported lazily at runtime — repro.core imports us
+    from .core.matches import Match
+    from .core.query import QueryGraph
+
+#: Accepted in-window duplicate-``edge_id`` policies (see
+#: :meth:`MatcherBase.push`).
+DUPLICATE_POLICIES = ("raise", "skip", "count")
+
+#: Storage layouts for the Timing engine (``Timing`` vs ``Timing-IND``).
+STORAGE_KINDS = ("mstree", "independent")
+
+#: Decomposition strategies (Algorithm 6 vs the ``Timing-RD`` ablation).
+DECOMPOSITION_STRATEGIES = ("greedy", "random")
+
+#: Join-order strategies (§VI-C heuristic vs the ``Timing-RJ`` ablation).
+JOIN_ORDER_STRATEGIES = ("jn", "random")
+
+MatchCallback = Callable[[str, "Match"], None]
+
+
+def _strip_config_guard(state: dict) -> dict:
+    """Shared ``__getstate__`` rule: an :class:`EngineConfig` guard is
+    runtime wiring (lock tables hold threading primitives) and is never
+    checkpointed."""
+    config = state.get("config")
+    if config is not None and config.guard is not None:
+        state["config"] = config.replace(guard=None)
+    return state
+
+
+def as_window(window):
+    """Coerce a window spec into a window-policy object.
+
+    A number is a time-based window duration (the paper's model, Definition
+    2); any object with the ``push``/``advance`` interface — e.g.
+    :class:`~repro.graph.count_window.CountSlidingWindow` — passes through
+    unchanged.
+    """
+    if isinstance(window, bool):
+        raise TypeError("window must be a duration or a window policy object")
+    if isinstance(window, (int, float)):
+        return SlidingWindow(float(window))
+    if hasattr(window, "push") and hasattr(window, "advance"):
+        return window
+    raise TypeError(
+        f"window must be a duration or a window policy object, "
+        f"got {window!r}")
+
+
+class EngineStats:
+    """Counters every matcher exposes (cost-model experiments and tests).
+
+    ``edges_skipped`` counts arrivals dropped by the ``count``
+    duplicate-id policy (see :meth:`MatcherBase.push`).
+    """
+
+    __slots__ = ("edges_seen", "edges_matched", "edges_discarded",
+                 "join_operations", "partial_matches_created",
+                 "matches_emitted", "expired_edges", "expired_partials",
+                 "edges_skipped")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"EngineStats({inner})"
+
+
+@runtime_checkable
+class Matcher(Protocol):
+    """The streaming interface shared by every engine in this repo.
+
+    ``push`` processes one arrival (expiry first, then insertion) and
+    returns the matches completed by it; ``advance_time`` slides the window
+    without an arrival.  ``current_matches`` is the full answer set
+    ``Ω(Q)`` over the current window; ``result_count`` its cardinality;
+    ``space_cells`` the logical partial-match storage footprint used by the
+    space experiments.  ``stats`` is a shared :class:`EngineStats`.
+    """
+
+    stats: EngineStats
+
+    def push(self, edge: StreamEdge) -> List[Match]: ...
+
+    def push_many(self, edges: Iterable[StreamEdge]) -> List[Match]: ...
+
+    def advance_time(self, timestamp: float) -> None: ...
+
+    def current_matches(self) -> List[Match]: ...
+
+    def result_count(self) -> int: ...
+
+    def space_cells(self) -> int: ...
+
+
+class MatcherBase:
+    """Shared streaming skeleton for continuous matchers.
+
+    Subclasses call :meth:`_init_streaming` from their ``__init__`` and
+    implement the two hooks:
+
+    * ``_insert(edge, guard)`` — handle one in-window arrival, return the
+      newly completed matches;
+    * ``_expire(edge, guard)`` — drop all state referencing an expired edge.
+
+    The base provides ``push`` (duplicate guard → expiry → insertion),
+    ``push_many``, ``advance_time``, and a ``result_count`` that defaults to
+    ``len(current_matches())``.  ``guard`` threads the concurrency
+    access-guard protocol (:mod:`repro.core.guard`) through to the hooks;
+    matchers without locking simply ignore it.
+    """
+
+    #: Display name used by the benchmark harness and ``Session``.
+    name = "matcher"
+
+    def _init_streaming(self, query: QueryGraph, window, *,
+                        duplicate_policy: str = "raise",
+                        default_guard=None) -> None:
+        query.validate()
+        self.query = query
+        self.window = as_window(window)
+        if duplicate_policy not in DUPLICATE_POLICIES:
+            raise ValueError(
+                f"unknown duplicate policy: {duplicate_policy!r} "
+                f"(expected one of {DUPLICATE_POLICIES})")
+        self.duplicate_policy = duplicate_policy
+        self.default_guard = default_guard
+        self.stats = EngineStats()
+        # Edge-identity guard: StreamEdge equality is by edge_id, and the
+        # expiry registries key on it — a second in-window arrival with the
+        # same id would alias and corrupt deletion.  Track live ids.
+        self._live_edge_ids: set = set()
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+    def _insert(self, edge: StreamEdge, guard) -> List[Match]:
+        raise NotImplementedError
+
+    def _expire(self, edge: StreamEdge, guard) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # The shared streaming surface
+    # ------------------------------------------------------------------ #
+    def push(self, edge: StreamEdge, guard=None) -> List[Match]:
+        """Process one arrival: expire, then insert; returns new matches.
+
+        An arrival whose ``edge_id`` collides with an edge still in the
+        window is handled per the matcher's duplicate policy:
+
+        * ``"raise"`` (default) — ``ValueError``, side-effect-free: a
+          rejected push touches no window state, so the caller may
+          recover and continue the stream;
+        * ``"skip"`` — drop the arrival silently;
+        * ``"count"`` — drop it and count it in ``stats.edges_skipped``.
+
+        The duplicate check runs against the window as the arrival's own
+        timestamp would leave it: an id whose previous bearer is past a
+        time-based window is not a duplicate.  (Count-based windows
+        expire only by capacity at insertion, so there a still-stored
+        bearer is a genuine duplicate.)  A *dropped* duplicate still
+        advances time.
+        """
+        if self.would_reject(edge):     # side-effect-free peek
+            raise ValueError(
+                f"duplicate in-window edge id: {edge.edge_id!r}")
+        guard = guard if guard is not None else self.default_guard
+        for old in self.window.advance(edge.timestamp):
+            self._live_edge_ids.discard(old.edge_id)
+            self._expire(old, guard)
+        if edge.edge_id in self._live_edge_ids:
+            # Only the skip/count policies reach here (raise peeked above).
+            if self.duplicate_policy == "count":
+                self.stats.edges_skipped += 1
+            return []
+        for old in self.window.push(edge):
+            self._live_edge_ids.discard(old.edge_id)
+            self._expire(old, guard)
+        self._live_edge_ids.add(edge.edge_id)
+        return self._insert(edge, guard)
+
+    def push_many(self, edges: Iterable[StreamEdge],
+                  guard=None) -> List[Match]:
+        """Process a batch of arrivals; returns all new matches in order."""
+        matches: List[Match] = []
+        for edge in edges:
+            matches.extend(self.push(edge, guard))
+        return matches
+
+    def advance_time(self, timestamp: float, guard=None) -> None:
+        """Slide the window forward without inserting an edge."""
+        guard = guard if guard is not None else self.default_guard
+        for old in self.window.advance(timestamp):
+            self._live_edge_ids.discard(old.edge_id)
+            self._expire(old, guard)
+
+    def would_reject(self, edge: StreamEdge) -> bool:
+        """Whether pushing ``edge`` would raise as a duplicate.
+
+        Side-effect-free: accounts for the expiry the arrival itself
+        would trigger without touching the window.  :class:`Session`
+        uses this for its all-or-nothing fan-out guarantee; protocol
+        matchers outside :class:`MatcherBase` can implement it to join
+        that guarantee.
+        """
+        if self.duplicate_policy != "raise" \
+                or edge.edge_id not in self._live_edge_ids:
+            return False
+        duration = getattr(self.window, "duration", None)
+        if duration is None:
+            return True     # count windows never expire on time alone
+        for old in self.window:             # oldest first; id hit is rare
+            if old.edge_id == edge.edge_id:
+                return old.timestamp > edge.timestamp - duration
+        return False
+
+    def current_matches(self) -> List[Match]:
+        raise NotImplementedError
+
+    def result_count(self) -> int:
+        """Number of current matches (selectivity metric, Fig. 25)."""
+        return len(self.current_matches())
+
+    def space_cells(self) -> int:
+        raise NotImplementedError
+
+    def __getstate__(self):
+        # Guards are runtime wiring (lock tables hold threading
+        # primitives, trace guards hold open traces) — like a Session's
+        # sinks, they are not checkpointed; re-attach after restore.
+        state = dict(self.__dict__)
+        state["default_guard"] = None
+        return _strip_config_guard(state)
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineConfig:
+    """Every Timing-engine knob in one declarative object.
+
+    Replaces the historical kwarg soup
+    (``use_mstree=... decomposition_strategy=... join_order_strategy=...
+    rng=...``); pass it to :meth:`TimingMatcher.from_config
+    <repro.core.engine.TimingMatcher.from_config>` or a :class:`Session`.
+
+    Parameters
+    ----------
+    storage:
+        ``"mstree"`` (the paper's ``Timing``) or ``"independent"`` flat
+        tuples (``Timing-IND``).
+    decomposition:
+        ``"greedy"`` (Algorithm 6) or ``"random"`` (``Timing-RD``).
+    join_order:
+        ``"jn"`` (joint-number heuristic, §VI-C) or ``"random"``
+        (``Timing-RJ``).
+    guard:
+        Default access guard threaded through every operation when no
+        per-call guard is given (``None`` → serial no-op guard).
+    seed:
+        RNG seed for the ``random`` strategies (deterministic by default so
+        engine construction is reproducible).
+    duplicate_policy:
+        In-window duplicate-``edge_id`` handling: ``"raise"``, ``"skip"``
+        or ``"count"`` (see :meth:`MatcherBase.push`).
+    """
+
+    storage: str = "mstree"
+    decomposition: str = "greedy"
+    join_order: str = "jn"
+    guard: Optional[object] = None
+    seed: int = 0
+    duplicate_policy: str = "raise"
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def validate(self) -> "EngineConfig":
+        if self.storage not in STORAGE_KINDS:
+            raise ValueError(f"unknown storage kind: {self.storage!r} "
+                             f"(expected one of {STORAGE_KINDS})")
+        if self.decomposition not in DECOMPOSITION_STRATEGIES:
+            raise ValueError(
+                f"unknown decomposition strategy: {self.decomposition!r} "
+                f"(expected one of {DECOMPOSITION_STRATEGIES})")
+        if self.join_order not in JOIN_ORDER_STRATEGIES:
+            raise ValueError(
+                f"unknown join order strategy: {self.join_order!r} "
+                f"(expected one of {JOIN_ORDER_STRATEGIES})")
+        if self.duplicate_policy not in DUPLICATE_POLICIES:
+            raise ValueError(
+                f"unknown duplicate policy: {self.duplicate_policy!r} "
+                f"(expected one of {DUPLICATE_POLICIES})")
+        return self
+
+
+# --------------------------------------------------------------------- #
+# Session
+# --------------------------------------------------------------------- #
+
+#: Built-in backend names accepted by :meth:`Session.register`.
+BACKENDS = ("timing", "sjtree", "incmat", "naive")
+
+
+def _build_matcher(backend, query: QueryGraph, window,
+                   config: EngineConfig, options: dict):
+    """Instantiate a backend.  Imports are local: the engine modules import
+    this module for :class:`MatcherBase`, so importing them at module level
+    would be circular."""
+    if callable(backend):
+        if options:
+            raise ValueError(
+                "engine options are not forwarded to factory backends; "
+                f"bake them into the factory instead: {sorted(options)}")
+        return backend(query, window)
+    if backend == "timing":
+        from .core.engine import TimingMatcher
+        return TimingMatcher(query, window, config=config, **options)
+    # Baselines: the session config contributes its duplicate policy, but
+    # an explicit per-query option wins.
+    options.setdefault("duplicate_policy", config.duplicate_policy)
+    if backend == "sjtree":
+        from .baselines.sjtree import SJTreeMatcher
+        return SJTreeMatcher(query, window, **options)
+    if backend == "incmat":
+        from .baselines.incmat import IncMatMatcher
+        return IncMatMatcher(query, window, **options)
+    if backend == "naive":
+        from .baselines.naive import NaiveSnapshotMatcher
+        return NaiveSnapshotMatcher(query, window, **options)
+    raise ValueError(f"unknown backend: {backend!r} "
+                     f"(expected one of {BACKENDS} or a factory)")
+
+
+class Session:
+    """A registry of named continuous queries sharing one input stream.
+
+    Real monitoring deployments register many patterns at once (the paper's
+    motivation cites Verizon's ten attack patterns covering 90% of
+    incidents).  A ``Session`` fans each arrival out to every registered
+    :class:`Matcher` in lock-step, delivers completed matches to attached
+    sinks, and supports live registration/deregistration and
+    checkpoint/restore.
+
+    Parameters
+    ----------
+    window:
+        Default window for registered queries: a duration, or a zero-arg
+        factory returning a fresh window-policy object per query (a bare
+        policy object is rejected — engines cannot share one mutable
+        window).  Each query may override it at registration.
+    config:
+        Default :class:`EngineConfig` for ``timing`` backends, and the
+        source of the duplicate policy for the built-in backends.
+        Factory backends construct their own engines and must bake
+        such settings in themselves.
+    duplicate_policy:
+        Shorthand for ``config.replace(duplicate_policy=...)``.
+    """
+
+    def __init__(self, *, window=None, config: Optional[EngineConfig] = None,
+                 duplicate_policy: Optional[str] = None) -> None:
+        if isinstance(window, bool):
+            raise TypeError("window must be a duration or a window factory")
+        if isinstance(window, (int, float)) and window <= 0:
+            raise ValueError("window must be positive")
+        if window is not None and not isinstance(window, (int, float)) \
+                and not callable(window):
+            raise TypeError(
+                "a Session's default window must be a duration or a "
+                "zero-arg window factory — a shared policy object would "
+                "be mutated by every registered engine")
+        self.default_window = window
+        config = config if config is not None else EngineConfig()
+        if duplicate_policy is not None:
+            config = config.replace(duplicate_policy=duplicate_policy)
+        self.config = config.validate()
+        self._matchers: Dict[str, Matcher] = {}
+        self._callbacks: Dict[str, Optional[MatchCallback]] = {}
+        self._sinks: List[Tuple[Optional[str], MatchCallback]] = []
+        self._current_time = float("-inf")
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, query: Union[QueryGraph, str], *,
+                 window=None, backend="timing",
+                 config: Optional[EngineConfig] = None,
+                 callback: Optional[MatchCallback] = None,
+                 **engine_options) -> Matcher:
+        """Add a named query; returns its engine.
+
+        ``query`` is a :class:`~repro.core.query.QueryGraph` or DSL text
+        (see :mod:`repro.io.dsl`; its ``window`` line is used when no
+        explicit ``window`` is given).  ``backend`` picks the engine
+        (``"timing"`` default, ``"sjtree"``, ``"incmat"``, ``"naive"``, or
+        a ``factory(query, window)`` callable); ``engine_options`` are
+        passed to its constructor.
+
+        Raises on duplicate names.  A query registered mid-stream starts
+        with an empty window — it only sees arrivals from now on, which is
+        the only sound semantics for a structure that never saw the past.
+        """
+        if name in self._matchers:
+            raise ValueError(f"query already registered: {name!r}")
+        if isinstance(query, str):
+            from .io.dsl import parse_query
+            query, window_hint = parse_query(query)
+            if window is None:
+                window = window_hint
+        if window is None:
+            window = self.default_window
+            if callable(window):
+                window = window()       # fresh policy object per engine
+        if window is None:
+            raise ValueError(
+                f"no window for query {name!r}: pass register(window=...), "
+                "a DSL 'window' line, or a Session default")
+        if not isinstance(window, (int, float)):
+            # Same hazard the constructor rejects for the default window:
+            # one mutable policy object cannot back two engines.
+            for other_name, other in self._matchers.items():
+                if getattr(other, "window", None) is window:
+                    raise ValueError(
+                        f"window policy object is already used by query "
+                        f"{other_name!r}; pass a fresh instance — engines "
+                        "cannot share one mutable window")
+        config = config if config is not None else self.config
+        matcher = _build_matcher(backend, query, window, config,
+                                 engine_options)
+        if self._current_time > float("-inf"):
+            matcher.advance_time(self._current_time)
+        self._matchers[name] = matcher
+        self._callbacks[name] = callback
+        return matcher
+
+    def register_file(self, name: str, path: str, **kwargs) -> Matcher:
+        """Register a query from a ``.tq`` DSL file."""
+        with open(path, encoding="utf-8") as handle:
+            return self.register(name, handle.read(), **kwargs)
+
+    def set_callback(self, name: str,
+                     callback: Optional[MatchCallback]) -> None:
+        """Attach (or clear) a registered query's callback — e.g. to
+        re-wire alerting after :meth:`restore`, which drops callbacks."""
+        if name not in self._matchers:
+            raise KeyError(f"unknown query: {name!r}")
+        self._callbacks[name] = callback
+
+    def deregister(self, name: str) -> None:
+        if name not in self._matchers:
+            raise KeyError(f"unknown query: {name!r}")
+        del self._matchers[name]
+        del self._callbacks[name]
+        # Sinks filtered to this query die with it — a later query reusing
+        # the name must not inherit them.
+        self._sinks = [(q, s) for q, s in self._sinks if q != name]
+
+    def names(self) -> List[str]:
+        return list(self._matchers)
+
+    def matcher(self, name: str) -> Matcher:
+        return self._matchers[name]
+
+    def __len__(self) -> int:
+        return len(self._matchers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._matchers
+
+    # ------------------------------------------------------------------ #
+    # Sinks
+    # ------------------------------------------------------------------ #
+    def add_sink(self, sink: MatchCallback, *,
+                 query: Optional[str] = None):
+        """Attach a match consumer; returns it (handy for inline creation).
+
+        ``sink`` is any ``(query_name, match)`` callable — a plain function,
+        :class:`~repro.sinks.ListSink`, :class:`~repro.sinks.JSONLSink`, …
+        With ``query=``, the sink only sees that query's matches.
+        """
+        self._sinks.append((query, sink))
+        return sink
+
+    def remove_sink(self, sink: MatchCallback) -> None:
+        before = len(self._sinks)
+        self._sinks = [(q, s) for q, s in self._sinks if s is not sink]
+        if len(self._sinks) == before:
+            raise ValueError("sink is not attached")
+
+    def _deliver(self, name: str, match: Match) -> None:
+        callback = self._callbacks.get(name)
+        if callback is not None:
+            callback(name, match)
+        for query_filter, sink in self._sinks:
+            if query_filter is None or query_filter == name:
+                sink(name, match)
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    def push(self, edge: StreamEdge) -> List[Tuple[str, Match]]:
+        """Fan one arrival out to every registered query in lock-step.
+
+        A duplicate-id rejection (any built-in engine with the ``raise``
+        policy) is checked side-effect-free *before* any engine ingests
+        the edge — a rejecting push touches no window and no clock, so a
+        corrected feed may retry any later timestamp.  (A factory-built
+        matcher that raises its own errors from ``push`` is outside this
+        guarantee unless it implements ``would_reject``.)
+        """
+        if edge.timestamp <= self._current_time:
+            raise ValueError(
+                "stream timestamps must strictly increase: "
+                f"{edge.timestamp} <= {self._current_time}")
+        # would_reject is optional: a protocol matcher from a factory that
+        # doesn't implement it keeps its own duplicate handling.
+        offenders = []
+        for name, matcher in self._matchers.items():
+            check = getattr(matcher, "would_reject", None)
+            if check is not None and check(edge):
+                offenders.append(name)
+        if offenders:
+            raise ValueError(
+                f"duplicate in-window edge id: {edge.edge_id!r} "
+                f"(rejected by {offenders}; no query ingested it)")
+        self._current_time = edge.timestamp
+        results: List[Tuple[str, Match]] = []
+        for name, matcher in self._matchers.items():
+            for match in matcher.push(edge):
+                results.append((name, match))
+                self._deliver(name, match)
+        return results
+
+    def push_many(self,
+                  edges: Iterable[StreamEdge]) -> List[Tuple[str, Match]]:
+        """Batch ingestion from any edge iterable (list, generator,
+        :class:`~repro.graph.stream.GraphStream`, CSV reader…)."""
+        results: List[Tuple[str, Match]] = []
+        for edge in edges:
+            results.extend(self.push(edge))
+        return results
+
+    def ingest(self, edges: Iterable[StreamEdge]) -> int:
+        """Batch ingestion for sink-driven sessions: like
+        :meth:`push_many` but returns only the number of matches
+        delivered, so an unbounded stream never materialises its whole
+        result list."""
+        delivered = 0
+        for edge in edges:
+            delivered += len(self.push(edge))
+        return delivered
+
+    def ingest_csv(self, source, *, collect: bool = True,
+                   **reader_options) -> Union[List[Tuple[str, Match]], int]:
+        """Replay a CSV edge trace (see :mod:`repro.io.csv_stream`).
+
+        Returns the ``(name, match)`` list by default; pass
+        ``collect=False`` on long traces with sinks attached to get only
+        a match count and avoid materialising every result.
+        """
+        from .io.csv_stream import read_stream
+        edges = read_stream(source, **reader_options)
+        if collect:
+            return self.push_many(edges)
+        return self.ingest(edges)
+
+    def advance_time(self, timestamp: float) -> None:
+        """Slide all windows forward without an arrival."""
+        if timestamp < self._current_time:
+            raise ValueError("time moves backwards")
+        self._current_time = timestamp
+        for matcher in self._matchers.values():
+            matcher.advance_time(timestamp)
+
+    @property
+    def current_time(self) -> float:
+        return self._current_time
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def result_counts(self) -> Dict[str, int]:
+        return {name: matcher.result_count()
+                for name, matcher in self._matchers.items()}
+
+    def current_matches(self) -> Dict[str, List[Match]]:
+        return {name: matcher.current_matches()
+                for name, matcher in self._matchers.items()}
+
+    def space_cells(self) -> int:
+        return sum(matcher.space_cells()
+                   for matcher in self._matchers.values())
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {name: matcher.stats.as_dict()
+                for name, matcher in self._matchers.items()}
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, target) -> None:
+        """Serialise the session (engines, windows, clock) to ``target``.
+
+        Runtime wiring is *not* captured: sinks, callbacks, a callable
+        default-window factory, and config guards often close over
+        files, lambdas or locks — re-attach them after :meth:`restore`.
+        """
+        from .persistence import save_session
+        save_session(self, target)
+
+    @classmethod
+    def restore(cls, source) -> "Session":
+        """Load a session saved with :meth:`checkpoint`."""
+        from .persistence import load_session
+        return load_session(source)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_sinks"] = []
+        state["_callbacks"] = {name: None for name in self._callbacks}
+        if callable(state.get("default_window")):
+            state["default_window"] = None
+        return _strip_config_guard(state)
+
+    def __repr__(self) -> str:
+        return (f"Session({len(self._matchers)} queries, "
+                f"t={self._current_time})")

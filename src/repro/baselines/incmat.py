@@ -23,23 +23,23 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from ..api import MatcherBase
 from ..core.matches import Match
 from ..core.query import QueryGraph
 from ..graph.edge import StreamEdge
 from ..graph.snapshot import SnapshotGraph
-from ..graph.window import SlidingWindow
 from ..isomorphism.base import StaticMatcher
 from ..isomorphism.quicksi import QuickSI
 
 
-class IncMatMatcher:
+class IncMatMatcher(MatcherBase):
     """Affected-area re-search matcher parameterised by a static algorithm."""
 
     def __init__(self, query: QueryGraph, window: float,
-                 algorithm: Optional[StaticMatcher] = None) -> None:
-        query.validate()
-        self.query = query
-        self.window = SlidingWindow(window)
+                 algorithm: Optional[StaticMatcher] = None, *,
+                 duplicate_policy: str = "raise") -> None:
+        self._init_streaming(query, window,
+                             duplicate_policy=duplicate_policy)
         self.snapshot = SnapshotGraph()
         self.algorithm = algorithm if algorithm is not None else QuickSI()
         self.name = f"IncMat-{self.algorithm.name}"
@@ -48,12 +48,15 @@ class IncMatMatcher:
         self._by_edge: Dict[StreamEdge, Set[Match]] = {}
 
     # ------------------------------------------------------------------ #
-    def push(self, edge: StreamEdge) -> List[Match]:
-        for old in self.window.push(edge):
-            self._expire(old)
+    # push/push_many/advance_time come from MatcherBase.
+    # ------------------------------------------------------------------ #
+    def _insert(self, edge: StreamEdge, guard) -> List[Match]:
+        self.stats.edges_seen += 1
         self.snapshot.add_edge(edge)
         new_matches: List[Match] = []
+        matched_any = False
         for eid in self.query.matching_edge_ids(edge):
+            matched_any = True
             for assignment in self.algorithm.find(
                     self.query, self.snapshot, anchor=(eid, edge),
                     enforce_timing=True):
@@ -63,13 +66,13 @@ class IncMatMatcher:
                     for used in match.data_edges:
                         self._by_edge.setdefault(used, set()).add(match)
                     new_matches.append(match)
+        if matched_any:
+            self.stats.edges_matched += 1
+        self.stats.matches_emitted += len(new_matches)
         return new_matches
 
-    def advance_time(self, timestamp: float) -> None:
-        for old in self.window.advance(timestamp):
-            self._expire(old)
-
-    def _expire(self, edge: StreamEdge) -> None:
+    def _expire(self, edge: StreamEdge, guard=None) -> None:
+        self.stats.expired_edges += 1
         self.snapshot.remove_edge(edge)
         dead = self._by_edge.pop(edge, None)
         if not dead:

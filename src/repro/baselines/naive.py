@@ -11,56 +11,57 @@ which is what makes it a trustworthy oracle for the property-based tests:
 the Timing engine's incremental answers must equal this matcher's
 from-scratch answers at every time point (streaming consistency,
 Definition 11, for the single-threaded case).
+
+It conforms to the :class:`repro.api.Matcher` protocol via
+:class:`repro.api.MatcherBase` like every other engine.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from ..api import MatcherBase
 from ..core.matches import Match
 from ..core.query import QueryGraph
 from ..graph.edge import StreamEdge
 from ..graph.snapshot import SnapshotGraph
-from ..graph.window import SlidingWindow
 from ..isomorphism.base import StaticMatcher
 
 
-class NaiveSnapshotMatcher:
+class NaiveSnapshotMatcher(MatcherBase):
     """Recompute-from-scratch continuous matcher (oracle / worst baseline)."""
 
     name = "Naive"
 
     def __init__(self, query: QueryGraph, window: float,
-                 algorithm: Optional[StaticMatcher] = None) -> None:
-        query.validate()
-        self.query = query
-        if isinstance(window, (int, float)):
-            self.window = SlidingWindow(window)
-        else:
-            self.window = window
+                 algorithm: Optional[StaticMatcher] = None, *,
+                 duplicate_policy: str = "raise") -> None:
+        self._init_streaming(query, window,
+                             duplicate_policy=duplicate_policy)
         self.snapshot = SnapshotGraph()
         self.algorithm = algorithm if algorithm is not None else StaticMatcher()
 
-    def push(self, edge: StreamEdge) -> List[Match]:
-        """Process one arrival; returns the new matches (those using it)."""
-        for old in self.window.push(edge):
-            self.snapshot.remove_edge(old)
+    def _insert(self, edge: StreamEdge, guard) -> List[Match]:
+        self.stats.edges_seen += 1
+        # Same semantics as every other engine: counted when the arrival
+        # label-matches some query edge, not when it completes a match.
+        if self.query.matching_edge_ids(edge):
+            self.stats.edges_matched += 1
         self.snapshot.add_edge(edge)
-        return [match for match in self.current_matches()
-                if match.uses_edge(edge)]
+        new = [match for match in self.current_matches()
+               if match.uses_edge(edge)]
+        self.stats.matches_emitted += len(new)
+        return new
 
-    def advance_time(self, timestamp: float) -> None:
-        for old in self.window.advance(timestamp):
-            self.snapshot.remove_edge(old)
+    def _expire(self, edge: StreamEdge, guard) -> None:
+        self.stats.expired_edges += 1
+        self.snapshot.remove_edge(edge)
 
     def current_matches(self) -> List[Match]:
         """Every time-constrained match in the current snapshot."""
         return [Match(assignment) for assignment in
                 self.algorithm.find(self.query, self.snapshot,
                                     enforce_timing=True)]
-
-    def result_count(self) -> int:
-        return len(self.current_matches())
 
     def space_cells(self) -> int:
         """Snapshot adjacency only — nothing else is materialised."""

@@ -21,11 +21,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..api import MatcherBase
 from ..core.join import UnionSpec
 from ..core.matches import Match, satisfies_timing
 from ..core.query import EdgeId, QueryGraph
 from ..graph.edge import StreamEdge
-from ..graph.window import SlidingWindow
 from ..isomorphism.base import StaticMatcher
 
 #: Logical cells charged per stored tuple (key + length overhead), matching
@@ -33,16 +33,16 @@ from ..isomorphism.base import StaticMatcher
 SJ_ENTRY_OVERHEAD = 3
 
 
-class SJTreeMatcher:
+class SJTreeMatcher(MatcherBase):
     """Left-deep subgraph-join tree with posterior timing filtering."""
 
     name = "SJ-tree"
 
     def __init__(self, query: QueryGraph, window: float,
-                 leaf_order: Optional[List[EdgeId]] = None) -> None:
-        query.validate()
-        self.query = query
-        self.window = SlidingWindow(window)
+                 leaf_order: Optional[List[EdgeId]] = None, *,
+                 duplicate_policy: str = "raise") -> None:
+        self._init_streaming(query, window,
+                             duplicate_policy=duplicate_policy)
         # Left-deep leaf order; connectivity-repaired input order unless the
         # caller provides a (e.g. selectivity-estimated) one.
         if leaf_order is None:
@@ -68,20 +68,28 @@ class SJTreeMatcher:
                 enforce_timing=False))
 
     # ------------------------------------------------------------------ #
-    def push(self, edge: StreamEdge) -> List[Match]:
-        for old in self.window.push(edge):
-            self._expire(old)
+    # push/push_many/advance_time come from MatcherBase.
+    # ------------------------------------------------------------------ #
+    def _insert(self, edge: StreamEdge, guard) -> List[Match]:
         return self.insert_edge(edge)
 
-    def advance_time(self, timestamp: float) -> None:
-        for old in self.window.advance(timestamp):
-            self._expire(old)
+    def _expire(self, edge: StreamEdge, guard=None) -> None:
+        """Remove the expired edge by full enumeration (see module docs)."""
+        self.stats.expired_edges += 1
+        for level in range(self.m):
+            self._leaves[level] = [e for e in self._leaves[level]
+                                   if e != edge]
+            self._partials[level] = [flat for flat in self._partials[level]
+                                     if edge not in flat]
 
     def insert_edge(self, edge: StreamEdge) -> List[Match]:
+        self.stats.edges_seen += 1
         new_complete: List[Tuple[StreamEdge, ...]] = []
+        matched_any = False
         for level, eid in enumerate(self.leaf_order):
             if not self.query.edge_matches(eid, edge):
                 continue
+            matched_any = True
             self._leaves[level].append(edge)
             if level == 0:
                 delta = [(edge,)]
@@ -109,21 +117,16 @@ class SJTreeMatcher:
                 # leaf entry (if the propagation reached the root).
                 if current and len(current[0]) == self.m:
                     new_complete.extend(current)
+        if matched_any:
+            self.stats.edges_matched += 1
         # Posterior timing filter on complete matches only.
         out: List[Match] = []
         for flat in new_complete:
             assignment = dict(zip(self.leaf_order, flat))
             if satisfies_timing(self.query, assignment):
                 out.append(Match(assignment))
+        self.stats.matches_emitted += len(out)
         return out
-
-    def _expire(self, edge: StreamEdge) -> None:
-        """Remove the expired edge by full enumeration (see module docs)."""
-        for level in range(self.m):
-            self._leaves[level] = [e for e in self._leaves[level]
-                                   if e != edge]
-            self._partials[level] = [flat for flat in self._partials[level]
-                                     if edge not in flat]
 
     # ------------------------------------------------------------------ #
     def current_matches(self) -> List[Match]:
@@ -133,9 +136,6 @@ class SJTreeMatcher:
             if satisfies_timing(self.query, assignment):
                 out.append(Match(assignment))
         return out
-
-    def result_count(self) -> int:
-        return len(self.current_matches())
 
     def stored_partial_count(self) -> int:
         return sum(len(level) for level in self._partials)

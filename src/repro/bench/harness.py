@@ -9,9 +9,9 @@ method registry and the sweep loop shared by all figure benchmarks in
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..api import EngineConfig, Matcher
 from ..baselines.incmat import IncMatMatcher
 from ..baselines.sjtree import SJTreeMatcher
 from ..core.engine import TimingMatcher
@@ -20,29 +20,35 @@ from ..graph.stream import GraphStream
 from ..isomorphism import BoostISO, QuickSI, TurboISO
 from .metrics import RunResult, run_stream
 
-EngineFactory = Callable[[QueryGraph, float], object]
+EngineFactory = Callable[[QueryGraph, float], Matcher]
+
+
+def _timing(config: EngineConfig) -> EngineFactory:
+    return lambda q, w: TimingMatcher.from_config(q, w, config)
+
+
+def _incmat(algorithm_cls) -> EngineFactory:
+    return lambda q, w: IncMatMatcher(q, w, algorithm_cls())
+
 
 #: The paper's six comparative methods (Figs. 15–18, 23–24).  IncMat
 #: variants are labelled by their static algorithm, as in the figures.
 METHODS: Dict[str, EngineFactory] = {
-    "Timing": lambda q, w: TimingMatcher(q, w, use_mstree=True),
-    "Timing-IND": lambda q, w: TimingMatcher(q, w, use_mstree=False),
+    "Timing": _timing(EngineConfig(storage="mstree")),
+    "Timing-IND": _timing(EngineConfig(storage="independent")),
     "SJ-tree": lambda q, w: SJTreeMatcher(q, w),
-    "QuickSI": lambda q, w: IncMatMatcher(q, w, QuickSI()),
-    "TurboISO": lambda q, w: IncMatMatcher(q, w, TurboISO()),
-    "BoostISO": lambda q, w: IncMatMatcher(q, w, BoostISO()),
+    "QuickSI": _incmat(QuickSI),
+    "TurboISO": _incmat(TurboISO),
+    "BoostISO": _incmat(BoostISO),
 }
 
 #: The §VII-E ablation variants (Fig. 21).
 ABLATIONS: Dict[str, EngineFactory] = {
-    "Timing": lambda q, w: TimingMatcher(q, w),
-    "Timing-RJ": lambda q, w: TimingMatcher(
-        q, w, join_order_strategy="random", rng=random.Random(11)),
-    "Timing-RD": lambda q, w: TimingMatcher(
-        q, w, decomposition_strategy="random", rng=random.Random(13)),
-    "Timing-RDJ": lambda q, w: TimingMatcher(
-        q, w, decomposition_strategy="random", join_order_strategy="random",
-        rng=random.Random(17)),
+    "Timing": _timing(EngineConfig()),
+    "Timing-RJ": _timing(EngineConfig(join_order="random", seed=11)),
+    "Timing-RD": _timing(EngineConfig(decomposition="random", seed=13)),
+    "Timing-RDJ": _timing(EngineConfig(
+        decomposition="random", join_order="random", seed=17)),
 }
 
 

@@ -22,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .api import BACKENDS, DUPLICATE_POLICIES, EngineConfig, Session
 from .core.engine import TimingMatcher
 from .core.plan import explain
 from .datasets import (
@@ -55,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="window duration (overrides the query file)")
     p_run.add_argument("--no-mstree", action="store_true",
                        help="use independent storage (Timing-IND)")
+    p_run.add_argument("--backend", choices=sorted(BACKENDS),
+                       default="timing",
+                       help="matcher engine (default: timing)")
+    p_run.add_argument("--duplicates", choices=sorted(DUPLICATE_POLICIES),
+                       default="raise",
+                       help="in-window duplicate edge-id policy")
+    p_run.add_argument("--jsonl", default=None, metavar="OUT.jsonl",
+                       help="also append matches to a JSONL file")
     p_run.add_argument("--quiet", action="store_true",
                        help="print only the final summary")
 
@@ -101,22 +110,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("error: no window given (use --window or a 'window' line)",
               file=sys.stderr)
         return 2
-    matcher = TimingMatcher(query, window,
-                            use_mstree=not args.no_mstree)
-    total = 0
-    for edge in read_stream(args.stream_file):
-        for match in matcher.push(edge):
-            total += 1
-            if not args.quiet:
-                mapping = match.vertex_mapping(query)
-                binding = " ".join(f"{qv}={dv}"
-                                   for qv, dv in sorted(
-                                       mapping.items(), key=lambda kv: str(kv[0])))
-                print(f"match @ {edge.timestamp}: {binding}")
-    stats = matcher.stats
-    print(f"processed {stats.edges_seen} edges, "
-          f"{total} matches, "
-          f"{stats.edges_discarded} discardable arrivals pruned")
+
+    if args.no_mstree and args.backend != "timing":
+        print("error: --no-mstree only applies to the timing backend",
+              file=sys.stderr)
+        return 2
+    config = EngineConfig(
+        storage="independent" if args.no_mstree else "mstree",
+        duplicate_policy=args.duplicates)
+    session = Session(window=window, config=config)
+    session.register("query", query, backend=args.backend)
+
+    def report(name, match):
+        if not args.quiet:
+            mapping = match.vertex_mapping(query)
+            binding = " ".join(
+                f"{qv}={dv}" for qv, dv in sorted(
+                    mapping.items(), key=lambda kv: str(kv[0])))
+            print(f"match @ {match.latest_timestamp()}: {binding}")
+
+    session.add_sink(report)
+    jsonl = None
+    if args.jsonl is not None:
+        from .sinks import JSONLSink
+        jsonl = session.add_sink(JSONLSink(args.jsonl))
+    try:
+        # collect=False: matches reach the sinks; don't also hold the
+        # whole run's result list in memory.
+        total = session.ingest_csv(args.stream_file, collect=False)
+    except ValueError as exc:
+        # Duplicate edge ids (--duplicates raise) or a broken stream
+        # invariant: a diagnosis, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    stats = session.stats()["query"]
+    summary = f"processed {stats['edges_seen']} edges, {total} matches"
+    if args.backend == "timing":
+        # Only the Timing engine prunes discardable arrivals (Lemma 1).
+        summary += f", {stats['edges_discarded']} discardable arrivals pruned"
+    if args.duplicates == "count":
+        summary += f", {stats['edges_skipped']} duplicate arrivals skipped"
+    print(summary)
     return 0
 
 
@@ -138,7 +175,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print("error: no window given (use --window or a 'window' line)",
               file=sys.stderr)
         return 2
-    matcher = TimingMatcher(query, window)
+    matcher = TimingMatcher.from_config(query, window)
     traces = collect_trace(matcher, read_stream(args.stream_file))
     if not traces:
         print("no transactions recorded — the stream never matched the query")

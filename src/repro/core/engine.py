@@ -16,8 +16,8 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..api import EngineConfig, EngineStats, MatcherBase
 from ..graph.edge import StreamEdge
-from ..graph.window import SlidingWindow
 from .decomposition import (
     Decomposition, greedy_decomposition, random_decomposition,
     validate_decomposition,
@@ -31,29 +31,10 @@ from .query import EdgeId, QueryGraph
 from .stores import GlobalIndependentStore, IndependentTCStore
 from .tc import tc_subqueries
 
-
-class EngineStats:
-    """Counters exposed for the cost-model experiments and tests."""
-
-    __slots__ = ("edges_seen", "edges_matched", "edges_discarded",
-                 "join_operations", "partial_matches_created",
-                 "matches_emitted", "expired_edges", "expired_partials")
-
-    def __init__(self) -> None:
-        self.edges_seen = 0
-        self.edges_matched = 0
-        self.edges_discarded = 0
-        self.join_operations = 0
-        self.partial_matches_created = 0
-        self.matches_emitted = 0
-        self.expired_edges = 0
-        self.expired_partials = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+__all__ = ["EngineConfig", "EngineStats", "TimingMatcher"]
 
 
-class TimingMatcher:
+class TimingMatcher(MatcherBase):
     """Continuous matcher for one time-constrained query over one stream.
 
     Parameters
@@ -61,62 +42,82 @@ class TimingMatcher:
     query:
         The query graph (validated on construction).
     window:
-        Sliding-window duration ``|W|``.
-    use_mstree:
-        ``True`` → MS-tree storage (the paper's ``Timing``);
-        ``False`` → independent flat storage (``Timing-IND``).
-    decomposition_strategy:
-        ``"greedy"`` (Algorithm 6) or ``"random"`` (``Timing-RD``).
-    join_order_strategy:
-        ``"jn"`` (joint-number heuristic, §VI-C) or ``"random"``
-        (``Timing-RJ``).
-    rng:
-        Source of randomness for the ``random`` strategies (default seeded
-        deterministically so engine construction is reproducible).
+        Sliding-window duration ``|W|``, or any window-policy object with
+        the push/advance interface (e.g.
+        :class:`repro.graph.count_window.CountSlidingWindow`).
+    config:
+        An :class:`~repro.api.EngineConfig` holding every engine knob —
+        the preferred way to configure the engine (see
+        :meth:`from_config`).
+    decomposition / join_order:
+        Explicit plan overrides (e.g. from :mod:`repro.core.estimate`);
+        when given they bypass the config's strategy fields.
+
+    The remaining keyword arguments (``use_mstree``,
+    ``decomposition_strategy``, ``join_order_strategy``, ``rng``,
+    ``duplicate_policy``, ``guard``) are deprecated shims kept for
+    backward compatibility; each overrides the corresponding
+    ``EngineConfig`` field.  New code should pass ``config=`` or use
+    :meth:`from_config`.  They deliberately do not emit
+    ``DeprecationWarning`` yet (the test suite exercises them heavily);
+    removal will be preceded by a warning release.
 
     Usage::
 
-        matcher = TimingMatcher(query, window=30.0)
+        matcher = TimingMatcher.from_config(query, window=30.0)
         for edge in stream:
             for match in matcher.push(edge):
                 ...  # a newly completed time-constrained match
     """
+
+    name = "Timing"
 
     def __init__(
         self,
         query: QueryGraph,
         window: float,
         *,
-        use_mstree: bool = True,
-        decomposition_strategy: str = "greedy",
-        join_order_strategy: str = "jn",
+        config: Optional[EngineConfig] = None,
+        use_mstree: Optional[bool] = None,
+        decomposition_strategy: Optional[str] = None,
+        join_order_strategy: Optional[str] = None,
         decomposition: Optional[Decomposition] = None,
         join_order: Optional[Decomposition] = None,
         rng: Optional[random.Random] = None,
+        duplicate_policy: Optional[str] = None,
+        guard=None,
     ) -> None:
-        query.validate()
-        self.query = query
-        # ``window`` is a duration (time-based window, the paper's model) or
-        # any window-policy object with the push/advance interface (e.g.
-        # repro.graph.count_window.CountSlidingWindow).
-        if isinstance(window, (int, float)):
-            self.window = SlidingWindow(window)
-        else:
-            self.window = window
-        self.use_mstree = use_mstree
-        self.stats = EngineStats()
-        rng = rng if rng is not None else random.Random(0)
+        # Resolve the deprecated kwargs onto the config (explicit kwargs
+        # win, so pre-config call sites behave exactly as before).
+        config = config if config is not None else EngineConfig()
+        overrides = {}
+        if use_mstree is not None:
+            overrides["storage"] = "mstree" if use_mstree else "independent"
+        if decomposition_strategy is not None:
+            overrides["decomposition"] = decomposition_strategy
+        if join_order_strategy is not None:
+            overrides["join_order"] = join_order_strategy
+        if duplicate_policy is not None:
+            overrides["duplicate_policy"] = duplicate_policy
+        if guard is not None:
+            overrides["guard"] = guard
+        if overrides:
+            config = config.replace(**overrides)
+        self.config = config.validate()
+        self.use_mstree = config.storage == "mstree"
+        self._init_streaming(query, window,
+                             duplicate_policy=config.duplicate_policy,
+                             default_guard=config.guard)
+        rng = rng if rng is not None else random.Random(config.seed)
 
         # --- planning: decomposition + join order ----------------------- #
+        # (config.validate() above guarantees the strategy fields.)
         if decomposition is None:
             subs = tc_subqueries(query)
-            if decomposition_strategy == "greedy":
+            if config.decomposition == "greedy":
                 decomposition = greedy_decomposition(query, subs)
-            elif decomposition_strategy == "random":
-                decomposition = random_decomposition(query, rng, subs)
             else:
-                raise ValueError(
-                    f"unknown decomposition strategy: {decomposition_strategy!r}")
+                decomposition = random_decomposition(query, rng, subs)
         validate_decomposition(query, decomposition)
         if join_order is not None:
             # Explicit order (e.g. from repro.core.estimate): must permute
@@ -129,19 +130,16 @@ class TimingMatcher:
             if not is_prefix_connected_order(query, join_order):
                 raise ValueError("join_order must be prefix-connected")
             ordered = list(join_order)
-        elif join_order_strategy == "jn":
+        elif config.join_order == "jn":
             ordered = jn_join_order(query, decomposition)
-        elif join_order_strategy == "random":
-            ordered = random_join_order(query, decomposition, rng)
         else:
-            raise ValueError(
-                f"unknown join order strategy: {join_order_strategy!r}")
+            ordered = random_join_order(query, decomposition, rng)
         #: TC-subqueries in join order; each entry is a timing sequence.
         self.join_order: Decomposition = ordered
         self.k = len(ordered)
 
         # --- storage ----------------------------------------------------- #
-        if use_mstree:
+        if self.use_mstree:
             self._tc_stores = [MSTreeTCStore(len(seq)) for seq in ordered]
             self._global = (GlobalMSTreeStore(self._tc_stores)
                             if self.k > 1 else None)
@@ -172,37 +170,32 @@ class TimingMatcher:
             prefix.extend(ordered[level - 1])
         #: Flattened slot order of complete matches (global list level k).
         self.all_slots: Tuple[EdgeId, ...] = tuple(prefix)
-        # Edge-identity guard: StreamEdge equality is by edge_id, and the
-        # expiry registries key on it — a second in-window arrival with the
-        # same id would alias and corrupt deletion.  Track live ids.
-        self._live_edge_ids: set = set()
 
-    # ------------------------------------------------------------------ #
-    # Public streaming API
-    # ------------------------------------------------------------------ #
-    def push(self, edge: StreamEdge, guard=None) -> List[Match]:
-        """Process one arrival: expire, then insert; returns new matches.
+    @classmethod
+    def from_config(cls, query: QueryGraph, window,
+                    config: Optional[EngineConfig] = None,
+                    **overrides) -> "TimingMatcher":
+        """Build an engine from an :class:`~repro.api.EngineConfig`.
 
-        Rejects an arrival whose ``edge_id`` collides with an edge still in
-        the window — identity aliasing would corrupt the expiry registries.
+        ``overrides`` are config-field replacements, so one-off variations
+        read naturally::
+
+            TimingMatcher.from_config(q, 30.0, storage="independent")
         """
-        if edge.edge_id in self._live_edge_ids:
-            raise ValueError(
-                f"duplicate in-window edge id: {edge.edge_id!r}")
-        guard = guard if guard is not None else NullGuard()
-        expired = self.window.push(edge)
-        for old in expired:
-            self._live_edge_ids.discard(old.edge_id)
-            self.delete_edge(old, guard)
-        self._live_edge_ids.add(edge.edge_id)
+        config = config if config is not None else EngineConfig()
+        if overrides:
+            config = config.replace(**overrides)
+        return cls(query, window, config=config)
+
+    # ------------------------------------------------------------------ #
+    # Public streaming API — push/push_many/advance_time come from
+    # MatcherBase; the hooks bridge to Algorithms 1 and 2.
+    # ------------------------------------------------------------------ #
+    def _insert(self, edge: StreamEdge, guard) -> List[Match]:
         return self.insert_edge(edge, guard)
 
-    def advance_time(self, timestamp: float, guard=None) -> None:
-        """Slide the window forward without inserting an edge."""
-        guard = guard if guard is not None else NullGuard()
-        for old in self.window.advance(timestamp):
-            self._live_edge_ids.discard(old.edge_id)
-            self.delete_edge(old, guard)
+    def _expire(self, edge: StreamEdge, guard) -> None:
+        self.delete_edge(edge, guard)
 
     def current_matches(self) -> List[Match]:
         """All matches of the query in the current window (``Ω(Q)``)."""

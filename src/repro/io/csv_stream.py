@@ -6,9 +6,14 @@ The on-disk format is one edge arrival per row with header::
 
 ``label`` is optional (empty → no edge label); a label containing ``|`` is
 split into a tuple with int components parsed (the netflow five-tuple
-serialises as ``51234|80|tcp``).  Readers are lazy iterators so arbitrarily
-large traces can be replayed without loading them into memory; a strictness
-check enforces the streaming-graph timestamp invariant as rows are read.
+serialises as ``51234|80|tcp``).  An optional ``edge_id`` column carries an
+explicit arrival identity (e.g. an exporter's flow id) — that is what the
+engines' duplicate policies key on; without it every row gets the unique
+``(src, dst, timestamp)`` default.  The writer emits the canonical six
+columns unless asked for ``edge_ids``.  Readers are lazy iterators so
+arbitrarily large traces can
+be replayed without loading them into memory; a strictness check enforces
+the streaming-graph timestamp invariant as rows are read.
 """
 
 from __future__ import annotations
@@ -69,6 +74,7 @@ def _read_rows(handle: TextIO, delimiter: str,
     if missing:
         raise StreamFormatError(
             f"missing required columns: {sorted(missing)}")
+    has_edge_id = "edge_id" in (reader.fieldnames or ())
     previous = float("-inf")
     for row_no, row in enumerate(reader, start=2):
         try:
@@ -86,26 +92,38 @@ def _read_rows(handle: TextIO, delimiter: str,
             row["src"], row["dst"],
             src_label=row["src_label"], dst_label=row["dst_label"],
             timestamp=timestamp,
-            label=_parse_label(row.get("label") or ""))
+            label=_parse_label(row.get("label") or ""),
+            edge_id=(row["edge_id"] or None) if has_edge_id else None)
 
 
 def write_stream(edges: Iterable[StreamEdge], target: _PathOrFile, *,
-                 delimiter: str = ",") -> int:
-    """Write edges as CSV; returns the number of rows written."""
+                 delimiter: str = ",", edge_ids: bool = False) -> int:
+    """Write edges as CSV; returns the number of rows written.
+
+    ``edge_ids=True`` appends an ``edge_id`` column so a trace with
+    explicit arrival identities (what the duplicate policies key on)
+    round-trips; the default keeps the canonical six columns.  Ids are
+    written as text and read back as strings — use string ids when
+    replay identity matters (an int ``42`` returns as ``"42"``, which
+    compares unequal).
+    """
     if isinstance(target, str):
         with open(target, "w", newline="", encoding="utf-8") as handle:
-            return _write_rows(edges, handle, delimiter)
-    return _write_rows(edges, target, delimiter)
+            return _write_rows(edges, handle, delimiter, edge_ids)
+    return _write_rows(edges, target, delimiter, edge_ids)
 
 
 def _write_rows(edges: Iterable[StreamEdge], handle: TextIO,
-                delimiter: str) -> int:
+                delimiter: str, edge_ids: bool) -> int:
     writer = csv.writer(handle, delimiter=delimiter)
-    writer.writerow(FIELDS)
+    writer.writerow(FIELDS + ("edge_id",) if edge_ids else FIELDS)
     count = 0
     for edge in edges:
-        writer.writerow([edge.src, edge.dst, repr(edge.timestamp),
-                         edge.src_label, edge.dst_label,
-                         _format_label(edge.label)])
+        row = [edge.src, edge.dst, repr(edge.timestamp),
+               edge.src_label, edge.dst_label,
+               _format_label(edge.label)]
+        if edge_ids:
+            row.append(str(edge.edge_id))
+        writer.writerow(row)
         count += 1
     return count

@@ -1,126 +1,38 @@
-"""Multi-query management: many continuous queries over one stream.
+"""Deprecated multi-query registry — absorbed by :class:`repro.api.Session`.
 
-Real monitoring deployments register many patterns at once (the paper's
-motivation cites Verizon's ten attack patterns covering 90% of incidents).
-:class:`MultiQueryMatcher` fans each arrival out to a set of named
-:class:`~repro.core.engine.TimingMatcher` instances, keeps their windows in
-lock-step, and lets queries be registered/deregistered while the stream is
-live.
+:class:`MultiQueryMatcher` was the original fan-out layer: many named
+continuous queries over one stream, windows in lock-step, per-query
+callbacks.  The :class:`~repro.api.Session` facade supersedes it with the
+same surface plus DSL registration, pluggable backends, sinks, batch
+ingestion and checkpoint/restore; this class remains as a thin
+backward-compatible subclass and will be removed in a future release.
 
-Results are delivered either through the ``push`` return value (a list of
-``(query name, match)`` pairs) or through per-query callbacks.
+Migration::
+
+    MultiQueryMatcher(window=30.0)      →  Session(window=30.0)
+    multi.register(name, query, ...)    →  session.register(name, query, ...)
+    multi.push(edge)                    →  session.push(edge)
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import warnings
 
-from .core.engine import TimingMatcher
-from .core.matches import Match
-from .core.query import QueryGraph
-from .graph.edge import StreamEdge
+from .api import MatchCallback, Session
 
-MatchCallback = Callable[[str, Match], None]
+__all__ = ["MatchCallback", "MultiQueryMatcher"]
 
 
-class MultiQueryMatcher:
-    """A registry of continuous queries sharing one input stream.
+class MultiQueryMatcher(Session):
+    """Deprecated alias for :class:`repro.api.Session`.
 
-    Parameters
-    ----------
-    window:
-        Default window duration for registered queries (each query may
-        override it at registration).
+    Kept so pre-Session call sites keep working unchanged; the only
+    behavioural difference is that ``window`` is a required positional
+    constructor argument, as it always was here.
     """
 
     def __init__(self, window: float) -> None:
-        if window <= 0:
-            raise ValueError("window must be positive")
-        self.default_window = window
-        self._matchers: Dict[str, TimingMatcher] = {}
-        self._callbacks: Dict[str, Optional[MatchCallback]] = {}
-        self._current_time = float("-inf")
-
-    # ------------------------------------------------------------------ #
-    # Registration
-    # ------------------------------------------------------------------ #
-    def register(self, name: str, query: QueryGraph, *,
-                 window: Optional[float] = None,
-                 callback: Optional[MatchCallback] = None,
-                 **matcher_options) -> TimingMatcher:
-        """Add a named query; returns its engine.
-
-        Raises on duplicate names.  A query registered mid-stream starts
-        with an empty window — it only sees arrivals from now on, which is
-        the only sound semantics for a structure that never saw the past.
-        """
-        if name in self._matchers:
-            raise ValueError(f"query already registered: {name!r}")
-        matcher = TimingMatcher(
-            query, window if window is not None else self.default_window,
-            **matcher_options)
-        if self._current_time > float("-inf"):
-            matcher.window.advance(self._current_time)
-        self._matchers[name] = matcher
-        self._callbacks[name] = callback
-        return matcher
-
-    def deregister(self, name: str) -> None:
-        if name not in self._matchers:
-            raise KeyError(f"unknown query: {name!r}")
-        del self._matchers[name]
-        del self._callbacks[name]
-
-    def names(self) -> List[str]:
-        return list(self._matchers)
-
-    def matcher(self, name: str) -> TimingMatcher:
-        return self._matchers[name]
-
-    def __len__(self) -> int:
-        return len(self._matchers)
-
-    def __contains__(self, name: str) -> bool:
-        return name in self._matchers
-
-    # ------------------------------------------------------------------ #
-    # Streaming
-    # ------------------------------------------------------------------ #
-    def push(self, edge: StreamEdge) -> List[Tuple[str, Match]]:
-        """Fan one arrival out to every registered query."""
-        if edge.timestamp <= self._current_time:
-            raise ValueError(
-                "stream timestamps must strictly increase: "
-                f"{edge.timestamp} <= {self._current_time}")
-        self._current_time = edge.timestamp
-        results: List[Tuple[str, Match]] = []
-        for name, matcher in self._matchers.items():
-            for match in matcher.push(edge):
-                results.append((name, match))
-                callback = self._callbacks[name]
-                if callback is not None:
-                    callback(name, match)
-        return results
-
-    def advance_time(self, timestamp: float) -> None:
-        """Slide all windows forward without an arrival."""
-        if timestamp < self._current_time:
-            raise ValueError("time moves backwards")
-        self._current_time = timestamp
-        for matcher in self._matchers.values():
-            matcher.advance_time(timestamp)
-
-    # ------------------------------------------------------------------ #
-    # Introspection
-    # ------------------------------------------------------------------ #
-    def result_counts(self) -> Dict[str, int]:
-        return {name: matcher.result_count()
-                for name, matcher in self._matchers.items()}
-
-    def space_cells(self) -> int:
-        return sum(matcher.space_cells()
-                   for matcher in self._matchers.values())
-
-    def stats(self) -> Dict[str, Dict[str, int]]:
-        return {name: matcher.stats.as_dict()
-                for name, matcher in self._matchers.items()}
+        warnings.warn(
+            "MultiQueryMatcher is deprecated; use repro.Session instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(window=window)

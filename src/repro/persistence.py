@@ -1,15 +1,20 @@
-"""Engine checkpointing: save/restore a live matcher's full state.
+"""Checkpointing: save/restore a live matcher's — or a whole session's — state.
 
 Long-running monitors need restarts without losing the window's partial
 matches (rebuilding them would require replaying up to ``|W|`` of history).
-Checkpoints capture the entire :class:`~repro.core.engine.TimingMatcher` —
-window contents, expansion-list stores (MS-tree or independent), compiled
-specs and statistics — via pickle, wrapped in a versioned envelope so stale
-checkpoint files fail loudly instead of deserialising garbage.
+Checkpoints capture an entire engine (window contents, expansion-list
+stores, compiled specs and statistics) or an entire
+:class:`~repro.api.Session` (every registered engine plus the lock-step
+clock) via pickle, wrapped in a versioned envelope so stale checkpoint
+files fail loudly instead of deserialising garbage.
+
+Session checkpoints deliberately drop sinks and callbacks — they routinely
+close over open files and lambdas; re-attach them after restore.
 
 The restore-equals-continuous-run property is covered by
-``tests/test_persistence.py``: running a stream through a checkpoint/restore
-cycle yields exactly the matches and state of an uninterrupted run.
+``tests/test_persistence.py`` and ``tests/test_session.py``: running a
+stream through a checkpoint/restore cycle yields exactly the matches and
+state of an uninterrupted run.
 
 Security note: checkpoints are pickles — only restore files you wrote.
 """
@@ -19,10 +24,11 @@ from __future__ import annotations
 import pickle
 from typing import BinaryIO, Union
 
-from .core.engine import TimingMatcher
+from .api import MatcherBase, Session
 
 #: Bump when the engine's state layout changes incompatibly.
-CHECKPOINT_VERSION = 1
+#: (v2: engines share MatcherBase state; sessions became checkpointable.)
+CHECKPOINT_VERSION = 2
 
 _MAGIC = b"timingsubg-checkpoint"
 
@@ -33,13 +39,7 @@ class CheckpointError(RuntimeError):
     """Raised for malformed or version-incompatible checkpoint files."""
 
 
-def save_checkpoint(matcher: TimingMatcher, target: _PathOrFile) -> None:
-    """Serialise a matcher (and everything it holds) to ``target``."""
-    envelope = {
-        "magic": _MAGIC,
-        "version": CHECKPOINT_VERSION,
-        "matcher": matcher,
-    }
+def _dump(envelope: dict, target: _PathOrFile) -> None:
     if isinstance(target, str):
         with open(target, "wb") as handle:
             pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
@@ -47,8 +47,7 @@ def save_checkpoint(matcher: TimingMatcher, target: _PathOrFile) -> None:
         pickle.dump(envelope, target, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def load_checkpoint(source: _PathOrFile) -> TimingMatcher:
-    """Restore a matcher saved with :func:`save_checkpoint`."""
+def _load(source: _PathOrFile) -> dict:
     if isinstance(source, str):
         with open(source, "rb") as handle:
             envelope = pickle.load(handle)
@@ -61,7 +60,48 @@ def load_checkpoint(source: _PathOrFile) -> TimingMatcher:
         raise CheckpointError(
             f"checkpoint version {version} incompatible with "
             f"{CHECKPOINT_VERSION}")
+    return envelope
+
+
+def save_checkpoint(matcher, target: _PathOrFile) -> None:
+    """Serialise one engine (and everything it holds) to ``target``.
+
+    Works for any :class:`~repro.api.MatcherBase` engine — the Timing
+    engine or a baseline.
+    """
+    envelope = {
+        "magic": _MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "matcher": matcher,
+    }
+    _dump(envelope, target)
+
+
+def load_checkpoint(source: _PathOrFile):
+    """Restore an engine saved with :func:`save_checkpoint`."""
+    envelope = _load(source)
     matcher = envelope.get("matcher")
-    if not isinstance(matcher, TimingMatcher):
-        raise CheckpointError("checkpoint does not contain a TimingMatcher")
+    if not isinstance(matcher, MatcherBase):
+        raise CheckpointError(
+            "checkpoint does not contain an engine "
+            "(a TimingMatcher or baseline matcher)")
     return matcher
+
+
+def save_session(session: Session, target: _PathOrFile) -> None:
+    """Serialise a whole :class:`~repro.api.Session` (sans sinks/callbacks)."""
+    envelope = {
+        "magic": _MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "session": session,
+    }
+    _dump(envelope, target)
+
+
+def load_session(source: _PathOrFile) -> Session:
+    """Restore a session saved with :func:`save_session`."""
+    envelope = _load(source)
+    session = envelope.get("session")
+    if not isinstance(session, Session):
+        raise CheckpointError("checkpoint does not contain a Session")
+    return session

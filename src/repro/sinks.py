@@ -1,0 +1,131 @@
+"""Match sinks: pluggable consumers for :class:`~repro.api.Session` results.
+
+A sink is any callable taking ``(query_name, match)``; plain functions work
+directly.  This module ships the stock ones:
+
+* :class:`ListSink` — collect ``(name, match)`` pairs in memory;
+* :class:`JSONLSink` — append one JSON object per match to a file, the
+  format downstream alerting pipelines ingest;
+* :func:`printing_sink` — human-readable one-liners to any text stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Hashable, IO, Iterator, List, Optional, Tuple, Union
+
+from .core.matches import Match
+from .core.query import ANY
+
+
+class ListSink:
+    """Collects every delivered match in arrival order.
+
+    Iterating yields ``(query_name, match)`` pairs; ``matches`` is the
+    bare match list.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Tuple[str, Match]] = []
+
+    def __call__(self, name: str, match: Match) -> None:
+        self.records.append((name, match))
+
+    @property
+    def matches(self) -> List[Match]:
+        return [match for _, match in self.records]
+
+    def for_query(self, name: str) -> List[Match]:
+        """The collected matches of one query."""
+        return [match for n, match in self.records if n == name]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Tuple[str, Match]]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"ListSink({len(self.records)} matches)"
+
+
+def _json_safe(value: Hashable):
+    """Labels can be tuples, ints, the ANY wildcard… make them JSON-able."""
+    if value is ANY:
+        return "*"
+    if isinstance(value, tuple):
+        return [_json_safe(part) for part in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+class JSONLSink:
+    """Appends one JSON object per match to a path or text file object.
+
+    Each line looks like::
+
+        {"query": "exfil", "matched_at": 8.0,
+         "edges": {"t1": {"src": ..., "dst": ..., "timestamp": ...,
+                          "label": ...}, ...}}
+
+    Usable as a context manager; ``close`` is a no-op for caller-owned
+    file objects.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.count = 0
+
+    def __call__(self, name: str, match: Match) -> None:
+        record = {
+            "query": name,
+            "matched_at": match.latest_timestamp(),
+            "edges": {
+                str(edge_id): {
+                    "src": _json_safe(edge.src),
+                    "dst": _json_safe(edge.dst),
+                    "timestamp": edge.timestamp,
+                    "label": _json_safe(edge.label),
+                }
+                for edge_id, edge in match.edge_map.items()
+            },
+        }
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # Alerts must reach tailing consumers immediately, and a crash
+        # must not lose buffered records.
+        self._handle.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"JSONLSink({self.count} matches written)"
+
+
+def printing_sink(stream=None, template: str = "[{name}] match at t={t}"):
+    """A sink printing one line per match (default: stdout)."""
+    def sink(name: str, match: Match) -> None:
+        line = template.format(name=name, t=match.latest_timestamp(),
+                               match=match)
+        if stream is None:
+            print(line)
+        else:
+            print(line, file=stream)
+    return sink

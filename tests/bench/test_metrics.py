@@ -42,8 +42,9 @@ class TestRunStream:
         assert result.final_answer_count == 0   # match expired at t=10
 
     def test_engine_name_detection(self):
+        # Engines carry a protocol-level ``name`` since the API redesign.
         matcher = TimingMatcher(fig5_query(), window=9.0)
-        assert run_stream(matcher, []).engine_name == "TimingMatcher"
+        assert run_stream(matcher, []).engine_name == "Timing"
         assert run_stream(matcher, [], name="Custom").engine_name == "Custom"
 
 

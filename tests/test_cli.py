@@ -92,6 +92,26 @@ class TestRun:
                      "--quiet"]) == 0
         assert "2 matches" in capsys.readouterr().out
 
+    def test_run_backend_rejects_no_mstree(self, query_file, stream_file,
+                                           capsys):
+        assert main(["run", query_file, stream_file, "--backend", "sjtree",
+                     "--no-mstree"]) == 2
+        assert "only applies to the timing backend" in \
+            capsys.readouterr().err
+
+    def test_run_duplicates_count(self, query_file, tmp_path, capsys):
+        stream = tmp_path / "dups.csv"
+        stream.write_text(
+            "src,dst,timestamp,src_label,dst_label,label,edge_id\n"
+            "x1,y1,1.0,A,B,,flow1\n"
+            "y1,z1,2.0,B,A,,flow2\n"
+            "y1,z2,3.0,B,A,,flow2\n")     # in-window duplicate flow id
+        assert main(["run", query_file, str(stream), "--quiet",
+                     "--duplicates", "count"]) == 0
+        out = capsys.readouterr().out
+        assert "1 matches" in out
+        assert "1 duplicate arrivals skipped" in out
+
 
 class TestGenerate:
     @pytest.mark.parametrize("dataset", ["netflow", "wikitalk", "lsbench"])
