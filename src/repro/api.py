@@ -75,6 +75,12 @@ DECOMPOSITION_STRATEGIES = ("greedy", "random")
 #: Join-order strategies (§VI-C heuristic vs the ``Timing-RJ`` ablation).
 JOIN_ORDER_STRATEGIES = ("jn", "random")
 
+#: Insert-path join strategies: ``"hash"`` probes join-key indexes
+#: (O(candidates) per arrival, see :mod:`repro.core.index`); ``"scan"`` is
+#: the paper-faithful full scan of the previous expansion-list item
+#: (Theorem 3's ``O(|Lᵢ₋₁|)``), kept for the ablation.
+INDEXING_MODES = ("hash", "scan")
+
 MatchCallback = Callable[[str, "Match"], None]
 
 
@@ -111,13 +117,17 @@ class EngineStats:
     """Counters every matcher exposes (cost-model experiments and tests).
 
     ``edges_skipped`` counts arrivals dropped by the ``count``
-    duplicate-id policy (see :meth:`MatcherBase.push`).
+    duplicate-id policy (see :meth:`MatcherBase.push`).  ``index_probes``
+    and ``scan_fallbacks`` split the Timing engine's join operations by
+    strategy: hash-index bucket probes vs full expansion-list scans (all
+    joins are scans under ``indexing="scan"``; under ``"hash"`` only the
+    shapes with no equality constraint fall back).
     """
 
     __slots__ = ("edges_seen", "edges_matched", "edges_discarded",
                  "join_operations", "partial_matches_created",
                  "matches_emitted", "expired_edges", "expired_partials",
-                 "edges_skipped")
+                 "edges_skipped", "index_probes", "scan_fallbacks")
 
     def __init__(self) -> None:
         for name in self.__slots__:
@@ -318,6 +328,12 @@ class EngineConfig:
     join_order:
         ``"jn"`` (joint-number heuristic, §VI-C) or ``"random"``
         (``Timing-RJ``).
+    indexing:
+        ``"hash"`` (default) maintains join-key indexes over the expansion
+        lists so the insert hot path touches only O(candidates) stored
+        entries; ``"scan"`` is the paper-faithful full scan per arrival
+        (Theorem 3), kept as the ablation baseline.  Both produce
+        identical matches and identical logical space.
     guard:
         Default access guard threaded through every operation when no
         per-call guard is given (``None`` → serial no-op guard).
@@ -332,6 +348,7 @@ class EngineConfig:
     storage: str = "mstree"
     decomposition: str = "greedy"
     join_order: str = "jn"
+    indexing: str = "hash"
     guard: Optional[object] = None
     seed: int = 0
     duplicate_policy: str = "raise"
@@ -352,6 +369,10 @@ class EngineConfig:
             raise ValueError(
                 f"unknown join order strategy: {self.join_order!r} "
                 f"(expected one of {JOIN_ORDER_STRATEGIES})")
+        if self.indexing not in INDEXING_MODES:
+            raise ValueError(
+                f"unknown indexing mode: {self.indexing!r} "
+                f"(expected one of {INDEXING_MODES})")
         if self.duplicate_policy not in DUPLICATE_POLICIES:
             raise ValueError(
                 f"unknown duplicate policy: {self.duplicate_policy!r} "

@@ -1,0 +1,192 @@
+"""Repeatable indexing perf smoke: hash-indexed joins vs full scans.
+
+Runs the fig15-style default workload (seeded NetworkFlow stream, one
+generated 5-edge query, MS-tree storage) through the Timing engine twice —
+``indexing="hash"`` and ``indexing="scan"`` — verifies both emit the same
+matches, and writes the measurements to a JSON report (``BENCH_pr2.json``).
+
+Used two ways:
+
+* locally: ``python -m repro.bench.perf_smoke --out BENCH_pr2.json`` to
+  (re)generate the committed baseline;
+* in CI: ``python -m repro.bench.perf_smoke --check BENCH_pr2.json`` runs
+  the same workload and **fails** (exit 1) when the measured hash-over-scan
+  speedup regresses by more than ``--tolerance`` (default 30%) against the
+  committed baseline, or drops below the 3× floor.  Only the *ratio* is
+  gated — absolute edges/second are machine-dependent and reported for
+  information only.
+
+The workload is pinned (generator seed, stream length, query variant,
+window) so the comparison is between code versions, not between random
+workloads.  The window spans the whole stream — that is where expansion
+lists grow large enough for the O(level) scans of Theorem 3 to dominate,
+which is exactly the regime the index targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from ..api import EngineConfig
+from ..core.engine import TimingMatcher
+from ..core.query import ANY, QueryGraph
+from ..datasets import (
+    generate_netflow_stream, generate_query_set, window_slice,
+)
+
+#: Pinned workload parameters (see module docstring).  ``QUERY_VARIANT``
+#: selects one query from the seeded generator's 5-variant set — variant 4
+#: is a k=4 decomposition whose expansion lists grow into the thousands on
+#: this stream, making it a sensitive scan-vs-hash probe that still
+#: completes in seconds.
+STREAM_EDGES = 8000
+STREAM_SEED = 42
+NUM_IPS = 120
+QUERY_SIZE = 5
+QUERY_VARIANT = 4
+WINDOW_UNITS = 8000.0
+
+#: Hard floor on the hash-over-scan speedup, independent of the baseline.
+SPEEDUP_FLOOR = 3.0
+
+
+def build_workload():
+    """The pinned (query, window duration, edge list) triple."""
+    stream = generate_netflow_stream(
+        STREAM_EDGES, seed=STREAM_SEED, num_ips=NUM_IPS)
+    population = window_slice(stream, 300)
+    queries = generate_query_set(
+        population, sizes=[QUERY_SIZE], per_size=1, rng=random.Random(0),
+        generalize_label=lambda lbl: (ANY, lbl[1], lbl[2]))
+    query = queries[QUERY_VARIANT]
+    duration = stream.window_units_to_duration(WINDOW_UNITS)
+    return query, duration, list(stream)
+
+
+def _run_mode(query: QueryGraph, duration: float, edges: List,
+              indexing: str) -> dict:
+    engine = TimingMatcher.from_config(
+        query, duration, config=EngineConfig(indexing=indexing))
+    started = time.perf_counter()
+    matches = 0
+    for edge in edges:
+        matches += len(engine.push(edge))
+    elapsed = time.perf_counter() - started
+    stats = engine.stats
+    return {
+        "indexing": indexing,
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_edges_per_s": round(len(edges) / elapsed, 1),
+        "matches": matches,
+        "index_probes": stats.index_probes,
+        "scan_fallbacks": stats.scan_fallbacks,
+        "join_operations": stats.join_operations,
+    }
+
+
+def run_smoke() -> dict:
+    """Run both modes on the pinned workload; returns the report dict."""
+    query, duration, edges = build_workload()
+    hash_run = _run_mode(query, duration, edges, "hash")
+    scan_run = _run_mode(query, duration, edges, "scan")
+    if hash_run["matches"] != scan_run["matches"]:
+        raise AssertionError(
+            f"indexing changed the answer: hash={hash_run['matches']} "
+            f"scan={scan_run['matches']} matches")
+    return {
+        "benchmark": "pr2-indexing-perf-smoke",
+        "workload": {
+            "dataset": "NetworkFlow",
+            "stream_edges": STREAM_EDGES,
+            "stream_seed": STREAM_SEED,
+            "num_ips": NUM_IPS,
+            "query_size": QUERY_SIZE,
+            "query_variant": QUERY_VARIANT,
+            "window_units": WINDOW_UNITS,
+            "storage": "mstree",
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "hash": hash_run,
+        "scan": scan_run,
+        "speedup": round(
+            scan_run["elapsed_seconds"] / hash_run["elapsed_seconds"], 2),
+    }
+
+
+def check_regression(report: dict, baseline: dict,
+                     tolerance: float) -> List[str]:
+    """Failure messages (empty = pass) gating on the speedup ratio."""
+    failures = []
+    measured = report["speedup"]
+    recorded = baseline.get("speedup")
+    if measured < SPEEDUP_FLOOR:
+        failures.append(
+            f"hash-over-scan speedup {measured}x is below the "
+            f"{SPEEDUP_FLOOR}x floor")
+    if recorded is not None and measured < (1.0 - tolerance) * recorded:
+        failures.append(
+            f"hash-over-scan speedup regressed >"
+            f"{tolerance:.0%}: measured {measured}x vs committed "
+            f"baseline {recorded}x")
+    if report["hash"]["matches"] != baseline.get(
+            "hash", {}).get("matches", report["hash"]["matches"]):
+        failures.append(
+            f"workload drifted: {report['hash']['matches']} matches vs "
+            f"baseline {baseline['hash']['matches']}")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.perf_smoke",
+        description="indexing ablation perf smoke (hash vs scan joins)")
+    parser.add_argument("--out", default="BENCH_pr2.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--check", default=None, metavar="BASELINE.json",
+                        help="compare against a committed baseline report "
+                             "and exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional speedup regression vs the "
+                             "baseline (default 0.30)")
+    args = parser.parse_args(argv)
+
+    # Read the baseline before writing anything: with the default --out
+    # the two paths are the same file, and clobbering the baseline first
+    # would make the regression gate compare the run against itself.
+    baseline = None
+    if args.check is not None:
+        with open(args.check, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+
+    report = run_smoke()
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"hash: {report['hash']['throughput_edges_per_s']:.0f} edges/s "
+          f"({report['hash']['elapsed_seconds']}s), "
+          f"scan: {report['scan']['throughput_edges_per_s']:.0f} edges/s "
+          f"({report['scan']['elapsed_seconds']}s) "
+          f"→ speedup {report['speedup']}x; wrote {args.out}")
+
+    if baseline is not None:
+        failures = check_regression(report, baseline, args.tolerance)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"regression check passed (baseline speedup "
+              f"{baseline['speedup']}x, tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

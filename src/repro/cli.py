@@ -22,7 +22,9 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .api import BACKENDS, DUPLICATE_POLICIES, EngineConfig, Session
+from .api import (
+    BACKENDS, DUPLICATE_POLICIES, INDEXING_MODES, EngineConfig, Session,
+)
 from .core.engine import TimingMatcher
 from .core.plan import explain
 from .datasets import (
@@ -56,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="window duration (overrides the query file)")
     p_run.add_argument("--no-mstree", action="store_true",
                        help="use independent storage (Timing-IND)")
+    p_run.add_argument("--indexing", choices=sorted(INDEXING_MODES),
+                       default="hash",
+                       help="insert-path join strategy: hash-indexed "
+                            "(default) or paper-faithful full scans")
     p_run.add_argument("--backend", choices=sorted(BACKENDS),
                        default="timing",
                        help="matcher engine (default: timing)")
@@ -115,8 +121,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("error: --no-mstree only applies to the timing backend",
               file=sys.stderr)
         return 2
+    if args.indexing != "hash" and args.backend != "timing":
+        print("error: --indexing only applies to the timing backend",
+              file=sys.stderr)
+        return 2
     config = EngineConfig(
         storage="independent" if args.no_mstree else "mstree",
+        indexing=args.indexing,
         duplicate_policy=args.duplicates)
     session = Session(window=window, config=config)
     session.register("query", query, backend=args.backend)

@@ -23,6 +23,10 @@ from .decomposition import (
     validate_decomposition,
 )
 from .guard import NullGuard
+from .index import (
+    LevelIndex, extension_probe_flags, extension_store_refs, key_from_edge,
+    key_from_flat, union_side_refs,
+)
 from .join import ExtensionSpec, UnionSpec
 from .join_order import jn_join_order, random_join_order
 from .matches import Match
@@ -171,6 +175,47 @@ class TimingMatcher(MatcherBase):
         #: Flattened slot order of complete matches (global list level k).
         self.all_slots: Tuple[EdgeId, ...] = tuple(prefix)
 
+        # --- join-key indexes (the O(candidates) insert path) ------------- #
+        # One index per compiled join shape with at least one equality
+        # constraint, registered on the store level the shape reads.  A
+        # shape without equality constraints keeps the full scan (a single
+        # all-entries bucket would be the scan with extra bookkeeping);
+        # under ``indexing="scan"`` nothing is registered and every join
+        # takes the paper-faithful scan path, counted in
+        # ``stats.scan_fallbacks``.
+        self._ext_indexes: Dict[Tuple[int, int], LevelIndex] = {}
+        self._ext_probe_flags: Dict[Tuple[int, int], Tuple[bool, ...]] = {}
+        self._union_prefix_indexes: Dict[int, LevelIndex] = {}
+        self._union_omega_indexes: Dict[int, LevelIndex] = {}
+        self._union_a_refs: Dict[int, tuple] = {}
+        self._union_b_refs: Dict[int, tuple] = {}
+        if config.indexing == "hash":
+            for (si, j), spec in self._ext_specs.items():
+                if spec.equal_refs:
+                    self._ext_indexes[(si, j)] = self._tc_stores[si].add_index(
+                        j, extension_store_refs(spec))
+                    self._ext_probe_flags[(si, j)] = extension_probe_flags(spec)
+            for level, spec in self._union_specs.items():
+                if not spec.equal_pairs:
+                    continue
+                a_refs = union_side_refs(spec, "a")
+                b_refs = union_side_refs(spec, "b")
+                self._union_a_refs[level] = a_refs
+                self._union_b_refs[level] = b_refs
+                # Prefix side Ω(L₀^{level-1}): global level (level-1), whose
+                # level 1 is virtual and lives in the first subquery store.
+                if level - 1 == 1:
+                    first = self._tc_stores[0]
+                    self._union_prefix_indexes[level - 1] = first.add_index(
+                        first.length, a_refs)
+                else:
+                    self._union_prefix_indexes[level - 1] = \
+                        self._global.add_index(level - 1, a_refs)
+                # Ω(Q^level) side: subquery (level-1)'s complete matches.
+                omega = self._tc_stores[level - 1]
+                self._union_omega_indexes[level] = omega.add_index(
+                    omega.length, b_refs)
+
     @classmethod
     def from_config(cls, query: QueryGraph, window,
                     config: Optional[EngineConfig] = None,
@@ -253,12 +298,19 @@ class TimingMatcher(MatcherBase):
             self.stats.partial_matches_created += 1
             return [(handle, (edge,))]
         item_prev = ("L", si, j)
+        index = self._ext_indexes.get((si, j))
         guard.acquire(item_prev, "S")
-        prev_entries = store.read(j)
-        guard.release(item_prev, cost=len(prev_entries))
+        if index is not None:
+            candidates = index.probe(
+                key_from_edge(self._ext_probe_flags[(si, j)], edge))
+            self.stats.index_probes += 1
+        else:
+            candidates = store.read(j)
+            self.stats.scan_fallbacks += 1
+        guard.release(item_prev, cost=len(candidates))
         self.stats.join_operations += 1
         spec = self._ext_specs[(si, j)]
-        joined = [(handle, flat) for handle, flat in prev_entries
+        joined = [(handle, flat) for handle, flat in candidates
                   if spec.check(flat, edge)]
         if not joined:
             return []
@@ -297,15 +349,30 @@ class TimingMatcher(MatcherBase):
         """``∆(Qⁱ) ⋈ᵀ Ω(L₀^{i-1})`` (Algorithm 1 lines 15–17)."""
         item = (("L0", prefix_level) if prefix_level >= 2
                 else ("L", 0, self._tc_stores[0].length))
-        guard.acquire(item, "S")
-        prefix_entries = self._global.read(prefix_level)
-        guard.release(item, cost=len(prefix_entries))
-        self.stats.join_operations += 1
         spec = self._union_specs[prefix_level + 1]
-        pairs = [(gh, gflat, lh, lflat)
-                 for gh, gflat in prefix_entries
-                 for lh, lflat in delta
-                 if spec.check(gflat, lflat)]
+        index = self._union_prefix_indexes.get(prefix_level)
+        guard.acquire(item, "S")
+        if index is not None:
+            b_refs = self._union_b_refs[prefix_level + 1]
+            touched = 0
+            pairs = []
+            for lh, lflat in delta:
+                candidates = index.probe(key_from_flat(b_refs, lflat))
+                touched += len(candidates)
+                pairs.extend((gh, gflat, lh, lflat)
+                             for gh, gflat in candidates
+                             if spec.check(gflat, lflat))
+            self.stats.index_probes += 1
+        else:
+            prefix_entries = self._global.read(prefix_level)
+            touched = len(prefix_entries)
+            pairs = [(gh, gflat, lh, lflat)
+                     for gh, gflat in prefix_entries
+                     for lh, lflat in delta
+                     if spec.check(gflat, lflat)]
+            self.stats.scan_fallbacks += 1
+        guard.release(item, cost=touched)
+        self.stats.join_operations += 1
         if not pairs:
             return []
         out_item = ("L0", prefix_level + 1)
@@ -323,15 +390,30 @@ class TimingMatcher(MatcherBase):
         """``∆(L₀ⁱ) ⋈ᵀ Ω(Qⁱ⁺¹)`` (Algorithm 1 lines 18–22)."""
         store = self._tc_stores[next_si]
         item = ("L", next_si, store.length)
-        guard.acquire(item, "S")
-        omega = store.read(store.length)
-        guard.release(item, cost=len(omega))
-        self.stats.join_operations += 1
         spec = self._union_specs[level + 1]
-        pairs = [(gh, gflat, lh, lflat)
-                 for gh, gflat in current
-                 for lh, lflat in omega
-                 if spec.check(gflat, lflat)]
+        index = self._union_omega_indexes.get(level + 1)
+        guard.acquire(item, "S")
+        if index is not None:
+            a_refs = self._union_a_refs[level + 1]
+            touched = 0
+            pairs = []
+            for gh, gflat in current:
+                candidates = index.probe(key_from_flat(a_refs, gflat))
+                touched += len(candidates)
+                pairs.extend((gh, gflat, lh, lflat)
+                             for lh, lflat in candidates
+                             if spec.check(gflat, lflat))
+            self.stats.index_probes += 1
+        else:
+            omega = store.read(store.length)
+            touched = len(omega)
+            pairs = [(gh, gflat, lh, lflat)
+                     for gh, gflat in current
+                     for lh, lflat in omega
+                     if spec.check(gflat, lflat)]
+            self.stats.scan_fallbacks += 1
+        guard.release(item, cost=touched)
+        self.stats.join_operations += 1
         if not pairs:
             return []
         out_item = ("L0", level + 1)
@@ -355,15 +437,23 @@ class TimingMatcher(MatcherBase):
         partial match the edge can extend, so no future arrival can ever
         complete a match through it.  (Edges matching no query edge at all
         are trivially discardable.)  The cost is the paper's
-        ``O(|Lᵢ₋₁|)`` per matched query edge (Theorem 3).
+        ``O(|Lᵢ₋₁|)`` per matched query edge (Theorem 3) under
+        ``indexing="scan"``; with the default hash indexing only the
+        arriving edge's join-key bucket is inspected.  Side-effect-free
+        including the stats counters.
         """
         for eid in self.query.matching_edge_ids(edge):
             si, j = self._position[eid]
             if j == 0:
                 return False  # σ alone is a match of Preq(ε₁)
             spec = self._ext_specs[(si, j)]
-            store = self._tc_stores[si]
-            if any(spec.check(flat, edge) for _, flat in store.read(j)):
+            index = self._ext_indexes.get((si, j))
+            if index is not None:
+                candidates = index.probe(
+                    key_from_edge(self._ext_probe_flags[(si, j)], edge))
+            else:
+                candidates = self._tc_stores[si].read(j)
+            if any(spec.check(flat, edge) for _, flat in candidates):
                 return False
         return True
 

@@ -1,0 +1,187 @@
+"""Join-key hash indexes over expansion-list levels.
+
+Theorem 3 prices every matched query edge at ``O(|Lᵢ₋₁|)``: each arrival
+scans the whole previous expansion-list item and filters it with the
+compiled compatibility check.  But the equality constraints of those checks
+(shared query vertices — :attr:`ExtensionSpec.equal_refs
+<repro.core.join.ExtensionSpec.equal_refs>` /
+:attr:`UnionSpec.equal_pairs <repro.core.join.UnionSpec.equal_pairs>`) are
+known *statically per join shape*, so the stored side can be bucketed by its
+join-key values once at insertion time and the arrival side probes exactly
+one bucket — the delta-join trick of incremental view maintenance.  The scan
+becomes ``O(candidates)``; the residual check (timing, injectivity,
+edge-disjointness) runs only on candidates and keeps the reported match
+multiset identical to the scan (matches completed by the same arrival may
+surface in a different order).
+
+Three layers cooperate:
+
+* :class:`LevelIndex` — one hash index over one expansion-list item for one
+  join shape: ``key → bucket of live (handle, flat-edges) entries``;
+* :class:`StoreIndexes` — the per-store collection, called by the storage
+  backends on every insert and expiry-driven removal (including the
+  MS-tree's cross-tree dependency cascade);
+* the key-derivation helpers (:func:`extension_store_refs`,
+  :func:`extension_probe_flags`, :func:`union_side_refs`,
+  :func:`key_from_flat`, :func:`key_from_edge`) — turn a compiled spec's
+  equality constraints into extractors for the stored and probing sides.
+
+The engine owns registration (it knows the compiled shapes); the stores own
+maintenance (they know entry lifetimes).  A shape with *no* equality
+constraint gets no index — a single all-entries bucket would just be the
+scan with extra bookkeeping — and the engine counts it as a scan fallback
+in ``stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from ..graph.edge import StreamEdge
+
+# A positional reference to one endpoint of one stored slot: (pos, is_src).
+# Identical layout to repro.core.join's _EndpointRef.
+EndpointRef = Tuple[int, bool]
+
+
+def key_from_flat(refs: Sequence[EndpointRef],
+                  flat: Sequence[StreamEdge]) -> Tuple[Hashable, ...]:
+    """Join-key of a stored flat edge tuple under ``refs``."""
+    return tuple(flat[pos].src if is_src else flat[pos].dst
+                 for pos, is_src in refs)
+
+
+def key_from_edge(flags: Sequence[bool],
+                  edge: StreamEdge) -> Tuple[Hashable, ...]:
+    """Join-key of a single arriving edge under is-src ``flags``."""
+    return tuple(edge.src if is_src else edge.dst for is_src in flags)
+
+
+def extension_store_refs(spec) -> Tuple[EndpointRef, ...]:
+    """Stored-prefix key refs of an :class:`~repro.core.join.ExtensionSpec`."""
+    return tuple(ref for _, ref in spec.equal_refs)
+
+
+def extension_probe_flags(spec) -> Tuple[bool, ...]:
+    """Arriving-edge is-src flags of an ``ExtensionSpec`` (probe side)."""
+    return tuple(is_src for is_src, _ in spec.equal_refs)
+
+
+def union_side_refs(spec, side: str) -> Tuple[EndpointRef, ...]:
+    """One side's key refs of a :class:`~repro.core.join.UnionSpec`.
+
+    ``side`` is ``"a"`` (the global-prefix slot group) or ``"b"`` (the
+    TC-subquery slot group).  Both sides' refs list the same shared query
+    vertices in the same order, so a key built from one side's refs probes
+    an index built from the other side's.
+    """
+    if side == "a":
+        return tuple(ref_a for ref_a, _ in spec.equal_pairs)
+    if side == "b":
+        return tuple(ref_b for _, ref_b in spec.equal_pairs)
+    raise ValueError(f"side must be 'a' or 'b', got {side!r}")
+
+
+class LevelIndex:
+    """Hash index over one expansion-list item for one join shape.
+
+    Buckets map a join-key tuple to the live entries bearing it, as an
+    insertion-ordered ``handle → flat`` dict (handles are store entry
+    handles: MS-tree nodes or ``(level, key)`` tuples; both hashable).
+    ``newest_first`` mirrors the owning store's read order so the indexed
+    engine emits matches in the same order as the scanning one.
+    """
+
+    __slots__ = ("refs", "newest_first", "_buckets")
+
+    def __init__(self, refs: Sequence[EndpointRef], *,
+                 newest_first: bool = False) -> None:
+        self.refs: Tuple[EndpointRef, ...] = tuple(refs)
+        self.newest_first = newest_first
+        self._buckets: Dict[Tuple[Hashable, ...],
+                            Dict[object, Tuple[StreamEdge, ...]]] = {}
+
+    def add(self, handle, flat: Tuple[StreamEdge, ...]) -> None:
+        key = key_from_flat(self.refs, flat)
+        self._buckets.setdefault(key, {})[handle] = flat
+
+    def discard(self, handle, flat: Tuple[StreamEdge, ...]) -> None:
+        key = key_from_flat(self.refs, flat)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.pop(handle, None)
+        if not bucket:
+            del self._buckets[key]
+
+    def probe(self, key: Tuple[Hashable, ...]
+              ) -> List[Tuple[object, Tuple[StreamEdge, ...]]]:
+        """Live ``(handle, flat)`` entries whose join-key equals ``key``."""
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return []
+        entries = list(bucket.items())
+        if self.newest_first:
+            entries.reverse()
+        return entries
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LevelIndex(refs={self.refs!r}, "
+                f"{self.bucket_count} buckets, {len(self)} entries)")
+
+
+class StoreIndexes:
+    """The per-store :class:`LevelIndex` collection.
+
+    Stores call :meth:`on_insert` / :meth:`on_remove` for every entry
+    lifecycle event; the engine calls :meth:`register` once per compiled
+    join shape at construction.  Registration is idempotent per
+    ``(level, refs)`` so shapes sharing a key (e.g. the insert path and the
+    discardability probe) share one physical index.
+    """
+
+    __slots__ = ("_by_level", "_registry", "newest_first")
+
+    def __init__(self, length: int, *, newest_first: bool = False) -> None:
+        self._by_level: List[List[LevelIndex]] = [[] for _ in range(length)]
+        self._registry: Dict[Tuple[int, Tuple[EndpointRef, ...]],
+                             LevelIndex] = {}
+        self.newest_first = newest_first
+
+    def register(self, level: int,
+                 refs: Sequence[EndpointRef]) -> LevelIndex:
+        refs = tuple(refs)
+        if not refs:
+            raise ValueError(
+                "refusing to register a keyless index: an all-entries "
+                "bucket is just the scan with extra bookkeeping")
+        key = (level, refs)
+        index = self._registry.get(key)
+        if index is None:
+            index = LevelIndex(refs, newest_first=self.newest_first)
+            self._registry[key] = index
+            self._by_level[level - 1].append(index)
+        return index
+
+    def has(self, level: int) -> bool:
+        return bool(self._by_level[level - 1])
+
+    def on_insert(self, level: int, handle,
+                  flat: Tuple[StreamEdge, ...]) -> None:
+        for index in self._by_level[level - 1]:
+            index.add(handle, flat)
+
+    def on_remove(self, level: int, handle,
+                  flat: Tuple[StreamEdge, ...]) -> None:
+        for index in self._by_level[level - 1]:
+            index.discard(handle, flat)
+
+    def index_count(self) -> int:
+        return len(self._registry)

@@ -18,7 +18,7 @@ Both avoid building vertex-mapping dictionaries on the hot path.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..graph.edge import StreamEdge
 from .query import EdgeId, QueryGraph, VertexId
@@ -36,11 +36,6 @@ def _endpoint_refs(query: QueryGraph,
         refs.setdefault(qedge.src, []).append((pos, True))
         refs.setdefault(qedge.dst, []).append((pos, False))
     return refs
-
-
-def _value(edges: Sequence[StreamEdge], ref: _EndpointRef) -> Hashable:
-    pos, is_src = ref
-    return edges[pos].src if is_src else edges[pos].dst
 
 
 class ExtensionSpec:
@@ -88,20 +83,33 @@ class ExtensionSpec:
         # Chain timing: strictly newer than the prefix tail (Definition 8).
         if prefix_edges and new_edge.timestamp <= prefix_edges[-1].timestamp:
             return False
-        # Data-edge distinctness.
+        # Data-edge distinctness (StreamEdge identity is its edge_id;
+        # comparing ids directly skips the __eq__ isinstance dispatch).
+        new_id = new_edge.edge_id
         for edge in prefix_edges:
-            if edge == new_edge:
+            if edge.edge_id == new_id:
                 return False
         # Shared-vertex consistency.
-        for is_src, ref in self.equal_refs:
+        for is_src, (pos, ref_src) in self.equal_refs:
             wanted = new_edge.src if is_src else new_edge.dst
-            if _value(prefix_edges, ref) != wanted:
+            edge = prefix_edges[pos]
+            if (edge.src if ref_src else edge.dst) != wanted:
                 return False
-        # Joint injectivity.
-        values = [_value(prefix_edges, ref) for ref in self.prefix_reps]
-        values.extend(new_edge.src if is_src else new_edge.dst
-                      for is_src in self.new_reps)
-        return len(set(values)) == len(values)
+        # Joint injectivity: one growing seen-set with early exit instead
+        # of materialising the full value list and a throwaway set.
+        seen = set()
+        for pos, is_src in self.prefix_reps:
+            edge = prefix_edges[pos]
+            value = edge.src if is_src else edge.dst
+            if value in seen:
+                return False
+            seen.add(value)
+        for is_src in self.new_reps:
+            value = new_edge.src if is_src else new_edge.dst
+            if value in seen:
+                return False
+            seen.add(value)
+        return True
 
 
 class UnionSpec:
@@ -163,19 +171,49 @@ class UnionSpec:
                     return False
             elif not tb < ta:
                 return False
-        for ref_a, ref_b in self.equal_pairs:
-            if _value(edges_a, ref_a) != _value(edges_b, ref_b):
+        for (pos_a, a_src), (pos_b, b_src) in self.equal_pairs:
+            ea = edges_a[pos_a]
+            eb = edges_b[pos_b]
+            if (ea.src if a_src else ea.dst) != (eb.src if b_src else eb.dst):
                 return False
-        # Data-edge distinctness across sides.
-        if set(edges_a) & set(edges_b):
-            return False
+        # Data-edge distinctness across sides: hash the side known to be
+        # smaller at compile time (``len_a``/``len_b`` are static), then
+        # early-exit probe the other — one set build instead of two plus an
+        # intersection.
+        if self.len_a <= self.len_b:
+            ids = {edge.edge_id for edge in edges_a}
+            for edge in edges_b:
+                if edge.edge_id in ids:
+                    return False
+        else:
+            ids = {edge.edge_id for edge in edges_b}
+            for edge in edges_a:
+                if edge.edge_id in ids:
+                    return False
         # Cross-side vertex injectivity: values bound by exclusive vertices
         # of A must not collide with values bound by exclusive vertices of B
-        # nor with shared-vertex values (covered by checking the full union).
-        values = [_value(edges_a, ref) for ref in self.a_reps]
-        values.extend(_value(edges_b, ref) for ref in self.b_reps)
-        values.extend(_value(edges_a, ref_a) for ref_a, _ in self.equal_pairs)
-        return len(set(values)) == len(values)
+        # nor with shared-vertex values (covered by checking the full
+        # union).  One growing seen-set with early exit.
+        seen = set()
+        for pos, is_src in self.a_reps:
+            edge = edges_a[pos]
+            value = edge.src if is_src else edge.dst
+            if value in seen:
+                return False
+            seen.add(value)
+        for pos, is_src in self.b_reps:
+            edge = edges_b[pos]
+            value = edge.src if is_src else edge.dst
+            if value in seen:
+                return False
+            seen.add(value)
+        for (pos, is_src), _ in self.equal_pairs:
+            edge = edges_a[pos]
+            value = edge.src if is_src else edge.dst
+            if value in seen:
+                return False
+            seen.add(value)
+        return True
 
 
 def join_candidates(

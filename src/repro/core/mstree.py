@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..graph.edge import StreamEdge
+from .index import StoreIndexes
 
 #: Logical cells charged per MS-tree node: payload + parent + two level links
 #: + child-set slot.  Used by the deterministic space accounting.
@@ -195,6 +196,9 @@ class MSTreeTCStore:
         self.tree = MSTree(length, on_remove=self._node_removed)
         self._by_edge: Dict[StreamEdge, Set[MSTreeNode]] = {}
         self._leaf_observer: Optional[Callable[[MSTreeNode], None]] = None
+        # Join-key indexes registered by the engine (empty in scan mode).
+        # Level lists read newest-first, so the indexes mirror that order.
+        self.indexes = StoreIndexes(length, newest_first=True)
 
     # -- wiring ---------------------------------------------------------- #
     def set_leaf_observer(self, observer: Callable[[MSTreeNode], None]) -> None:
@@ -210,15 +214,23 @@ class MSTreeTCStore:
                prefix: Tuple[StreamEdge, ...], edge: StreamEdge) -> MSTreeNode:
         """O(1) insert of ``prefix + (edge,)`` as a child of ``parent``.
 
-        ``prefix`` (the flat form the engine used for the join) is ignored —
-        the whole point of the MS-tree is that the prefix is already stored
-        as the path to ``parent``.  The unified signature keeps the engine
-        storage-agnostic.
+        ``prefix`` (the flat form the engine used for the join) is not
+        stored — the whole point of the MS-tree is that the prefix is
+        already stored as the path to ``parent`` — but it does seed the
+        node's flat cache (it *is* the root path) and the join-key indexes.
         """
         node = self.tree.insert(parent, edge)
         assert node.depth == level
         self._by_edge.setdefault(edge, set()).add(node)
+        flat = prefix + (edge,)
+        node.flat_cache = flat
+        self.indexes.on_insert(level, node, flat)
         return node
+
+    def add_index(self, level: int, refs):
+        """Register (or share) a join-key index over ``level`` (see
+        :mod:`repro.core.index`); returns the :class:`LevelIndex`."""
+        return self.indexes.register(level, refs)
 
     def read(self, level: int) -> List[Tuple[MSTreeNode, Tuple[StreamEdge, ...]]]:
         return [(node, self.flat(node))
@@ -252,6 +264,11 @@ class MSTreeTCStore:
             bucket.discard(node)
             if not bucket:
                 self._by_edge.pop(node.payload, None)
+        if self.indexes.has(node.depth):
+            # The flat cache is seeded at insertion, so the join-key of a
+            # dying node (or of a descendant removed in the same cascade)
+            # is still available here.
+            self.indexes.on_remove(node.depth, node, self.flat(node))
         if node.depth == self.length and node.dependents and \
                 self._leaf_observer is not None:
             self._leaf_observer(node)
@@ -285,6 +302,10 @@ class GlobalMSTreeStore:
         self.sub_stores = list(sub_stores)
         self.k = len(sub_stores)
         self.tree = MSTree(self.k, on_remove=self._node_removed)
+        # Join-key indexes over levels ≥ 2 (level 1 is virtual — the engine
+        # indexes the first subquery store's last level instead).  Depth-1
+        # anchor nodes are never indexed.
+        self.indexes = StoreIndexes(self.k, newest_first=True)
         for store in self.sub_stores:
             store.set_leaf_observer(self._sub_leaf_removed)
 
@@ -310,8 +331,9 @@ class GlobalMSTreeStore:
         for ``level == 2`` that is a leaf of the first subquery tree, which is
         resolved to its lazily created depth-1 anchor here.  ``sub_leaf`` is
         the completed ``Q^level`` match (a leaf of subquery tree ``level``).
-        The flat tuples are ignored (pointer compression stores none of the
-        edges again); they are part of the unified store signature.
+        The flat tuples are not stored again (pointer compression), but
+        their concatenation is the node's flattened form, so it seeds the
+        flat cache and the join-key indexes.
         """
         if level < 2 or level > self.k:
             raise ValueError(f"global insert level out of range: {level}")
@@ -319,7 +341,18 @@ class GlobalMSTreeStore:
             parent = self._anchor_for(parent)
         node = self.tree.insert(parent, sub_leaf)
         sub_leaf.dependents.add(node)
+        flat = prefix + sub_flat
+        node.flat_cache = flat
+        self.indexes.on_insert(level, node, flat)
         return node
+
+    def add_index(self, level: int, refs):
+        """Register a join-key index over global level ``level`` (≥ 2 —
+        level 1 is virtual; the engine indexes the first subquery store's
+        last level instead)."""
+        if level < 2 or level > self.k:
+            raise ValueError(f"global index level out of range: {level}")
+        return self.indexes.register(level, refs)
 
     def _anchor_for(self, q1_leaf: MSTreeNode) -> MSTreeNode:
         if q1_leaf.anchor is not None and q1_leaf.anchor.alive:
@@ -352,6 +385,11 @@ class GlobalMSTreeStore:
                 self.tree.remove_subtree(dependent)
 
     def _node_removed(self, node: MSTreeNode) -> None:
+        if node.depth >= 2 and self.indexes.has(node.depth):
+            # Cross-tree cascade entry point: the flat cache was seeded at
+            # insertion, so the key survives even though the subquery
+            # leaves this node points at may already be gone.
+            self.indexes.on_remove(node.depth, node, self._flatten(node))
         payload = node.payload
         if isinstance(payload, MSTreeNode):
             payload.dependents.discard(node)

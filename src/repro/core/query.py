@@ -44,6 +44,16 @@ class _Wildcard:
 ANY = _Wildcard()
 
 
+def _label_is_concrete(label: Hashable) -> bool:
+    """Whether a query label contains no wildcard at any depth — for such
+    labels ``labels_compatible`` degenerates to plain equality."""
+    if label is ANY:
+        return False
+    if isinstance(label, tuple):
+        return all(_label_is_concrete(part) for part in label)
+    return True
+
+
 def labels_compatible(query_label: Hashable, data_label: Hashable) -> bool:
     """Wildcard-aware label comparison (query side may contain ``ANY``)."""
     if query_label is ANY:
@@ -99,6 +109,9 @@ class QueryGraph:
         self._vertices: Dict[VertexId, QueryVertex] = {}
         self._edges: Dict[EdgeId, QueryEdge] = {}
         self.timing = TimingOrder()
+        # (src-label, edge-label, dst-label, is-loop) → query edges, built
+        # once at validation time; ``None`` until built / after mutation.
+        self._label_index: Optional[Tuple[Dict, List]] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -120,6 +133,7 @@ class QueryGraph:
         edge = QueryEdge(edge_id, src, dst, label)
         self._edges[edge_id] = edge
         self.timing.add_edge_id(edge_id)
+        self._label_index = None
         return edge
 
     def add_timing_constraint(self, before: EdgeId, after: EdgeId) -> None:
@@ -186,10 +200,58 @@ class QueryGraph:
                                       stream_edge.dst_label)
                 and labels_compatible(qedge.label, stream_edge.label))
 
+    def _build_label_index(self) -> Tuple[Dict, List]:
+        """Bucket query edges by concrete (src-label, edge-label, dst-label,
+        is-loop) key; wildcard-bearing (or unhashable-labelled) edges stay
+        in a linear-scan residue.  For fully concrete labels,
+        ``labels_compatible`` is plain equality, so a dict hit is exactly
+        :meth:`edge_matches` — no re-verification needed."""
+        exact: Dict[Tuple, List[Tuple[int, EdgeId]]] = {}
+        generic: List[Tuple[int, EdgeId]] = []
+        for ordinal, (eid, qedge) in enumerate(self._edges.items()):
+            src_label = self._vertices[qedge.src].label
+            dst_label = self._vertices[qedge.dst].label
+            entry = (ordinal, eid)
+            if (_label_is_concrete(src_label) and _label_is_concrete(dst_label)
+                    and _label_is_concrete(qedge.label)):
+                key = (src_label, qedge.label, dst_label,
+                       qedge.src == qedge.dst)
+                try:
+                    exact.setdefault(key, []).append(entry)
+                except TypeError:
+                    generic.append(entry)
+            else:
+                generic.append(entry)
+        self._label_index = (exact, generic)
+        return self._label_index
+
     def matching_edge_ids(self, stream_edge: StreamEdge) -> List[EdgeId]:
-        """All query edges a stream edge is label-compatible with."""
-        return [eid for eid in self._edges
-                if self.edge_matches(eid, stream_edge)]
+        """All query edges a stream edge is label-compatible with.
+
+        O(1) dict probe for the concrete-labelled query edges (the common
+        case on the hot path — this runs once per arrival) plus a scan of
+        only the wildcard-bearing residue; result order is edge insertion
+        order, exactly as the historical full scan produced.
+        """
+        index = self._label_index
+        if index is None:
+            index = self._build_label_index()
+        exact, generic = index
+        key = (stream_edge.src_label, stream_edge.label,
+               stream_edge.dst_label, stream_edge.src == stream_edge.dst)
+        try:
+            hits = exact.get(key, ())
+        except TypeError:       # unhashable data label: no dict probe
+            return [eid for eid in self._edges
+                    if self.edge_matches(eid, stream_edge)]
+        if not generic:
+            return [eid for _, eid in hits]
+        matched = list(hits)
+        matched.extend(entry for entry in generic
+                       if self.edge_matches(entry[1], stream_edge))
+        if hits:
+            matched.sort()      # interleave by insertion ordinal
+        return [eid for _, eid in matched]
 
     def distinct_term_labels(self) -> int:
         """Number of distinct (src-label, edge-label, dst-label) triples.
@@ -293,6 +355,8 @@ class QueryGraph:
             raise ValueError("query graph has no edges")
         if not self.is_weakly_connected():
             raise ValueError("query graph must be weakly connected")
+        if self._label_index is None:
+            self._build_label_index()
 
     def __repr__(self) -> str:
         return (f"QueryGraph({self.num_vertices} vertices, "

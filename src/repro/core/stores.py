@@ -19,6 +19,7 @@ import itertools
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..graph.edge import StreamEdge
+from .index import StoreIndexes
 
 #: Logical cells charged per stored tuple beyond its edges (key + length +
 #: registry slot).
@@ -38,6 +39,9 @@ class _FlatLevels:
         self._levels: List[Dict[int, Tuple[StreamEdge, ...]]] = [
             {} for _ in range(length)]
         self._by_edge: Dict[StreamEdge, Set[_Entry]] = {}
+        # Join-key indexes registered by the engine (empty when the engine
+        # runs in scan mode); maintained on store/delete below.
+        self.indexes = StoreIndexes(length)
         # itertools.count is effectively atomic under the GIL; a plain
         # ``+= 1`` would race when two transactions hold X locks on
         # *different* levels of the same store.
@@ -49,6 +53,7 @@ class _FlatLevels:
         entry = (level, key)
         for edge in edges:
             self._by_edge.setdefault(edge, set()).add(entry)
+        self.indexes.on_insert(level, entry, edges)
         return entry
 
     def read(self, level: int) -> List[Tuple[_Entry, Tuple[StreamEdge, ...]]]:
@@ -65,6 +70,7 @@ class _FlatLevels:
             if edges is None:
                 continue
             removed += 1
+            self.indexes.on_remove(level, (level, key), edges)
             for other in edges:
                 if other != edge:
                     bucket = self._by_edge.get(other)
@@ -105,6 +111,11 @@ class IndependentTCStore:
         O(i) maintenance overhead the MS-tree comparison measures.
         """
         return self._flat.store(level, prefix + (edge,))
+
+    def add_index(self, level: int, refs):
+        """Register (or share) a join-key index over ``level`` (see
+        :mod:`repro.core.index`); returns the :class:`LevelIndex`."""
+        return self._flat.indexes.register(level, refs)
 
     def read(self, level: int):
         return self._flat.read(level)
@@ -159,6 +170,14 @@ class GlobalIndependentStore:
         if level < 2 or level > self.k:
             raise ValueError(f"global insert level out of range: {level}")
         return self._flat.store(level, prefix + sub_flat)
+
+    def add_index(self, level: int, refs):
+        """Register a join-key index over global level ``level`` (≥ 2 —
+        level 1 is virtual; the engine indexes the first subquery store's
+        last level instead)."""
+        if level < 2 or level > self.k:
+            raise ValueError(f"global index level out of range: {level}")
+        return self._flat.indexes.register(level, refs)
 
     def delete_edge(self, edge: StreamEdge) -> int:
         return self._flat.delete_edge(edge)

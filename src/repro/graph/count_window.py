@@ -14,7 +14,7 @@ without arrivals cannot shrink a count-based window.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, List
+from typing import Deque, Dict, Hashable, Iterator, List
 
 from .edge import StreamEdge
 
@@ -22,7 +22,7 @@ from .edge import StreamEdge
 class CountSlidingWindow:
     """FIFO of at most ``capacity`` most recent edges."""
 
-    __slots__ = ("capacity", "_edges", "_current_time")
+    __slots__ = ("capacity", "_edges", "_current_time", "_id_counts")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -30,6 +30,9 @@ class CountSlidingWindow:
         self.capacity = capacity
         self._edges: Deque[StreamEdge] = deque()
         self._current_time: float = float("-inf")
+        # In-window multiset of edge ids — O(1) membership, mirroring
+        # :class:`repro.graph.window.SlidingWindow`.
+        self._id_counts: Dict[Hashable, int] = {}
 
     @property
     def current_time(self) -> float:
@@ -40,6 +43,18 @@ class CountSlidingWindow:
 
     def __iter__(self) -> Iterator[StreamEdge]:
         return iter(self._edges)
+
+    def __contains__(self, edge: StreamEdge) -> bool:
+        if isinstance(edge, StreamEdge):
+            return edge.edge_id in self._id_counts
+        return any(e == edge for e in self._edges)
+
+    def _forget(self, edge: StreamEdge) -> None:
+        count = self._id_counts.get(edge.edge_id, 0)
+        if count <= 1:
+            self._id_counts.pop(edge.edge_id, None)
+        else:
+            self._id_counts[edge.edge_id] = count - 1
 
     def push(self, edge: StreamEdge) -> List[StreamEdge]:
         """Insert one arrival; returns the edge it evicts (if any)."""
@@ -52,8 +67,12 @@ class CountSlidingWindow:
         self._current_time = edge.timestamp
         expired: List[StreamEdge] = []
         if len(self._edges) == self.capacity:
-            expired.append(self._edges.popleft())
+            old = self._edges.popleft()
+            self._forget(old)
+            expired.append(old)
         self._edges.append(edge)
+        self._id_counts[edge.edge_id] = \
+            self._id_counts.get(edge.edge_id, 0) + 1
         return expired
 
     def advance(self, timestamp: float) -> List[StreamEdge]:

@@ -12,7 +12,7 @@ Timing engine and every baseline build on.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, List
+from typing import Deque, Dict, Hashable, Iterator, List
 
 from .edge import StreamEdge
 
@@ -27,7 +27,7 @@ class SlidingWindow:
         half-open interval ``(t - duration, t]`` exactly as in the paper.
     """
 
-    __slots__ = ("duration", "_edges", "_current_time")
+    __slots__ = ("duration", "_edges", "_current_time", "_id_counts")
 
     def __init__(self, duration: float) -> None:
         if duration <= 0:
@@ -35,6 +35,10 @@ class SlidingWindow:
         self.duration = duration
         self._edges: Deque[StreamEdge] = deque()
         self._current_time: float = float("-inf")
+        # In-window multiset of edge ids: StreamEdge equality is by
+        # ``edge_id``, so membership is an O(1) dict probe instead of a
+        # linear deque scan.
+        self._id_counts: Dict[Hashable, int] = {}
 
     @property
     def current_time(self) -> float:
@@ -48,7 +52,16 @@ class SlidingWindow:
         return iter(self._edges)
 
     def __contains__(self, edge: StreamEdge) -> bool:
+        if isinstance(edge, StreamEdge):
+            return edge.edge_id in self._id_counts
         return any(e == edge for e in self._edges)
+
+    def _forget(self, edge: StreamEdge) -> None:
+        count = self._id_counts.get(edge.edge_id, 0)
+        if count <= 1:
+            self._id_counts.pop(edge.edge_id, None)
+        else:
+            self._id_counts[edge.edge_id] = count - 1
 
     def advance(self, timestamp: float) -> List[StreamEdge]:
         """Move the window head to ``timestamp`` and pop expired edges.
@@ -63,7 +76,9 @@ class SlidingWindow:
         cutoff = timestamp - self.duration
         expired: List[StreamEdge] = []
         while self._edges and self._edges[0].timestamp <= cutoff:
-            expired.append(self._edges.popleft())
+            old = self._edges.popleft()
+            self._forget(old)
+            expired.append(old)
         return expired
 
     def push(self, edge: StreamEdge) -> List[StreamEdge]:
@@ -79,6 +94,8 @@ class SlidingWindow:
                 f"{edge.timestamp} <= {self._edges[-1].timestamp}")
         expired = self.advance(edge.timestamp)
         self._edges.append(edge)
+        self._id_counts[edge.edge_id] = \
+            self._id_counts.get(edge.edge_id, 0) + 1
         return expired
 
     def edges(self) -> List[StreamEdge]:

@@ -27,8 +27,10 @@ from typing import BinaryIO, Union
 from .api import MatcherBase, Session
 
 #: Bump when the engine's state layout changes incompatibly.
-#: (v2: engines share MatcherBase state; sessions became checkpointable.)
-CHECKPOINT_VERSION = 2
+#: (v2: engines share MatcherBase state; sessions became checkpointable.
+#: v3: join-key indexes on stores, window id multisets, query label index,
+#: index/scan stats counters.)
+CHECKPOINT_VERSION = 3
 
 _MAGIC = b"timingsubg-checkpoint"
 
