@@ -53,7 +53,9 @@ def main() -> None:
     session.ingest(stream)             # batch ingestion from any iterable
 
     stats = session.stats()["exfiltration"]
-    print(f"processed {stats['edges_seen']} flows, "
+    # Session-level arrival count: under the default shared routing the
+    # engine only sees the arrivals routed to it.
+    print(f"processed {session.edges_pushed} flows, "
           f"{stats['edges_discarded']} label-matching flows discarded by "
           f"timing pruning, "
           f"{alerts} alert(s) raised")

@@ -70,8 +70,8 @@ Subpackages
 """
 
 from .api import (
-    BACKENDS, DUPLICATE_POLICIES, EngineConfig, EngineStats, Matcher,
-    MatcherBase, Session, as_window,
+    BACKENDS, DUPLICATE_POLICIES, ROUTING_MODES, EngineConfig, EngineStats,
+    Matcher, MatcherBase, Session, as_window,
 )
 from .core.engine import TimingMatcher
 from .core.matches import Match, verify_match
@@ -80,6 +80,7 @@ from .core.query import ANY, QueryGraph
 from .core.timing import TimingOrder
 from .graph.count_window import CountSlidingWindow
 from .graph.edge import StreamEdge
+from .graph.shared_window import SharedSlidingWindow, SharedWindowView
 from .graph.snapshot import SnapshotGraph
 from .graph.stream import GraphStream
 from .graph.window import SlidingWindow
@@ -95,10 +96,10 @@ __all__ = [
     # queries and streams
     "QueryGraph", "TimingOrder", "ANY",
     "StreamEdge", "GraphStream", "SlidingWindow", "CountSlidingWindow",
-    "SnapshotGraph",
+    "SharedSlidingWindow", "SharedWindowView", "SnapshotGraph",
     # the unified API
     "Matcher", "MatcherBase", "EngineConfig", "EngineStats", "Session",
-    "BACKENDS", "DUPLICATE_POLICIES", "as_window",
+    "BACKENDS", "DUPLICATE_POLICIES", "ROUTING_MODES", "as_window",
     # engines and results
     "TimingMatcher", "Match", "verify_match", "explain",
     # sinks

@@ -56,6 +56,9 @@ from typing import (
 )
 
 from .graph.edge import StreamEdge
+from .graph.shared_window import (
+    SharedSlidingWindow, SharedWindowView, window_policy_key,
+)
 from .graph.window import SlidingWindow
 
 if TYPE_CHECKING:  # imported lazily at runtime — repro.core imports us
@@ -80,6 +83,17 @@ JOIN_ORDER_STRATEGIES = ("jn", "random")
 #: the paper-faithful full scan of the previous expansion-list item
 #: (Theorem 3's ``O(|Lᵢ₋₁|)``), kept for the ablation.
 INDEXING_MODES = ("hash", "scan")
+
+#: Session multi-query ingestion strategies: ``"shared"`` (default) keeps
+#: one shared window buffer per window policy and routes each arrival
+#: through a label-triple index to only the matchers that can consume it;
+#: ``"fanout"`` is the historical lock-step full fan-out (every matcher
+#: buffers the whole stream), kept as the ablation baseline.  Both produce
+#: identical ``(name, match)`` streams, with one documented refinement:
+#: shared routing judges in-window duplicate ids against the stream (the
+#: shared buffer), so a query registered mid-stream does not treat a
+#: replayed id as fresh (see :meth:`Session._push_shared`).
+ROUTING_MODES = ("shared", "fanout")
 
 MatchCallback = Callable[[str, "Match"], None]
 
@@ -203,8 +217,10 @@ class MatcherBase:
         self.stats = EngineStats()
         # Edge-identity guard: StreamEdge equality is by edge_id, and the
         # expiry registries key on it — a second in-window arrival with the
-        # same id would alias and corrupt deletion.  Track live ids.
-        self._live_edge_ids: set = set()
+        # same id would alias and corrupt deletion.  Maps each live
+        # (ingested, unexpired) edge id to its bearer's timestamp so the
+        # duplicate peek in :meth:`would_reject` is one dict probe.
+        self._live_edge_ids: Dict = {}
 
     # ------------------------------------------------------------------ #
     # Hooks
@@ -242,7 +258,7 @@ class MatcherBase:
                 f"duplicate in-window edge id: {edge.edge_id!r}")
         guard = guard if guard is not None else self.default_guard
         for old in self.window.advance(edge.timestamp):
-            self._live_edge_ids.discard(old.edge_id)
+            self._live_edge_ids.pop(old.edge_id, None)
             self._expire(old, guard)
         if edge.edge_id in self._live_edge_ids:
             # Only the skip/count policies reach here (raise peeked above).
@@ -250,9 +266,9 @@ class MatcherBase:
                 self.stats.edges_skipped += 1
             return []
         for old in self.window.push(edge):
-            self._live_edge_ids.discard(old.edge_id)
+            self._live_edge_ids.pop(old.edge_id, None)
             self._expire(old, guard)
-        self._live_edge_ids.add(edge.edge_id)
+        self._live_edge_ids[edge.edge_id] = edge.timestamp
         return self._insert(edge, guard)
 
     def push_many(self, edges: Iterable[StreamEdge],
@@ -267,28 +283,53 @@ class MatcherBase:
         """Slide the window forward without inserting an edge."""
         guard = guard if guard is not None else self.default_guard
         for old in self.window.advance(timestamp):
-            self._live_edge_ids.discard(old.edge_id)
+            self._live_edge_ids.pop(old.edge_id, None)
             self._expire(old, guard)
 
     def would_reject(self, edge: StreamEdge) -> bool:
-        """Whether pushing ``edge`` would raise as a duplicate.
+        """Whether pushing ``edge`` *directly* would raise as a duplicate.
 
-        Side-effect-free: accounts for the expiry the arrival itself
-        would trigger without touching the window.  :class:`Session`
-        uses this for its all-or-nothing fan-out guarantee; protocol
-        matchers outside :class:`MatcherBase` can implement it to join
-        that guarantee.
+        Side-effect-free and O(1): the live-id registry maps each
+        ingested in-window id to its bearer's timestamp, so the peek is
+        one dict probe plus the expiry the arrival itself would trigger —
+        matchers with a non-``raise`` policy skip even that.
+
+        The answer reflects this matcher's own ingestion history.  A
+        fanout :class:`Session` consults it per matcher for the
+        all-or-nothing guarantee (protocol matchers outside
+        :class:`MatcherBase` can implement it to join that guarantee); a
+        shared-routing session instead probes its shared stream buffer,
+        which also covers bearers that were never routed to this
+        matcher — so there ``Session.push`` may reject an arrival this
+        method alone would accept.
         """
-        if self.duplicate_policy != "raise" \
-                or edge.edge_id not in self._live_edge_ids:
+        if self.duplicate_policy != "raise":
+            return False
+        bearer = self._live_edge_ids.get(edge.edge_id)
+        if bearer is None:
             return False
         duration = getattr(self.window, "duration", None)
         if duration is None:
             return True     # count windows never expire on time alone
-        for old in self.window:             # oldest first; id hit is rare
-            if old.edge_id == edge.edge_id:
-                return old.timestamp > edge.timestamp - duration
-        return False
+        return bearer > edge.timestamp - duration
+
+    def routing_signatures(self):
+        """``(exact_keys, has_generic)`` — the label-triple signature a
+        :class:`Session` compiles into its routing index at registration
+        (see :meth:`repro.core.query.QueryGraph.label_signatures`).  An
+        arrival whose triple key misses ``exact_keys`` can reach this
+        matcher only when ``has_generic``."""
+        return self.query.label_signatures()
+
+    def is_discardable(self, edge: StreamEdge) -> bool:
+        """Label-level discardability (the trivial case of the paper's
+        Lemma 1): ``True`` when the arrival matches no query edge, so
+        ingesting it could never contribute to a match.  Engines may
+        override with stronger state-dependent probes — the Timing
+        engine's prerequisite test does.  ``Session`` routing skips
+        exactly the matchers for which this label-level test holds.
+        """
+        return not self.query.matching_edge_ids(edge)
 
     def current_matches(self) -> List[Match]:
         raise NotImplementedError
@@ -334,6 +375,16 @@ class EngineConfig:
         entries; ``"scan"`` is the paper-faithful full scan per arrival
         (Theorem 3), kept as the ablation baseline.  Both produce
         identical matches and identical logical space.
+    routing:
+        Multi-query ingestion strategy for a :class:`Session` built from
+        this config (engines ignore it): ``"shared"`` (default) routes
+        each arrival through a session-wide label-triple index to only
+        the matchers that can consume it, with one shared window buffer
+        per window policy; ``"fanout"`` is the historical full fan-out
+        where every matcher re-buffers the whole stream, kept as the
+        ablation baseline.  Both produce identical matches (duplicate
+        ids are judged stream-level under ``"shared"`` — see
+        :data:`ROUTING_MODES`).
     guard:
         Default access guard threaded through every operation when no
         per-call guard is given (``None`` → serial no-op guard).
@@ -349,6 +400,7 @@ class EngineConfig:
     decomposition: str = "greedy"
     join_order: str = "jn"
     indexing: str = "hash"
+    routing: str = "shared"
     guard: Optional[object] = None
     seed: int = 0
     duplicate_policy: str = "raise"
@@ -373,6 +425,10 @@ class EngineConfig:
             raise ValueError(
                 f"unknown indexing mode: {self.indexing!r} "
                 f"(expected one of {INDEXING_MODES})")
+        if self.routing not in ROUTING_MODES:
+            raise ValueError(
+                f"unknown routing mode: {self.routing!r} "
+                f"(expected one of {ROUTING_MODES})")
         if self.duplicate_policy not in DUPLICATE_POLICIES:
             raise ValueError(
                 f"unknown duplicate policy: {self.duplicate_policy!r} "
@@ -418,15 +474,128 @@ def _build_matcher(backend, query: QueryGraph, window,
                      f"(expected one of {BACKENDS} or a factory)")
 
 
+class _SharedMember:
+    """Session-side record of one matcher subscribed to a shared window.
+
+    ``pending`` buffers expiry deliveries between this matcher's inserts:
+    an expired edge only has to reach the matcher's ``_expire`` hook
+    before its *next* insertion (or before anyone reads the matcher), so
+    batched ingestion coalesces deliveries instead of interrupting every
+    arrival — see :meth:`Session._flush_member`.
+    """
+
+    __slots__ = ("name", "ordinal", "matcher", "group_key", "pending")
+
+    def __init__(self, name: str, ordinal: int, matcher,
+                 group_key: Tuple) -> None:
+        self.name = name
+        self.ordinal = ordinal
+        self.matcher = matcher
+        self.group_key = group_key
+        self.pending: List[StreamEdge] = []
+
+
+class _SharedGroup:
+    """The matchers sharing one window buffer (same window-policy key)."""
+
+    __slots__ = ("key", "window", "member_names", "raise_entries",
+                 "count_entries", "router")
+
+    def __init__(self, key: Tuple, window: SharedSlidingWindow,
+                 router: "_ExpiryRouter") -> None:
+        self.key = key
+        self.window = window
+        self.router = router
+        self.member_names: set = set()
+        # (ordinal, name) of members per duplicate policy, registration
+        # order — consulted on the duplicate path only.
+        self.raise_entries: List[Tuple[int, str]] = []
+        self.count_entries: List[Tuple[int, str]] = []
+
+
+class _ExpiryRouter:
+    """A shared window's expiry subscriber.
+
+    Routes each expired edge through the session's label-triple index to
+    the pending queues of exactly the members that ingested it — an O(1)
+    dict probe plus the (typically tiny) hit list, instead of visiting
+    all Q matchers.  Holds the *same* mutable dict/list/set objects the
+    session owns, so registration churn is visible without re-wiring.
+    """
+
+    __slots__ = ("group_key", "routes", "generic_entries", "members",
+                 "dirty")
+
+    def __init__(self, group_key, routes, generic_entries, members,
+                 dirty) -> None:
+        self.group_key = group_key
+        self.routes = routes
+        self.generic_entries = generic_entries
+        self.members = members
+        self.dirty = dirty
+
+    def _candidate(self, name: str) -> Optional[_SharedMember]:
+        member = self.members.get(name)
+        if member is not None and member.group_key == self.group_key:
+            return member
+        return None
+
+    def __call__(self, edge: StreamEdge) -> None:
+        candidates: List[_SharedMember] = []
+        try:
+            hits = self.routes.get(
+                (edge.src_label, edge.label, edge.dst_label,
+                 edge.src == edge.dst), ())
+        except TypeError:   # unhashable data label: no index probe
+            candidates = [m for m in self.members.values()
+                          if m.group_key == self.group_key]
+        else:
+            for _, name in hits:
+                member = self._candidate(name)
+                if member is not None:
+                    candidates.append(member)
+            for _, name in self.generic_entries:
+                member = self._candidate(name)
+                if member is not None:
+                    candidates.append(member)
+        for member in candidates:
+            # Only matchers that ingested *this* bearer hear about its
+            # expiry: timestamp pairing keeps an older coexisting
+            # same-id bearer's expiry away from a matcher holding the
+            # newer one (and vice versa), and a matcher registered
+            # mid-stream never hears about bearers it never saw.
+            if member.matcher._live_edge_ids.get(edge.edge_id) \
+                    == edge.timestamp:
+                member.pending.append(edge)
+                self.dirty.add(member.name)
+
+
 class Session:
     """A registry of named continuous queries sharing one input stream.
 
     Real monitoring deployments register many patterns at once (the paper's
     motivation cites Verizon's ten attack patterns covering 90% of
-    incidents).  A ``Session`` fans each arrival out to every registered
-    :class:`Matcher` in lock-step, delivers completed matches to attached
-    sinks, and supports live registration/deregistration and
+    incidents).  A ``Session`` delivers each arrival to every registered
+    :class:`Matcher` that can consume it, delivers completed matches to
+    attached sinks, and supports live registration/deregistration and
     checkpoint/restore.
+
+    Under the default ``routing="shared"`` ingestion strategy the session
+    compiles each query's label-triple signature (see
+    :meth:`~repro.core.query.QueryGraph.label_signatures`) into one
+    routing index at registration, keeps a single
+    :class:`~repro.graph.shared_window.SharedSlidingWindow` per window
+    policy instead of ``Q`` per-matcher stream copies, and coalesces
+    expiry delivery to batch boundaries in :meth:`push_many` /
+    :meth:`ingest`.  Arrivals that provably cannot match a query (the
+    label-level case of the paper's discardable-edge Lemma 1, exposed as
+    :meth:`MatcherBase.is_discardable`) never touch that query's engine.
+    ``routing="fanout"`` restores the historical full fan-out — every
+    matcher re-buffers the whole stream — as the ablation baseline; both
+    produce identical ``(name, match)`` streams (in-window duplicate ids
+    are judged against the shared stream buffer, a deliberate refinement
+    that only shows for queries registered mid-stream — see
+    :meth:`_push_shared`).
 
     Parameters
     ----------
@@ -437,15 +606,18 @@ class Session:
         window).  Each query may override it at registration.
     config:
         Default :class:`EngineConfig` for ``timing`` backends, and the
-        source of the duplicate policy for the built-in backends.
-        Factory backends construct their own engines and must bake
-        such settings in themselves.
+        source of the duplicate policy and routing mode for the built-in
+        backends.  Factory backends construct their own engines and must
+        bake such settings in themselves.
     duplicate_policy:
         Shorthand for ``config.replace(duplicate_policy=...)``.
+    routing:
+        Shorthand for ``config.replace(routing=...)``.
     """
 
     def __init__(self, *, window=None, config: Optional[EngineConfig] = None,
-                 duplicate_policy: Optional[str] = None) -> None:
+                 duplicate_policy: Optional[str] = None,
+                 routing: Optional[str] = None) -> None:
         if isinstance(window, bool):
             raise TypeError("window must be a duration or a window factory")
         if isinstance(window, (int, float)) and window <= 0:
@@ -460,11 +632,36 @@ class Session:
         config = config if config is not None else EngineConfig()
         if duplicate_policy is not None:
             config = config.replace(duplicate_policy=duplicate_policy)
+        if routing is not None:
+            config = config.replace(routing=routing)
         self.config = config.validate()
         self._matchers: Dict[str, Matcher] = {}
         self._callbacks: Dict[str, Optional[MatchCallback]] = {}
         self._sinks: List[Tuple[Optional[str], MatchCallback]] = []
         self._current_time = float("-inf")
+        # --- shared-stream routing state (empty under routing="fanout") --- #
+        self._routing = self.config.routing
+        self._groups: Dict[Tuple, _SharedGroup] = {}
+        self._members: Dict[str, _SharedMember] = {}
+        # label-triple key -> [(ordinal, name)] in registration order; the
+        # router records hold these same objects, so mutate them in place.
+        self._routes: Dict[Tuple, List[Tuple[int, str]]] = {}
+        self._route_keys: Dict[str, List[Tuple]] = {}
+        self._generic_entries: List[Tuple[int, str]] = []
+        self._private_entries: List[Tuple[int, str]] = []
+        self._dirty: set = set()
+        # Memoised route-target lists keyed by label triple (None keys
+        # the index-miss list).  Invalidated on registration churn; only
+        # triples with index hits are cached, so adversarial label
+        # streams cannot grow it past the routing index itself.
+        self._route_cache: Dict = {}
+        self._next_ordinal = 0
+        #: Arrivals accepted by the session (all routing modes).
+        self.edges_pushed = 0
+        #: Engine insertions performed by shared routing.
+        self.routed_pushes = 0
+        #: Matcher visits shared routing proved unnecessary and skipped.
+        self.skipped_matchers = 0
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -511,14 +708,78 @@ class Session:
                         f"window policy object is already used by query "
                         f"{other_name!r}; pass a fresh instance — engines "
                         "cannot share one mutable window")
+            for group in self._groups.values():
+                if group.window.policy is window:
+                    raise ValueError(
+                        "window policy object already backs a shared "
+                        "session window; pass a fresh instance — engines "
+                        "cannot share one mutable window")
         config = config if config is not None else self.config
         matcher = _build_matcher(backend, query, window, config,
                                  engine_options)
-        if self._current_time > float("-inf"):
-            matcher.advance_time(self._current_time)
+        ordinal = self._next_ordinal
+        self._next_ordinal += 1
+        if self._routing != "shared" \
+                or not self._enroll_shared(name, ordinal, matcher):
+            # Privately-buffering matcher: lock-step fan-out semantics.
+            self._private_entries.append((ordinal, name))
+            if self._current_time > float("-inf"):
+                matcher.advance_time(self._current_time)
+        self._route_cache.clear()
         self._matchers[name] = matcher
         self._callbacks[name] = callback
         return matcher
+
+    def _enroll_shared(self, name: str, ordinal: int, matcher) -> bool:
+        """Subscribe a matcher to shared routing; ``False`` if it must
+        keep buffering privately (non-:class:`MatcherBase`, or a custom /
+        pre-filled window policy)."""
+        if not isinstance(matcher, MatcherBase):
+            return False
+        window = getattr(matcher, "window", None)
+        key = window_policy_key(window)
+        if key is None or len(window) != 0:
+            return False
+        for group in self._groups.values():
+            if group.window.policy is window:
+                # A factory re-used one mutable policy object across
+                # engines — corrupting to share, loud beats silent.
+                raise ValueError(
+                    "window policy object already backs a shared session "
+                    "window; pass a fresh instance — engines cannot "
+                    "share one mutable window")
+        group = self._groups.get(key)
+        if group is None:
+            # Adopt the matcher's fresh policy object as the group buffer.
+            shared = SharedSlidingWindow(window)
+            if self._current_time > float("-inf"):
+                shared.advance(self._current_time)
+            router = _ExpiryRouter(key, self._routes, self._generic_entries,
+                                   self._members, self._dirty)
+            shared.subscribe(router)
+            group = _SharedGroup(key, shared, router)
+            self._groups[key] = group
+        matcher.window = SharedWindowView(group.window)
+        member = _SharedMember(name, ordinal, matcher, key)
+        self._members[name] = member
+        group.member_names.add(name)
+        if matcher.duplicate_policy == "raise":
+            group.raise_entries.append((ordinal, name))
+        elif matcher.duplicate_policy == "count":
+            group.count_entries.append((ordinal, name))
+        exact, generic = matcher.routing_signatures()
+        if generic:
+            # Wildcard-bearing queries need a per-arrival scan anyway:
+            # always routed, no index entries.
+            self._generic_entries.append((ordinal, name))
+            self._route_keys[name] = []
+        else:
+            keys = []
+            for triple in exact:
+                self._routes.setdefault(triple, []).append((ordinal, name))
+                keys.append(triple)
+            self._route_keys[name] = keys
+        return True
 
     def register_file(self, name: str, path: str, **kwargs) -> Matcher:
         """Register a query from a ``.tq`` DSL file."""
@@ -536,6 +797,35 @@ class Session:
     def deregister(self, name: str) -> None:
         if name not in self._matchers:
             raise KeyError(f"unknown query: {name!r}")
+        member = self._members.pop(name, None)
+        if member is not None:
+            # Deliver outstanding expiries so the engine leaves in a
+            # consistent state, then unhook every routing-index entry and
+            # shared-window subscription (no leaked callbacks).
+            self._flush_member(member)
+            group = self._groups[member.group_key]
+            group.member_names.discard(name)
+            group.raise_entries = [e for e in group.raise_entries
+                                   if e[1] != name]
+            group.count_entries = [e for e in group.count_entries
+                                   if e[1] != name]
+            for triple in self._route_keys.pop(name, ()):
+                entries = self._routes.get(triple)
+                if entries is not None:
+                    entries[:] = [e for e in entries if e[1] != name]
+                    if not entries:
+                        del self._routes[triple]
+            self._generic_entries[:] = [e for e in self._generic_entries
+                                        if e[1] != name]
+            if not group.member_names:
+                # Last subscriber gone: unhook the expiry router and
+                # free the buffer.
+                group.window.unsubscribe(group.router)
+                del self._groups[member.group_key]
+        else:
+            self._private_entries[:] = [e for e in self._private_entries
+                                        if e[1] != name]
+        self._route_cache.clear()
         del self._matchers[name]
         del self._callbacks[name]
         # Sinks filtered to this query die with it — a later query reusing
@@ -546,6 +836,9 @@ class Session:
         return list(self._matchers)
 
     def matcher(self, name: str) -> Matcher:
+        member = self._members.get(name)
+        if member is not None:
+            self._flush_member(member)  # direct engine reads stay exact
         return self._matchers[name]
 
     def __len__(self) -> int:
@@ -585,8 +878,151 @@ class Session:
     # ------------------------------------------------------------------ #
     # Streaming
     # ------------------------------------------------------------------ #
+    def _flush_member(self, member: _SharedMember) -> None:
+        """Deliver a member's buffered expiries to its ``_expire`` hook.
+
+        Runs before every insert into the member and before any read of
+        it, so coalescing never reorders expiry relative to the
+        operations that can observe it.
+        """
+        pending = member.pending
+        if pending:
+            matcher = member.matcher
+            guard = matcher.default_guard
+            for old in pending:
+                # Timestamp-paired delivery: expire exactly the bearer
+                # this matcher ingested — never a coexisting same-id
+                # bearer it didn't (StreamEdge equality is by id, so a
+                # mispaired _expire would alias).
+                if matcher._live_edge_ids.get(old.edge_id) \
+                        == old.timestamp:
+                    del matcher._live_edge_ids[old.edge_id]
+                    matcher._expire(old, guard)
+            pending.clear()
+        self._dirty.discard(member.name)
+
+    def _flush_all(self) -> None:
+        if not self._dirty:
+            return
+        for name in list(self._dirty):
+            member = self._members.get(name)
+            if member is not None:
+                self._flush_member(member)
+        self._dirty.clear()
+
+    def _route_targets(self, edge: StreamEdge) -> List[Tuple[int, str]]:
+        """Matchers that must see this arrival, in registration order:
+        the routing-index hits for its label triple, the wildcard-bearing
+        (always-routed) members, and every privately-buffering matcher."""
+        cache = self._route_cache
+        try:
+            key = (edge.src_label, edge.label, edge.dst_label,
+                   edge.src == edge.dst)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            hits = self._routes.get(key, ())
+        except TypeError:
+            # Unhashable data label: no index probe possible — visit
+            # everything (mirrors matching_edge_ids' linear fallback).
+            return sorted([(m.ordinal, m.name)
+                           for m in self._members.values()]
+                          + self._private_entries)
+        if not hits:
+            # One shared list for every index miss: common on selective
+            # query sets, and uncacheable per-triple without letting a
+            # high-cardinality label stream grow the cache unboundedly.
+            targets = cache.get(None)
+            if targets is None:
+                targets = cache[None] = sorted(
+                    self._generic_entries + self._private_entries)
+            return targets
+        targets = sorted(list(hits) + self._generic_entries
+                         + self._private_entries)
+        cache[key] = targets
+        return targets
+
+    def _push_shared(self, edge: StreamEdge) -> List[Tuple[str, Match]]:
+        """One arrival through the shared-stream fast path.
+
+        Duplicate-id handling is *stream-level*: an arrival whose id has
+        a live bearer in a group's shared buffer is a duplicate for every
+        member of that group — one O(1) bearer probe per window policy
+        instead of a per-matcher history check.  For any session whose
+        queries were all registered before the bearer arrived this is
+        exactly the fanout semantics (every member's private window would
+        hold the bearer); the one deliberate refinement is a query
+        registered mid-stream, which inherits the stream's duplicate view
+        instead of treating a replayed id as fresh merely because it
+        missed the original (fanout, which buffers the stream per
+        matcher, does the latter).
+        """
+        if edge.timestamp <= self._current_time:
+            raise ValueError(
+                "stream timestamps must strictly increase: "
+                f"{edge.timestamp} <= {self._current_time}")
+        # Duplicate pre-check, side-effect-free and all-or-nothing like
+        # the fanout path.  Privately-buffering matchers keep their
+        # per-matcher peek.
+        live_groups = {}
+        offender_entries: List[Tuple[int, str]] = []
+        for key, group in self._groups.items():
+            live = group.window.bearer_live_at(edge.edge_id, edge.timestamp)
+            live_groups[key] = live
+            if live and group.raise_entries:
+                offender_entries.extend(group.raise_entries)
+        for entry in self._private_entries:
+            check = getattr(self._matchers[entry[1]], "would_reject", None)
+            if check is not None and check(edge):
+                offender_entries.append(entry)
+        if offender_entries:
+            offenders = [name for _, name in sorted(offender_entries)]
+            raise ValueError(
+                f"duplicate in-window edge id: {edge.edge_id!r} "
+                f"(rejected by {offenders}; no query ingested it)")
+        self._current_time = edge.timestamp
+        self.edges_pushed += 1
+        # One window advance per group — not per matcher.  A group whose
+        # bearer is still live drops the duplicate arrival exactly like
+        # the per-matcher skip path: time moves, nothing is buffered.
+        for key, group in self._groups.items():
+            if live_groups[key]:
+                group.window.advance(edge.timestamp)
+                for _, cname in group.count_entries:
+                    self._matchers[cname].stats.edges_skipped += 1
+            else:
+                group.window.push(edge)
+        results: List[Tuple[str, Match]] = []
+        shared_targets = 0
+        for _, name in self._route_targets(edge):
+            member = self._members.get(name)
+            if member is None:
+                # Privately-buffering matcher: full lock-step push.  A
+                # sink callback may deregister queries mid-push — the
+                # target list is a snapshot, so re-check liveness.
+                matcher = self._matchers.get(name)
+                if matcher is None:
+                    continue
+                for match in matcher.push(edge):
+                    results.append((name, match))
+                    self._deliver(name, match)
+                continue
+            shared_targets += 1
+            if live_groups[member.group_key]:
+                continue    # duplicate: dropped for this whole group
+            matcher = member.matcher
+            if member.pending:
+                self._flush_member(member)
+            matcher._live_edge_ids[edge.edge_id] = edge.timestamp
+            self.routed_pushes += 1
+            for match in matcher._insert(edge, matcher.default_guard):
+                results.append((name, match))
+                self._deliver(name, match)
+        self.skipped_matchers += len(self._members) - shared_targets
+        return results
+
     def push(self, edge: StreamEdge) -> List[Tuple[str, Match]]:
-        """Fan one arrival out to every registered query in lock-step.
+        """Deliver one arrival to every query that can consume it.
 
         A duplicate-id rejection (any built-in engine with the ``raise``
         policy) is checked side-effect-free *before* any engine ingests
@@ -595,6 +1031,11 @@ class Session:
         matcher that raises its own errors from ``push`` is outside this
         guarantee unless it implements ``would_reject``.)
         """
+        if self._routing == "shared":
+            try:
+                return self._push_shared(edge)
+            finally:
+                self._flush_all()
         if edge.timestamp <= self._current_time:
             raise ValueError(
                 "stream timestamps must strictly increase: "
@@ -611,6 +1052,7 @@ class Session:
                 f"duplicate in-window edge id: {edge.edge_id!r} "
                 f"(rejected by {offenders}; no query ingested it)")
         self._current_time = edge.timestamp
+        self.edges_pushed += 1
         results: List[Tuple[str, Match]] = []
         for name, matcher in self._matchers.items():
             for match in matcher.push(edge):
@@ -621,8 +1063,22 @@ class Session:
     def push_many(self,
                   edges: Iterable[StreamEdge]) -> List[Tuple[str, Match]]:
         """Batch ingestion from any edge iterable (list, generator,
-        :class:`~repro.graph.stream.GraphStream`, CSV reader…)."""
+        :class:`~repro.graph.stream.GraphStream`, CSV reader…).
+
+        Under shared routing this is a true fast path: the label-triple
+        route of each distinct triple in the batch is computed once, and
+        expiry delivery is coalesced — buffered per matcher and flushed
+        before that matcher's next insert and at the batch boundary —
+        instead of interrupting every arrival.
+        """
         results: List[Tuple[str, Match]] = []
+        if self._routing == "shared":
+            try:
+                for edge in edges:
+                    results.extend(self._push_shared(edge))
+            finally:
+                self._flush_all()
+            return results
         for edge in edges:
             results.extend(self.push(edge))
         return results
@@ -633,6 +1089,13 @@ class Session:
         delivered, so an unbounded stream never materialises its whole
         result list."""
         delivered = 0
+        if self._routing == "shared":
+            try:
+                for edge in edges:
+                    delivered += len(self._push_shared(edge))
+            finally:
+                self._flush_all()
+            return delivered
         for edge in edges:
             delivered += len(self.push(edge))
         return delivered
@@ -656,6 +1119,15 @@ class Session:
         if timestamp < self._current_time:
             raise ValueError("time moves backwards")
         self._current_time = timestamp
+        if self._routing == "shared":
+            try:
+                for group in self._groups.values():
+                    group.window.advance(timestamp)
+                for _, name in self._private_entries:
+                    self._matchers[name].advance_time(timestamp)
+            finally:
+                self._flush_all()
+            return
         for matcher in self._matchers.values():
             matcher.advance_time(timestamp)
 
@@ -667,20 +1139,62 @@ class Session:
     # Introspection
     # ------------------------------------------------------------------ #
     def result_counts(self) -> Dict[str, int]:
+        self._flush_all()
         return {name: matcher.result_count()
                 for name, matcher in self._matchers.items()}
 
     def current_matches(self) -> Dict[str, List[Match]]:
+        self._flush_all()
         return {name: matcher.current_matches()
                 for name, matcher in self._matchers.items()}
 
     def space_cells(self) -> int:
+        self._flush_all()
         return sum(matcher.space_cells()
                    for matcher in self._matchers.values())
 
     def stats(self) -> Dict[str, Dict[str, int]]:
+        self._flush_all()
         return {name: matcher.stats.as_dict()
                 for name, matcher in self._matchers.items()}
+
+    def shared_window_cells(self) -> int:
+        """Edges held across the session's shared window buffers —
+        O(|W|) per distinct window policy, however many queries share
+        them (0 under ``routing="fanout"``)."""
+        return sum(len(group.window) for group in self._groups.values())
+
+    def window_cells(self) -> int:
+        """Total window buffer cells across the session: the shared
+        buffers plus every privately-buffering matcher's window.  Under
+        fanout this is the O(Q·|W|) figure shared routing collapses."""
+        cells = self.shared_window_cells()
+        if self._routing == "shared":
+            names = [name for _, name in self._private_entries]
+        else:
+            names = list(self._matchers)
+        for name in names:
+            window = getattr(self._matchers[name], "window", None)
+            try:
+                cells += len(window)
+            except TypeError:
+                pass    # protocol matcher without a sized window
+        return cells
+
+    def session_stats(self) -> Dict[str, object]:
+        """Session-level ingestion counters (per-matcher engine counters
+        stay in :meth:`stats`): the routing mode, accepted arrivals,
+        shared-routing work/savings, and window memory."""
+        return {
+            "routing": self._routing,
+            "queries": len(self._matchers),
+            "shared_groups": len(self._groups),
+            "edges_pushed": self.edges_pushed,
+            "routed_pushes": self.routed_pushes,
+            "skipped_matchers": self.skipped_matchers,
+            "shared_window_cells": self.shared_window_cells(),
+            "window_cells": self.window_cells(),
+        }
 
     # ------------------------------------------------------------------ #
     # Checkpointing
@@ -702,6 +1216,8 @@ class Session:
         return load_session(source)
 
     def __getstate__(self):
+        # Buffered expiry deliveries are in-flight work, not state.
+        self._flush_all()
         state = dict(self.__dict__)
         state["_sinks"] = []
         state["_callbacks"] = {name: None for name in self._callbacks}
@@ -711,4 +1227,4 @@ class Session:
 
     def __repr__(self) -> str:
         return (f"Session({len(self._matchers)} queries, "
-                f"t={self._current_time})")
+                f"routing={self._routing}, t={self._current_time})")

@@ -1,26 +1,36 @@
-"""Repeatable indexing perf smoke: hash-indexed joins vs full scans.
+"""Repeatable perf smokes: pinned workloads, JSON reports, CI gates.
 
-Runs the fig15-style default workload (seeded NetworkFlow stream, one
-generated 5-edge query, MS-tree storage) through the Timing engine twice —
-``indexing="hash"`` and ``indexing="scan"`` — verifies both emit the same
-matches, and writes the measurements to a JSON report (``BENCH_pr2.json``).
+Two suites, selected with ``--suite``:
+
+``indexing`` (PR 2, report ``BENCH_pr2.json``)
+    The fig15-style default workload (seeded NetworkFlow stream, one
+    generated 5-edge query, MS-tree storage) through the Timing engine
+    twice — ``indexing="hash"`` vs ``indexing="scan"`` — verifying both
+    emit the same matches and gating the hash-over-scan speedup.
+
+``routing`` (PR 3, report ``BENCH_pr3.json``)
+    A multi-tenant session workload: 16 generated NetworkFlow query
+    variants registered on one :class:`~repro.api.Session`, the same
+    pinned stream pushed through ``routing="shared"`` vs
+    ``routing="fanout"``, verifying identical ``(name, match)`` multisets
+    and gating (a) the shared-over-fanout session throughput and (b) the
+    shared-window memory collapse from ``O(Q·|W|)`` to ``O(|W|)``
+    (asserted exactly via ``window_cells`` / ``shared_window_cells``).
 
 Used two ways:
 
-* locally: ``python -m repro.bench.perf_smoke --out BENCH_pr2.json`` to
+* locally: ``python -m repro.bench.perf_smoke --suite routing`` to
   (re)generate the committed baseline;
-* in CI: ``python -m repro.bench.perf_smoke --check BENCH_pr2.json`` runs
-  the same workload and **fails** (exit 1) when the measured hash-over-scan
-  speedup regresses by more than ``--tolerance`` (default 30%) against the
-  committed baseline, or drops below the 3× floor.  Only the *ratio* is
-  gated — absolute edges/second are machine-dependent and reported for
-  information only.
+* in CI: ``python -m repro.bench.perf_smoke --suite routing --check
+  BENCH_pr3.json`` re-runs the same workload and **fails** (exit 1) when
+  the measured speedup regresses by more than ``--tolerance`` (default
+  30%) against the committed baseline, or drops below the suite's floor.
+  Only *ratios* are gated — absolute edges/second are machine-dependent
+  and reported for information only.
 
-The workload is pinned (generator seed, stream length, query variant,
-window) so the comparison is between code versions, not between random
-workloads.  The window spans the whole stream — that is where expansion
-lists grow large enough for the O(level) scans of Theorem 3 to dominate,
-which is exactly the regime the index targets.
+Workloads are pinned (generator seeds, stream length, query variants,
+window) so comparisons are between code versions, not between random
+workloads.
 """
 
 from __future__ import annotations
@@ -31,14 +41,20 @@ import platform
 import random
 import sys
 import time
+from collections import Counter
 from typing import List, Optional, Sequence
 
-from ..api import EngineConfig
+from ..api import EngineConfig, Session
 from ..core.engine import TimingMatcher
 from ..core.query import ANY, QueryGraph
 from ..datasets import (
     generate_netflow_stream, generate_query_set, window_slice,
 )
+from ..graph.ops import relabel_stream
+
+# --------------------------------------------------------------------- #
+# Suite: indexing (PR 2)
+# --------------------------------------------------------------------- #
 
 #: Pinned workload parameters (see module docstring).  ``QUERY_VARIANT``
 #: selects one query from the seeded generator's 5-variant set — variant 4
@@ -91,7 +107,7 @@ def _run_mode(query: QueryGraph, duration: float, edges: List,
 
 
 def run_smoke() -> dict:
-    """Run both modes on the pinned workload; returns the report dict."""
+    """Run both indexing modes on the pinned workload; returns the report."""
     query, duration, edges = build_workload()
     hash_run = _run_mode(query, duration, edges, "hash")
     scan_run = _run_mode(query, duration, edges, "scan")
@@ -145,12 +161,203 @@ def check_regression(report: dict, baseline: dict,
     return failures
 
 
+# --------------------------------------------------------------------- #
+# Suite: routing (PR 3)
+# --------------------------------------------------------------------- #
+
+#: Pinned multi-query workload.  The NetworkFlow stream is relabelled to
+#: drop the ephemeral source port — ``(dst-port, protocol)`` term labels —
+#: so the generated queries carry *concrete* label triples the session
+#: routing index can discriminate on (the PR 2 workload wildcards the
+#: source port instead, which forces every query onto the always-routed
+#: path and would measure nothing here).  The port universe is widened and
+#: flattened (200 extra ports, alpha 0.8) for the sparse-matching regime
+#: multi-tenant monitoring lives in: most arrivals concern few of the 16
+#: registered patterns, matches are rare events.  Of each generated walk's
+#: five timing-order variants only the full order is registered — the
+#: strongest timing pruning, keeping the (identical-in-both-modes) join
+#: work from drowning out the fan-out overhead being measured.
+ROUTING_STREAM_EDGES = 24000
+ROUTING_STREAM_SEED = 7
+ROUTING_NUM_IPS = 150
+ROUTING_EXTRA_PORTS = 200
+ROUTING_PORT_ALPHA = 0.8
+ROUTING_QUERY_SIZES = [4]
+ROUTING_NUM_QUERIES = 16
+ROUTING_WINDOW_UNITS = 2000.0
+
+#: Hard floor on the shared-over-fanout session speedup at 16 queries.
+ROUTING_SPEEDUP_FLOOR = 3.0
+
+
+def build_routing_workload():
+    """Pinned (queries, window duration, edge list) for the session suite."""
+    raw = generate_netflow_stream(
+        ROUTING_STREAM_EDGES, seed=ROUTING_STREAM_SEED,
+        num_ips=ROUTING_NUM_IPS, extra_ports=ROUTING_EXTRA_PORTS,
+        port_alpha=ROUTING_PORT_ALPHA)
+    stream = relabel_stream(raw, edge_label=lambda lbl: (lbl[1], lbl[2]))
+    population = window_slice(stream, 300)
+    variants = generate_query_set(
+        population, sizes=ROUTING_QUERY_SIZES,
+        per_size=ROUTING_NUM_QUERIES, rng=random.Random(3))
+    # One query per walk: the full-timing-order variant (index 0 of each
+    # walk's five-variant group, see generate_query_set).
+    queries = variants[0::5][:ROUTING_NUM_QUERIES]
+    if len(queries) != ROUTING_NUM_QUERIES:
+        raise AssertionError(
+            f"query generator produced {len(queries)} variants, "
+            f"expected {ROUTING_NUM_QUERIES}")
+    duration = stream.window_units_to_duration(ROUTING_WINDOW_UNITS)
+    return queries, duration, list(stream)
+
+
+def _run_routing_mode(queries: List[QueryGraph], duration: float,
+                      edges: List, routing: str):
+    session = Session(window=duration, config=EngineConfig(routing=routing))
+    for i, query in enumerate(queries):
+        session.register(f"q{i:02d}", query)
+    started = time.perf_counter()
+    tagged = session.push_many(edges)
+    elapsed = time.perf_counter() - started
+    stats = session.session_stats()
+    report = {
+        "routing": routing,
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_edges_per_s": round(len(edges) / elapsed, 1),
+        "matches": len(tagged),
+        "routed_pushes": stats["routed_pushes"],
+        "skipped_matchers": stats["skipped_matchers"],
+        "shared_window_cells": stats["shared_window_cells"],
+        "window_cells": stats["window_cells"],
+        "space_cells": session.space_cells(),
+    }
+    return report, Counter(tagged)
+
+
+def run_routing_smoke() -> dict:
+    """Run both session routing modes; returns the report dict."""
+    queries, duration, edges = build_routing_workload()
+    shared_run, shared_tagged = _run_routing_mode(
+        queries, duration, edges, "shared")
+    fanout_run, fanout_tagged = _run_routing_mode(
+        queries, duration, edges, "fanout")
+    if shared_tagged != fanout_tagged:
+        raise AssertionError(
+            "routing changed the answer: shared and fanout (name, match) "
+            "multisets differ")
+    if shared_run["space_cells"] != fanout_run["space_cells"]:
+        raise AssertionError(
+            f"routing changed partial-match space: "
+            f"shared={shared_run['space_cells']} "
+            f"fanout={fanout_run['space_cells']}")
+    # The memory claim, asserted exactly: fanout keeps Q window copies,
+    # shared keeps one.
+    in_window = shared_run["shared_window_cells"]
+    if shared_run["window_cells"] != in_window:
+        raise AssertionError("shared session kept private window copies")
+    if fanout_run["window_cells"] != ROUTING_NUM_QUERIES * in_window:
+        raise AssertionError(
+            f"fanout window cells {fanout_run['window_cells']} != "
+            f"{ROUTING_NUM_QUERIES} x {in_window}")
+    return {
+        "benchmark": "pr3-routing-perf-smoke",
+        "workload": {
+            "dataset": "NetworkFlow (dst-port/protocol labels)",
+            "stream_edges": ROUTING_STREAM_EDGES,
+            "stream_seed": ROUTING_STREAM_SEED,
+            "num_ips": ROUTING_NUM_IPS,
+            "query_sizes": ROUTING_QUERY_SIZES,
+            "num_queries": ROUTING_NUM_QUERIES,
+            "window_units": ROUTING_WINDOW_UNITS,
+            "storage": "mstree",
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "shared": shared_run,
+        "fanout": fanout_run,
+        "window_cells_ratio": round(
+            fanout_run["window_cells"] / max(1, shared_run["window_cells"]),
+            2),
+        "speedup": round(
+            fanout_run["elapsed_seconds"] / shared_run["elapsed_seconds"],
+            2),
+    }
+
+
+def check_routing_regression(report: dict, baseline: dict,
+                             tolerance: float) -> List[str]:
+    """Failure messages (empty = pass) for the routing suite."""
+    failures = []
+    measured = report["speedup"]
+    recorded = baseline.get("speedup")
+    if measured < ROUTING_SPEEDUP_FLOOR:
+        failures.append(
+            f"shared-over-fanout speedup {measured}x is below the "
+            f"{ROUTING_SPEEDUP_FLOOR}x floor")
+    if recorded is not None and measured < (1.0 - tolerance) * recorded:
+        failures.append(
+            f"shared-over-fanout speedup regressed >{tolerance:.0%}: "
+            f"measured {measured}x vs committed baseline {recorded}x")
+    if report["shared"]["matches"] != baseline.get(
+            "shared", {}).get("matches", report["shared"]["matches"]):
+        failures.append(
+            f"workload drifted: {report['shared']['matches']} matches vs "
+            f"baseline {baseline['shared']['matches']}")
+    if report["window_cells_ratio"] < ROUTING_NUM_QUERIES:
+        failures.append(
+            f"shared-window memory is not O(|W|): fanout/shared window "
+            f"cell ratio {report['window_cells_ratio']} < "
+            f"{ROUTING_NUM_QUERIES}")
+    return failures
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+SUITES = {
+    "indexing": {
+        "default_out": "BENCH_pr2.json",
+        "run": run_smoke,
+        "check": check_regression,
+        "summary": lambda r: (
+            f"hash: {r['hash']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['hash']['elapsed_seconds']}s), "
+            f"scan: {r['scan']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['scan']['elapsed_seconds']}s) "
+            f"→ speedup {r['speedup']}x"),
+    },
+    "routing": {
+        "default_out": "BENCH_pr3.json",
+        "run": run_routing_smoke,
+        "check": check_routing_regression,
+        "summary": lambda r: (
+            f"shared: {r['shared']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['shared']['elapsed_seconds']}s), "
+            f"fanout: {r['fanout']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['fanout']['elapsed_seconds']}s) "
+            f"→ speedup {r['speedup']}x at "
+            f"{r['workload']['num_queries']} queries, window cells "
+            f"{r['shared']['window_cells']} vs "
+            f"{r['fanout']['window_cells']}"),
+    },
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.perf_smoke",
-        description="indexing ablation perf smoke (hash vs scan joins)")
-    parser.add_argument("--out", default="BENCH_pr2.json",
-                        help="where to write the JSON report")
+        description="pinned perf smokes: indexing (hash vs scan joins) "
+                    "and routing (shared vs fanout sessions)")
+    parser.add_argument("--suite", choices=sorted(SUITES),
+                        default="indexing",
+                        help="which smoke to run (default: indexing)")
+    parser.add_argument("--out", default=None,
+                        help="where to write the JSON report (default: "
+                             "the suite's committed baseline name)")
     parser.add_argument("--check", default=None, metavar="BASELINE.json",
                         help="compare against a committed baseline report "
                              "and exit 1 on regression")
@@ -158,6 +365,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="allowed fractional speedup regression vs the "
                              "baseline (default 0.30)")
     args = parser.parse_args(argv)
+    suite = SUITES[args.suite]
+    out = args.out if args.out is not None else suite["default_out"]
 
     # Read the baseline before writing anything: with the default --out
     # the two paths are the same file, and clobbering the baseline first
@@ -167,18 +376,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.check, encoding="utf-8") as handle:
             baseline = json.load(handle)
 
-    report = run_smoke()
-    with open(args.out, "w", encoding="utf-8") as handle:
+    report = suite["run"]()
+    with open(out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"hash: {report['hash']['throughput_edges_per_s']:.0f} edges/s "
-          f"({report['hash']['elapsed_seconds']}s), "
-          f"scan: {report['scan']['throughput_edges_per_s']:.0f} edges/s "
-          f"({report['scan']['elapsed_seconds']}s) "
-          f"→ speedup {report['speedup']}x; wrote {args.out}")
+    print(f"{suite['summary'](report)}; wrote {out}")
 
     if baseline is not None:
-        failures = check_regression(report, baseline, args.tolerance)
+        failures = suite["check"](report, baseline, args.tolerance)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:

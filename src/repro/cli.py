@@ -23,7 +23,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from .api import (
-    BACKENDS, DUPLICATE_POLICIES, INDEXING_MODES, EngineConfig, Session,
+    BACKENDS, DUPLICATE_POLICIES, INDEXING_MODES, ROUTING_MODES,
+    EngineConfig, Session,
 )
 from .core.engine import TimingMatcher
 from .core.plan import explain
@@ -62,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default="hash",
                        help="insert-path join strategy: hash-indexed "
                             "(default) or paper-faithful full scans")
+    p_run.add_argument("--routing", choices=sorted(ROUTING_MODES),
+                       default="shared",
+                       help="multi-query ingestion strategy: shared "
+                            "window + label-triple routing (default) or "
+                            "per-matcher full fan-out")
     p_run.add_argument("--backend", choices=sorted(BACKENDS),
                        default="timing",
                        help="matcher engine (default: timing)")
@@ -128,6 +134,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = EngineConfig(
         storage="independent" if args.no_mstree else "mstree",
         indexing=args.indexing,
+        routing=args.routing,
         duplicate_policy=args.duplicates)
     session = Session(window=window, config=config)
     session.register("query", query, backend=args.backend)
@@ -158,13 +165,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if jsonl is not None:
             jsonl.close()
     stats = session.stats()["query"]
-    summary = f"processed {stats['edges_seen']} edges, {total} matches"
+    # Session-level arrival count: under shared routing the engine only
+    # sees the arrivals routed to it, so its edges_seen is not the
+    # stream length any more.
+    summary = f"processed {session.edges_pushed} edges, {total} matches"
     if args.backend == "timing":
         # Only the Timing engine prunes discardable arrivals (Lemma 1).
         summary += f", {stats['edges_discarded']} discardable arrivals pruned"
     if args.duplicates == "count":
         summary += f", {stats['edges_skipped']} duplicate arrivals skipped"
     print(summary)
+    if args.routing == "shared":
+        ss = session.session_stats()
+        print(f"routing: shared — {ss['routed_pushes']} routed pushes, "
+              f"{ss['skipped_matchers']} matcher visits skipped, "
+              f"{ss['shared_window_cells']} shared window cells")
     return 0
 
 

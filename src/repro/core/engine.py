@@ -441,6 +441,13 @@ class TimingMatcher(MatcherBase):
         ``indexing="scan"``; with the default hash indexing only the
         arriving edge's join-key bucket is inspected.  Side-effect-free
         including the stats counters.
+
+        Overrides the label-level default of
+        :meth:`repro.api.MatcherBase.is_discardable` with this stronger
+        state-dependent test.  A multi-query :class:`~repro.api.Session`
+        applies the label-level case wholesale: its shared-routing index
+        never even visits an engine for an arrival that is trivially
+        discardable for it.
         """
         for eid in self.query.matching_edge_ids(edge):
             si, j = self._position[eid]

@@ -253,6 +253,26 @@ class QueryGraph:
             matched.sort()      # interleave by insertion ordinal
         return [eid for _, eid in matched]
 
+    def label_signatures(self) -> Tuple[FrozenSet[Tuple], bool]:
+        """The query's routing signature: ``(exact_keys, has_generic)``.
+
+        ``exact_keys`` is the set of concrete ``(src-label, edge-label,
+        dst-label, is-loop)`` triples this query's wildcard-free edges
+        probe for — the same keys :meth:`matching_edge_ids` hashes a
+        stream edge into.  ``has_generic`` is ``True`` when some query
+        edge carries a wildcard (or unhashable) label and therefore needs
+        a per-arrival compatibility scan.  A stream edge whose key is
+        outside ``exact_keys`` provably matches no query edge unless
+        ``has_generic`` — which is what lets a multi-query
+        :class:`~repro.api.Session` route arrivals to only the queries
+        that can consume them.
+        """
+        index = self._label_index
+        if index is None:
+            index = self._build_label_index()
+        exact, generic = index
+        return frozenset(exact), bool(generic)
+
     def distinct_term_labels(self) -> int:
         """Number of distinct (src-label, edge-label, dst-label) triples.
 

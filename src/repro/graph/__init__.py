@@ -5,13 +5,14 @@ from .edge import StreamEdge
 from .ops import (
     filter_stream, merge_streams, relabel_stream, rescale_time, time_slice,
 )
+from .shared_window import SharedSlidingWindow, SharedWindowView
 from .snapshot import SnapshotGraph
 from .stream import GraphStream
 from .window import SlidingWindow
 
 __all__ = [
     "StreamEdge", "GraphStream", "SlidingWindow", "CountSlidingWindow",
-    "SnapshotGraph",
+    "SharedSlidingWindow", "SharedWindowView", "SnapshotGraph",
     "merge_streams", "filter_stream", "rescale_time", "time_slice",
     "relabel_stream",
 ]

@@ -17,12 +17,21 @@ from collections import deque
 from typing import Deque, Dict, Hashable, Iterator, List
 
 from .edge import StreamEdge
+from .window import ExpiryCallback, ExpirySubscriptionMixin
 
 
-class CountSlidingWindow:
-    """FIFO of at most ``capacity`` most recent edges."""
+class CountSlidingWindow(ExpirySubscriptionMixin):
+    """FIFO of at most ``capacity`` most recent edges.
 
-    __slots__ = ("capacity", "_edges", "_current_time", "_id_counts")
+    Supports the same expiry-subscription hook as
+    :class:`~repro.graph.window.SlidingWindow`: ``subscribe(callback)``
+    registers a callable invoked with each evicted edge at eviction time,
+    which is what lets :class:`~repro.graph.shared_window.SharedSlidingWindow`
+    serve many matchers from one buffer.
+    """
+
+    __slots__ = ("capacity", "_edges", "_current_time", "_id_counts",
+                 "_subscribers")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -33,6 +42,7 @@ class CountSlidingWindow:
         # In-window multiset of edge ids — O(1) membership, mirroring
         # :class:`repro.graph.window.SlidingWindow`.
         self._id_counts: Dict[Hashable, int] = {}
+        self._subscribers: List[ExpiryCallback] = []
 
     @property
     def current_time(self) -> float:
@@ -73,6 +83,7 @@ class CountSlidingWindow:
         self._edges.append(edge)
         self._id_counts[edge.edge_id] = \
             self._id_counts.get(edge.edge_id, 0) + 1
+        self._notify(expired)
         return expired
 
     def advance(self, timestamp: float) -> List[StreamEdge]:

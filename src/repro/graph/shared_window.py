@@ -1,0 +1,230 @@
+"""One window buffer of the live stream, shared by many matchers.
+
+In a multi-query :class:`~repro.api.Session` every registered matcher sees
+the *same* arrivals: fanning each edge out to per-matcher
+:class:`~repro.graph.window.SlidingWindow` copies costs ``O(Q·|W|)`` window
+memory and ``Q`` identical expiry cascades per arrival.  This module
+de-duplicates that: a :class:`SharedSlidingWindow` owns the single deque of
+in-window edges (plus an id → timestamp index for O(1) duplicate probes),
+matchers subscribe for expiry callbacks, and each matcher keeps only a
+read-only :class:`SharedWindowView` onto the shared buffer — cutting window
+memory to ``O(|W|)`` and running one expiry scan per advance regardless of
+how many queries are registered.
+
+The shared window wraps either time-based window policy
+(:class:`~repro.graph.window.SlidingWindow`) or count-based policy
+(:class:`~repro.graph.count_window.CountSlidingWindow`) and rides on the
+expiry-subscription hooks those classes expose; matchers with the same
+policy parameters (same duration, or same capacity) are *compatible* and
+share one buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+from .count_window import CountSlidingWindow
+from .edge import StreamEdge
+from .window import ExpiryCallback, ExpirySubscriptionMixin, SlidingWindow
+
+#: Window-policy classes a shared window can wrap.  Exact types only —
+#: a subclass may change expiry semantics, which would silently break
+#: every co-subscribed matcher.
+SHAREABLE_WINDOW_TYPES = (SlidingWindow, CountSlidingWindow)
+
+
+def window_policy_key(window) -> Optional[Tuple[str, float]]:
+    """Compatibility key of a window policy, or ``None`` if unshareable.
+
+    Two matchers may share one buffer exactly when their policies expire
+    identically on the same stream: same-duration time windows, or
+    same-capacity count windows.
+    """
+    if type(window) is SlidingWindow:
+        return ("time", window.duration)
+    if type(window) is CountSlidingWindow:
+        return ("count", window.capacity)
+    return None
+
+
+class SharedSlidingWindow(ExpirySubscriptionMixin):
+    """The single buffer of live edges behind a multi-query session.
+
+    Wraps a fresh window-policy object (time- or count-based), maintains an
+    ``edge_id → timestamp`` index over the live edges, and fans each expiry
+    out to the subscribed callbacks (registered through the policy's
+    ``subscribe`` hook).  Duplicate-id *policy* is the session's business
+    (per-matcher, like the underlying window policies, which are id
+    multisets): the buffer admits coexisting same-id bearers — e.g. a
+    matcher registered mid-stream legitimately ingests a re-used id whose
+    original bearer it never saw — and the bearer index keeps the latest
+    bearer's timestamp, deleting it only when *that* bearer expires.
+    """
+
+    __slots__ = ("_policy", "_id_times", "_subscribers")
+
+    def __init__(self, policy) -> None:
+        if type(policy) not in SHAREABLE_WINDOW_TYPES:
+            raise TypeError(
+                f"not a shareable window policy: {policy!r} "
+                f"(expected one of {[t.__name__ for t in SHAREABLE_WINDOW_TYPES]})")
+        if len(policy) != 0:
+            raise ValueError("a shared window must start from an empty policy")
+        self._policy = policy
+        self._id_times: dict = {}
+        self._subscribers: List[ExpiryCallback] = []
+        policy.subscribe(self._on_expired)
+
+    # ------------------------------------------------------------------ #
+    # Policy passthrough
+    # ------------------------------------------------------------------ #
+    @property
+    def policy(self):
+        """The wrapped window-policy object (owned by this shared window)."""
+        return self._policy
+
+    @property
+    def duration(self) -> float:
+        return self._policy.duration        # AttributeError for count policies
+
+    @property
+    def capacity(self) -> int:
+        return self._policy.capacity        # AttributeError for time policies
+
+    @property
+    def current_time(self) -> float:
+        return self._policy.current_time
+
+    def __len__(self) -> int:
+        return len(self._policy)
+
+    def __iter__(self) -> Iterator[StreamEdge]:
+        return iter(self._policy)
+
+    def __contains__(self, edge) -> bool:
+        return edge in self._policy
+
+    def edges(self) -> List[StreamEdge]:
+        return self._policy.edges()
+
+    def oldest(self) -> StreamEdge:
+        return self._policy.oldest()
+
+    def newest(self) -> StreamEdge:
+        return self._policy.newest()
+
+    # ------------------------------------------------------------------ #
+    # Subscription — subscribe/unsubscribe come from the mixin.
+    # ------------------------------------------------------------------ #
+    def _on_expired(self, edge: StreamEdge) -> None:
+        # Timestamp-paired deletion: an older coexisting bearer's expiry
+        # must not clobber the latest bearer's index entry.
+        if self._id_times.get(edge.edge_id) == edge.timestamp:
+            del self._id_times[edge.edge_id]
+        self._notify((edge,))
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    def advance(self, timestamp: float) -> List[StreamEdge]:
+        """Slide time forward; expired edges are returned *and* dispatched
+        to the subscribers."""
+        return self._policy.advance(timestamp)
+
+    def push(self, edge: StreamEdge) -> List[StreamEdge]:
+        """Buffer one arrival; returns (and dispatches) what it expires."""
+        expired = self._policy.push(edge)
+        self._id_times[edge.edge_id] = edge.timestamp   # latest bearer wins
+        return expired
+
+    # ------------------------------------------------------------------ #
+    # Duplicate probes
+    # ------------------------------------------------------------------ #
+    def bearer_timestamp(self, edge_id: Hashable) -> Optional[float]:
+        """Timestamp of the live edge carrying ``edge_id`` (``None`` if
+        no live bearer)."""
+        return self._id_times.get(edge_id)
+
+    def bearer_live_at(self, edge_id: Hashable, timestamp: float) -> bool:
+        """Whether an arrival at ``timestamp`` would find ``edge_id`` still
+        in-window — i.e. be a duplicate.  Time-based windows account for
+        the expiry the arrival itself would trigger; count-based windows
+        only expire by capacity, so any stored bearer is live.
+        """
+        bearer = self._id_times.get(edge_id)
+        if bearer is None:
+            return False
+        duration = getattr(self._policy, "duration", None)
+        if duration is None:
+            return True
+        return bearer > timestamp - duration
+
+    def __repr__(self) -> str:
+        kind = "time" if type(self._policy) is SlidingWindow else "count"
+        return (f"SharedSlidingWindow({kind}, {len(self)} edges, "
+                f"{len(self._subscribers)} subscribers)")
+
+
+class SharedWindowView:
+    """A matcher's read-only view of a :class:`SharedSlidingWindow`.
+
+    Exposes the read surface of a window policy (length, iteration,
+    membership, ``duration``/``capacity``/``current_time``, ``edges`` /
+    ``oldest`` / ``newest``) backed by the shared buffer, so code that
+    inspects ``matcher.window`` keeps working.  Mutation is refused: a
+    shared-routing :class:`~repro.api.Session` owns the buffer, and a
+    direct ``matcher.push`` would desynchronise every co-subscribed
+    matcher.
+    """
+
+    __slots__ = ("_shared",)
+
+    def __init__(self, shared: SharedSlidingWindow) -> None:
+        self._shared = shared
+
+    @property
+    def shared(self) -> SharedSlidingWindow:
+        return self._shared
+
+    @property
+    def duration(self) -> float:
+        return self._shared.duration
+
+    @property
+    def capacity(self) -> int:
+        return self._shared.capacity
+
+    @property
+    def current_time(self) -> float:
+        return self._shared.current_time
+
+    def __len__(self) -> int:
+        return len(self._shared)
+
+    def __iter__(self) -> Iterator[StreamEdge]:
+        return iter(self._shared)
+
+    def __contains__(self, edge) -> bool:
+        return edge in self._shared
+
+    def edges(self) -> List[StreamEdge]:
+        return self._shared.edges()
+
+    def oldest(self) -> StreamEdge:
+        return self._shared.oldest()
+
+    def newest(self) -> StreamEdge:
+        return self._shared.newest()
+
+    def push(self, edge: StreamEdge):
+        raise RuntimeError(
+            "this matcher's window is a shared-session buffer; stream "
+            "through Session.push/push_many, not the matcher directly")
+
+    def advance(self, timestamp: float):
+        raise RuntimeError(
+            "this matcher's window is a shared-session buffer; advance "
+            "time through Session.advance_time")
+
+    def __repr__(self) -> str:
+        return f"SharedWindowView({self._shared!r})"

@@ -12,12 +12,46 @@ Timing engine and every baseline build on.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Hashable, Iterator, List
+from typing import Callable, Deque, Dict, Hashable, Iterator, List
 
 from .edge import StreamEdge
 
+#: Signature of an expiry subscriber: called once per expired edge, in
+#: chronological order, at the moment the window drops it.
+ExpiryCallback = Callable[[StreamEdge], None]
 
-class SlidingWindow:
+
+class ExpirySubscriptionMixin:
+    """Expiry-subscription surface shared by every window class.
+
+    Stateless (slots-friendly): the concrete class provides the
+    ``_subscribers`` list.  Subscribers must be picklable if the window
+    is checkpointed.
+    """
+
+    __slots__ = ()
+
+    def subscribe(self, callback: ExpiryCallback) -> ExpiryCallback:
+        """Register an expiry subscriber; returns it (handy inline)."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: ExpiryCallback) -> None:
+        """Remove a subscriber added with :meth:`subscribe`."""
+        for i, existing in enumerate(self._subscribers):
+            if existing is callback:
+                del self._subscribers[i]
+                return
+        raise ValueError("callback is not subscribed")
+
+    def _notify(self, expired: List[StreamEdge]) -> None:
+        if expired and self._subscribers:
+            for edge in expired:
+                for callback in self._subscribers:
+                    callback(edge)
+
+
+class SlidingWindow(ExpirySubscriptionMixin):
     """FIFO of in-window edges with timestamp-driven expiry.
 
     Parameters
@@ -25,9 +59,20 @@ class SlidingWindow:
     duration:
         The window length ``|W|``.  At time ``t`` the window covers the
         half-open interval ``(t - duration, t]`` exactly as in the paper.
+
+    Expiry subscription
+    -------------------
+    ``subscribe(callback)`` registers a callable invoked with each edge the
+    moment it expires (after the window has already forgotten it), in
+    chronological order.  This is the hook
+    :class:`~repro.graph.shared_window.SharedSlidingWindow` builds on so
+    many matchers can share one buffer of the stream instead of each
+    re-buffering it.  Subscribers must be picklable if the window is
+    checkpointed.
     """
 
-    __slots__ = ("duration", "_edges", "_current_time", "_id_counts")
+    __slots__ = ("duration", "_edges", "_current_time", "_id_counts",
+                 "_subscribers")
 
     def __init__(self, duration: float) -> None:
         if duration <= 0:
@@ -39,6 +84,7 @@ class SlidingWindow:
         # ``edge_id``, so membership is an O(1) dict probe instead of a
         # linear deque scan.
         self._id_counts: Dict[Hashable, int] = {}
+        self._subscribers: List[ExpiryCallback] = []
 
     @property
     def current_time(self) -> float:
@@ -79,6 +125,7 @@ class SlidingWindow:
             old = self._edges.popleft()
             self._forget(old)
             expired.append(old)
+        self._notify(expired)
         return expired
 
     def push(self, edge: StreamEdge) -> List[StreamEdge]:

@@ -29,8 +29,11 @@ from .api import MatcherBase, Session
 #: Bump when the engine's state layout changes incompatibly.
 #: (v2: engines share MatcherBase state; sessions became checkpointable.
 #: v3: join-key indexes on stores, window id multisets, query label index,
-#: index/scan stats counters.)
-CHECKPOINT_VERSION = 3
+#: index/scan stats counters.
+#: v4: shared-stream sessions — shared window buffers + routing index +
+#: expiry subscriptions, live-edge-id registries became id → timestamp
+#: maps, window expiry-subscriber lists.)
+CHECKPOINT_VERSION = 4
 
 _MAGIC = b"timingsubg-checkpoint"
 

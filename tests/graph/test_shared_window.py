@@ -1,0 +1,178 @@
+"""Unit tests for the shared-window substrate: the expiry-subscription
+hooks on both window policies, the :class:`SharedSlidingWindow` wrapper
+(id index, duplicate probes, fan-out), and the per-matcher read-only view.
+"""
+
+import pickle
+
+import pytest
+
+from repro.graph.count_window import CountSlidingWindow
+from repro.graph.shared_window import (
+    SharedSlidingWindow, SharedWindowView, window_policy_key,
+)
+from repro.graph.window import SlidingWindow
+
+from ..conftest import make_edge
+
+
+class TestSubscriptionHooks:
+    def test_time_window_notifies_each_expiry_in_order(self):
+        window = SlidingWindow(5.0)
+        seen = []
+        window.subscribe(seen.append)
+        for t in (1.0, 2.0, 3.0):
+            window.push(make_edge("a1", "b1", t))
+        window.advance(7.5)             # expires t=1 and t=2
+        assert [e.timestamp for e in seen] == [1.0, 2.0]
+        window.push(make_edge("a2", "b2", 9.0))     # expires t=3 via push
+        assert [e.timestamp for e in seen] == [1.0, 2.0, 3.0]
+
+    def test_count_window_notifies_on_eviction(self):
+        window = CountSlidingWindow(2)
+        seen = []
+        window.subscribe(seen.append)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            window.push(make_edge("a1", "b1", t))
+        assert [e.timestamp for e in seen] == [1.0, 2.0]
+
+    def test_unsubscribe_stops_delivery_and_unknown_raises(self):
+        window = SlidingWindow(1.0)
+        seen = []
+        callback = window.subscribe(seen.append)
+        window.unsubscribe(callback)
+        window.push(make_edge("a1", "b1", 1.0))
+        window.push(make_edge("a2", "b2", 5.0))
+        assert seen == []
+        with pytest.raises(ValueError, match="not subscribed"):
+            window.unsubscribe(callback)
+
+
+class TestPolicyKey:
+    def test_keys_group_by_policy_parameters(self):
+        assert window_policy_key(SlidingWindow(5.0)) == \
+            window_policy_key(SlidingWindow(5.0)) == ("time", 5.0)
+        assert window_policy_key(CountSlidingWindow(7)) == ("count", 7)
+        assert window_policy_key(SlidingWindow(5.0)) != \
+            window_policy_key(SlidingWindow(6.0))
+
+    def test_unshareable_policies_have_no_key(self):
+        class CustomWindow(SlidingWindow):
+            pass
+
+        assert window_policy_key(CustomWindow(5.0)) is None
+        assert window_policy_key(object()) is None
+
+
+class TestSharedSlidingWindow:
+    def test_rejects_non_policy_and_non_empty_policy(self):
+        with pytest.raises(TypeError, match="shareable"):
+            SharedSlidingWindow(object())
+        window = SlidingWindow(5.0)
+        window.push(make_edge("a1", "b1", 1.0))
+        with pytest.raises(ValueError, match="empty"):
+            SharedSlidingWindow(window)
+
+    def test_bearer_index_tracks_live_ids(self):
+        shared = SharedSlidingWindow(SlidingWindow(5.0))
+        shared.push(make_edge("a1", "b1", 1.0))
+        assert shared.bearer_timestamp("a1->b1@1.0") is None  # auto ids differ
+        edge = make_edge("a2", "b2", 2.0)
+        shared.push(edge)
+        assert shared.bearer_timestamp(edge.edge_id) == 2.0
+        shared.advance(7.5)                 # expires both
+        assert shared.bearer_timestamp(edge.edge_id) is None
+        assert len(shared) == 0
+
+    def test_bearer_live_at_accounts_for_self_triggered_expiry(self):
+        shared = SharedSlidingWindow(SlidingWindow(5.0))
+        edge = make_edge("a1", "b1", 1.0)
+        shared.push(edge)
+        assert shared.bearer_live_at(edge.edge_id, 5.9)
+        assert not shared.bearer_live_at(edge.edge_id, 6.1)
+
+    def test_count_policy_bearer_never_expires_by_time(self):
+        shared = SharedSlidingWindow(CountSlidingWindow(3))
+        edge = make_edge("a1", "b1", 1.0)
+        shared.push(edge)
+        assert shared.bearer_live_at(edge.edge_id, 1e9)
+
+    def test_coexisting_same_id_bearers_pair_by_timestamp(self):
+        """Duplicate policy is the session's business: the buffer admits
+        same-id bearers (a matcher registered mid-stream legitimately
+        ingests a re-used id), keeps the latest bearer's timestamp, and
+        deletes the index entry only when *that* bearer expires."""
+        from repro import StreamEdge
+
+        def flow(ts):
+            return StreamEdge("a1", "b1", src_label="A", dst_label="A",
+                              timestamp=ts, edge_id="flow")
+
+        shared = SharedSlidingWindow(SlidingWindow(5.0))
+        shared.push(flow(1.0))
+        shared.push(flow(2.0))
+        assert shared.bearer_timestamp("flow") == 2.0
+        shared.advance(6.5)                 # expires only the t=1 bearer
+        assert shared.bearer_timestamp("flow") == 2.0
+        assert shared.bearer_live_at("flow", 6.5)
+        shared.advance(7.5)                 # expires the t=2 bearer
+        assert shared.bearer_timestamp("flow") is None
+
+    def test_reused_id_after_expiry_is_not_a_duplicate(self):
+        """A bearer past the window must not block its id's re-use, even
+        before an advance has physically dropped it from the deque."""
+        from repro import StreamEdge
+        shared = SharedSlidingWindow(SlidingWindow(5.0))
+        shared.push(StreamEdge("a1", "b1", src_label="A", dst_label="A",
+                               timestamp=1.0, edge_id="flow"))
+        assert not shared.bearer_live_at("flow", 20.0)
+        shared.push(StreamEdge("a2", "b2", src_label="A", dst_label="A",
+                               timestamp=20.0, edge_id="flow"))
+        assert shared.bearer_timestamp("flow") == 20.0
+        assert len(shared) == 1             # the push advanced the old out
+
+    def test_expiry_fans_out_to_subscribers(self):
+        shared = SharedSlidingWindow(SlidingWindow(2.0))
+        first, second = [], []
+        shared.subscribe(first.append)
+        shared.subscribe(second.append)
+        shared.push(make_edge("a1", "b1", 1.0))
+        shared.push(make_edge("a2", "b2", 4.0))
+        assert [e.timestamp for e in first] == [1.0]
+        assert first == second
+
+
+class TestSharedWindowView:
+    def test_view_reads_the_shared_buffer(self):
+        shared = SharedSlidingWindow(SlidingWindow(5.0))
+        view = SharedWindowView(shared)
+        assert view.duration == 5.0
+        edge = make_edge("a1", "b1", 1.0)
+        shared.push(edge)
+        assert len(view) == 1 and edge in view
+        assert view.edges() == [edge]
+        assert view.oldest() is view.newest() is edge
+        assert view.current_time == 1.0
+
+    def test_view_refuses_mutation(self):
+        view = SharedWindowView(SharedSlidingWindow(SlidingWindow(5.0)))
+        with pytest.raises(RuntimeError, match="Session"):
+            view.push(make_edge("a1", "b1", 1.0))
+        with pytest.raises(RuntimeError, match="Session"):
+            view.advance(2.0)
+
+    def test_count_view_exposes_capacity_not_duration(self):
+        view = SharedWindowView(SharedSlidingWindow(CountSlidingWindow(4)))
+        assert view.capacity == 4
+        assert getattr(view, "duration", None) is None
+
+    def test_pickle_round_trip_preserves_buffer_and_index(self):
+        shared = SharedSlidingWindow(SlidingWindow(5.0))
+        edge = make_edge("a1", "b1", 1.0)
+        shared.push(edge)
+        view = SharedWindowView(shared)
+        restored = pickle.loads(pickle.dumps((shared, view)))
+        shared2, view2 = restored
+        assert view2.shared is shared2          # identity preserved
+        assert len(view2) == 1
+        assert shared2.bearer_timestamp(edge.edge_id) == 1.0

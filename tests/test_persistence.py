@@ -9,7 +9,7 @@ from repro.persistence import (
     CheckpointError, load_checkpoint, save_checkpoint,
 )
 
-from .conftest import fig3_stream, fig5_query, random_stream
+from .conftest import fig3_stream, fig5_query, path_query, random_stream
 
 
 class TestRoundTrip:
@@ -36,6 +36,26 @@ class TestRoundTrip:
         assert set(resumed.current_matches()) == \
             set(continuous.current_matches())
         assert resumed.store_profile() == continuous.store_profile()
+
+    def test_deep_mstree_store_checkpoints_without_recursion(self, tmp_path):
+        """An MS-tree level holds its nodes on an intrusive linked list;
+        naive pickling would recurse node→next→next… and blow the
+        recursion limit on any realistically sized store (thousands of
+        stored partials).  Regression: checkpoint a store far deeper than
+        the default recursion limit and resume it."""
+        stream = random_stream(5, 3000, 6, labels="ab")
+        matcher = TimingMatcher(path_query(2, labels="ab"), 1e9)
+        # Window spans the whole stream: nothing ever expires.
+        for edge in stream:
+            matcher.push(edge)
+        # Several pickle frames per linked node: ~900 chained nodes blow
+        # the default 1000-frame recursion limit many times over.
+        assert matcher.store_profile()["L1^1"] > 800
+        path = str(tmp_path / "deep.ckpt")
+        save_checkpoint(matcher, path)          # must not RecursionError
+        resumed = load_checkpoint(path)
+        assert resumed.store_profile() == matcher.store_profile()
+        assert resumed.result_count() == matcher.result_count()
 
     def test_wildcard_labels_survive_pickling(self, tmp_path):
         """ANY is a singleton compared with ``is`` — restoring must keep
