@@ -13,7 +13,6 @@ from typing import Dict, List, Tuple
 
 from repro.bench.harness import (
     ABLATIONS, INDEXING_ABLATIONS, METHODS, SweepResult,
-    run_method_over_queries,
 )
 from repro.concurrency.simulation import ConcurrencySimulator, collect_trace
 from repro.core.engine import TimingMatcher

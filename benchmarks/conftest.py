@@ -54,11 +54,12 @@ K_VALUES = [1, 2, 3, 6]
 #: a compressed version of the paper's five-variant protocol.
 VARIANTS = (0, 1, 2)
 
-_NETFLOW_GENERALIZE = lambda lbl: (ANY, lbl[1], lbl[2])
+def _netflow_generalize(lbl):
+    return (ANY, lbl[1], lbl[2])
 
 DATASET_BUILDERS: Dict[str, Tuple[Callable, dict, Optional[Callable]]] = {
     "NetworkFlow": (generate_netflow_stream, {"num_ips": 120},
-                    _NETFLOW_GENERALIZE),
+                    _netflow_generalize),
     "Wiki-talk": (generate_wikitalk_stream, {}, None),
     "SocialStream": (generate_lsbench_stream, {}, None),
 }

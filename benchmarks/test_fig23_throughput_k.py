@@ -18,7 +18,7 @@ from ._util import timing_micro_run
 def test_fig23_throughput_over_decomposition_size(dataset_workload, benchmark):
     sweep = k_sweep(dataset_workload)
     table = format_series_table(
-        f"Fig. 23 — Throughput vs decomposition size k "
+        "Fig. 23 — Throughput vs decomposition size k "
         f"({dataset_workload.name})",
         "k", sweep.xs, sweep.throughput,
         note="edges/second; query size fixed at 6, window fixed")

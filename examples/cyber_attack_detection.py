@@ -57,7 +57,7 @@ def main() -> None:
     # engine only sees the arrivals routed to it.
     print(f"processed {session.edges_pushed} flows, "
           f"{stats['edges_discarded']} label-matching flows discarded by "
-          f"timing pruning, "
+          "timing pruning, "
           f"{alerts} alert(s) raised")
     assert alerts == 1, "expected exactly the injected attack"
 

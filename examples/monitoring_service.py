@@ -74,9 +74,9 @@ def main() -> None:
         restored.push(edge)
 
     print(f"\nalert totals: {dict(alerts)}")
-    print(f"per-pattern stats: "
+    print("per-pattern stats: "
           f"{ {n: s['edges_discarded'] for n, s in restored.stats().items()} }"
-          f" arrivals pruned as discardable")
+          " arrivals pruned as discardable")
     audit_lines = audit_log.getvalue().strip().splitlines()
     print(f"audit log: {len(audit_lines)} JSONL record(s)")
     assert alerts["exfiltration"] == 1, "the injected attack must be caught"

@@ -70,8 +70,9 @@ Subpackages
 """
 
 from .api import (
-    BACKENDS, DUPLICATE_POLICIES, ROUTING_MODES, EngineConfig, EngineStats,
-    Matcher, MatcherBase, Session, as_window,
+    BACKENDS, DUPLICATE_POLICIES, ROUTING_MODES, SUBPLAN_SHARING_MODES,
+    EngineConfig, EngineStats, Matcher, MatcherBase, Session,
+    SharedSubplanStore, as_window,
 )
 from .core.engine import TimingMatcher
 from .core.matches import Match, verify_match
@@ -99,7 +100,8 @@ __all__ = [
     "SharedSlidingWindow", "SharedWindowView", "SnapshotGraph",
     # the unified API
     "Matcher", "MatcherBase", "EngineConfig", "EngineStats", "Session",
-    "BACKENDS", "DUPLICATE_POLICIES", "ROUTING_MODES", "as_window",
+    "SharedSubplanStore", "BACKENDS", "DUPLICATE_POLICIES",
+    "ROUTING_MODES", "SUBPLAN_SHARING_MODES", "as_window",
     # engines and results
     "TimingMatcher", "Match", "verify_match", "explain",
     # sinks

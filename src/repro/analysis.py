@@ -8,7 +8,7 @@ Exposed on the CLI as ``python -m repro analyze``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from .core.estimate import TermLabelStatistics, estimate_subquery_cardinality
 from .core.plan import explain

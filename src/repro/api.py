@@ -62,6 +62,7 @@ from .graph.shared_window import (
 from .graph.window import SlidingWindow
 
 if TYPE_CHECKING:  # imported lazily at runtime — repro.core imports us
+    from .core.decomposition import SubplanSignature
     from .core.matches import Match
     from .core.query import QueryGraph
 
@@ -95,7 +96,39 @@ INDEXING_MODES = ("hash", "scan")
 #: replayed id as fresh (see :meth:`Session._push_shared`).
 ROUTING_MODES = ("shared", "fanout")
 
+#: Session sub-plan sharing strategies: ``"shared"`` (default) keeps one
+#: refcounted expansion-list store per *canonical* TC-subquery (see
+#: :func:`repro.core.decomposition.subplan_signature`) per shared window
+#: group, maintained exactly once per arrival however many registered
+#: queries contain that sub-plan; ``"private"`` gives every engine its own
+#: stores — the historical behaviour, kept as the ablation baseline.  Both
+#: produce identical ``(name, match)`` streams.
+SUBPLAN_SHARING_MODES = ("shared", "private")
+
 MatchCallback = Callable[[str, "Match"], None]
+
+
+def _shared_group_key(window) -> Optional[Tuple]:
+    """The shared-window group a window spec will enroll under, or
+    ``None`` when it cannot share a session buffer.
+
+    One function owns this judgement for both the sub-plan eligibility
+    pre-check (which sees the raw spec: a duration or a policy object)
+    and shared-window enrollment (which sees the engine's coerced policy
+    object) — the two must agree, because shared sub-plan stores rely on
+    their consumers expiring in lock-step within one window group.  A
+    number becomes a fresh time window of that duration; a policy object
+    is shareable only while empty and of an exactly shareable type (see
+    :func:`~repro.graph.shared_window.window_policy_key`).
+    """
+    if isinstance(window, bool):
+        return None             # rejected later by as_window
+    if isinstance(window, (int, float)):
+        return ("time", float(window))
+    key = window_policy_key(window)
+    if key is None or len(window) != 0:
+        return None
+    return key
 
 
 def _strip_config_guard(state: dict) -> dict:
@@ -123,7 +156,7 @@ def as_window(window):
     if hasattr(window, "push") and hasattr(window, "advance"):
         return window
     raise TypeError(
-        f"window must be a duration or a window policy object, "
+        "window must be a duration or a window policy object, "
         f"got {window!r}")
 
 
@@ -134,14 +167,18 @@ class EngineStats:
     duplicate-id policy (see :meth:`MatcherBase.push`).  ``index_probes``
     and ``scan_fallbacks`` split the Timing engine's join operations by
     strategy: hash-index bucket probes vs full expansion-list scans (all
-    joins are scans under ``indexing="scan"``; under ``"hash"`` only the
-    shapes with no equality constraint fall back).
+    joins are scans under ``"scan"``; under ``"hash"`` only the
+    shapes with no equality constraint fall back).  ``subplan_reuses``
+    counts expansion-list insertions this engine served from a shared
+    sub-plan store's delta memo instead of recomputing (the joins another
+    consumer of the same :class:`SharedSubplanStore` already paid for).
     """
 
     __slots__ = ("edges_seen", "edges_matched", "edges_discarded",
                  "join_operations", "partial_matches_created",
                  "matches_emitted", "expired_edges", "expired_partials",
-                 "edges_skipped", "index_probes", "scan_fallbacks")
+                 "edges_skipped", "index_probes", "scan_fallbacks",
+                 "subplan_reuses")
 
     def __init__(self) -> None:
         for name in self.__slots__:
@@ -385,6 +422,16 @@ class EngineConfig:
         ablation baseline.  Both produce identical matches (duplicate
         ids are judged stream-level under ``"shared"`` — see
         :data:`ROUTING_MODES`).
+    subplan_sharing:
+        Cross-query sub-plan sharing for shared-routing sessions:
+        ``"shared"`` (default) lets Timing engines registered on the same
+        window group adopt one refcounted expansion-list store per
+        canonical TC-subquery, so an overlapping pattern library pays for
+        each distinct sub-plan once instead of once per query;
+        ``"private"`` keeps per-engine stores (the ablation baseline).
+        Standalone engines and ``routing="fanout"`` sessions ignore it.
+        Both modes produce identical matches — see
+        :data:`SUBPLAN_SHARING_MODES` and :class:`SharedSubplanStore`.
     guard:
         Default access guard threaded through every operation when no
         per-call guard is given (``None`` → serial no-op guard).
@@ -401,6 +448,7 @@ class EngineConfig:
     join_order: str = "jn"
     indexing: str = "hash"
     routing: str = "shared"
+    subplan_sharing: str = "shared"
     guard: Optional[object] = None
     seed: int = 0
     duplicate_policy: str = "raise"
@@ -429,11 +477,193 @@ class EngineConfig:
             raise ValueError(
                 f"unknown routing mode: {self.routing!r} "
                 f"(expected one of {ROUTING_MODES})")
+        if self.subplan_sharing not in SUBPLAN_SHARING_MODES:
+            raise ValueError(
+                f"unknown subplan sharing mode: {self.subplan_sharing!r} "
+                f"(expected one of {SUBPLAN_SHARING_MODES})")
         if self.duplicate_policy not in DUPLICATE_POLICIES:
             raise ValueError(
                 f"unknown duplicate policy: {self.duplicate_policy!r} "
                 f"(expected one of {DUPLICATE_POLICIES})")
         return self
+
+
+# --------------------------------------------------------------------- #
+# Shared sub-plan stores
+# --------------------------------------------------------------------- #
+
+class SharedSubplanStore:
+    """One canonical TC-subquery's expansion-list store, session-shared.
+
+    Two registered queries containing the same sub-plan — identical
+    :func:`~repro.core.decomposition.subplan_signature`, same window group,
+    same storage kind — maintain *identical* expansion lists, so a
+    :class:`Session` hands both engines this one record instead of letting
+    each keep a private copy.  The record owns the physical store (an
+    :class:`~repro.core.mstree.MSTreeTCStore` or
+    :class:`~repro.core.stores.IndependentTCStore`) and a per-arrival delta
+    memo: the first consuming engine to process an arrival performs the
+    insertion and remembers the per-position deltas; every later consumer
+    replays them as an O(1) cache hit, so the store is written exactly once
+    per arrival regardless of fan-in.  Expiry is exactly-once by
+    idempotence (``delete_edge`` pops the edge registry on first delivery).
+
+    ``consumers`` is the refcount maintained by
+    :meth:`Session.register` / :meth:`Session.deregister`; the session
+    frees the record when the last consumer leaves.  Join-key indexes are
+    shared automatically: canonically equal sub-plans compile identical
+    key refs, and index registration is idempotent per ``(level, refs)``.
+    """
+
+    __slots__ = ("key", "signature", "length", "storage", "store",
+                 "consumers", "reuses", "_delta_key", "_deltas")
+
+    def __init__(self, key: Tuple, signature: "SubplanSignature",
+                 storage: str) -> None:
+        self.key = key
+        self.signature = signature
+        self.length = len(signature)
+        self.storage = storage
+        if storage == "mstree":
+            from .core.mstree import MSTreeTCStore
+            self.store = MSTreeTCStore(self.length)
+        else:
+            from .core.stores import IndependentTCStore
+            self.store = IndependentTCStore(self.length)
+        #: Number of registered engines currently consuming this store.
+        self.consumers = 0
+        #: Per-position insertions served from the delta memo instead of
+        #: being recomputed (the work sharing saves, in join units).
+        self.reuses = 0
+        self._delta_key: Optional[Tuple] = None
+        self._deltas: Dict[int, list] = {}
+
+    def lookup(self, edge: StreamEdge, position: int) -> Optional[list]:
+        """The memoised delta of ``edge`` at 0-based ``position``, or
+        ``None`` when this consumer is the arrival's first and must
+        compute (and :meth:`remember`) it."""
+        if self._delta_key != (edge.edge_id, edge.timestamp):
+            return None
+        delta = self._deltas.get(position)
+        if delta is not None:
+            self.reuses += 1
+        return delta
+
+    def remember(self, edge: StreamEdge, position: int,
+                 delta: list) -> None:
+        """Memoise a computed delta for the current arrival.  Stream
+        timestamps strictly increase, so ``(edge_id, timestamp)`` uniquely
+        names the arrival and a stale memo can never be mistaken for a
+        later one."""
+        key = (edge.edge_id, edge.timestamp)
+        if self._delta_key != key:
+            self._delta_key = key
+            self._deltas = {}
+        self._deltas[position] = delta
+
+    def space_cells(self) -> int:
+        return self.store.space_cells()
+
+    def __getstate__(self):
+        # The delta memo is in-flight work scoped to one arrival — like a
+        # session's pending expiry queues, it is never checkpointed.
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["_delta_key"] = None
+        state["_deltas"] = {}
+        return state
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SharedSubplanStore(length={self.length}, "
+                f"storage={self.storage}, consumers={self.consumers})")
+
+
+class _SubplanRegistry:
+    """A session's refcounted cache of :class:`SharedSubplanStore` records.
+
+    Keyed by ``(window-group key, storage kind, signature)``.  A bucket
+    may briefly hold several records for one key: a record is *joinable*
+    only while its store is empty (a fresh consumer starts from an empty
+    window, so adopting a non-empty store would leak the past into it —
+    exactly the mid-stream-registration semantics the routing layer pins);
+    a consumer arriving while the key's records are all non-empty gets a
+    fresh record that later same-key registrants can share.
+    """
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Tuple, List[SharedSubplanStore]] = {}
+
+    def acquire(self, group_key: Tuple, storage: str,
+                signature: "SubplanSignature") -> SharedSubplanStore:
+        key = (group_key, storage, signature)
+        bucket = self._buckets.setdefault(key, [])
+        for record in bucket:
+            if record.store.is_empty():
+                record.consumers += 1
+                return record
+        record = SharedSubplanStore(key, signature, storage)
+        record.consumers = 1
+        bucket.append(record)
+        return record
+
+    def release(self, record: SharedSubplanStore) -> None:
+        record.consumers -= 1
+        if record.consumers <= 0:
+            bucket = self._buckets.get(record.key)
+            if bucket is not None:
+                bucket[:] = [r for r in bucket if r is not record]
+                if not bucket:
+                    del self._buckets[record.key]
+
+    def records(self) -> List[SharedSubplanStore]:
+        return [record for bucket in self._buckets.values()
+                for record in bucket]
+
+    def record_count(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def consumer_count(self) -> int:
+        return sum(record.consumers for record in self.records())
+
+    def space_cells(self) -> int:
+        return sum(record.space_cells() for record in self.records())
+
+    def reuse_count(self) -> int:
+        return sum(record.reuses for record in self.records())
+
+
+class _SubplanProvider:
+    """Construction-time handle a :class:`Session` passes to a Timing
+    engine: the engine calls :meth:`acquire` once per planned TC-subquery
+    and adopts the returned record's store.  Tracks acquisitions so a
+    failed construction can roll its refcounts back."""
+
+    __slots__ = ("_registry", "_group_key", "acquired")
+
+    def __init__(self, registry: _SubplanRegistry, group_key: Tuple) -> None:
+        self._registry = registry
+        self._group_key = group_key
+        self.acquired: List[SharedSubplanStore] = []
+
+    def acquire(self, query: "QueryGraph", sequence,
+                storage: str) -> Optional[SharedSubplanStore]:
+        from .core.decomposition import subplan_signature
+        signature = subplan_signature(query, sequence)
+        if signature is None:       # unhashable label: no cache key
+            return None
+        record = self._registry.acquire(self._group_key, storage, signature)
+        self.acquired.append(record)
+        return record
+
+    def rollback(self) -> None:
+        for record in self.acquired:
+            self._registry.release(record)
+        self.acquired.clear()
 
 
 # --------------------------------------------------------------------- #
@@ -597,6 +827,18 @@ class Session:
     that only shows for queries registered mid-stream — see
     :meth:`_push_shared`).
 
+    On top of shared routing, ``subplan_sharing="shared"`` (the default)
+    de-duplicates the *partial-match state itself*: Timing engines on the
+    same window group whose plans contain the same canonical TC-subquery
+    (same label triples, equality-constraint shape and timing skeleton —
+    :func:`~repro.core.decomposition.subplan_signature`) adopt one
+    refcounted :class:`SharedSubplanStore` for it, maintained exactly once
+    per arrival, while each query's global joins stay private.  A query
+    registered mid-stream gets fresh stores (its sub-plans become
+    shareable by *later* registrants), preserving the starts-empty
+    semantics above.  ``subplan_sharing="private"`` is the ablation
+    baseline; both modes produce identical ``(name, match)`` streams.
+
     Parameters
     ----------
     window:
@@ -655,6 +897,9 @@ class Session:
         # triples with index hits are cached, so adversarial label
         # streams cannot grow it past the routing index itself.
         self._route_cache: Dict = {}
+        # Refcounted shared sub-plan stores (empty under routing="fanout"
+        # or subplan_sharing="private") — see SharedSubplanStore.
+        self._subplans = _SubplanRegistry()
         self._next_ordinal = 0
         #: Arrivals accepted by the session (all routing modes).
         self.edges_pushed = 0
@@ -705,7 +950,7 @@ class Session:
             for other_name, other in self._matchers.items():
                 if getattr(other, "window", None) is window:
                     raise ValueError(
-                        f"window policy object is already used by query "
+                        "window policy object is already used by query "
                         f"{other_name!r}; pass a fresh instance — engines "
                         "cannot share one mutable window")
             for group in self._groups.values():
@@ -715,12 +960,35 @@ class Session:
                         "session window; pass a fresh instance — engines "
                         "cannot share one mutable window")
         config = config if config is not None else self.config
-        matcher = _build_matcher(backend, query, window, config,
-                                 engine_options)
+        provider = self._subplan_provider(backend, config, window)
+        if provider is not None:
+            engine_options["subplan_provider"] = provider
+        try:
+            matcher = _build_matcher(backend, query, window, config,
+                                     engine_options)
+        except BaseException:
+            if provider is not None:
+                provider.rollback()     # failed build leaks no refcounts
+            raise
         ordinal = self._next_ordinal
         self._next_ordinal += 1
         if self._routing != "shared" \
                 or not self._enroll_shared(name, ordinal, matcher):
+            if provider is not None and provider.acquired:
+                # Defensive: sharing stores without co-membership in a
+                # shared window group would desynchronise expiry.  The
+                # eligibility pre-check makes this unreachable for the
+                # built-in timing backend; demote to a private build if a
+                # future path ever gets here.  The discarded matcher must
+                # detach its observers and indexes from the shared stores
+                # (they outlive it) before the refcounts roll back.
+                release = getattr(matcher, "release_shared_subplans", None)
+                if release is not None:
+                    release()
+                provider.rollback()
+                engine_options.pop("subplan_provider")
+                matcher = _build_matcher(backend, query, window, config,
+                                         engine_options)
             # Privately-buffering matcher: lock-step fan-out semantics.
             self._private_entries.append((ordinal, name))
             if self._current_time > float("-inf"):
@@ -737,8 +1005,8 @@ class Session:
         if not isinstance(matcher, MatcherBase):
             return False
         window = getattr(matcher, "window", None)
-        key = window_policy_key(window)
-        if key is None or len(window) != 0:
+        key = _shared_group_key(window)
+        if key is None:
             return False
         for group in self._groups.values():
             if group.window.policy is window:
@@ -780,6 +1048,30 @@ class Session:
                 keys.append(triple)
             self._route_keys[name] = keys
         return True
+
+    def _subplan_provider(self, backend, config: EngineConfig,
+                          window) -> Optional[_SubplanProvider]:
+        """A sub-plan provider for this registration, or ``None``.
+
+        Sharing is offered exactly when the engine is certain to enroll in
+        shared routing (only co-members of one shared window group expire
+        in lock-step, which the exactly-once expiry of a shared store
+        relies on): the built-in Timing backend, ``routing="shared"``,
+        ``subplan_sharing="shared"``, and a window that will land in a
+        known shared group — as judged by the same :func:`_shared_group_key`
+        enrollment itself uses, so the two can never disagree.
+        """
+        if self._routing != "shared" or backend != "timing" \
+                or config.subplan_sharing != "shared":
+            return None
+        group_key = _shared_group_key(window)
+        if group_key is None:
+            return None         # unshareable or pre-filled: won't enroll
+        # Deliver coalesced expiries first: the registry's joinability
+        # probe is is_empty(), and a logically drained store must not
+        # look occupied merely because its deletions are still pending.
+        self._flush_all()
+        return _SubplanProvider(self._subplans, group_key)
 
     def register_file(self, name: str, path: str, **kwargs) -> Matcher:
         """Register a query from a ``.tq`` DSL file."""
@@ -826,6 +1118,14 @@ class Session:
             self._private_entries[:] = [e for e in self._private_entries
                                         if e[1] != name]
         self._route_cache.clear()
+        release = getattr(self._matchers[name],
+                          "release_shared_subplans", None)
+        if release is not None:
+            # Detaches the engine's expiry cascade from shared sub-plan
+            # stores and returns the records so their refcounts drop; the
+            # last consumer out frees the store.
+            for record in release():
+                self._subplans.release(record)
         del self._matchers[name]
         del self._callbacks[name]
         # Sinks filtered to this query die with it — a later query reusing
@@ -1149,9 +1449,18 @@ class Session:
                 for name, matcher in self._matchers.items()}
 
     def space_cells(self) -> int:
+        """Physical partial-match cells held by the session: every shared
+        sub-plan store once, plus each engine's exclusive (unshared)
+        stores.  A matcher's own :meth:`~Matcher.space_cells` stays the
+        per-query *logical* footprint (shared stores included), so summing
+        it over consumers of a shared store would double-count."""
         self._flush_all()
-        return sum(matcher.space_cells()
-                   for matcher in self._matchers.values())
+        cells = self._subplans.space_cells()
+        for matcher in self._matchers.values():
+            exclusive = getattr(matcher, "exclusive_space_cells", None)
+            cells += (exclusive() if exclusive is not None
+                      else matcher.space_cells())
+        return cells
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         self._flush_all()
@@ -1194,6 +1503,11 @@ class Session:
             "skipped_matchers": self.skipped_matchers,
             "shared_window_cells": self.shared_window_cells(),
             "window_cells": self.window_cells(),
+            "subplan_sharing": self.config.subplan_sharing,
+            "shared_subplans": self._subplans.record_count(),
+            "subplan_consumers": self._subplans.consumer_count(),
+            "subplan_store_cells": self._subplans.space_cells(),
+            "subplan_reuses": self._subplans.reuse_count(),
         }
 
     # ------------------------------------------------------------------ #

@@ -19,7 +19,7 @@ Timing are reproduced faithfully:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..api import MatcherBase
 from ..core.join import UnionSpec

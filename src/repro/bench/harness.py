@@ -9,7 +9,7 @@ method registry and the sweep loop shared by all figure benchmarks in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..api import EngineConfig, Matcher
 from ..baselines.incmat import IncMatMatcher

@@ -1,6 +1,6 @@
 """Repeatable perf smokes: pinned workloads, JSON reports, CI gates.
 
-Two suites, selected with ``--suite``:
+Three suites, selected with ``--suite``:
 
 ``indexing`` (PR 2, report ``BENCH_pr2.json``)
     The fig15-style default workload (seeded NetworkFlow stream, one
@@ -16,6 +16,16 @@ Two suites, selected with ``--suite``:
     and gating (a) the shared-over-fanout session throughput and (b) the
     shared-window memory collapse from ``O(Q·|W|)`` to ``O(|W|)``
     (asserted exactly via ``window_cells`` / ``shared_window_cells``).
+
+``sharing`` (PR 4, report ``BENCH_pr4.json``)
+    An overlapping pattern library: 16 NetworkFlow variants that all
+    contain the same 4-edge "attack core" TC-subquery plus one
+    per-variant distinguishing edge, pushed through
+    ``subplan_sharing="shared"`` vs ``"private"`` on one shared-routing
+    session.  Verifies identical ``(name, match)`` multisets and
+    per-query logical space, and gates (a) the shared-over-private
+    insert throughput and (b) the sub-linear shared-store cell count
+    (the private/shared partial-match space ratio).
 
 Used two ways:
 
@@ -150,7 +160,7 @@ def check_regression(report: dict, baseline: dict,
             f"{SPEEDUP_FLOOR}x floor")
     if recorded is not None and measured < (1.0 - tolerance) * recorded:
         failures.append(
-            f"hash-over-scan speedup regressed >"
+            "hash-over-scan speedup regressed >"
             f"{tolerance:.0%}: measured {measured}x vs committed "
             f"baseline {recorded}x")
     if report["hash"]["matches"] != baseline.get(
@@ -214,7 +224,11 @@ def build_routing_workload():
 
 def _run_routing_mode(queries: List[QueryGraph], duration: float,
                       edges: List, routing: str):
-    session = Session(window=duration, config=EngineConfig(routing=routing))
+    # Sub-plan sharing is pinned off so this suite keeps measuring the
+    # routing ablation alone (and the exact space-equality assertion
+    # below stays meaningful); the sharing suite measures the other knob.
+    session = Session(window=duration, config=EngineConfig(
+        routing=routing, subplan_sharing="private"))
     for i, query in enumerate(queries):
         session.register(f"q{i:02d}", query)
     started = time.perf_counter()
@@ -248,7 +262,7 @@ def run_routing_smoke() -> dict:
             "multisets differ")
     if shared_run["space_cells"] != fanout_run["space_cells"]:
         raise AssertionError(
-            f"routing changed partial-match space: "
+            "routing changed partial-match space: "
             f"shared={shared_run['space_cells']} "
             f"fanout={fanout_run['space_cells']}")
     # The memory claim, asserted exactly: fanout keeps Q window copies,
@@ -308,9 +322,193 @@ def check_routing_regression(report: dict, baseline: dict,
             f"baseline {baseline['shared']['matches']}")
     if report["window_cells_ratio"] < ROUTING_NUM_QUERIES:
         failures.append(
-            f"shared-window memory is not O(|W|): fanout/shared window "
+            "shared-window memory is not O(|W|): fanout/shared window "
             f"cell ratio {report['window_cells_ratio']} < "
             f"{ROUTING_NUM_QUERIES}")
+    return failures
+
+
+# --------------------------------------------------------------------- #
+# Suite: sharing (PR 4)
+# --------------------------------------------------------------------- #
+
+#: Pinned overlapping-pattern-library workload.  The same relabelled
+#: NetworkFlow regime as the routing suite, but the registered queries are
+#: built to *overlap*: every variant contains the same 4-edge "attack
+#: core" chain (concrete mid-frequency labels, full timing order) plus one
+#: distinguishing edge with a per-variant rare label, timing-unordered
+#: against the chain.  The greedy decomposition therefore splits each
+#: query into [core chain, distinguishing singleton] — 16 queries, one
+#: canonical core sub-plan.  ``subplan_sharing="shared"`` maintains that
+#: core's expansion lists once per arrival; ``"private"`` pays for them 16
+#: times, which is exactly the Ω(Q·insert)/Ω(Q·store) overhead the
+#: sub-plan cache removes.
+SHARING_STREAM_EDGES = 16000
+SHARING_STREAM_SEED = 11
+SHARING_NUM_IPS = 100
+SHARING_EXTRA_PORTS = 200
+SHARING_PORT_ALPHA = 0.8
+SHARING_NUM_QUERIES = 16
+SHARING_CORE_RANKS = (0, 1, 2, 3)  # frequency ranks of the core labels
+SHARING_WINDOW_UNITS = 4000.0
+
+#: Hard floor on the shared-over-private insert-throughput speedup at 16
+#: overlapping queries.
+SHARING_SPEEDUP_FLOOR = 3.0
+
+#: Hard floor on the private/shared partial-match space ratio — the
+#: "sub-linear shared-store cell count" claim (16 queries, one core
+#: store).
+SHARING_SPACE_RATIO_FLOOR = 2.0
+
+
+def build_sharing_workload():
+    """Pinned (queries, window duration, edge list) for the sharing suite."""
+    raw = generate_netflow_stream(
+        SHARING_STREAM_EDGES, seed=SHARING_STREAM_SEED,
+        num_ips=SHARING_NUM_IPS, extra_ports=SHARING_EXTRA_PORTS,
+        port_alpha=SHARING_PORT_ALPHA)
+    stream = relabel_stream(raw, edge_label=lambda lbl: (lbl[1], lbl[2]))
+    edges = list(stream)
+    frequency = Counter(edge.label for edge in edges)
+    ranked = [label for label, _ in frequency.most_common()]
+    core_labels = [ranked[rank] for rank in SHARING_CORE_RANKS]
+    # Distinguishing labels: the rarest that still occur a handful of
+    # times, so every variant's private machinery does *some* work.
+    rare = [label for label in reversed(ranked)
+            if frequency[label] >= 4 and label not in core_labels]
+    variant_labels = rare[:SHARING_NUM_QUERIES]
+    if len(variant_labels) != SHARING_NUM_QUERIES:
+        raise AssertionError(
+            f"stream has only {len(variant_labels)} usable rare labels, "
+            f"need {SHARING_NUM_QUERIES}")
+    queries = []
+    core_len = len(core_labels)
+    for label in variant_labels:
+        query = QueryGraph()
+        for i in range(core_len + 2):
+            query.add_vertex(f"v{i}", "IP")
+        for i, core_label in enumerate(core_labels):
+            query.add_edge(f"c{i + 1}", f"v{i}", f"v{i + 1}",
+                           label=core_label)
+        # The tenant-specific edge: no timing constraint against the
+        # chain, so it can never extend the core's timing sequence and
+        # the decomposition is [c1 … cN][x] for every variant.
+        query.add_edge("x", f"v{core_len}", f"v{core_len + 1}", label=label)
+        query.add_timing_chain(*[f"c{i + 1}" for i in range(core_len)])
+        queries.append(query)
+    duration = stream.window_units_to_duration(SHARING_WINDOW_UNITS)
+    return queries, duration, edges
+
+
+def _run_sharing_mode(queries: List[QueryGraph], duration: float,
+                      edges: List, sharing: str):
+    session = Session(window=duration, config=EngineConfig(
+        subplan_sharing=sharing))
+    for i, query in enumerate(queries):
+        session.register(f"q{i:02d}", query)
+    started = time.perf_counter()
+    tagged = session.push_many(edges)
+    elapsed = time.perf_counter() - started
+    stats = session.session_stats()
+    report = {
+        "subplan_sharing": sharing,
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_edges_per_s": round(len(edges) / elapsed, 1),
+        "matches": len(tagged),
+        "shared_subplans": stats["shared_subplans"],
+        "subplan_consumers": stats["subplan_consumers"],
+        "subplan_reuses": stats["subplan_reuses"],
+        "space_cells": session.space_cells(),
+        "logical_space_cells": sum(
+            session.matcher(name).space_cells() for name in session.names()),
+    }
+    return report, Counter(tagged)
+
+
+def run_sharing_smoke() -> dict:
+    """Run both sub-plan sharing modes; returns the report dict."""
+    queries, duration, edges = build_sharing_workload()
+    shared_run, shared_tagged = _run_sharing_mode(
+        queries, duration, edges, "shared")
+    private_run, private_tagged = _run_sharing_mode(
+        queries, duration, edges, "private")
+    if shared_tagged != private_tagged:
+        raise AssertionError(
+            "sub-plan sharing changed the answer: shared and private "
+            "(name, match) multisets differ")
+    # Logical per-query space is invariant: every engine reads the same
+    # expansion lists whether it owns them or shares them.
+    if shared_run["logical_space_cells"] != private_run["logical_space_cells"]:
+        raise AssertionError(
+            "sharing changed logical partial-match space: "
+            f"shared={shared_run['logical_space_cells']} "
+            f"private={private_run['logical_space_cells']}")
+    # One core record with all queries subscribed, maintained via the memo.
+    consumers_per_record = (shared_run["subplan_consumers"]
+                            / max(1, shared_run["shared_subplans"]))
+    if consumers_per_record <= 1.0:
+        raise AssertionError(
+            "workload generated no overlap: every sub-plan record has a "
+            "single consumer")
+    if shared_run["subplan_reuses"] == 0:
+        raise AssertionError("shared stores were never reused")
+    return {
+        "benchmark": "pr4-subplan-sharing-perf-smoke",
+        "workload": {
+            "dataset": "NetworkFlow (dst-port/protocol labels)",
+            "stream_edges": SHARING_STREAM_EDGES,
+            "stream_seed": SHARING_STREAM_SEED,
+            "num_ips": SHARING_NUM_IPS,
+            "num_queries": SHARING_NUM_QUERIES,
+            "window_units": SHARING_WINDOW_UNITS,
+            "storage": "mstree",
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "shared": shared_run,
+        "private": private_run,
+        "space_ratio": round(
+            private_run["space_cells"] / max(1, shared_run["space_cells"]),
+            2),
+        "speedup": round(
+            private_run["elapsed_seconds"] / shared_run["elapsed_seconds"],
+            2),
+    }
+
+
+def check_sharing_regression(report: dict, baseline: dict,
+                             tolerance: float) -> List[str]:
+    """Failure messages (empty = pass) for the sharing suite."""
+    failures = []
+    measured = report["speedup"]
+    recorded = baseline.get("speedup")
+    if measured < SHARING_SPEEDUP_FLOOR:
+        failures.append(
+            f"shared-over-private speedup {measured}x is below the "
+            f"{SHARING_SPEEDUP_FLOOR}x floor")
+    if recorded is not None and measured < (1.0 - tolerance) * recorded:
+        failures.append(
+            f"shared-over-private speedup regressed >{tolerance:.0%}: "
+            f"measured {measured}x vs committed baseline {recorded}x")
+    if report["shared"]["matches"] != baseline.get(
+            "shared", {}).get("matches", report["shared"]["matches"]):
+        failures.append(
+            f"workload drifted: {report['shared']['matches']} matches vs "
+            f"baseline {baseline['shared']['matches']}")
+    if report["space_ratio"] < SHARING_SPACE_RATIO_FLOOR:
+        failures.append(
+            "shared-store cell count is not sub-linear: private/shared "
+            f"space ratio {report['space_ratio']} < "
+            f"{SHARING_SPACE_RATIO_FLOOR}")
+    recorded_ratio = baseline.get("space_ratio")
+    if recorded_ratio is not None and \
+            report["space_ratio"] < (1.0 - tolerance) * recorded_ratio:
+        failures.append(
+            f"space de-duplication regressed >{tolerance:.0%}: ratio "
+            f"{report['space_ratio']} vs baseline {recorded_ratio}")
     return failures
 
 
@@ -343,6 +541,21 @@ SUITES = {
             f"{r['workload']['num_queries']} queries, window cells "
             f"{r['shared']['window_cells']} vs "
             f"{r['fanout']['window_cells']}"),
+    },
+    "sharing": {
+        "default_out": "BENCH_pr4.json",
+        "run": run_sharing_smoke,
+        "check": check_sharing_regression,
+        "summary": lambda r: (
+            f"shared: {r['shared']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['shared']['elapsed_seconds']}s), "
+            f"private: {r['private']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['private']['elapsed_seconds']}s) "
+            f"→ speedup {r['speedup']}x at "
+            f"{r['workload']['num_queries']} overlapping queries, "
+            f"space cells {r['shared']['space_cells']} vs "
+            f"{r['private']['space_cells']} "
+            f"(ratio {r['space_ratio']}x)"),
     },
 }
 
@@ -388,7 +601,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:
             return 1
-        print(f"regression check passed (baseline speedup "
+        print("regression check passed (baseline speedup "
               f"{baseline['speedup']}x, tolerance {args.tolerance:.0%})")
     return 0
 

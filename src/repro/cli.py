@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .api import (
     BACKENDS, DUPLICATE_POLICIES, INDEXING_MODES, ROUTING_MODES,
-    EngineConfig, Session,
+    SUBPLAN_SHARING_MODES, EngineConfig, Session,
 )
 from .core.engine import TimingMatcher
 from .core.plan import explain
@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="multi-query ingestion strategy: shared "
                             "window + label-triple routing (default) or "
                             "per-matcher full fan-out")
+    p_run.add_argument("--subplan-sharing",
+                       choices=sorted(SUBPLAN_SHARING_MODES),
+                       default="shared",
+                       help="cross-query sub-plan sharing: one store per "
+                            "canonical TC-subquery (default) or private "
+                            "per-engine stores (ablation)")
     p_run.add_argument("--backend", choices=sorted(BACKENDS),
                        default="timing",
                        help="matcher engine (default: timing)")
@@ -135,6 +141,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         storage="independent" if args.no_mstree else "mstree",
         indexing=args.indexing,
         routing=args.routing,
+        subplan_sharing=args.subplan_sharing,
         duplicate_policy=args.duplicates)
     session = Session(window=window, config=config)
     session.register("query", query, backend=args.backend)
@@ -180,6 +187,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"routing: shared — {ss['routed_pushes']} routed pushes, "
               f"{ss['skipped_matchers']} matcher visits skipped, "
               f"{ss['shared_window_cells']} shared window cells")
+        if ss["shared_subplans"]:
+            print(f"sub-plans: shared — {ss['shared_subplans']} store(s) "
+                  f"for {ss['subplan_consumers']} consumer(s), "
+                  f"{ss['subplan_reuses']} memoised insertions, "
+                  f"{ss['subplan_store_cells']} shared store cells")
     return 0
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, List, Set, Tuple
+from typing import Iterable, List, Tuple
 
 from ..core.engine import TimingMatcher
 from ..core.matches import Match

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Deque, Dict, Hashable, Optional, Set, Tuple
+from typing import Deque, Dict, Optional, Set, Tuple
 
 Item = Tuple
 Mode = str  # "S" or "X"

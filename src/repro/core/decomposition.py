@@ -16,10 +16,55 @@ from __future__ import annotations
 import random
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from .query import EdgeId, QueryGraph
+from .query import EdgeId, QueryGraph, VertexId
 from .tc import tc_subqueries
 
 Decomposition = List[Tuple[EdgeId, ...]]
+
+#: Canonical form of one compiled TC-subquery: per timing-sequence position,
+#: ``(src-label, edge-label, dst-label, (src-ref, dst-ref))`` where each ref
+#: is the ``(position, endpoint)`` of that query vertex's *first* occurrence
+#: along the sequence (endpoint 0 = source, 1 = destination).
+SubplanSignature = Tuple[Tuple, ...]
+
+
+def subplan_signature(query: QueryGraph,
+                      sequence: Sequence[EdgeId]) -> Optional[SubplanSignature]:
+    """Variable-renaming-invariant canonical form of a TC-subquery.
+
+    Two compiled TC-subqueries maintain *identical* expansion lists on any
+    stream exactly when they agree on, per timing-sequence position:
+
+    * the label triple (source-vertex label, edge label, destination-vertex
+      label — wildcards included, they are part of the matching semantics);
+    * the equality-constraint shape: which earlier endpoint each endpoint
+      must equal, i.e. the partition of endpoint slots into query vertices.
+      Loops are covered (a self-loop's destination ref *is* its source
+      slot), and so is joint injectivity (the partition determines the
+      representative set :class:`~repro.core.join.ExtensionSpec` compiles);
+    * the timing-order skeleton — which along a timing sequence is always
+      the full chain ``ε₁ ≺ … ≺ εₘ`` (Definition 8: the chain subsumes
+      every declared constraint among the sequence's edges), so the
+      sequence order itself encodes it and no extra term is needed.
+
+    Vertex and edge identifiers are deliberately absent: renaming either
+    never changes matching behaviour.  Returns ``None`` when a label is
+    unhashable (no cache key — the engine keeps a private store).
+    """
+    first_ref: Dict[VertexId, Tuple[int, int]] = {}
+    positions: List[Tuple] = []
+    for pos, eid in enumerate(sequence):
+        qedge = query.edge(eid)
+        src_ref = first_ref.setdefault(qedge.src, (pos, 0))
+        dst_ref = first_ref.setdefault(qedge.dst, (pos, 1))
+        positions.append((query.vertex_label(qedge.src), qedge.label,
+                          query.vertex_label(qedge.dst), (src_ref, dst_ref)))
+    signature = tuple(positions)
+    try:
+        hash(signature)
+    except TypeError:
+        return None
+    return signature
 
 
 def greedy_decomposition(

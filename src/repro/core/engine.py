@@ -14,7 +14,7 @@ code runs in every experimental configuration.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..api import EngineConfig, EngineStats, MatcherBase
 from ..graph.edge import StreamEdge
@@ -56,6 +56,14 @@ class TimingMatcher(MatcherBase):
     decomposition / join_order:
         Explicit plan overrides (e.g. from :mod:`repro.core.estimate`);
         when given they bypass the config's strategy fields.
+    subplan_provider:
+        Session-internal: a :class:`~repro.api._SubplanProvider` offering
+        shared expansion-list stores for canonically equal TC-subqueries.
+        When given, each planned subquery adopts the provider's
+        (refcounted) store instead of a private one; the insert path then
+        consults the store's per-arrival delta memo so shared stores are
+        written once per arrival session-wide.  Standalone engines never
+        see one.
 
     The remaining keyword arguments (``use_mstree``,
     ``decomposition_strategy``, ``join_order_strategy``, ``rng``,
@@ -90,6 +98,7 @@ class TimingMatcher(MatcherBase):
         rng: Optional[random.Random] = None,
         duplicate_policy: Optional[str] = None,
         guard=None,
+        subplan_provider=None,
     ) -> None:
         # Resolve the deprecated kwargs onto the config (explicit kwargs
         # win, so pre-config call sites behave exactly as before).
@@ -143,14 +152,44 @@ class TimingMatcher(MatcherBase):
         self.k = len(ordered)
 
         # --- storage ----------------------------------------------------- #
-        if self.use_mstree:
-            self._tc_stores = [MSTreeTCStore(len(seq)) for seq in ordered]
-            self._global = (GlobalMSTreeStore(self._tc_stores)
-                            if self.k > 1 else None)
-        else:
-            self._tc_stores = [IndependentTCStore(len(seq)) for seq in ordered]
-            self._global = (GlobalIndependentStore(self._tc_stores)
-                            if self.k > 1 else None)
+        # With a session sub-plan provider, each subquery first tries to
+        # adopt the shared store of its canonical form; private stores are
+        # the fallback (unhashable labels) and the standalone default.
+        self._shared_subplans: Dict[int, object] = {}
+        stores = []
+        for si, seq in enumerate(ordered):
+            record = None
+            if subplan_provider is not None:
+                record = subplan_provider.acquire(query, seq, config.storage)
+            if record is not None:
+                self._shared_subplans[si] = record
+                stores.append(record.store)
+            elif self.use_mstree:
+                stores.append(MSTreeTCStore(len(seq)))
+            else:
+                stores.append(IndependentTCStore(len(seq)))
+        self._tc_stores = stores
+        self._global = None
+        #: ``(store, level, refs)`` of every join-key index this engine
+        #: registered on a *shared* sub-plan store — released (refcounted)
+        #: by :meth:`release_shared_subplans` so a departed query's
+        #: shapes stop being maintained on stores that outlive it.
+        self._shared_index_refs: List[Tuple[object, int, tuple]] = []
+        # The rest of construction attaches expiry observers and indexes
+        # to stores other engines may share — undo those on any failure
+        # so a raising build leaks nothing into the session.
+        try:
+            self._finish_construction(query, config, ordered)
+        except BaseException:
+            self.release_shared_subplans()
+            raise
+
+    def _finish_construction(self, query: QueryGraph, config: EngineConfig,
+                             ordered: Decomposition) -> None:
+        stores = self._tc_stores
+        if self.k > 1:
+            self._global = (GlobalMSTreeStore(stores) if self.use_mstree
+                            else GlobalIndependentStore(stores))
 
         # --- compiled join specs ------------------------------------------
         # Position of each query edge: edge id -> (subquery index, 0-based
@@ -192,8 +231,9 @@ class TimingMatcher(MatcherBase):
         if config.indexing == "hash":
             for (si, j), spec in self._ext_specs.items():
                 if spec.equal_refs:
-                    self._ext_indexes[(si, j)] = self._tc_stores[si].add_index(
-                        j, extension_store_refs(spec))
+                    refs = extension_store_refs(spec)
+                    self._ext_indexes[(si, j)] = \
+                        self._add_store_index(si, j, refs)
                     self._ext_probe_flags[(si, j)] = extension_probe_flags(spec)
             for level, spec in self._union_specs.items():
                 if not spec.equal_pairs:
@@ -206,15 +246,25 @@ class TimingMatcher(MatcherBase):
                 # level 1 is virtual and lives in the first subquery store.
                 if level - 1 == 1:
                     first = self._tc_stores[0]
-                    self._union_prefix_indexes[level - 1] = first.add_index(
-                        first.length, a_refs)
+                    self._union_prefix_indexes[level - 1] = \
+                        self._add_store_index(0, first.length, a_refs)
                 else:
                     self._union_prefix_indexes[level - 1] = \
                         self._global.add_index(level - 1, a_refs)
                 # Ω(Q^level) side: subquery (level-1)'s complete matches.
                 omega = self._tc_stores[level - 1]
-                self._union_omega_indexes[level] = omega.add_index(
-                    omega.length, b_refs)
+                self._union_omega_indexes[level] = self._add_store_index(
+                    level - 1, omega.length, b_refs)
+
+    def _add_store_index(self, si: int, level: int, refs: tuple):
+        """Register a join-key index on subquery store ``si``, remembering
+        the claim when the store is shared so deregistration can release
+        it (see :meth:`release_shared_subplans`)."""
+        index = self._tc_stores[si].add_index(level, refs)
+        if si in self._shared_subplans:
+            self._shared_index_refs.append(
+                (self._tc_stores[si], level, refs))
+        return index
 
     @classmethod
     def from_config(cls, query: QueryGraph, window,
@@ -255,11 +305,53 @@ class TimingMatcher(MatcherBase):
         return store.count(level)
 
     def space_cells(self) -> int:
-        """Logical cells held in partial-match storage (see bench.metrics)."""
+        """Logical cells held in partial-match storage (see bench.metrics).
+
+        This is the per-query *logical* footprint — shared sub-plan stores
+        are included, exactly as if this engine kept them privately, so
+        the paper's space experiments read the same whatever the sharing
+        mode.  The physical, de-duplicated figure is the session's
+        :meth:`~repro.api.Session.space_cells`, built from
+        :meth:`exclusive_space_cells` plus each shared store once.
+        """
         cells = sum(store.space_cells() for store in self._tc_stores)
         if self._global is not None:
             cells += self._global.space_cells()
         return cells
+
+    def exclusive_space_cells(self) -> int:
+        """Cells in storage only this engine holds: the private subquery
+        stores and the global expansion list, excluding shared sub-plan
+        stores (those are accounted once at the session level)."""
+        cells = sum(store.space_cells()
+                    for si, store in enumerate(self._tc_stores)
+                    if si not in self._shared_subplans)
+        if self._global is not None:
+            cells += self._global.space_cells()
+        return cells
+
+    def release_shared_subplans(self) -> List[object]:
+        """Detach this engine from its shared sub-plan stores.
+
+        Unhooks the global MS-tree's expiry cascade from the shared stores
+        (they live on for the other consumers; a dangling observer would
+        cascade into this dead tree forever), releases the join-key
+        indexes this engine registered on them (refcounted — the
+        query-specific union shapes would otherwise be maintained on every
+        insert and expiry for the store's whole lifetime), and hands the
+        records back to the caller — the :class:`~repro.api.Session` — so
+        their refcounts drop.  Idempotent: the engine forgets the records.
+        """
+        for store, level, refs in self._shared_index_refs:
+            store.remove_index(level, refs)
+        self._shared_index_refs = []
+        records = list(self._shared_subplans.values())
+        if records and self.use_mstree and self._global is not None:
+            for record in records:
+                record.store.remove_leaf_observer(
+                    self._global._sub_leaf_removed)
+        self._shared_subplans = {}
+        return records
 
     # ------------------------------------------------------------------ #
     # Insertion — Algorithm 1
@@ -288,7 +380,20 @@ class TimingMatcher(MatcherBase):
 
     def _insert_into_subquery(self, si: int, j: int, edge: StreamEdge,
                               guard) -> List[Tuple[object, Tuple[StreamEdge, ...]]]:
-        """Lines 1–10 of Algorithm 1 for one matched query edge."""
+        """Lines 1–10 of Algorithm 1 for one matched query edge.
+
+        When subquery ``si`` is backed by a shared sub-plan store, the
+        arrival's *first* consumer (session-wide) computes the delta and
+        memoises it on the record; every later consumer replays the memo —
+        an O(1) hit that keeps the shared store written exactly once per
+        arrival however many queries contain the sub-plan.
+        """
+        record = self._shared_subplans.get(si)
+        if record is not None:
+            cached = record.lookup(edge, j)
+            if cached is not None:
+                self.stats.subplan_reuses += 1
+                return cached
         store = self._tc_stores[si]
         item_cur = ("L", si, j + 1)
         if j == 0:
@@ -296,7 +401,10 @@ class TimingMatcher(MatcherBase):
             handle = store.insert(1, getattr(store, "root", None), (), edge)
             guard.release(item_cur, cost=1)
             self.stats.partial_matches_created += 1
-            return [(handle, (edge,))]
+            delta = [(handle, (edge,))]
+            if record is not None:
+                record.remember(edge, j, delta)
+            return delta
         item_prev = ("L", si, j)
         index = self._ext_indexes.get((si, j))
         guard.acquire(item_prev, "S")
@@ -312,15 +420,18 @@ class TimingMatcher(MatcherBase):
         spec = self._ext_specs[(si, j)]
         joined = [(handle, flat) for handle, flat in candidates
                   if spec.check(flat, edge)]
-        if not joined:
-            return []
-        guard.acquire(item_cur, "X")
         delta = []
-        for handle, flat in joined:
-            new_handle = store.insert(j + 1, handle, flat, edge)
-            delta.append((new_handle, flat + (edge,)))
-        guard.release(item_cur, cost=len(delta))
-        self.stats.partial_matches_created += len(delta)
+        if joined:
+            guard.acquire(item_cur, "X")
+            for handle, flat in joined:
+                new_handle = store.insert(j + 1, handle, flat, edge)
+                delta.append((new_handle, flat + (edge,)))
+            guard.release(item_cur, cost=len(delta))
+            self.stats.partial_matches_created += len(delta)
+        if record is not None:
+            # An empty delta is memoised too: the other consumers skip
+            # even the candidate probe.
+            record.remember(edge, j, delta)
         return delta
 
     def _propagate(self, si: int, delta, guard) -> List[Match]:

@@ -24,7 +24,7 @@ constant 1 here).  Coarse, but monotone in the quantities that matter for
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 from ..graph.edge import StreamEdge
 from .decomposition import Decomposition
@@ -66,7 +66,6 @@ class TermLabelStatistics:
         """
         if self.total_edges == 0:
             return 0.0
-        qedge = query.edge(eid)
         matching = 0
         for (src_label, label, dst_label, is_loop), count in \
                 self.term_counts.items():

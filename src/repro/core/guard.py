@@ -24,7 +24,7 @@ unit the simulator uses as service time.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Tuple
+from typing import List, Tuple
 
 Item = Tuple
 Mode = str  # "S" (shared) or "X" (exclusive)

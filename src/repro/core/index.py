@@ -144,15 +144,19 @@ class StoreIndexes:
     lifecycle event; the engine calls :meth:`register` once per compiled
     join shape at construction.  Registration is idempotent per
     ``(level, refs)`` so shapes sharing a key (e.g. the insert path and the
-    discardability probe) share one physical index.
+    discardability probe) share one physical index — with a refcount, so
+    that an engine departing a *shared* sub-plan store can
+    :meth:`unregister` its query-specific shapes without tearing down an
+    index a co-consumer still probes.
     """
 
-    __slots__ = ("_by_level", "_registry", "newest_first")
+    __slots__ = ("_by_level", "_registry", "_refcounts", "newest_first")
 
     def __init__(self, length: int, *, newest_first: bool = False) -> None:
         self._by_level: List[List[LevelIndex]] = [[] for _ in range(length)]
         self._registry: Dict[Tuple[int, Tuple[EndpointRef, ...]],
                              LevelIndex] = {}
+        self._refcounts: Dict[Tuple[int, Tuple[EndpointRef, ...]], int] = {}
         self.newest_first = newest_first
 
     def register(self, level: int,
@@ -168,7 +172,26 @@ class StoreIndexes:
             index = LevelIndex(refs, newest_first=self.newest_first)
             self._registry[key] = index
             self._by_level[level - 1].append(index)
+        self._refcounts[key] = self._refcounts.get(key, 0) + 1
         return index
+
+    def unregister(self, level: int, refs: Sequence[EndpointRef]) -> None:
+        """Release one :meth:`register` call's claim on ``(level, refs)``.
+
+        The physical index is dropped — and its maintenance cost with
+        it — only when the last registrant releases; a departing engine
+        therefore never breaks a co-consumer probing the same shape.
+        """
+        key = (level, tuple(refs))
+        count = self._refcounts.get(key)
+        if count is None:
+            raise KeyError(f"index was never registered: {key!r}")
+        if count > 1:
+            self._refcounts[key] = count - 1
+            return
+        del self._refcounts[key]
+        index = self._registry.pop(key)
+        self._by_level[level - 1].remove(index)
 
     def has(self, level: int) -> bool:
         return bool(self._by_level[level - 1])

@@ -67,7 +67,6 @@ def jn_join_order(query: QueryGraph, decomposition: Decomposition) -> Decomposit
             if not _connected(query, _vertices_of(query, parts[i]), parts[j]):
                 continue
             score = joint_number(query, parts[i], parts[j])
-            key = (score, -i, -j)
             if score > best_score:
                 best_score = score
                 best_pair = (i, j)

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
 
 from ..graph.edge import StreamEdge
-from .query import EdgeId, QueryGraph, VertexId, labels_compatible
+from .query import EdgeId, QueryGraph, VertexId
 
 
 def build_vertex_mapping(

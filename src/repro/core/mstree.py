@@ -36,10 +36,17 @@ MS_NODE_CELLS = 5
 
 class MSTreeNode:
     """One trie node; ``payload`` is an edge (subquery trees) or a leaf
-    pointer (global tree)."""
+    pointer (global tree).
+
+    Cross-tree bookkeeping (which global-tree entries depend on a subquery
+    leaf, which depth-1 anchor stands in for it) lives in per-global-store
+    registries, not on the node: one shared subquery tree may feed several
+    per-query global trees (see :class:`~repro.api.SharedSubplanStore`),
+    and a single node slot cannot serve two owners.
+    """
 
     __slots__ = ("payload", "parent", "depth", "children", "prev", "next",
-                 "alive", "dependents", "anchor", "flat_cache")
+                 "alive", "flat_cache")
 
     def __init__(self, payload, parent: Optional["MSTreeNode"], depth: int) -> None:
         self.payload = payload
@@ -49,12 +56,6 @@ class MSTreeNode:
         self.prev: Optional[MSTreeNode] = None   # level-list links
         self.next: Optional[MSTreeNode] = None
         self.alive = True
-        # Global-tree nodes whose existence depends on this node (only ever
-        # populated on last-level nodes of subquery trees).
-        self.dependents: Set[MSTreeNode] = set()
-        # Lazily created depth-1 anchor in the global tree (only used on
-        # leaves of the first subquery's tree).
-        self.anchor: Optional[MSTreeNode] = None
         # Lazily computed flattened partial match.  A node's root path never
         # changes after insertion, so caching is safe; it trades physical
         # memory for read speed without affecting the logical space model.
@@ -221,15 +222,27 @@ class MSTreeTCStore:
         self.length = length
         self.tree = MSTree(length, on_remove=self._node_removed)
         self._by_edge: Dict[StreamEdge, Set[MSTreeNode]] = {}
-        self._leaf_observer: Optional[Callable[[MSTreeNode], None]] = None
+        self._leaf_observers: List[Callable[[MSTreeNode], None]] = []
         # Join-key indexes registered by the engine (empty in scan mode).
         # Level lists read newest-first, so the indexes mirror that order.
         self.indexes = StoreIndexes(length, newest_first=True)
 
     # -- wiring ---------------------------------------------------------- #
-    def set_leaf_observer(self, observer: Callable[[MSTreeNode], None]) -> None:
-        """Register the global store's cascade for dying complete matches."""
-        self._leaf_observer = observer
+    def add_leaf_observer(self, observer: Callable[[MSTreeNode], None]) -> None:
+        """Register a global store's cascade for dying complete matches.
+
+        A store owned by one engine has exactly one observer; a shared
+        sub-plan store (see :class:`~repro.api.SharedSubplanStore`) carries
+        one per consuming engine's global tree — each filters the
+        notification through its own dependency registry.
+        """
+        self._leaf_observers.append(observer)
+
+    def remove_leaf_observer(self,
+                             observer: Callable[[MSTreeNode], None]) -> None:
+        """Detach an observer added with :meth:`add_leaf_observer` (engine
+        deregistration must not leave cascade callbacks into dead trees)."""
+        self._leaf_observers.remove(observer)
 
     @property
     def root(self) -> MSTreeNode:
@@ -257,6 +270,12 @@ class MSTreeTCStore:
         """Register (or share) a join-key index over ``level`` (see
         :mod:`repro.core.index`); returns the :class:`LevelIndex`."""
         return self.indexes.register(level, refs)
+
+    def remove_index(self, level: int, refs) -> None:
+        """Release one :meth:`add_index` claim (refcounted) — called when
+        an engine departs a shared sub-plan store so its query-specific
+        join shapes stop being maintained here."""
+        self.indexes.unregister(level, refs)
 
     def read(self, level: int) -> List[Tuple[MSTreeNode, Tuple[StreamEdge, ...]]]:
         return [(node, self.flat(node))
@@ -295,10 +314,9 @@ class MSTreeTCStore:
             # dying node (or of a descendant removed in the same cascade)
             # is still available here.
             self.indexes.on_remove(node.depth, node, self.flat(node))
-        if node.depth == self.length and node.dependents and \
-                self._leaf_observer is not None:
-            self._leaf_observer(node)
-        node.dependents = set()
+        if node.depth == self.length:
+            for observer in self._leaf_observers:
+                observer(node)
 
     # -- accounting -------------------------------------------------------#
     def count(self, level: int) -> int:
@@ -306,6 +324,12 @@ class MSTreeTCStore:
 
     def entry_count(self) -> int:
         return self.tree.node_count
+
+    def is_empty(self) -> bool:
+        """Whether the store holds no partial matches at all — the
+        joinability test for shared sub-plan stores (a fresh consumer may
+        only adopt a store whose content equals its own empty start)."""
+        return self.tree.node_count == 0
 
     def space_cells(self) -> int:
         return self.tree.node_count * MS_NODE_CELLS
@@ -332,8 +356,14 @@ class GlobalMSTreeStore:
         # indexes the first subquery store's last level instead).  Depth-1
         # anchor nodes are never indexed.
         self.indexes = StoreIndexes(self.k, newest_first=True)
+        # Cross-tree bookkeeping, owned here rather than on the subquery
+        # nodes: a *shared* sub-plan store feeds one global tree per
+        # consuming query, and each must cascade (and anchor) only its own
+        # entries.  Keys are subquery-tree nodes (identity-hashed).
+        self._dependents: Dict[MSTreeNode, Set[MSTreeNode]] = {}
+        self._anchors: Dict[MSTreeNode, MSTreeNode] = {}
         for store in self.sub_stores:
-            store.set_leaf_observer(self._sub_leaf_removed)
+            store.add_leaf_observer(self._sub_leaf_removed)
 
     # -- engine interface -------------------------------------------------#
     def read(self, level: int) -> List[Tuple[object, Tuple[StreamEdge, ...]]]:
@@ -366,7 +396,7 @@ class GlobalMSTreeStore:
         if level == 2:
             parent = self._anchor_for(parent)
         node = self.tree.insert(parent, sub_leaf)
-        sub_leaf.dependents.add(node)
+        self._dependents.setdefault(sub_leaf, set()).add(node)
         flat = prefix + sub_flat
         node.flat_cache = flat
         self.indexes.on_insert(level, node, flat)
@@ -381,12 +411,22 @@ class GlobalMSTreeStore:
         return self.indexes.register(level, refs)
 
     def _anchor_for(self, q1_leaf: MSTreeNode) -> MSTreeNode:
-        if q1_leaf.anchor is not None and q1_leaf.anchor.alive:
-            return q1_leaf.anchor
+        anchor = self._anchors.get(q1_leaf)
+        if anchor is not None and anchor.alive:
+            return anchor
         anchor = self.tree.insert(self.tree.root, q1_leaf)
-        q1_leaf.anchor = anchor
-        q1_leaf.dependents.add(anchor)
+        self._anchors[q1_leaf] = anchor
+        self._dependents.setdefault(q1_leaf, set()).add(anchor)
         return anchor
+
+    def anchor_of(self, q1_leaf: MSTreeNode) -> Optional[MSTreeNode]:
+        """This tree's depth-1 anchor standing in for ``q1_leaf`` (``None``
+        before any level-2 join needed one)."""
+        return self._anchors.get(q1_leaf)
+
+    def dependents_of(self, sub_leaf: MSTreeNode) -> Set[MSTreeNode]:
+        """This tree's entries whose existence depends on ``sub_leaf``."""
+        return self._dependents.get(sub_leaf, set())
 
     def _flatten(self, node: MSTreeNode) -> Tuple[StreamEdge, ...]:
         cached = node.flat_cache
@@ -406,7 +446,10 @@ class GlobalMSTreeStore:
 
     # -- cascade wiring -----------------------------------------------------
     def _sub_leaf_removed(self, leaf: MSTreeNode) -> None:
-        for dependent in list(leaf.dependents):
+        dependents = self._dependents.get(leaf)
+        if not dependents:
+            return
+        for dependent in list(dependents):
             if dependent.alive:
                 self.tree.remove_subtree(dependent)
 
@@ -418,9 +461,13 @@ class GlobalMSTreeStore:
             self.indexes.on_remove(node.depth, node, self._flatten(node))
         payload = node.payload
         if isinstance(payload, MSTreeNode):
-            payload.dependents.discard(node)
-            if payload.anchor is node:
-                payload.anchor = None
+            bucket = self._dependents.get(payload)
+            if bucket is not None:
+                bucket.discard(node)
+                if not bucket:
+                    del self._dependents[payload]
+            if self._anchors.get(payload) is node:
+                del self._anchors[payload]
 
     # -- accounting -------------------------------------------------------#
     def count(self, level: int) -> int:

@@ -14,7 +14,7 @@ Example::
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from .decomposition import (
     Decomposition, expected_join_operations, greedy_decomposition,
@@ -70,8 +70,8 @@ class QueryPlan:
         """Multi-line textual plan."""
         q = self.query
         lines = [
-            f"Continuous query plan",
-            f"=====================",
+            "Continuous query plan",
+            "=====================",
             f"query: {q.num_vertices} vertices, {q.num_edges} edges, "
             f"{len(q.timing.direct_constraints())} timing constraints "
             f"({self.tcsub_count} TC-subqueries discovered)",
@@ -79,14 +79,14 @@ class QueryPlan:
             f"decomposition (k={self.k}): " + "  ".join(
                 "{" + ",".join(map(str, seq)) + "}"
                 for seq in self.decomposition),
-            f"join order: " + " ⋈ ".join(
+            "join order: " + " ⋈ ".join(
                 "{" + ",".join(map(str, seq)) + "}"
                 for seq in self.join_order),
         ]
         for level, jn in self.joint_numbers():
             lines.append(f"  JN(prefix, Q{level}) = {jn}")
         lines.append(
-            f"expected joins per arrival (Theorem 7): "
+            "expected joins per arrival (Theorem 7): "
             f"{self.expected_joins_per_edge:.3f}")
         lines.append("expansion-list items:")
         for item in self.expansion_list_items():

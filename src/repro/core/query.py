@@ -14,7 +14,7 @@ the user-facing builder plus everything the engine derives from it:
 from __future__ import annotations
 
 from typing import (
-    Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple,
+    Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple,
 )
 
 from ..graph.edge import StreamEdge

@@ -10,13 +10,17 @@ interface, same results); the differences the paper measures are
 
 Both stores keep an edge → entries registry so deletion remains linear in
 the number of expired partial matches (the comparison isolates the storage
-representation, not the expiry algorithm).
+representation, not the expiry algorithm).  ``delete_edge`` is idempotent
+(the registry entry is popped on first delivery), which is what lets a
+*shared* sub-plan store (see :class:`~repro.api.SharedSubplanStore`) be
+expired exactly once however many engines consume it: the first consumer's
+expiry flush does the work, later flushes are O(1) no-ops.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..graph.edge import StreamEdge
 from .index import StoreIndexes
@@ -117,6 +121,12 @@ class IndependentTCStore:
         :mod:`repro.core.index`); returns the :class:`LevelIndex`."""
         return self._flat.indexes.register(level, refs)
 
+    def remove_index(self, level: int, refs) -> None:
+        """Release one :meth:`add_index` claim (refcounted) — called when
+        an engine departs a shared sub-plan store so its query-specific
+        join shapes stop being maintained here."""
+        self._flat.indexes.unregister(level, refs)
+
     def read(self, level: int):
         return self._flat.read(level)
 
@@ -132,6 +142,12 @@ class IndependentTCStore:
 
     def entry_count(self) -> int:
         return self._flat.entry_count()
+
+    def is_empty(self) -> bool:
+        """Whether the store holds no partial matches at all — the
+        joinability test for shared sub-plan stores (a fresh consumer may
+        only adopt a store whose content equals its own empty start)."""
+        return self._flat.entry_count() == 0
 
     def space_cells(self) -> int:
         return self._flat.space_cells()

@@ -21,7 +21,7 @@ traffic at a chosen time.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.query import ANY, QueryGraph
 from ..graph.edge import StreamEdge

@@ -9,7 +9,7 @@ increasing timestamps) and are pure: inputs are never mutated.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional
 
 from .edge import StreamEdge
 from .stream import GraphStream

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.matches import satisfies_timing
-from ..core.query import EdgeId, QueryGraph, VertexId, labels_compatible
+from ..core.query import EdgeId, QueryGraph, VertexId
 from ..graph.edge import StreamEdge
 from ..graph.snapshot import SnapshotGraph
 
@@ -139,10 +139,7 @@ class StaticMatcher:
                 pool = iter(snapshot.in_edges(dst_bound))
             else:
                 # Disconnected jump (first edge, or disconnected subquery):
-                # use the term-label index when the labels are concrete,
-                # otherwise scan.
-                src_label = query.vertex_label(qedge.src)
-                dst_label = query.vertex_label(qedge.dst)
+                # scan the snapshot; the per-edge label check below prunes.
                 pool = (edge for edge in snapshot.edges())
             for data_edge in pool:
                 if data_edge in used_edges:

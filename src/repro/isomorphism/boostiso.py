@@ -13,7 +13,7 @@ streaming comparison exercises).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Hashable, List, Optional
+from typing import Dict
 
 from ..core.query import ANY, EdgeId, QueryGraph, VertexId
 from ..graph.edge import StreamEdge

@@ -23,7 +23,7 @@ strong evidence both are right.  The matcher exposes the same ``find`` /
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
 
 from ..core.matches import satisfies_timing
 from ..core.query import EdgeId, QueryGraph, VertexId, labels_compatible

@@ -32,8 +32,14 @@ from .api import MatcherBase, Session
 #: index/scan stats counters.
 #: v4: shared-stream sessions — shared window buffers + routing index +
 #: expiry subscriptions, live-edge-id registries became id → timestamp
-#: maps, window expiry-subscriber lists.)
-CHECKPOINT_VERSION = 4
+#: maps, window expiry-subscriber lists.
+#: v5: session sub-plan sharing — refcounted SharedSubplanStore registry,
+#: multi-observer MS-tree leaf cascades, per-global-store anchor and
+#: dependency registries (node slots dropped), subplan_reuses stats
+#: counter.  Shared stores are referenced both by the registry and by
+#: every consuming engine, so pickling keeps them single-copy on disk
+#: and restore preserves the sharing identity.)
+CHECKPOINT_VERSION = 5
 
 _MAGIC = b"timingsubg-checkpoint"
 

@@ -12,7 +12,7 @@ directly.  This module ships the stock ones:
 from __future__ import annotations
 
 import json
-from typing import Hashable, IO, Iterator, List, Optional, Tuple, Union
+from typing import Hashable, IO, Iterator, List, Tuple, Union
 
 from .core.matches import Match
 from .core.query import ANY

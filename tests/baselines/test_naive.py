@@ -1,6 +1,5 @@
 """Naive per-snapshot matcher (the oracle itself gets sanity checks)."""
 
-import pytest
 
 from repro import verify_match
 from repro.baselines.naive import NaiveSnapshotMatcher

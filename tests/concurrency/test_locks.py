@@ -3,7 +3,6 @@
 import threading
 import time
 
-import pytest
 
 from repro.concurrency.locks import ItemLock, LockTable
 

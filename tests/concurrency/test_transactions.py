@@ -1,6 +1,5 @@
 """Lock-request prediction must cover the engine's actual access trace."""
 
-import pytest
 
 from repro import TimingMatcher
 from repro.core.guard import TraceGuard

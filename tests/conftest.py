@@ -15,7 +15,6 @@ from typing import List, Sequence, Tuple
 import pytest
 
 from repro import QueryGraph, StreamEdge
-from repro.graph.stream import GraphStream
 
 
 def make_edge(src: str, dst: str, timestamp: float, label=None,
@@ -86,7 +85,8 @@ def random_stream(seed: int, n: int, n_vertices: int, *,
     rng = random.Random(seed)
     t = 0.0
     out = []
-    label_of = lambda v: labels[int(v[1:]) % len(labels)]
+    def label_of(v):
+        return labels[int(v[1:]) % len(labels)]
     for _ in range(n):
         t += rng.random() * 0.5 + 0.01
         u = f"d{rng.randrange(n_vertices)}"

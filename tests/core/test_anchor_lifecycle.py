@@ -4,9 +4,13 @@ Anchors are the lazily created depth-1 nodes of ``M₀`` standing in for the
 virtual ``L₀¹`` level.  Their lifecycle (create on first level-2 insert,
 reuse while alive, die with their Q¹ leaf, survive their children) is where
 dangling-pointer bugs would live; these tests pin each transition.
+
+Anchor and dependency bookkeeping lives in per-global-store registries
+(``anchor_of`` / ``dependents_of``) rather than on the subquery nodes: a
+shared sub-plan store may feed several queries' global trees, each with its
+own anchors.
 """
 
-import pytest
 
 from repro.core.mstree import GlobalMSTreeStore, MSTreeTCStore
 
@@ -29,12 +33,13 @@ class TestAnchorLifecycle:
         store, q1, q2 = build()
         s1 = sigma(1)
         leaf1 = q1.insert(1, q1.root, (), s1)
-        assert leaf1.anchor is None               # no global entry yet
+        assert store.anchor_of(leaf1) is None     # no global entry yet
         s2 = sigma(2)
         leaf2 = q2.insert(1, q2.root, (), s2)
         store.insert(2, leaf1, (s1,), leaf2, (s2,))
-        assert leaf1.anchor is not None
-        assert leaf1.anchor.alive
+        anchor = store.anchor_of(leaf1)
+        assert anchor is not None
+        assert anchor.alive
 
     def test_anchor_survives_children_and_is_reused(self):
         store, q1, q2 = build()
@@ -42,13 +47,13 @@ class TestAnchorLifecycle:
         leaf1 = q1.insert(1, q1.root, (), s1)
         leaf2 = q2.insert(1, q2.root, (), s2)
         store.insert(2, leaf1, (s1,), leaf2, (s2,))
-        anchor = leaf1.anchor
+        anchor = store.anchor_of(leaf1)
         q2.delete_edge(s2)                        # child dies, anchor stays
         assert store.count(2) == 0
         assert anchor.alive
         leaf3 = q2.insert(1, q2.root, (), s3)
         store.insert(2, leaf1, (s1,), leaf3, (s3,))
-        assert leaf1.anchor is anchor             # reused, not re-created
+        assert store.anchor_of(leaf1) is anchor   # reused, not re-created
         assert store.tree.count(1) == 1
 
     def test_anchor_dies_with_its_leaf(self):
@@ -57,10 +62,10 @@ class TestAnchorLifecycle:
         leaf1 = q1.insert(1, q1.root, (), s1)
         leaf2 = q2.insert(1, q2.root, (), s2)
         store.insert(2, leaf1, (s1,), leaf2, (s2,))
-        anchor = leaf1.anchor
+        anchor = store.anchor_of(leaf1)
         q1.delete_edge(s1)
         assert not anchor.alive
-        assert leaf1.anchor is None               # back-pointer cleared
+        assert store.anchor_of(leaf1) is None     # registry entry cleared
         assert store.tree.node_count == 0
         # The Q² match itself is untouched.
         assert q2.count(1) == 1
@@ -71,9 +76,9 @@ class TestAnchorLifecycle:
         leaf1 = q1.insert(1, q1.root, (), s1)
         leaf2 = q2.insert(1, q2.root, (), s2)
         node = store.insert(2, leaf1, (s1,), leaf2, (s2,))
-        assert node in leaf2.dependents
+        assert node in store.dependents_of(leaf2)
         q1.delete_edge(s1)                        # kills node via cascade
-        assert node not in leaf2.dependents       # no dangling dependent
+        assert node not in store.dependents_of(leaf2)  # no dangling dependent
 
     def test_fresh_q1_match_gets_fresh_anchor(self):
         store, q1, q2 = build()
@@ -86,4 +91,5 @@ class TestAnchorLifecycle:
         leaf4 = q1.insert(1, q1.root, (), s4)
         store.insert(2, leaf4, (s4,), leaf2, (s2,))
         assert store.count(2) == 1
-        assert leaf4.anchor is not None and leaf4.anchor.alive
+        anchor4 = store.anchor_of(leaf4)
+        assert anchor4 is not None and anchor4.alive

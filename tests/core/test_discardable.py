@@ -1,6 +1,5 @@
 """The Lemma-1 discardability probe (engine.is_discardable)."""
 
-import pytest
 
 from repro import TimingMatcher
 

@@ -3,7 +3,7 @@ plus engine-level unit behaviour (discardability, stats, space, variants)."""
 
 import pytest
 
-from repro import Match, QueryGraph, TimingMatcher, verify_match
+from repro import Match, TimingMatcher, verify_match
 
 from ..conftest import fig3_stream, fig5_query, make_edge, path_query
 

@@ -58,8 +58,8 @@ def build_random_stream(rng: random.Random, n: int, n_vertices: int):
         v = f"d{rng.randrange(n_vertices)}"
         while v == u:
             v = f"d{rng.randrange(n_vertices)}"
-        label = lambda x: "AB"[int(x[1:]) % 2]
-        edges.append(StreamEdge(u, v, src_label=label(u), dst_label=label(v),
+        edges.append(StreamEdge(u, v, src_label="AB"[int(u[1:]) % 2],
+                                dst_label="AB"[int(v[1:]) % 2],
                                 timestamp=t))
     return edges
 

@@ -152,9 +152,8 @@ def test_duplicate_timestamp_free_stream_with_advances():
             continue
         u = f"d{rng.randrange(5)}"
         v = f"d{(rng.randrange(4) + int(u[1:]) + 1) % 5}"
-        label = lambda x: "AB"[int(x[1:]) % 2]
-        edge = StreamEdge(u, v, src_label=label(u), dst_label=label(v),
-                          timestamp=t)
+        edge = StreamEdge(u, v, src_label="AB"[int(u[1:]) % 2],
+                          dst_label="AB"[int(v[1:]) % 2], timestamp=t)
         assert (Counter(map(repr, hash_engine.push(edge)))
                 == Counter(map(repr, scan_engine.push(edge))))
         assert hash_engine.store_profile() == scan_engine.store_profile()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Match, QueryGraph, verify_match
+from repro import Match, verify_match
 from repro.core.matches import (
     build_vertex_mapping, edges_distinct, satisfies_timing,
 )

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro import QueryGraph, SnapshotGraph, StreamEdge, TimingMatcher
+from repro import QueryGraph, SnapshotGraph, TimingMatcher
 from repro.isomorphism import StaticMatcher
 
 from ..conftest import fig3_stream, fig5_query, make_edge

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.plan import QueryPlan, explain
+from repro.core.plan import explain
 
 from ..conftest import fig5_query, path_query
 

@@ -1,0 +1,124 @@
+"""Canonicalisation of TC-subqueries: ``subplan_signature``.
+
+The signature is the sub-plan cache key, so its equivalence classes must
+be exactly "maintains identical expansion lists on every stream": equal
+under vertex/edge renaming, different whenever labels, the
+equality-constraint shape (vertex sharing, loops) or the sequence order
+differ, and absent (``None``) when a label cannot be hashed.
+"""
+
+import pytest
+
+from repro import ANY, QueryGraph
+from repro.core.decomposition import subplan_signature
+
+
+def chain(labels, *, vertex_labels=None, vprefix="v", eprefix="e"):
+    """A labelled path query whose edges form a full timing chain."""
+    query = QueryGraph()
+    n = len(labels)
+    for i in range(n + 1):
+        vlabel = vertex_labels[i] if vertex_labels else "N"
+        query.add_vertex(f"{vprefix}{i}", vlabel)
+    for i, label in enumerate(labels):
+        query.add_edge(f"{eprefix}{i}", f"{vprefix}{i}", f"{vprefix}{i + 1}",
+                       label=label)
+    query.add_timing_chain(*[f"{eprefix}{i}" for i in range(n)])
+    return query, tuple(f"{eprefix}{i}" for i in range(n))
+
+
+class TestRenamingInvariance:
+    def test_vertex_and_edge_ids_do_not_matter(self):
+        q1, seq1 = chain(["x", "y"])
+        q2, seq2 = chain(["x", "y"], vprefix="node", eprefix="arc")
+        assert subplan_signature(q1, seq1) == subplan_signature(q2, seq2)
+
+    def test_same_query_same_sequence_is_deterministic(self):
+        q, seq = chain(["x", "y", "z"])
+        assert subplan_signature(q, seq) == subplan_signature(q, seq)
+
+    def test_subsequence_of_larger_query_matches_standalone(self):
+        """A 2-edge sub-plan inside a larger query canonicalises to the
+        same signature as the same 2-edge pattern registered alone."""
+        big = QueryGraph()
+        for i in range(4):
+            big.add_vertex(f"w{i}", "N")
+        big.add_edge("a", "w0", "w1", label="x")
+        big.add_edge("b", "w1", "w2", label="y")
+        big.add_edge("c", "w2", "w3", label="z")
+        big.add_timing_chain("a", "b")
+        small, seq = chain(["x", "y"])
+        assert subplan_signature(big, ("a", "b")) == \
+            subplan_signature(small, seq)
+
+
+class TestDiscriminations:
+    def test_edge_labels_matter(self):
+        q1, seq = chain(["x", "y"])
+        q2, _ = chain(["x", "z"])
+        assert subplan_signature(q1, seq) != subplan_signature(q2, seq)
+
+    def test_vertex_labels_matter(self):
+        q1, seq = chain(["x", "y"], vertex_labels=["A", "B", "C"])
+        q2, _ = chain(["x", "y"], vertex_labels=["A", "B", "B"])
+        assert subplan_signature(q1, seq) != subplan_signature(q2, seq)
+
+    def test_vertex_sharing_shape_matters(self):
+        """A path a→b→c and a fork a→b, a→c carry the same label triples
+        but different equality constraints — they must not share."""
+        path, seq = chain(["x", "x"])
+        fork = QueryGraph()
+        for v in "abc":
+            fork.add_vertex(v, "N")
+        fork.add_edge("e0", "a", "b", label="x")
+        fork.add_edge("e1", "a", "c", label="x")
+        fork.add_timing_chain("e0", "e1")
+        assert subplan_signature(path, seq) != \
+            subplan_signature(fork, ("e0", "e1"))
+
+    def test_loops_are_encoded(self):
+        loop = QueryGraph()
+        loop.add_vertex("a", "N")
+        loop.add_edge("e0", "a", "a", label="x")
+        plain, seq = chain(["x"])
+        assert subplan_signature(loop, ("e0",)) != \
+            subplan_signature(plain, seq)
+
+    def test_sequence_order_matters(self):
+        """The timing skeleton is the sequence order: x-then-y is a
+        different sub-plan from y-then-x."""
+        q1, _ = chain(["x", "y"])
+        q2 = QueryGraph()
+        for i in range(3):
+            q2.add_vertex(f"v{i}", "N")
+        q2.add_edge("e1", "v1", "v2", label="y")
+        q2.add_edge("e0", "v0", "v1", label="x")
+        q2.add_timing_chain("e1", "e0")
+        assert subplan_signature(q1, ("e0", "e1")) != \
+            subplan_signature(q2, ("e1", "e0"))
+
+
+class TestEdgeCases:
+    def test_wildcard_labels_are_part_of_the_signature(self):
+        q1, seq = chain([ANY, "y"])
+        q2, _ = chain(["x", "y"])
+        sig = subplan_signature(q1, seq)
+        assert sig is not None
+        assert sig != subplan_signature(q2, seq)
+        q3, seq3 = chain([ANY, "y"], vprefix="u", eprefix="f")
+        assert sig == subplan_signature(q3, seq3)
+
+    def test_unhashable_label_yields_none(self):
+        query = QueryGraph()
+        query.add_vertex("a", "N")
+        query.add_vertex("b", "N")
+        query.add_edge("e0", "a", "b", label=["un", "hashable"])
+        assert subplan_signature(query, ("e0",)) is None
+
+    def test_signature_is_hashable_and_length_preserving(self):
+        q, seq = chain(["x", "y", "z"])
+        sig = subplan_signature(q, seq)
+        assert len(sig) == 3
+        hash(sig)           # usable as a dict key
+        with pytest.raises(TypeError):
+            hash(subplan_signature(q, seq) + ([],))  # sanity: lists aren't

@@ -1,8 +1,5 @@
 """TC-query machinery: Definitions 7–8 and TCsub(Q) (Algorithm 5)."""
 
-import pytest
-
-from repro import QueryGraph
 from repro.core.tc import (
     find_timing_sequence, is_prefix_connected, is_tc_query,
     is_timing_sequence, tc_subqueries,

@@ -1,6 +1,5 @@
 """Unit tests for StreamEdge identity, labels and helpers."""
 
-import pytest
 
 from repro import StreamEdge
 

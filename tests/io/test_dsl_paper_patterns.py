@@ -2,7 +2,6 @@
 
 import io
 
-import pytest
 
 from repro import TimingMatcher
 from repro.io.csv_stream import read_stream, write_stream

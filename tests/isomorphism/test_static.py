@@ -59,12 +59,15 @@ class TestSkeleton:
         # Query: A→B, A→B with distinct query vertices — the two data edges
         # must use four distinct vertices.
         q = QueryGraph()
-        q.add_vertex("a1", "A"); q.add_vertex("b1", "B")
-        q.add_vertex("a2", "A"); q.add_vertex("b2", "B")
+        q.add_vertex("a1", "A")
+        q.add_vertex("b1", "B")
+        q.add_vertex("a2", "A")
+        q.add_vertex("b2", "B")
         q.add_edge("e1", "a1", "b1")
         q.add_edge("e2", "a2", "b2")
         # Disconnected query — exercise the disconnected-jump path too.
-        upper = lambda v: v[0].upper()
+        def upper(v):
+            return v[0].upper()
         s = SnapshotGraph()
         s.add_edge(make_edge("a1", "b1", 1, label_of=upper))
         s.add_edge(make_edge("a2", "b2", 2, label_of=upper))
@@ -74,15 +77,18 @@ class TestSkeleton:
 
     def test_multigraph_parallel_edges(self):
         q = QueryGraph()
-        q.add_vertex("u", "A"); q.add_vertex("v", "B")
+        q.add_vertex("u", "A")
+        q.add_vertex("v", "B")
         q.add_edge("e1", "u", "v")
         q.add_edge("e2", "u", "v")
         q.add_timing_constraint("e1", "e2")
-        upper = lambda v: v[0].upper()
+        def upper(v):
+            return v[0].upper()
         s = SnapshotGraph()
         first = make_edge("a1", "b1", 1, label_of=upper)
         second = make_edge("a1", "b1", 2, label_of=upper)
-        s.add_edge(first); s.add_edge(second)
+        s.add_edge(first)
+        s.add_edge(second)
         matches = StaticMatcher().find_all(q, s)
         # Only e1→first, e2→second survives the timing constraint.
         assert len(matches) == 1

@@ -62,7 +62,8 @@ class TestMultigraphAndLoops:
         q.add_vertex("v", "B")
         q.add_edge("e1", "u", "v")
         q.add_edge("e2", "u", "v")
-        upper = lambda x: x[0].upper()
+        def upper(x):
+            return x[0].upper()
         s = SnapshotGraph()
         first = make_edge("a1", "b1", 1, label_of=upper)
         second = make_edge("a1", "b1", 2, label_of=upper)
@@ -78,7 +79,8 @@ class TestMultigraphAndLoops:
         q.add_vertex("u", "A")
         q.add_edge("loop", "u", "u")
         s = SnapshotGraph()
-        upper = lambda x: x[0].upper()
+        def upper(x):
+            return x[0].upper()
         s.add_edge(make_edge("a1", "a1", 1, label_of=upper))
         s.add_edge(make_edge("a1", "b1", 2, label_of=upper))
         matches = WCOJMatcher().find_all(q, s)

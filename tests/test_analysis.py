@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis import analyze_selectivity, analyze_stream
 from repro.cli import main
-from repro.datasets import generate_netflow_stream
 from repro.io.csv_stream import write_stream
 
 from .conftest import fig3_stream, fig5_query

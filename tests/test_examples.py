@@ -9,9 +9,6 @@ scale through the same entry points they wrap.
 
 import os
 import runpy
-import sys
-
-import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "examples")

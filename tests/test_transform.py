@@ -1,6 +1,5 @@
 """Edge-label reification (the §II "imaginary vertex" reduction)."""
 
-import pytest
 
 from repro import QueryGraph, StreamEdge, TimingMatcher
 from repro.graph.stream import GraphStream
