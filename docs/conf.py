@@ -1,0 +1,51 @@
+"""Sphinx configuration for the repro documentation site.
+
+Built in CI with ``sphinx-build -W`` (warnings are errors) — see the
+``docs`` job in ``.github/workflows/ci.yml``.  Prose pages are MyST
+markdown; the API reference is autodoc over the installed package (the
+job installs the package first, but a plain source checkout also works
+via the ``src/`` path insertion below).
+"""
+
+import os
+import sys
+
+# Make `import repro` work from a source checkout without installation.
+sys.path.insert(0, os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")))
+
+project = "repro"
+author = "repro contributors"
+copyright = "2026, repro contributors"  # noqa: A001 - sphinx's name
+
+extensions = [
+    "myst_parser",
+    "sphinx.ext.autodoc",
+    "sphinx.ext.napoleon",
+    "sphinx.ext.viewcode",
+]
+
+source_suffix = {
+    ".rst": "restructuredtext",
+    ".md": "markdown",
+}
+
+# Long-form docstrings use NumPy sections (matching the ruff pydocstyle
+# convention in pyproject.toml).
+napoleon_google_docstring = False
+napoleon_numpy_docstring = True
+
+autodoc_member_order = "bysource"
+# The codebase annotates opportunistically (see the mypy adoption
+# baseline); rendering partial hints would be noise, and unresolvable
+# TYPE_CHECKING-only forward references must not fail the -W build.
+autodoc_typehints = "none"
+
+exclude_patterns = ["_build"]
+
+html_theme = "alabaster"
+html_theme_options = {
+    "description": "Time-constrained continuous subgraph search "
+                   "over streaming graphs",
+    "fixed_sidebar": True,
+}

@@ -62,7 +62,8 @@ Subpackages
 ``repro.sinks``
     Match consumers for sessions: collectors, JSONL writers, printers.
 ``repro.concurrency``
-    S/X-lock concurrency manager (§V) and the speed-up simulator.
+    S/X-lock concurrency manager (§V), the speed-up simulator, and
+    sharded sessions (``Session(sharding=..., shards=...)``).
 ``repro.datasets``
     Seeded synthetic workload generators and the query-set generator.
 ``repro.bench``
@@ -70,10 +71,11 @@ Subpackages
 """
 
 from .api import (
-    BACKENDS, DUPLICATE_POLICIES, ROUTING_MODES, SUBPLAN_SHARING_MODES,
-    EngineConfig, EngineStats, Matcher, MatcherBase, Session,
-    SharedSubplanStore, as_window,
+    BACKENDS, DUPLICATE_POLICIES, ROUTING_MODES, SHARDING_MODES,
+    SUBPLAN_SHARING_MODES, EngineConfig, EngineStats, Matcher, MatcherBase,
+    Session, SharedSubplanStore, as_window,
 )
+from .concurrency.sharding import ShardedSession
 from .core.engine import TimingMatcher
 from .core.matches import Match, verify_match
 from .core.plan import explain
@@ -100,8 +102,9 @@ __all__ = [
     "SharedSlidingWindow", "SharedWindowView", "SnapshotGraph",
     # the unified API
     "Matcher", "MatcherBase", "EngineConfig", "EngineStats", "Session",
-    "SharedSubplanStore", "BACKENDS", "DUPLICATE_POLICIES",
-    "ROUTING_MODES", "SUBPLAN_SHARING_MODES", "as_window",
+    "ShardedSession", "SharedSubplanStore", "BACKENDS",
+    "DUPLICATE_POLICIES", "ROUTING_MODES", "SHARDING_MODES",
+    "SUBPLAN_SHARING_MODES", "as_window",
     # engines and results
     "TimingMatcher", "Match", "verify_match", "explain",
     # sinks

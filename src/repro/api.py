@@ -105,6 +105,16 @@ ROUTING_MODES = ("shared", "fanout")
 #: produce identical ``(name, match)`` streams.
 SUBPLAN_SHARING_MODES = ("shared", "private")
 
+#: Session sharding strategies: ``"none"`` (default) runs every registered
+#: matcher in the calling process; ``"thread"`` / ``"process"`` partition
+#: the matchers across ``EngineConfig.shards`` worker shards (stable hash
+#: of the query name, rebalanced on register/deregister), each holding its
+#: own shared window and sub-plan registry, with batches fanned out
+#: through the routing index so a shard only receives arrivals its
+#: matchers can consume.  All modes produce identical ``(name, match)``
+#: streams — see :class:`repro.concurrency.sharding.ShardedSession`.
+SHARDING_MODES = ("none", "thread", "process")
+
 MatchCallback = Callable[[str, "Match"], None]
 
 
@@ -129,6 +139,19 @@ def _shared_group_key(window) -> Optional[Tuple]:
     if key is None or len(window) != 0:
         return None
     return key
+
+
+def _resolved_sharding(sharding, config) -> str:
+    """The sharding mode a :class:`Session` construction will run under:
+    the explicit keyword wins, then the config, then ``"none"`` — the
+    same precedence :meth:`Session.__init__` applies, because
+    :meth:`Session.__new__` uses this to decide whether to dispatch to
+    the :class:`~repro.concurrency.sharding.ShardedSession` facade."""
+    if sharding is not None:
+        return sharding
+    if config is not None:
+        return getattr(config, "sharding", "none")
+    return "none"
 
 
 def _strip_config_guard(state: dict) -> dict:
@@ -185,6 +208,7 @@ class EngineStats:
             setattr(self, name, 0)
 
     def as_dict(self) -> Dict[str, int]:
+        """All counters as a plain ``name -> value`` dict."""
         return {name: getattr(self, name) for name in self.__slots__}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -206,17 +230,29 @@ class Matcher(Protocol):
 
     stats: EngineStats
 
-    def push(self, edge: StreamEdge) -> List[Match]: ...
+    def push(self, edge: StreamEdge) -> List[Match]:
+        """Process one arrival; returns the matches it completed."""
+        ...
 
-    def push_many(self, edges: Iterable[StreamEdge]) -> List[Match]: ...
+    def push_many(self, edges: Iterable[StreamEdge]) -> List[Match]:
+        """Process a batch of arrivals; returns all new matches."""
+        ...
 
-    def advance_time(self, timestamp: float) -> None: ...
+    def advance_time(self, timestamp: float) -> None:
+        """Slide the window forward without an arrival."""
+        ...
 
-    def current_matches(self) -> List[Match]: ...
+    def current_matches(self) -> List[Match]:
+        """The full answer set over the current window."""
+        ...
 
-    def result_count(self) -> int: ...
+    def result_count(self) -> int:
+        """Cardinality of :meth:`current_matches`."""
+        ...
 
-    def space_cells(self) -> int: ...
+    def space_cells(self) -> int:
+        """Logical partial-match storage footprint."""
+        ...
 
 
 class MatcherBase:
@@ -369,6 +405,7 @@ class MatcherBase:
         return not self.query.matching_edge_ids(edge)
 
     def current_matches(self) -> List[Match]:
+        """The full answer set over the current window (subclass hook)."""
         raise NotImplementedError
 
     def result_count(self) -> int:
@@ -376,6 +413,7 @@ class MatcherBase:
         return len(self.current_matches())
 
     def space_cells(self) -> int:
+        """Logical partial-match storage footprint (subclass hook)."""
         raise NotImplementedError
 
     def __getstate__(self):
@@ -432,6 +470,17 @@ class EngineConfig:
         Standalone engines and ``routing="fanout"`` sessions ignore it.
         Both modes produce identical matches — see
         :data:`SUBPLAN_SHARING_MODES` and :class:`SharedSubplanStore`.
+    sharding:
+        Session-level matcher partitioning (engines ignore it):
+        ``"none"`` (default) keeps every registered matcher in the
+        calling process; ``"thread"`` / ``"process"`` shard them across
+        ``shards`` worker loops so heavy query sets parallelise over one
+        ingested stream — see
+        :class:`~repro.concurrency.sharding.ShardedSession`.  Requires
+        ``routing="shared"``; all modes produce identical matches.
+    shards:
+        Worker-shard count used when ``sharding`` is not ``"none"``
+        (ignored otherwise).
     guard:
         Default access guard threaded through every operation when no
         per-call guard is given (``None`` → serial no-op guard).
@@ -449,6 +498,8 @@ class EngineConfig:
     indexing: str = "hash"
     routing: str = "shared"
     subplan_sharing: str = "shared"
+    sharding: str = "none"
+    shards: int = 4
     guard: Optional[object] = None
     seed: int = 0
     duplicate_policy: str = "raise"
@@ -458,6 +509,8 @@ class EngineConfig:
         return dataclasses.replace(self, **changes)
 
     def validate(self) -> "EngineConfig":
+        """Raise ``ValueError`` on any unknown or inconsistent knob;
+        returns ``self`` so it chains."""
         if self.storage not in STORAGE_KINDS:
             raise ValueError(f"unknown storage kind: {self.storage!r} "
                              f"(expected one of {STORAGE_KINDS})")
@@ -481,6 +534,19 @@ class EngineConfig:
             raise ValueError(
                 f"unknown subplan sharing mode: {self.subplan_sharing!r} "
                 f"(expected one of {SUBPLAN_SHARING_MODES})")
+        if self.sharding not in SHARDING_MODES:
+            raise ValueError(
+                f"unknown sharding mode: {self.sharding!r} "
+                f"(expected one of {SHARDING_MODES})")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool) \
+                or self.shards < 1:
+            raise ValueError(f"shards must be a positive int, "
+                             f"got {self.shards!r}")
+        if self.sharding != "none" and self.routing != "shared":
+            raise ValueError(
+                "sharded sessions ride on the shared-routing index: "
+                f"sharding={self.sharding!r} requires routing='shared', "
+                f"got routing={self.routing!r}")
         if self.duplicate_policy not in DUPLICATE_POLICIES:
             raise ValueError(
                 f"unknown duplicate policy: {self.duplicate_policy!r} "
@@ -562,6 +628,7 @@ class SharedSubplanStore:
         self._deltas[position] = delta
 
     def space_cells(self) -> int:
+        """The shared store's physical partial-match cells."""
         return self.store.space_cells()
 
     def __getstate__(self):
@@ -600,6 +667,8 @@ class _SubplanRegistry:
 
     def acquire(self, group_key: Tuple, storage: str,
                 signature: "SubplanSignature") -> SharedSubplanStore:
+        """A joinable (empty) record for the key — refcount bumped — or a
+        fresh one when every existing record is already occupied."""
         key = (group_key, storage, signature)
         bucket = self._buckets.setdefault(key, [])
         for record in bucket:
@@ -612,6 +681,7 @@ class _SubplanRegistry:
         return record
 
     def release(self, record: SharedSubplanStore) -> None:
+        """Drop one consumer; the last one out frees the record."""
         record.consumers -= 1
         if record.consumers <= 0:
             bucket = self._buckets.get(record.key)
@@ -621,19 +691,24 @@ class _SubplanRegistry:
                     del self._buckets[record.key]
 
     def records(self) -> List[SharedSubplanStore]:
+        """Every live record, across all keys."""
         return [record for bucket in self._buckets.values()
                 for record in bucket]
 
     def record_count(self) -> int:
+        """Number of live shared-store records."""
         return sum(len(bucket) for bucket in self._buckets.values())
 
     def consumer_count(self) -> int:
+        """Total refcount over all records (engines consuming a store)."""
         return sum(record.consumers for record in self.records())
 
     def space_cells(self) -> int:
+        """Physical cells across all shared stores."""
         return sum(record.space_cells() for record in self.records())
 
     def reuse_count(self) -> int:
+        """Total memo-served insertions across all records."""
         return sum(record.reuses for record in self.records())
 
 
@@ -652,6 +727,8 @@ class _SubplanProvider:
 
     def acquire(self, query: "QueryGraph", sequence,
                 storage: str) -> Optional[SharedSubplanStore]:
+        """The shared record for one planned TC-subquery, or ``None``
+        when its signature is uncacheable (unhashable labels)."""
         from .core.decomposition import subplan_signature
         signature = subplan_signature(query, sequence)
         if signature is None:       # unhashable label: no cache key
@@ -661,6 +738,7 @@ class _SubplanProvider:
         return record
 
     def rollback(self) -> None:
+        """Release every acquisition (failed engine construction)."""
         for record in self.acquired:
             self._registry.release(record)
         self.acquired.clear()
@@ -855,11 +933,30 @@ class Session:
         Shorthand for ``config.replace(duplicate_policy=...)``.
     routing:
         Shorthand for ``config.replace(routing=...)``.
+    sharding:
+        Shorthand for ``config.replace(sharding=...)``.  Any value other
+        than ``"none"`` makes the constructor return a
+        :class:`~repro.concurrency.sharding.ShardedSession`, which
+        partitions registered matchers across ``shards`` worker shards.
+    shards:
+        Shorthand for ``config.replace(shards=...)``.
     """
+
+    def __new__(cls, *args, **kwargs):
+        # ``Session(sharding="process")`` (or a config carrying a sharding
+        # mode) dispatches to the ShardedSession facade; subclasses and
+        # unpickling are left alone.
+        if cls is Session and _resolved_sharding(
+                kwargs.get("sharding"), kwargs.get("config")) != "none":
+            from .concurrency.sharding import ShardedSession
+            return super().__new__(ShardedSession)
+        return super().__new__(cls)
 
     def __init__(self, *, window=None, config: Optional[EngineConfig] = None,
                  duplicate_policy: Optional[str] = None,
-                 routing: Optional[str] = None) -> None:
+                 routing: Optional[str] = None,
+                 sharding: Optional[str] = None,
+                 shards: Optional[int] = None) -> None:
         if isinstance(window, bool):
             raise TypeError("window must be a duration or a window factory")
         if isinstance(window, (int, float)) and window <= 0:
@@ -876,6 +973,10 @@ class Session:
             config = config.replace(duplicate_policy=duplicate_policy)
         if routing is not None:
             config = config.replace(routing=routing)
+        if sharding is not None:
+            config = config.replace(sharding=sharding)
+        if shards is not None:
+            config = config.replace(shards=shards)
         self.config = config.validate()
         self._matchers: Dict[str, Matcher] = {}
         self._callbacks: Dict[str, Optional[MatchCallback]] = {}
@@ -1087,6 +1188,9 @@ class Session:
         self._callbacks[name] = callback
 
     def deregister(self, name: str) -> None:
+        """Remove a query: flush its pending expiries, unhook its
+        routing-index entries and shared-window subscription, release its
+        shared sub-plan refcounts, and drop its filtered sinks."""
         if name not in self._matchers:
             raise KeyError(f"unknown query: {name!r}")
         member = self._members.pop(name, None)
@@ -1133,9 +1237,12 @@ class Session:
         self._sinks = [(q, s) for q, s in self._sinks if q != name]
 
     def names(self) -> List[str]:
+        """Registered query names, in registration order."""
         return list(self._matchers)
 
     def matcher(self, name: str) -> Matcher:
+        """The query's engine, with pending expiries flushed so direct
+        reads observe exactly the session's stream position."""
         member = self._members.get(name)
         if member is not None:
             self._flush_member(member)  # direct engine reads stay exact
@@ -1162,6 +1269,8 @@ class Session:
         return sink
 
     def remove_sink(self, sink: MatchCallback) -> None:
+        """Detach a sink added with :meth:`add_sink` (``ValueError`` if
+        it is not attached)."""
         before = len(self._sinks)
         self._sinks = [(q, s) for q, s in self._sinks if s is not sink]
         if len(self._sinks) == before:
@@ -1242,7 +1351,8 @@ class Session:
         cache[key] = targets
         return targets
 
-    def _push_shared(self, edge: StreamEdge) -> List[Tuple[str, Match]]:
+    def _push_shared(self, edge: StreamEdge,
+                     forced_duplicates=None) -> List[Tuple[str, Match]]:
         """One arrival through the shared-stream fast path.
 
         Duplicate-id handling is *stream-level*: an arrival whose id has
@@ -1256,6 +1366,15 @@ class Session:
         instead of treating a replayed id as fresh merely because it
         missed the original (fanout, which buffers the stream per
         matcher, does the latter).
+
+        ``forced_duplicates`` is the shard-worker entry point: a set of
+        window-group keys a sharded session's facade
+        (:class:`~repro.concurrency.sharding.ShardedSession`) already
+        judged live for this id at the stream level.  A shard's buffer only holds the arrivals routed to
+        it — a strict subset of the stream — so its own probe can miss a
+        bearer the full stream would have seen; the forced keys close
+        exactly that gap (a locally-live bearer is always facade-live
+        too, never the reverse).
         """
         if edge.timestamp <= self._current_time:
             raise ValueError(
@@ -1267,7 +1386,9 @@ class Session:
         live_groups = {}
         offender_entries: List[Tuple[int, str]] = []
         for key, group in self._groups.items():
-            live = group.window.bearer_live_at(edge.edge_id, edge.timestamp)
+            live = group.window.bearer_live_at(edge.edge_id, edge.timestamp) \
+                or (forced_duplicates is not None
+                    and key in forced_duplicates)
             live_groups[key] = live
             if live and group.raise_entries:
                 offender_entries.extend(group.raise_entries)
@@ -1433,17 +1554,20 @@ class Session:
 
     @property
     def current_time(self) -> float:
+        """The stream clock: the latest accepted timestamp."""
         return self._current_time
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def result_counts(self) -> Dict[str, int]:
+        """Per-query current-window match counts."""
         self._flush_all()
         return {name: matcher.result_count()
                 for name, matcher in self._matchers.items()}
 
     def current_matches(self) -> Dict[str, List[Match]]:
+        """Per-query full answer sets over the current window."""
         self._flush_all()
         return {name: matcher.current_matches()
                 for name, matcher in self._matchers.items()}
@@ -1463,20 +1587,21 @@ class Session:
         return cells
 
     def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-query engine counters (see :class:`EngineStats`)."""
         self._flush_all()
         return {name: matcher.stats.as_dict()
                 for name, matcher in self._matchers.items()}
 
     def shared_window_cells(self) -> int:
         """Edges held across the session's shared window buffers —
-        O(|W|) per distinct window policy, however many queries share
+        ``O(|W|)`` per distinct window policy, however many queries share
         them (0 under ``routing="fanout"``)."""
         return sum(len(group.window) for group in self._groups.values())
 
     def window_cells(self) -> int:
         """Total window buffer cells across the session: the shared
         buffers plus every privately-buffering matcher's window.  Under
-        fanout this is the O(Q·|W|) figure shared routing collapses."""
+        fanout this is the ``O(Q·|W|)`` figure shared routing collapses."""
         cells = self.shared_window_cells()
         if self._routing == "shared":
             names = [name for _, name in self._private_entries]

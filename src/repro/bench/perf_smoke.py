@@ -1,6 +1,6 @@
 """Repeatable perf smokes: pinned workloads, JSON reports, CI gates.
 
-Three suites, selected with ``--suite``:
+Four suites, selected with ``--suite``:
 
 ``indexing`` (PR 2, report ``BENCH_pr2.json``)
     The fig15-style default workload (seeded NetworkFlow stream, one
@@ -26,6 +26,23 @@ Three suites, selected with ``--suite``:
     per-query logical space, and gates (a) the shared-over-private
     insert throughput and (b) the sub-linear shared-store cell count
     (the private/shared partial-match space ratio).
+
+``sharding`` (PR 5, report ``BENCH_pr5.json``)
+    The routing suite's pinned 16-query workload pushed through
+    ``sharding="none"`` vs ``sharding="process"`` at 4 shards
+    (:class:`~repro.concurrency.sharding.ShardedSession`), verifying
+    identical ``(name, match)`` multisets and a balanced partition, and
+    gating the insert-throughput speedup of the sharded *pipeline*.  The
+    gated ratio is modeled, not wall-clock: like the paper's ``Timing-N``
+    speedup figures (which replay measured lock traces through
+    :mod:`repro.concurrency.simulation` because the GIL hides thread
+    speedup), this suite measures each pipeline stage's real CPU cost —
+    the facade's routing/serialisation thread-time and every shard
+    worker's busy process-time — and models steady-state throughput as
+    ``stream / max(stage cost)``.  That makes the gate meaningful on any
+    runner, including single-core CI where 4-way wall-clock parallelism
+    is physically impossible; the wall-clock numbers are reported
+    alongside for information.
 
 Used two ways:
 
@@ -513,6 +530,150 @@ def check_sharing_regression(report: dict, baseline: dict,
 
 
 # --------------------------------------------------------------------- #
+# Suite: sharding (PR 5)
+# --------------------------------------------------------------------- #
+
+#: The sharded run re-uses the routing suite's pinned 16-query workload
+#: (same stream, same queries, same window), partitioned across this many
+#: process shards — the stable name hash splits q00…q15 into 4 queries
+#: per shard exactly.
+SHARDING_SHARDS = 4
+
+#: Hard floor on the modeled sharded-pipeline insert-throughput speedup
+#: over ``sharding="none"`` at 4 shards (see the module docstring for the
+#: pipeline model).
+SHARDING_SPEEDUP_FLOOR = 2.0
+
+
+def _run_sharding_none(queries: List[QueryGraph], duration: float,
+                       edges: List):
+    # Sub-plan sharing is pinned off in both modes so the suite measures
+    # the sharding ablation alone (under sharding it would also change
+    # *where* stores live, confounding the stage costs).
+    session = Session(window=duration, config=EngineConfig(
+        subplan_sharing="private"))
+    for i, query in enumerate(queries):
+        session.register(f"q{i:02d}", query)
+    cpu_started = time.process_time()
+    started = time.perf_counter()
+    tagged = session.push_many(edges)
+    elapsed = time.perf_counter() - started
+    cpu = time.process_time() - cpu_started
+    report = {
+        "sharding": "none",
+        "elapsed_seconds": round(elapsed, 4),
+        "cpu_seconds": round(cpu, 4),
+        "throughput_edges_per_s": round(len(edges) / elapsed, 1),
+        "matches": len(tagged),
+    }
+    return report, Counter(tagged)
+
+
+def _run_sharding_sharded(queries: List[QueryGraph], duration: float,
+                          edges: List):
+    session = Session(window=duration, config=EngineConfig(
+        subplan_sharing="private", sharding="process",
+        shards=SHARDING_SHARDS))
+    try:
+        for i, query in enumerate(queries):
+            session.register(f"q{i:02d}", query)
+        started = time.perf_counter()
+        tagged = session.push_many(edges)
+        elapsed = time.perf_counter() - started
+        stats = session.session_stats()
+    finally:
+        session.close()
+    shard_busy = [p["busy_seconds"] for p in stats["per_shard"]]
+    facade = stats["facade_cpu_seconds"]
+    critical = max(facade, max(shard_busy))
+    report = {
+        "sharding": "process",
+        "shards": SHARDING_SHARDS,
+        "elapsed_wall_seconds": round(elapsed, 4),
+        "throughput_wall_edges_per_s": round(len(edges) / elapsed, 1),
+        "matches": len(tagged),
+        "facade_cpu_seconds": facade,
+        "shard_busy_seconds": shard_busy,
+        "critical_stage_seconds": round(critical, 4),
+        "modeled_pipeline_edges_per_s": round(len(edges) / critical, 1),
+        "queries_per_shard": [p["queries"] for p in stats["per_shard"]],
+        "edges_per_shard": [p["edges_received"]
+                            for p in stats["per_shard"]],
+    }
+    return report, Counter(tagged)
+
+
+def run_sharding_smoke() -> dict:
+    """Run the 16-query workload unsharded and at 4 process shards;
+    returns the report dict (see the module docstring for the gated
+    pipeline model)."""
+    queries, duration, edges = build_routing_workload()
+    none_run, none_tagged = _run_sharding_none(queries, duration, edges)
+    sharded_run, sharded_tagged = _run_sharding_sharded(
+        queries, duration, edges)
+    if none_tagged != sharded_tagged:
+        raise AssertionError(
+            "sharding changed the answer: none and process (name, match) "
+            "multisets differ")
+    per_shard = sharded_run["queries_per_shard"]
+    if sorted(per_shard) != [4, 4, 4, 4]:
+        raise AssertionError(
+            f"the pinned name hash no longer balances the partition: "
+            f"{per_shard} queries per shard")
+    return {
+        "benchmark": "pr5-sharding-perf-smoke",
+        "workload": {
+            "dataset": "NetworkFlow (dst-port/protocol labels)",
+            "stream_edges": ROUTING_STREAM_EDGES,
+            "stream_seed": ROUTING_STREAM_SEED,
+            "num_ips": ROUTING_NUM_IPS,
+            "query_sizes": ROUTING_QUERY_SIZES,
+            "num_queries": ROUTING_NUM_QUERIES,
+            "window_units": ROUTING_WINDOW_UNITS,
+            "storage": "mstree",
+            "shards": SHARDING_SHARDS,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "none": none_run,
+        "sharded": sharded_run,
+        "model": "pipeline: none cpu_seconds / max(facade_cpu_seconds, "
+                 "max(shard_busy_seconds)); wall-clock reported for "
+                 "information only",
+        "wall_speedup": round(
+            none_run["elapsed_seconds"]
+            / sharded_run["elapsed_wall_seconds"], 2),
+        "speedup": round(
+            none_run["cpu_seconds"]
+            / sharded_run["critical_stage_seconds"], 2),
+    }
+
+
+def check_sharding_regression(report: dict, baseline: dict,
+                              tolerance: float) -> List[str]:
+    """Failure messages (empty = pass) for the sharding suite."""
+    failures = []
+    measured = report["speedup"]
+    recorded = baseline.get("speedup")
+    if measured < SHARDING_SPEEDUP_FLOOR:
+        failures.append(
+            f"modeled sharded-pipeline speedup {measured}x is below the "
+            f"{SHARDING_SPEEDUP_FLOOR}x floor")
+    if recorded is not None and measured < (1.0 - tolerance) * recorded:
+        failures.append(
+            f"sharded-pipeline speedup regressed >{tolerance:.0%}: "
+            f"measured {measured}x vs committed baseline {recorded}x")
+    if report["none"]["matches"] != baseline.get(
+            "none", {}).get("matches", report["none"]["matches"]):
+        failures.append(
+            f"workload drifted: {report['none']['matches']} matches vs "
+            f"baseline {baseline['none']['matches']}")
+    return failures
+
+
+# --------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------- #
 
@@ -557,14 +718,30 @@ SUITES = {
             f"{r['private']['space_cells']} "
             f"(ratio {r['space_ratio']}x)"),
     },
+    "sharding": {
+        "default_out": "BENCH_pr5.json",
+        "run": run_sharding_smoke,
+        "check": check_sharding_regression,
+        "summary": lambda r: (
+            f"none: {r['none']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['none']['cpu_seconds']}s cpu), sharded x"
+            f"{r['workload']['shards']}: critical stage "
+            f"{r['sharded']['critical_stage_seconds']}s "
+            f"(facade {r['sharded']['facade_cpu_seconds']}s, shards "
+            f"{r['sharded']['shard_busy_seconds']}) "
+            f"→ modeled pipeline speedup {r['speedup']}x "
+            f"(wall {r['wall_speedup']}x on this machine)"),
+    },
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.perf_smoke",
-        description="pinned perf smokes: indexing (hash vs scan joins) "
-                    "and routing (shared vs fanout sessions)")
+        description="pinned perf smokes: indexing (hash vs scan joins), "
+                    "routing (shared vs fanout sessions), sharing "
+                    "(shared vs private sub-plans), and sharding "
+                    "(process shards vs in-process)")
     parser.add_argument("--suite", choices=sorted(SUITES),
                         default="indexing",
                         help="which smoke to run (default: indexing)")

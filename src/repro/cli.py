@@ -24,7 +24,7 @@ from typing import Optional, Sequence
 
 from .api import (
     BACKENDS, DUPLICATE_POLICIES, INDEXING_MODES, ROUTING_MODES,
-    SUBPLAN_SHARING_MODES, EngineConfig, Session,
+    SHARDING_MODES, SUBPLAN_SHARING_MODES, EngineConfig, Session,
 )
 from .core.engine import TimingMatcher
 from .core.plan import explain
@@ -74,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cross-query sub-plan sharing: one store per "
                             "canonical TC-subquery (default) or private "
                             "per-engine stores (ablation)")
+    p_run.add_argument("--sharding", choices=sorted(SHARDING_MODES),
+                       default="none",
+                       help="partition matchers across worker shards: "
+                            "none (default, in-process), thread, or "
+                            "process")
+    p_run.add_argument("--shards", type=int, default=4,
+                       help="worker-shard count when --sharding is not "
+                            "none (default 4)")
     p_run.add_argument("--backend", choices=sorted(BACKENDS),
                        default="timing",
                        help="matcher engine (default: timing)")
@@ -137,11 +145,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("error: --indexing only applies to the timing backend",
               file=sys.stderr)
         return 2
+    if args.sharding != "none" and args.routing != "shared":
+        print("error: --sharding requires --routing shared",
+              file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
     config = EngineConfig(
         storage="independent" if args.no_mstree else "mstree",
         indexing=args.indexing,
         routing=args.routing,
         subplan_sharing=args.subplan_sharing,
+        sharding=args.sharding,
+        shards=args.shards,
         duplicate_policy=args.duplicates)
     session = Session(window=window, config=config)
     session.register("query", query, backend=args.backend)
@@ -192,6 +209,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"for {ss['subplan_consumers']} consumer(s), "
                   f"{ss['subplan_reuses']} memoised insertions, "
                   f"{ss['subplan_store_cells']} shared store cells")
+        if args.sharding != "none":
+            busy = ", ".join(
+                f"shard {p['shard']}: {p['queries']} queries "
+                f"{p['busy_seconds']}s busy" for p in ss["per_shard"])
+            print(f"sharding: {ss['sharding']} x {ss['shards']} — {busy}")
+    if hasattr(session, "close"):
+        session.close()
     return 0
 
 

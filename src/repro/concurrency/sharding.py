@@ -1,0 +1,1030 @@
+"""Sharded sessions: parallel matcher shards over one shared stream.
+
+A multi-query :class:`~repro.api.Session` already makes per-arrival work
+sparse (the routing index) and de-duplicates state (the shared window and
+sub-plan stores), but every engine still runs in the calling thread.  This
+module adds the next scale step: :class:`ShardedSession` partitions the
+registered matchers across ``N`` worker shards — OS processes
+(``sharding="process"``) or threads (``sharding="thread"``) — so a heavy
+query set parallelises over one ingested stream, the way production stream
+processors scale continuous pattern queries.
+
+Construction is transparent: ``Session(sharding="process", shards=4)``
+(or an :class:`~repro.api.EngineConfig` carrying the knobs) dispatches
+here via ``Session.__new__``; the facade exposes the same registration,
+streaming, introspection and checkpoint surface and produces the same
+``(name, match)`` stream as an unsharded session.
+
+How the work is split
+---------------------
+* **Partitioning.**  Each registered query is assigned to the shard given
+  by a stable hash of its name (:func:`shard_of`), so the placement is
+  deterministic, independent of registration order, and survives
+  checkpoint/restore.  Register/deregister rebalance the facade's routing
+  tables; a shard whose last matcher leaves simply stops receiving
+  arrivals.
+* **Each shard is a full sub-session.**  A worker owns a plain
+  (unsharded) :class:`~repro.api.Session` holding its subset of matchers:
+  its own shared window buffer per window policy, its own routing index,
+  and its own refcounted sub-plan registry — so cross-query sub-plan
+  sharing keeps working *within* a shard and shared stores never cross
+  process boundaries.
+* **Routed fan-out.**  ``push``/``push_many``/``ingest`` batches are
+  staged per shard through a facade-level label-triple index (the union
+  of each shard's query signatures) so a shard only receives the
+  arrivals its matchers can consume.  Shards hosting count-based-window
+  members receive every arrival — a count window expires by stream
+  position, so the non-matching arrivals are still capacity ballast.
+* **Stream-level duplicates.**  The facade replicates the shared
+  window's bearer index per window group (a mirror buffer of the full
+  stream), because a shard's buffer only holds the arrivals routed to it
+  — a strict subset that could miss a live bearer.  Duplicate arrivals
+  are judged at the facade exactly as an unsharded session judges them
+  (``raise`` rejects side-effect-free before any shard ingests; ``skip``
+  / ``count`` drop per group) and the affected group keys ride along
+  with the dispatched row as *forced duplicates* (see
+  :meth:`repro.api.Session._push_shared`).
+* **Deterministic merge.**  Workers tag every match with the arrival's
+  batch index; the facade merges the per-shard result lists by
+  ``(arrival, registration ordinal)``, so sinks and return values see
+  the same order as an unsharded session.
+
+What does *not* shard
+---------------------
+Factory backends and non-shareable windows (pre-filled or custom policy
+objects) cannot cross a shard boundary; registering one on a sharded
+session raises — use ``sharding="none"`` for those.  Sink callbacks run
+in the facade process at batch granularity.
+
+Because CPython's GIL serialises bytecode, ``sharding="thread"`` cannot
+show wall-clock speed-up (it exists for cheap equivalence testing and
+for workloads dominated by I/O); ``sharding="process"`` gives real
+parallelism at the cost of serialising batches across process
+boundaries.  The :mod:`repro.bench.perf_smoke` ``sharding`` suite
+measures both the wall clock and the per-shard busy times its pipeline
+model gates on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import weakref
+import zlib
+from time import process_time, thread_time
+from typing import (
+    TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple,
+)
+
+from ..api import (
+    BACKENDS, DUPLICATE_POLICIES, EngineConfig, MatchCallback, Session,
+    _shared_group_key,
+)
+from ..graph.count_window import CountSlidingWindow
+from ..graph.edge import StreamEdge
+from ..graph.shared_window import SharedSlidingWindow
+from ..graph.window import SlidingWindow
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from ..core.matches import Match
+
+#: Arrivals staged per dispatch round by ``push_many``/``ingest``.  One
+#: round costs one message exchange per targeted shard, so larger batches
+#: amortise serialisation; smaller ones tighten sink latency.
+DEFAULT_BATCH_SIZE = 1024
+
+
+def shard_of(name, num_shards: int) -> int:
+    """The shard index a query name hashes to.
+
+    Stable across processes and interpreter runs (CRC-32 of the name's
+    text, *not* the salted builtin ``hash``), so a restored session
+    reassembles the exact same partitioning.
+    """
+    return zlib.crc32(str(name).encode("utf-8", "backslashreplace")) \
+        % num_shards
+
+
+def _edge_to_wire(edge: StreamEdge) -> tuple:
+    """Flatten an edge to a primitive tuple for cheap cross-process
+    pickling (reconstructed by :func:`_edge_from_wire`)."""
+    return (edge.src, edge.dst, edge.src_label, edge.dst_label,
+            edge.timestamp, edge.label, edge.edge_id)
+
+
+def _edge_from_wire(row: tuple) -> StreamEdge:
+    """Rebuild a :class:`StreamEdge` from its :func:`_edge_to_wire` form."""
+    src, dst, src_label, dst_label, timestamp, label, edge_id = row
+    return StreamEdge(src, dst, src_label=src_label, dst_label=dst_label,
+                      timestamp=timestamp, label=label, edge_id=edge_id)
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+
+class _ShardServer:
+    """The worker-side half of a shard: owns the shard's sub-session.
+
+    Runs inside the worker thread/process; one instance serves one
+    shard's command stream (register/deregister, batches, reads,
+    checkpoint adoption).  The sub-session is a plain unsharded
+    :class:`~repro.api.Session`, so every shared-routing and sub-plan
+    sharing invariant holds within the shard unchanged.
+    """
+
+    def __init__(self, clock=process_time) -> None:
+        self.session = Session()
+        #: CPU-time clock for :attr:`busy_seconds` — ``process_time`` for
+        #: a (single-threaded) worker process, ``thread_time`` for a
+        #: worker thread.  CPU time, not wall time: a worker descheduled
+        #: by CPU contention is not *busy*, and the perf smoke's pipeline
+        #: model needs each stage's genuine cost.
+        self.clock = clock
+        #: CPU seconds spent processing batches (plus, for process
+        #: workers, deserialising them off the pipe) — the shard's stage
+        #: cost in the perf smoke's pipeline model.
+        self.busy_seconds = 0.0
+        #: The last batch's handler interval (lets the process loop add
+        #: its wire overhead without double-charging the handler time).
+        self.last_batch_seconds = 0.0
+        self.edges_received = 0
+        self.batches = 0
+
+    def handle(self, cmd: str, payload):
+        """Execute one command; returns its result (exceptions propagate
+        to the dispatch loop, which reports them to the facade)."""
+        if cmd == "push_batch":
+            return self._push_batch(payload)
+        if cmd == "advance":
+            self.session.advance_time(payload)
+            return None
+        if cmd == "register":
+            self.session.register(
+                payload["name"], payload["query"], window=payload["window"],
+                backend=payload["backend"], config=payload["config"],
+                **payload["options"])
+            return None
+        if cmd == "deregister":
+            self.session.deregister(payload)
+            return None
+        if cmd == "collect":
+            return getattr(self.session, payload)()
+        if cmd == "matcher":
+            return self.session.matcher(payload)
+        if cmd == "get_session":
+            return self.session
+        if cmd == "adopt":
+            self.session = payload
+            return None
+        if cmd == "perf":
+            return {"busy_seconds": self.busy_seconds,
+                    "edges_received": self.edges_received,
+                    "batches": self.batches}
+        raise ValueError(f"unknown shard command: {cmd!r}")
+
+    def _push_batch(self, rows) -> List[Tuple[int, str, Match]]:
+        """Ingest one staged batch; returns ``(arrival index, query name,
+        match)`` triples for the facade's deterministic merge.
+
+        Every row carries the facade's stream-level duplicate judgement
+        (the *forced* group keys), which the sub-session folds into its
+        own — local-buffer — probe.
+        """
+        session = self.session
+        started = self.clock()
+        results: List[Tuple[int, str, Match]] = []
+        try:
+            # One coalesced expiry flush per batch (the finally), exactly
+            # like the base push_many; _push_shared itself still flushes
+            # a member right before inserting into it.
+            try:
+                for idx, payload, forced in rows:
+                    edge = payload if isinstance(payload, StreamEdge) \
+                        else _edge_from_wire(payload)
+                    self.edges_received += 1
+                    for name, match in session._push_shared(edge, forced):
+                        results.append((idx, name, match))
+            finally:
+                session._flush_all()
+        finally:
+            self.last_batch_seconds = self.clock() - started
+            self.busy_seconds += self.last_batch_seconds
+            self.batches += 1
+        return results
+
+
+def _shard_worker_main(conn) -> None:
+    """Entry point of a process-mode shard worker.
+
+    A plain request/response loop over the duplex pipe: receive
+    ``(cmd, payload)``, run it on the :class:`_ShardServer`, answer
+    ``("ok", result)`` or ``("error", exception)``.  Exits on
+    ``"shutdown"`` or when the facade end of the pipe disappears.
+
+    Batch (de)serialisation CPU is charged to the shard's busy time:
+    it is genuine per-shard stage cost the sharded layout pays and the
+    unsharded one does not, and the perf smoke's pipeline model must
+    see it.  ``process_time`` does not tick while ``recv`` blocks, so
+    idle waiting is not counted.
+    """
+    server = _ShardServer()
+    while True:
+        started = process_time()
+        try:
+            cmd, payload = conn.recv()
+        except (EOFError, OSError):        # facade gone: die quietly
+            return
+        if cmd == "shutdown":
+            try:
+                conn.send(("ok", None))
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        try:
+            result = server.handle(cmd, payload)
+            conn.send(("ok", result))
+        except BaseException as exc:  # noqa: BLE001 - reported to facade
+            try:
+                conn.send(("error", exc))
+            except Exception:
+                conn.send(("error", RuntimeError(
+                    f"shard worker error (unpicklable): {exc!r}")))
+        if cmd == "push_batch":
+            # Wire overhead around the handler (which already charged
+            # its own interval): recv deserialisation + result send.
+            server.busy_seconds += (process_time() - started) \
+                - server.last_batch_seconds
+
+
+def _thread_worker_main(server: "_ShardServer", requests: "queue.Queue",
+                        responses: "queue.Queue") -> None:
+    """Entry point of a thread-mode shard worker (same protocol as the
+    process loop, over in-memory queues — no serialisation)."""
+    while True:
+        cmd, payload = requests.get()
+        if cmd == "shutdown":
+            responses.put(("ok", None))
+            return
+        try:
+            responses.put(("ok", server.handle(cmd, payload)))
+        except BaseException as exc:  # noqa: BLE001 - reported to facade
+            responses.put(("error", exc))
+
+
+# --------------------------------------------------------------------- #
+# Facade side
+# --------------------------------------------------------------------- #
+
+class _ProcessHandle:
+    """Facade-side endpoint of a process shard (duplex pipe + process)."""
+
+    __slots__ = ("conn", "process")
+
+    def __init__(self) -> None:
+        # The platform's default start method: forcing fork would be
+        # faster but unsafe when workers are (re-)spawned from a
+        # threaded host — e.g. Session.restore in an application with
+        # background threads — where a forked child can inherit a held
+        # lock and deadlock.  _shard_worker_main is a top-level function
+        # precisely so spawn/forkserver can import it.
+        ctx = multiprocessing.get_context()
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_shard_worker_main, args=(child,), daemon=True)
+        self.process.start()
+        child.close()
+
+    def send(self, cmd: str, payload) -> None:
+        """Dispatch a command without waiting for its result."""
+        self.conn.send((cmd, payload))
+
+    def recv(self):
+        """Collect one command's result; re-raises worker exceptions."""
+        try:
+            status, result = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError("shard worker died") from exc
+        if status == "error":
+            raise result
+        return result
+
+    def shutdown(self) -> None:
+        """Stop the worker process (graceful, then terminate)."""
+        try:
+            self.conn.send(("shutdown", None))
+            if self.conn.poll(2.0):
+                self.conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():    # pragma: no cover - defensive
+            self.process.terminate()
+        try:
+            self.conn.close()
+        except OSError:                # pragma: no cover - defensive
+            pass
+
+
+class _ThreadHandle:
+    """Facade-side endpoint of a thread shard (request/response queues)."""
+
+    __slots__ = ("requests", "responses", "thread", "server")
+
+    def __init__(self) -> None:
+        self.server = _ShardServer(clock=thread_time)
+        self.requests: queue.Queue = queue.Queue()
+        self.responses: queue.Queue = queue.Queue()
+        self.thread = threading.Thread(
+            target=_thread_worker_main,
+            args=(self.server, self.requests, self.responses), daemon=True)
+        self.thread.start()
+
+    def send(self, cmd: str, payload) -> None:
+        """Enqueue a command without waiting for its result."""
+        self.requests.put((cmd, payload))
+
+    def recv(self):
+        """Collect one command's result; re-raises worker exceptions."""
+        status, result = self.responses.get()
+        if status == "error":
+            raise result
+        return result
+
+    def shutdown(self) -> None:
+        """Stop the worker thread."""
+        self.requests.put(("shutdown", None))
+        self.thread.join(timeout=2.0)
+
+
+def _spawn_handle(mode: str):
+    """A fresh worker endpoint for ``mode`` (``"process"``/``"thread"``)."""
+    return _ProcessHandle() if mode == "process" else _ThreadHandle()
+
+
+def _shutdown_handles(handles: List) -> None:
+    """GC/exit finalizer: stop every live worker (must not close over the
+    session — it runs after the session is unreachable)."""
+    for handle in handles:
+        if handle is not None:
+            try:
+                handle.shutdown()
+            except Exception:          # pragma: no cover - defensive
+                pass
+
+
+class _ShardState:
+    """Facade-side record of one shard: its routing summary plus the
+    transient worker endpoint.
+
+    ``triples`` refcounts the exact label triples of the shard's queries;
+    ``generic`` counts wildcard-bearing (always-routed) queries;
+    ``ballast`` counts members of count-based window groups (which make
+    the shard receive *every* arrival — capacity expiry depends on stream
+    position, not labels).  The handle is runtime wiring and is never
+    pickled; checkpoint restore re-spawns it.
+    """
+
+    __slots__ = ("index", "triples", "generic", "ballast", "members",
+                 "handle")
+
+    def __init__(self, index: int, handle) -> None:
+        self.index = index
+        self.triples: Dict[tuple, int] = {}
+        self.generic = 0
+        self.ballast = 0
+        self.members = 0
+        self.handle = handle
+
+    def wants(self, triple_key: tuple) -> bool:
+        """Whether an arrival with this label-triple key must reach the
+        shard (index hit, wildcard member, or count-window ballast)."""
+        return bool(self.members and (
+            self.ballast or self.generic or triple_key in self.triples))
+
+    def __getstate__(self):
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["handle"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+
+class _GroupMirror:
+    """The facade's replica of one window group's bearer index.
+
+    A shard's shared window only buffers the arrivals routed to it, so
+    stream-level duplicate judgement needs a full-stream view: the mirror
+    is a private :class:`~repro.graph.shared_window.SharedSlidingWindow`
+    fed with every accepted arrival, giving the facade the same O(1)
+    ``bearer_live_at`` probe an unsharded session has.  ``raise_members``
+    / ``count_members`` name the group's queries per duplicate policy
+    (consulted only on the duplicate path).
+    """
+
+    __slots__ = ("key", "window", "members", "raise_members",
+                 "count_members")
+
+    def __init__(self, key: tuple) -> None:
+        kind, param = key
+        policy = SlidingWindow(param) if kind == "time" \
+            else CountSlidingWindow(int(param))
+        self.key = key
+        self.window = SharedSlidingWindow(policy)
+        self.members: Set[str] = set()
+        self.raise_members: Set[str] = set()
+        self.count_members: Set[str] = set()
+
+    def discard(self, name: str) -> None:
+        """Forget a deregistered member (all policy rosters)."""
+        self.members.discard(name)
+        self.raise_members.discard(name)
+        self.count_members.discard(name)
+
+
+class ShardedSession(Session):
+    """A :class:`~repro.api.Session` whose matchers run on worker shards.
+
+    Constructed transparently by ``Session(sharding="process"|"thread",
+    shards=N)`` (see :data:`repro.api.SHARDING_MODES` and the module
+    docstring for the architecture).  The facade keeps the public session
+    surface; each shard worker owns an unsharded sub-session with the
+    queries whose names hash to it.
+
+    Differences from an unsharded session, all by construction:
+
+    * ``register`` requires a shareable window (a duration, or a fresh
+      time/count policy object) and a built-in backend name — factory
+      backends and custom window policies cannot cross a shard boundary;
+    * ``register``/``matcher`` return the live engine only under
+      ``sharding="thread"``; under ``"process"`` the engine lives in a
+      worker, so ``register`` returns ``None`` and ``matcher`` returns a
+      read-only *snapshot* (mutating it affects nothing);
+    * sink callbacks fire in the facade process after each dispatched
+      batch (``push`` is a batch of one, so per-arrival delivery is
+      preserved for single pushes);
+    * workers are OS resources: call :meth:`close` (or use the session
+      as a context manager) when done — a garbage-collected session
+      shuts its workers down as a fallback.
+
+    The ``(name, match)`` stream, per-query results, stats and
+    checkpoint round-trips are equivalent to ``sharding="none"``; the
+    differential suite ``tests/test_sharded_session.py`` pins that.
+    """
+
+    def __init__(self, *, window=None,
+                 config: Optional[EngineConfig] = None,
+                 duplicate_policy: Optional[str] = None,
+                 routing: Optional[str] = None,
+                 sharding: Optional[str] = None,
+                 shards: Optional[int] = None) -> None:
+        super().__init__(window=window, config=config,
+                         duplicate_policy=duplicate_policy, routing=routing,
+                         sharding=sharding, shards=shards)
+        if self.config.sharding == "none":      # pragma: no cover
+            raise ValueError("ShardedSession requires a sharding mode; "
+                             "use Session for sharding='none'")
+        self._mode = self.config.sharding
+        self._shard_count = self.config.shards
+        #: Arrivals staged per dispatch round (tunable per instance).
+        self.batch_size = DEFAULT_BATCH_SIZE
+        self._assignments: Dict[str, int] = {}
+        self._ordinals: Dict[str, int] = {}
+        # name -> (group key, exact triples, generic?) for deregistration.
+        self._query_routes: Dict[str, Tuple[tuple, tuple, bool]] = {}
+        self._mirrors: Dict[tuple, _GroupMirror] = {}
+        self._policy_windows: Dict[str, object] = {}
+        self._target_cache: Dict = {}
+        self._facade_seconds = 0.0
+        self._closed = False
+        self._shards = [_ShardState(i, _spawn_handle(self._mode))
+                        for i in range(self._shard_count)]
+        self._attach_finalizer()
+
+    # ------------------------------------------------------------------ #
+    # Worker plumbing
+    # ------------------------------------------------------------------ #
+    def _attach_finalizer(self) -> None:
+        self._handles = [shard.handle for shard in self._shards]
+        self._finalizer = weakref.finalize(
+            self, _shutdown_handles, self._handles)
+
+    def close(self) -> None:
+        """Shut the worker shards down (idempotent).  The session cannot
+        be used afterwards; checkpoint first if the state matters."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _shutdown_handles(self._handles)
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    def _call(self, shard: _ShardState, cmd: str, payload=None):
+        shard.handle.send(cmd, payload)
+        return shard.handle.recv()
+
+    def _call_all(self, cmd: str, payload=None) -> List:
+        """One command to every shard, gathered in shard order.  All
+        responses are collected before any error is raised, so the
+        request/response streams never desynchronise."""
+        for shard in self._shards:
+            shard.handle.send(cmd, payload)
+        results, errors = [], []
+        for shard in self._shards:
+            try:
+                results.append(shard.handle.recv())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+        return results
+
+    def _sync_shards(self) -> None:
+        """Advance every shard to the facade clock so reads observe the
+        same expiries an unsharded session would have applied."""
+        if self._current_time > float("-inf"):
+            self._call_all("advance", self._current_time)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, query, *, window=None, backend="timing",
+                 config: Optional[EngineConfig] = None,
+                 callback: Optional[MatchCallback] = None,
+                 **engine_options):
+        """Add a named query on the shard its name hashes to.
+
+        Same contract as :meth:`repro.api.Session.register` with the
+        sharding restrictions: ``backend`` must be a built-in name and
+        the window must be shareable (see the class docstring).  Returns
+        the engine under ``sharding="thread"`` and ``None`` under
+        ``"process"`` (the engine lives in a worker process).
+        """
+        self._check_open()
+        if name in self._assignments:
+            raise ValueError(f"query already registered: {name!r}")
+        if callable(backend) and backend not in BACKENDS:
+            raise ValueError(
+                "factory backends cannot cross a shard boundary; register "
+                "them on a sharding='none' session instead")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend: {backend!r} "
+                             f"(expected one of {BACKENDS})")
+        if isinstance(query, str):
+            from ..io.dsl import parse_query
+            query, window_hint = parse_query(query)
+            if window is None:
+                window = window_hint
+        if window is None:
+            window = self.default_window
+            if callable(window):
+                window = window()
+        if window is None:
+            raise ValueError(
+                f"no window for query {name!r}: pass register(window=...), "
+                "a DSL 'window' line, or a Session default")
+        group_key = _shared_group_key(window)
+        if group_key is None:
+            raise ValueError(
+                "sharded sessions require a shareable window (a duration, "
+                "or a fresh time-/count-based policy object); register "
+                f"query {name!r} on a sharding='none' session instead")
+        if not isinstance(window, (int, float)):
+            for other_name, other in self._policy_windows.items():
+                if other is window:
+                    raise ValueError(
+                        "window policy object is already used by query "
+                        f"{other_name!r}; pass a fresh instance — engines "
+                        "cannot share one mutable window")
+        config = (config if config is not None else self.config).validate()
+        config = config.replace(sharding="none", routing="shared",
+                                guard=None)
+        policy = engine_options.get(
+            "duplicate_policy", config.duplicate_policy)
+        if policy not in DUPLICATE_POLICIES:
+            raise ValueError(
+                f"unknown duplicate policy: {policy!r} "
+                f"(expected one of {DUPLICATE_POLICIES})")
+        query.validate()
+        exact, generic = query.label_signatures()
+        shard = self._shards[shard_of(name, self._shard_count)]
+        # Worker first: a failed registration must leave the facade
+        # untouched (and the worker's own register is transactional).
+        self._call(shard, "register", {
+            "name": name, "query": query, "window": window,
+            "backend": backend, "config": config,
+            "options": engine_options})
+        ordinal = self._next_ordinal
+        self._next_ordinal += 1
+        self._assignments[name] = shard.index
+        self._ordinals[name] = ordinal
+        mirror = self._mirrors.get(group_key)
+        if mirror is None:
+            mirror = _GroupMirror(group_key)
+            if self._current_time > float("-inf"):
+                mirror.window.advance(self._current_time)
+            self._mirrors[group_key] = mirror
+        mirror.members.add(name)
+        if policy == "raise":
+            mirror.raise_members.add(name)
+        elif policy == "count":
+            mirror.count_members.add(name)
+        exact_keys = () if generic else tuple(exact)
+        self._query_routes[name] = (group_key, exact_keys, generic)
+        shard.members += 1
+        if generic:
+            shard.generic += 1
+        else:
+            for triple in exact_keys:
+                shard.triples[triple] = shard.triples.get(triple, 0) + 1
+        if group_key[0] == "count":
+            shard.ballast += 1
+        if not isinstance(window, (int, float)):
+            self._policy_windows[name] = window
+        self._callbacks[name] = callback
+        self._target_cache.clear()
+        return self.matcher(name) if self._mode == "thread" else None
+
+    def deregister(self, name: str) -> None:
+        """Remove a query: its worker drains outstanding work, releases
+        its shared-window subscription and sub-plan refcounts, and the
+        facade rebalances its routing tables (a shard left empty stops
+        receiving arrivals)."""
+        self._check_open()
+        if name not in self._assignments:
+            raise KeyError(f"unknown query: {name!r}")
+        shard = self._shards[self._assignments[name]]
+        self._call(shard, "deregister", name)
+        del self._assignments[name]
+        del self._ordinals[name]
+        group_key, exact_keys, generic = self._query_routes.pop(name)
+        mirror = self._mirrors[group_key]
+        mirror.discard(name)
+        if not mirror.members:
+            del self._mirrors[group_key]
+        shard.members -= 1
+        if generic:
+            shard.generic -= 1
+        else:
+            for triple in exact_keys:
+                count = shard.triples[triple] - 1
+                if count:
+                    shard.triples[triple] = count
+                else:
+                    del shard.triples[triple]
+        if group_key[0] == "count":
+            shard.ballast -= 1
+        self._policy_windows.pop(name, None)
+        self._callbacks.pop(name, None)
+        self._target_cache.clear()
+        # Sinks filtered to this query die with it, like the base class.
+        self._sinks = [(q, s) for q, s in self._sinks if q != name]
+
+    def set_callback(self, name: str,
+                     callback: Optional[MatchCallback]) -> None:
+        """Attach (or clear) a registered query's callback."""
+        if name not in self._assignments:
+            raise KeyError(f"unknown query: {name!r}")
+        self._callbacks[name] = callback
+
+    def names(self) -> List[str]:
+        """Registered query names, in registration order."""
+        return list(self._assignments)
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._assignments
+
+    def matcher(self, name: str):
+        """The query's engine: the live object under ``"thread"``, a
+        read-only snapshot under ``"process"`` (its state is a copy;
+        stream through the session, not the snapshot)."""
+        self._check_open()
+        if name not in self._assignments:
+            raise KeyError(f"unknown query: {name!r}")
+        shard = self._shards[self._assignments[name]]
+        if self._current_time > float("-inf"):
+            self._call(shard, "advance", self._current_time)
+        return self._call(shard, "matcher", name)
+
+    def shard_assignments(self) -> Dict[str, int]:
+        """``query name -> shard index`` for every registered query."""
+        return dict(self._assignments)
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    def _targets_for(self, edge: StreamEdge) -> List[_ShardState]:
+        """The shards that must see this arrival (routing-index hits,
+        wildcard members, count-window ballast).
+
+        Only triples with an index hit get their own cache entry; every
+        miss shares one ``None``-keyed list (the always-routed shards),
+        so a high-cardinality label stream cannot grow the cache past
+        the routing index itself — same policy as the base session's
+        route cache.
+        """
+        cache = self._target_cache
+        try:
+            key = (edge.src_label, edge.label, edge.dst_label,
+                   edge.src == edge.dst)
+            targets = cache.get(key)
+            if targets is not None:
+                return targets
+            hit = any(key in s.triples for s in self._shards)
+        except TypeError:
+            # Unhashable data label: no index probe — every shard with
+            # members must judge it (mirrors the unsharded fallback).
+            return [s for s in self._shards if s.members]
+        if not hit:
+            targets = cache.get(None)
+            if targets is None:
+                targets = cache[None] = [
+                    s for s in self._shards
+                    if s.members and (s.ballast or s.generic)]
+            return targets
+        targets = cache[key] = [s for s in self._shards if s.wants(key)]
+        return targets
+
+    def _stage(self, idx: int, edge: StreamEdge,
+               per_shard: List[list]) -> None:
+        """Validate one arrival, apply it to the mirrors, and stage it on
+        its target shards (raises side-effect-free like the base class)."""
+        if edge.timestamp <= self._current_time:
+            raise ValueError(
+                "stream timestamps must strictly increase: "
+                f"{edge.timestamp} <= {self._current_time}")
+        live_keys = None
+        offenders: List[str] = []
+        for key, mirror in self._mirrors.items():
+            if mirror.window.bearer_live_at(edge.edge_id, edge.timestamp):
+                if live_keys is None:
+                    live_keys = set()
+                live_keys.add(key)
+                offenders.extend(mirror.raise_members)
+        if offenders:
+            names = sorted(offenders, key=self._ordinals.__getitem__)
+            raise ValueError(
+                f"duplicate in-window edge id: {edge.edge_id!r} "
+                f"(rejected by {names}; no query ingested it)")
+        self._current_time = edge.timestamp
+        self.edges_pushed += 1
+        for key, mirror in self._mirrors.items():
+            if live_keys is not None and key in live_keys:
+                mirror.window.advance(edge.timestamp)
+            else:
+                mirror.window.push(edge)
+        targets = self._targets_for(edge)
+        if live_keys is not None:
+            # Count-policy members of a duplicate's group keep their
+            # skipped-arrival accounting in their own shard, so those
+            # shards must hear about the arrival even when no member
+            # could consume it.
+            extra = {self._assignments[n] for key in live_keys
+                     for n in self._mirrors[key].count_members}
+            extra.difference_update(s.index for s in targets)
+            if extra:
+                targets = targets + [self._shards[i] for i in sorted(extra)]
+        wire = edge if self._mode == "thread" else _edge_to_wire(edge)
+        forced = frozenset(live_keys) if live_keys is not None else None
+        targeted = 0
+        for shard in targets:
+            per_shard[shard.index].append((idx, wire, forced))
+            targeted += shard.members
+        self.skipped_matchers += len(self._assignments) - targeted
+
+    def _dispatch(self, per_shard: List[list]) -> List[Tuple[str, Match]]:
+        """Send the staged batch, gather per-shard results, merge them in
+        ``(arrival, registration ordinal)`` order and deliver to sinks."""
+        sent = []
+        for shard in self._shards:
+            if per_shard[shard.index]:
+                shard.handle.send("push_batch", per_shard[shard.index])
+                sent.append(shard)
+        merged: List[Tuple[int, str, Match]] = []
+        errors: List[BaseException] = []
+        for shard in sent:
+            try:
+                merged.extend(shard.handle.recv())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+        ordinals = self._ordinals
+        merged.sort(key=lambda item: (item[0],
+                                      ordinals.get(item[1], len(ordinals))))
+        results: List[Tuple[str, Match]] = []
+        for _, name, match in merged:
+            results.append((name, match))
+            self._deliver(name, match)
+        return results
+
+    def _push_batch(self, edges: List[StreamEdge]) -> List[Tuple[str, Match]]:
+        """Stage-and-dispatch one batch.  On a mid-batch rejection the
+        already-staged prefix is still dispatched (and delivered to
+        sinks) before the error propagates — the same partial-progress
+        contract as the base class's ``push_many``.
+
+        The facade's CPU across the whole round (staging, mirrors,
+        serialisation, gather, merge, sink delivery) is accumulated as
+        its pipeline-stage cost; ``thread_time`` does not tick while
+        waiting on workers.
+        """
+        self._check_open()
+        started = thread_time()
+        per_shard: List[list] = [[] for _ in self._shards]
+        try:
+            try:
+                for idx, edge in enumerate(edges):
+                    self._stage(idx, edge, per_shard)
+            except BaseException:
+                self._dispatch(per_shard)
+                raise
+            return self._dispatch(per_shard)
+        finally:
+            self._facade_seconds += thread_time() - started
+
+    def push(self, edge: StreamEdge) -> List[Tuple[str, Match]]:
+        """Deliver one arrival (a batch of one: sink callbacks fire
+        before the call returns, exactly like an unsharded push)."""
+        return self._push_batch([edge])
+
+    def push_many(self,
+                  edges: Iterable[StreamEdge]) -> List[Tuple[str, Match]]:
+        """Batch ingestion: arrivals are staged in :attr:`batch_size`
+        rounds, each fanned to the target shards in one message per
+        shard and merged deterministically."""
+        results: List[Tuple[str, Match]] = []
+        batch: List[StreamEdge] = []
+        for edge in edges:
+            batch.append(edge)
+            if len(batch) >= self.batch_size:
+                results.extend(self._push_batch(batch))
+                batch = []
+        if batch:
+            results.extend(self._push_batch(batch))
+        return results
+
+    def ingest(self, edges: Iterable[StreamEdge]) -> int:
+        """Sink-driven batch ingestion returning only the match count
+        (an unbounded stream never materialises its result list)."""
+        delivered = 0
+        batch: List[StreamEdge] = []
+        for edge in edges:
+            batch.append(edge)
+            if len(batch) >= self.batch_size:
+                delivered += len(self._push_batch(batch))
+                batch = []
+        if batch:
+            delivered += len(self._push_batch(batch))
+        return delivered
+
+    def advance_time(self, timestamp: float) -> None:
+        """Slide every shard's windows forward without an arrival."""
+        self._check_open()
+        if timestamp < self._current_time:
+            raise ValueError("time moves backwards")
+        self._current_time = timestamp
+        for mirror in self._mirrors.values():
+            mirror.window.advance(timestamp)
+        self._call_all("advance", timestamp)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def _merged(self, collect: str) -> Dict:
+        self._check_open()
+        self._sync_shards()
+        merged: Dict = {}
+        for result in self._call_all("collect", collect):
+            merged.update(result)
+        return merged
+
+    def result_counts(self) -> Dict[str, int]:
+        """Per-query current-window match counts, merged across shards."""
+        return self._merged("result_counts")
+
+    def current_matches(self) -> Dict[str, List[Match]]:
+        """Per-query answer sets, merged across shards."""
+        return self._merged("current_matches")
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-query engine counters, merged across shards."""
+        return self._merged("stats")
+
+    def space_cells(self) -> int:
+        """Physical partial-match cells across all shards (shard stores
+        are disjoint, so the sum is exact)."""
+        self._check_open()
+        self._sync_shards()
+        return sum(self._call_all("collect", "space_cells"))
+
+    def shared_window_cells(self) -> int:
+        """Edges held across every shard's shared window buffers.  Each
+        shard buffers only its routed arrivals, so the sum is the actual
+        replication cost of sharding the window."""
+        self._check_open()
+        self._sync_shards()     # count against the facade clock
+        return sum(self._call_all("collect", "shared_window_cells"))
+
+    def window_cells(self) -> int:
+        """Total window buffer cells across all shards."""
+        self._check_open()
+        self._sync_shards()     # count against the facade clock
+        return sum(self._call_all("collect", "window_cells"))
+
+    def session_stats(self) -> Dict[str, object]:
+        """Merged session counters: the unsharded keys (summed across
+        shards where additive) plus ``sharding``/``shards``, the facade
+        dispatch time, and a ``per_shard`` breakdown with each worker's
+        busy seconds — the numbers the perf smoke's pipeline model uses.
+        """
+        self._check_open()
+        self._sync_shards()
+        inner = self._call_all("collect", "session_stats")
+        perf = self._call_all("perf")
+        per_shard = []
+        for shard, stats, timing in zip(self._shards, inner, perf):
+            per_shard.append({
+                "shard": shard.index,
+                "queries": shard.members,
+                "edges_received": timing["edges_received"],
+                "batches": timing["batches"],
+                "busy_seconds": round(timing["busy_seconds"], 4),
+                "routed_pushes": stats["routed_pushes"],
+            })
+        return {
+            "routing": self._routing,
+            "sharding": self._mode,
+            "shards": self._shard_count,
+            "queries": len(self._assignments),
+            "shared_groups": len(self._mirrors),
+            "edges_pushed": self.edges_pushed,
+            "routed_pushes": sum(s["routed_pushes"] for s in inner),
+            "skipped_matchers": self.skipped_matchers
+            + sum(s["skipped_matchers"] for s in inner),
+            "shared_window_cells": sum(
+                s["shared_window_cells"] for s in inner),
+            "window_cells": sum(s["window_cells"] for s in inner),
+            "subplan_sharing": self.config.subplan_sharing,
+            "shared_subplans": sum(s["shared_subplans"] for s in inner),
+            "subplan_consumers": sum(s["subplan_consumers"] for s in inner),
+            "subplan_store_cells": sum(
+                s["subplan_store_cells"] for s in inner),
+            "subplan_reuses": sum(s["subplan_reuses"] for s in inner),
+            "facade_cpu_seconds": round(self._facade_seconds, 4),
+            "per_shard": per_shard,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        self._check_open()
+        self._sync_shards()
+        state = dict(self.__dict__)
+        state.pop("_handles", None)
+        state.pop("_finalizer", None)
+        state["_sinks"] = []
+        state["_callbacks"] = {name: None for name in self._callbacks}
+        if callable(state.get("default_window")):
+            state["default_window"] = None
+        state["_target_cache"] = {}
+        # The sub-sessions ride along (single pickle envelope, so edges
+        # and stores shared between a shard and the facade mirrors stay
+        # single-copy under thread mode); handles are stripped by each
+        # _ShardState and re-spawned on restore.
+        state["_shard_sessions"] = self._call_all("get_session")
+        config = state.get("config")
+        if config is not None and config.guard is not None:
+            state["config"] = config.replace(guard=None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        sessions = state.pop("_shard_sessions")
+        self.__dict__.update(state)
+        self._closed = False
+        for shard, session in zip(self._shards, sessions):
+            shard.handle = _spawn_handle(self._mode)
+            self._call(shard, "adopt", session)
+        self._attach_finalizer()
+
+    def __repr__(self) -> str:
+        status = "closed" if self._closed else "open"
+        return (f"ShardedSession({len(self._assignments)} queries, "
+                f"{self._mode} x {self._shard_count}, {status}, "
+                f"t={self._current_time})")

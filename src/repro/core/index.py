@@ -102,10 +102,12 @@ class LevelIndex:
                             Dict[object, Tuple[StreamEdge, ...]]] = {}
 
     def add(self, handle, flat: Tuple[StreamEdge, ...]) -> None:
+        """Index a newly stored entry under its join-key."""
         key = key_from_flat(self.refs, flat)
         self._buckets.setdefault(key, {})[handle] = flat
 
     def discard(self, handle, flat: Tuple[StreamEdge, ...]) -> None:
+        """Drop a removed entry from its bucket (no-op if absent)."""
         key = key_from_flat(self.refs, flat)
         bucket = self._buckets.get(key)
         if bucket is None:
@@ -130,6 +132,7 @@ class LevelIndex:
 
     @property
     def bucket_count(self) -> int:
+        """Number of distinct live join-key values."""
         return len(self._buckets)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -161,6 +164,8 @@ class StoreIndexes:
 
     def register(self, level: int,
                  refs: Sequence[EndpointRef]) -> LevelIndex:
+        """Claim (creating on first use) the index for ``(level, refs)``;
+        idempotent per shape, refcounted for :meth:`unregister`."""
         refs = tuple(refs)
         if not refs:
             raise ValueError(
@@ -194,17 +199,21 @@ class StoreIndexes:
         self._by_level[level - 1].remove(index)
 
     def has(self, level: int) -> bool:
+        """Whether any index is registered on the 1-based ``level``."""
         return bool(self._by_level[level - 1])
 
     def on_insert(self, level: int, handle,
                   flat: Tuple[StreamEdge, ...]) -> None:
+        """Store hook: mirror a new entry into the level's indexes."""
         for index in self._by_level[level - 1]:
             index.add(handle, flat)
 
     def on_remove(self, level: int, handle,
                   flat: Tuple[StreamEdge, ...]) -> None:
+        """Store hook: drop a removed entry from the level's indexes."""
         for index in self._by_level[level - 1]:
             index.discard(handle, flat)
 
     def index_count(self) -> int:
+        """Number of physical indexes currently registered."""
         return len(self._registry)

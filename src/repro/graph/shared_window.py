@@ -85,14 +85,19 @@ class SharedSlidingWindow(ExpirySubscriptionMixin):
 
     @property
     def duration(self) -> float:
-        return self._policy.duration        # AttributeError for count policies
+        """Wrapped time policy's window length (``AttributeError`` for
+        count policies)."""
+        return self._policy.duration
 
     @property
     def capacity(self) -> int:
-        return self._policy.capacity        # AttributeError for time policies
+        """Wrapped count policy's capacity (``AttributeError`` for time
+        policies)."""
+        return self._policy.capacity
 
     @property
     def current_time(self) -> float:
+        """The wrapped policy's clock (latest push/advance timestamp)."""
         return self._policy.current_time
 
     def __len__(self) -> int:
@@ -105,12 +110,15 @@ class SharedSlidingWindow(ExpirySubscriptionMixin):
         return edge in self._policy
 
     def edges(self) -> List[StreamEdge]:
+        """The in-window edges, oldest first."""
         return self._policy.edges()
 
     def oldest(self) -> StreamEdge:
+        """The earliest in-window edge (``IndexError`` when empty)."""
         return self._policy.oldest()
 
     def newest(self) -> StreamEdge:
+        """The latest in-window edge (``IndexError`` when empty)."""
         return self._policy.newest()
 
     # ------------------------------------------------------------------ #
@@ -184,18 +192,22 @@ class SharedWindowView:
 
     @property
     def shared(self) -> SharedSlidingWindow:
+        """The underlying session-owned shared window."""
         return self._shared
 
     @property
     def duration(self) -> float:
+        """Shared time window's length (``AttributeError`` for count)."""
         return self._shared.duration
 
     @property
     def capacity(self) -> int:
+        """Shared count window's capacity (``AttributeError`` for time)."""
         return self._shared.capacity
 
     @property
     def current_time(self) -> float:
+        """The shared buffer's clock."""
         return self._shared.current_time
 
     def __len__(self) -> int:
@@ -208,20 +220,25 @@ class SharedWindowView:
         return edge in self._shared
 
     def edges(self) -> List[StreamEdge]:
+        """The in-window edges of the shared buffer, oldest first."""
         return self._shared.edges()
 
     def oldest(self) -> StreamEdge:
+        """The earliest edge in the shared buffer."""
         return self._shared.oldest()
 
     def newest(self) -> StreamEdge:
+        """The latest edge in the shared buffer."""
         return self._shared.newest()
 
     def push(self, edge: StreamEdge):
+        """Refused: only the owning session may mutate the buffer."""
         raise RuntimeError(
             "this matcher's window is a shared-session buffer; stream "
             "through Session.push/push_many, not the matcher directly")
 
     def advance(self, timestamp: float):
+        """Refused: only the owning session may advance the buffer."""
         raise RuntimeError(
             "this matcher's window is a shared-session buffer; advance "
             "time through Session.advance_time")

@@ -38,8 +38,14 @@ from .api import MatcherBase, Session
 #: dependency registries (node slots dropped), subplan_reuses stats
 #: counter.  Shared stores are referenced both by the registry and by
 #: every consuming engine, so pickling keeps them single-copy on disk
-#: and restore preserves the sharing identity.)
-CHECKPOINT_VERSION = 5
+#: and restore preserves the sharing identity.
+#: v6: sharded sessions — a ShardedSession checkpoints as the facade
+#: state (assignments, ordinals, group mirrors, clock) plus every
+#: shard's sub-session collected into the same envelope; each shard's
+#: stores stay single-copy via the pickle memo, and restore re-spawns
+#: the worker shards and hands each its sub-session back.  EngineConfig
+#: gained sharding/shards fields.)
+CHECKPOINT_VERSION = 6
 
 _MAGIC = b"timingsubg-checkpoint"
 

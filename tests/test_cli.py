@@ -99,6 +99,20 @@ class TestRun:
         assert "only applies to the timing backend" in \
             capsys.readouterr().err
 
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_run_sharded(self, mode, query_file, stream_file, capsys):
+        assert main(["run", query_file, stream_file, "--quiet",
+                     "--sharding", mode, "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 matches" in out
+        assert f"sharding: {mode} x 2" in out
+
+    def test_run_sharding_requires_shared_routing(self, query_file,
+                                                  stream_file, capsys):
+        assert main(["run", query_file, stream_file, "--sharding",
+                     "thread", "--routing", "fanout"]) == 2
+        assert "requires --routing shared" in capsys.readouterr().err
+
     def test_run_duplicates_count(self, query_file, tmp_path, capsys):
         stream = tmp_path / "dups.csv"
         stream.write_text(

@@ -4,19 +4,26 @@ Each example is self-checking (asserts its expected outcome); these tests
 execute the fast ones in-process so a library change that breaks an example
 fails CI rather than the README.  The slower, stream-heavy examples
 (social_stream_monitoring, monitoring_service) are exercised at reduced
-scale through the same entry points they wrap.
+scale through the same entry points they wrap; all five also run headless
+at full scale in the CI examples-smoke step.
 """
 
 import os
 import runpy
+import sys
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "examples")
 
 
-def run_example(name: str, capsys) -> str:
+def run_example(name: str, capsys, argv=()) -> str:
     path = os.path.join(EXAMPLES_DIR, name)
-    runpy.run_path(path, run_name="__main__")
+    old_argv = sys.argv
+    sys.argv = [path, *argv]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
     return capsys.readouterr().out
 
 
@@ -35,6 +42,19 @@ class TestExamples:
         out = run_example("cyber_attack_detection.py", capsys)
         assert "EXFILTRATION PATTERN DETECTED" in out
         assert "1 alert(s) raised" in out
+
+    def test_monitoring_service_sharded(self, capsys):
+        out = run_example(
+            "monitoring_service.py", capsys,
+            argv=["--shards", "2", "--sharding", "thread",
+                  "--edges", "1200"])
+        assert "alert totals: {'exfiltration': 1}" in out
+        assert "2 queries on 2 thread shard(s)" in out
+
+    def test_monitoring_service_unsharded(self, capsys):
+        out = run_example("monitoring_service.py", capsys,
+                          argv=["--shards", "0", "--edges", "1200"])
+        assert "alert totals: {'exfiltration': 1}" in out
 
     def test_query_files_parse_and_plan(self):
         from repro.core.plan import explain
