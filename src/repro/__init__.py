@@ -73,7 +73,7 @@ Subpackages
 from .api import (
     BACKENDS, DUPLICATE_POLICIES, ROUTING_MODES, SHARDING_MODES,
     SUBPLAN_SHARING_MODES, EngineConfig, EngineStats, Matcher, MatcherBase,
-    Session, SharedSubplanStore, as_window,
+    Session, SharedSubplanStore, ThreadSafeSession, as_window,
 )
 from .concurrency.sharding import ShardedSession
 from .core.engine import TimingMatcher
@@ -89,9 +89,10 @@ from .graph.stream import GraphStream
 from .graph.window import SlidingWindow
 from .multi import MultiQueryMatcher
 from .persistence import (
-    load_checkpoint, load_session, save_checkpoint, save_session,
+    load_checkpoint, load_session, load_session_meta, save_checkpoint,
+    save_session,
 )
-from .sinks import JSONLSink, ListSink, printing_sink
+from .sinks import JSONLSink, ListSink, RotatingJSONLSink, printing_sink
 
 __version__ = "2.0.0"
 
@@ -102,15 +103,16 @@ __all__ = [
     "SharedSlidingWindow", "SharedWindowView", "SnapshotGraph",
     # the unified API
     "Matcher", "MatcherBase", "EngineConfig", "EngineStats", "Session",
-    "ShardedSession", "SharedSubplanStore", "BACKENDS",
+    "ShardedSession", "SharedSubplanStore", "ThreadSafeSession", "BACKENDS",
     "DUPLICATE_POLICIES", "ROUTING_MODES", "SHARDING_MODES",
     "SUBPLAN_SHARING_MODES", "as_window",
     # engines and results
     "TimingMatcher", "Match", "verify_match", "explain",
     # sinks
-    "ListSink", "JSONLSink", "printing_sink",
+    "ListSink", "JSONLSink", "RotatingJSONLSink", "printing_sink",
     # persistence
     "save_checkpoint", "load_checkpoint", "save_session", "load_session",
+    "load_session_meta",
     # deprecated
     "MultiQueryMatcher",
     "__version__",

@@ -50,6 +50,7 @@ Quickstart::
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import (
     TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Protocol,
     Tuple, Union, runtime_checkable,
@@ -1667,3 +1668,179 @@ class Session:
     def __repr__(self) -> str:
         return (f"Session({len(self._matchers)} queries, "
                 f"routing={self._routing}, t={self._current_time})")
+
+
+class ThreadSafeSession:
+    """A mutual-exclusion wrapper making one :class:`Session` usable from
+    several threads.
+
+    A :class:`Session` is single-threaded by design — shared windows,
+    routing caches and expiry queues are mutated on every push.  Real
+    deployments still need concurrent *access* patterns that are
+    individually serial: a worker thread ingesting while another thread
+    checkpoints, scrapes stats, or registers a query.  This wrapper
+    serialises every operation behind one reentrant lock, so interleaved
+    callers each observe a consistent session at operation granularity
+    (it does not parallelise matching — that is what
+    ``Session(sharding=...)`` is for).
+
+    :meth:`checkpoint` is the reason this exists: it snapshots the
+    session *and* its stream position under the same lock acquisition,
+    which is the atomic capture the service layer's crash-recovery
+    barrier needs — a checkpoint taken mid-``push_many`` from another
+    thread lands exactly between two arrivals, never inside one.
+
+    Use :meth:`locked` for compound read-modify-write sequences::
+
+        safe = ThreadSafeSession(Session(window=30.0))
+        with safe.locked() as session:
+            if "exfil" not in session:
+                session.register("exfil", EXFIL_DSL)
+    """
+
+    def __init__(self, session: Session) -> None:
+        self._session = session
+        self._lock = threading.RLock()
+
+    # -- streaming ----------------------------------------------------- #
+    def push(self, edge: StreamEdge):
+        """Locked :meth:`Session.push`."""
+        with self._lock:
+            return self._session.push(edge)
+
+    def push_many(self, edges: Iterable[StreamEdge]):
+        """Locked :meth:`Session.push_many` (the whole batch is one
+        critical section; chunk long batches to give checkpoints a
+        boundary to land on)."""
+        with self._lock:
+            return self._session.push_many(edges)
+
+    def ingest(self, edges: Iterable[StreamEdge]) -> int:
+        """Locked :meth:`Session.ingest`."""
+        with self._lock:
+            return self._session.ingest(edges)
+
+    def advance_time(self, timestamp: float) -> None:
+        """Locked :meth:`Session.advance_time`."""
+        with self._lock:
+            self._session.advance_time(timestamp)
+
+    # -- registry ------------------------------------------------------ #
+    def register(self, name: str, query, **kwargs):
+        """Locked :meth:`Session.register`."""
+        with self._lock:
+            return self._session.register(name, query, **kwargs)
+
+    def deregister(self, name: str) -> None:
+        """Locked :meth:`Session.deregister`."""
+        with self._lock:
+            self._session.deregister(name)
+
+    def names(self) -> List[str]:
+        """Locked :meth:`Session.names`."""
+        with self._lock:
+            return self._session.names()
+
+    def add_sink(self, sink, **kwargs):
+        """Locked :meth:`Session.add_sink`."""
+        with self._lock:
+            return self._session.add_sink(sink, **kwargs)
+
+    def remove_sink(self, sink) -> None:
+        """Locked :meth:`Session.remove_sink`."""
+        with self._lock:
+            self._session.remove_sink(sink)
+
+    # -- introspection ------------------------------------------------- #
+    def session_stats(self) -> Dict[str, object]:
+        """Locked :meth:`Session.session_stats`."""
+        with self._lock:
+            return self._session.session_stats()
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Locked :meth:`Session.stats`."""
+        with self._lock:
+            return self._session.stats()
+
+    def result_counts(self) -> Dict[str, int]:
+        """Locked :meth:`Session.result_counts`."""
+        with self._lock:
+            return self._session.result_counts()
+
+    def current_matches(self):
+        """Locked :meth:`Session.current_matches`."""
+        with self._lock:
+            return self._session.current_matches()
+
+    def space_cells(self) -> int:
+        """Locked :meth:`Session.space_cells`."""
+        with self._lock:
+            return self._session.space_cells()
+
+    @property
+    def current_time(self) -> float:
+        """Locked :attr:`Session.current_time`."""
+        with self._lock:
+            return self._session.current_time
+
+    @property
+    def edges_pushed(self) -> int:
+        """Locked read of the session's accepted-arrival count."""
+        with self._lock:
+            return self._session.edges_pushed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._session)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._session
+
+    # -- checkpointing ------------------------------------------------- #
+    def checkpoint(self, target, *, meta: Optional[dict] = None) -> dict:
+        """Atomically snapshot the session to ``target``.
+
+        Returns the metadata written with the envelope: the caller's
+        ``meta`` (if any) extended with ``edges_pushed`` and
+        ``current_time`` captured under the same lock as the pickle — the
+        consistent stream position a recovering producer replays from.
+        """
+        from .persistence import save_session
+        with self._lock:
+            written = dict(meta or {})
+            written.setdefault("edges_pushed", self._session.edges_pushed)
+            written.setdefault("current_time", self._session.current_time)
+            save_session(self._session, target, meta=written)
+            return written
+
+    # -- escape hatch -------------------------------------------------- #
+    def locked(self):
+        """A context manager yielding the raw session with the lock held."""
+        return _LockedSession(self._lock, self._session)
+
+    @property
+    def session(self) -> Session:
+        """The wrapped session (access it via :meth:`locked` when other
+        threads are active)."""
+        return self._session
+
+    def __repr__(self) -> str:
+        return f"ThreadSafeSession({self._session!r})"
+
+
+class _LockedSession:
+    """Context manager for :meth:`ThreadSafeSession.locked`."""
+
+    __slots__ = ("_lock", "_session")
+
+    def __init__(self, lock, session: Session) -> None:
+        self._lock = lock
+        self._session = session
+
+    def __enter__(self) -> Session:
+        self._lock.acquire()
+        return self._session
+
+    def __exit__(self, *exc_info) -> None:
+        self._lock.release()

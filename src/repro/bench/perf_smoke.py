@@ -1,6 +1,6 @@
 """Repeatable perf smokes: pinned workloads, JSON reports, CI gates.
 
-Four suites, selected with ``--suite``:
+Five suites, selected with ``--suite``:
 
 ``indexing`` (PR 2, report ``BENCH_pr2.json``)
     The fig15-style default workload (seeded NetworkFlow stream, one
@@ -44,6 +44,19 @@ Four suites, selected with ``--suite``:
     is physically impossible; the wall-clock numbers are reported
     alongside for information.
 
+``service`` (PR 6, report ``BENCH_pr6.json``)
+    The routing suite's pinned 16-query workload pushed through the
+    :mod:`repro.service` gateway pipeline in-process — producer thread →
+    :class:`~repro.service.queues.BoundedEdgeQueue` → tenant worker →
+    session — against a direct ``push_many`` on an identically
+    configured session.  Verifies the gateway delivers the identical
+    match-record multiset, that the blocking backpressure policy drops
+    zero edges, and that a kill (checkpoint → simulated crash → restore
+    → replay from the checkpointed stream position) reproduces the
+    uninterrupted run's match log exactly.  Gates the gateway/direct
+    throughput ratio (the queue hop plus delivery overhead must stay
+    within 20%).
+
 Used two ways:
 
 * locally: ``python -m repro.bench.perf_smoke --suite routing`` to
@@ -63,10 +76,13 @@ workloads.
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
 import platform
 import random
 import sys
+import tempfile
 import time
 from collections import Counter
 from typing import List, Optional, Sequence
@@ -78,6 +94,9 @@ from ..datasets import (
     generate_netflow_stream, generate_query_set, window_slice,
 )
 from ..graph.ops import relabel_stream
+from ..io.dsl import format_query
+from ..service import ServerConfig, ServiceGateway, TenantConfig
+from ..sinks import match_record
 
 # --------------------------------------------------------------------- #
 # Suite: indexing (PR 2)
@@ -674,6 +693,257 @@ def check_sharding_regression(report: dict, baseline: dict,
 
 
 # --------------------------------------------------------------------- #
+# Suite: service (PR 6)
+# --------------------------------------------------------------------- #
+
+#: Pinned gateway pipeline parameters over the routing suite's 16-query
+#: workload.  The queue is sized well below the stream so the producer
+#: genuinely exercises the blocking backpressure path, and the crash is
+#: simulated two checkpoints' worth of arrivals past the barrier so the
+#: replay covers both in-flight queue contents and discarded match
+#: segments.
+SERVICE_QUEUE_CAPACITY = 4096
+SERVICE_BATCH_SIZE = 512
+SERVICE_CHECKPOINT_AT = 12000
+SERVICE_CRASH_AT = 18000
+
+#: Both modes are timed best-of-N (the answer is asserted identical on
+#: every repetition): the gated quantity is a ratio of two sub-second
+#: wall-clock runs, and a single sample of each is scheduler noise on a
+#: busy CI runner.
+SERVICE_REPETITIONS = 3
+
+#: Hard floor on the gateway/direct throughput ratio: the queue hop,
+#: worker handoff, and match delivery may cost at most 20%.
+SERVICE_RATIO_FLOOR = 0.8
+
+
+def _service_config(state_dir, queries: List[QueryGraph],
+                    duration: float) -> ServerConfig:
+    texts = {f"q{i:02d}": format_query(query)
+             for i, query in enumerate(queries)}
+    tenant = TenantConfig(
+        name="bench", queries=texts, window=duration,
+        queue_capacity=SERVICE_QUEUE_CAPACITY, backpressure="block",
+        batch_size=SERVICE_BATCH_SIZE)
+    return ServerConfig(state_dir=str(state_dir), port=0,
+                        checkpoint_interval=0.0,
+                        tenants=(tenant,)).validate()
+
+
+def _canonical_record(record: dict) -> str:
+    return json.dumps(record, sort_keys=True)
+
+
+def _read_match_log(state_dir) -> Counter:
+    """The tenant's on-disk match log as a canonical-record multiset."""
+    pattern = os.path.join(str(state_dir), "bench", "matches",
+                           "matches-*.jsonl")
+    log: Counter = Counter()
+    for path in sorted(glob.glob(pattern)):
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                log[_canonical_record(json.loads(line))] += 1
+    return log
+
+
+def _run_service_direct(queries: List[QueryGraph], duration: float,
+                        edges: List):
+    """Baseline: the same 16 queries on a plain session, push_many."""
+    session = Session(window=duration, config=EngineConfig(
+        storage="mstree", duplicate_policy="skip"))
+    for i, query in enumerate(queries):
+        session.register(f"q{i:02d}", query)
+    delivered: Counter = Counter()
+    session.add_sink(lambda name, match: delivered.update(
+        [_canonical_record(match_record(name, match))]))
+    started = time.perf_counter()
+    session.push_many(edges)
+    elapsed = time.perf_counter() - started
+    report = {
+        "mode": "direct push_many",
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_edges_per_s": round(len(edges) / elapsed, 1),
+        "matches": sum(delivered.values()),
+    }
+    return report, delivered
+
+
+def _ingest_in_batches(tenant, edges: List) -> None:
+    for lo in range(0, len(edges), SERVICE_BATCH_SIZE):
+        tenant.ingest_edges(edges[lo:lo + SERVICE_BATCH_SIZE])
+
+
+def _run_service_gateway(queries: List[QueryGraph], duration: float,
+                         edges: List, state_dir):
+    """The full pipeline: producer → bounded queue → worker → session."""
+    gateway = ServiceGateway(_service_config(state_dir, queries, duration))
+    tenant = gateway.tenant("bench")
+    delivered: Counter = Counter()
+    tenant.hub.subscribe(
+        lambda record: delivered.update([_canonical_record(record)]))
+    started = time.perf_counter()
+    _ingest_in_batches(tenant, edges)
+    if not gateway.wait_idle(timeout=600.0):
+        raise AssertionError("gateway never drained the pinned stream")
+    elapsed = time.perf_counter() - started
+    queue = tenant.queue
+    report = {
+        "mode": "gateway pipeline (producer -> queue -> worker)",
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_edges_per_s": round(len(edges) / elapsed, 1),
+        "matches": sum(delivered.values()),
+        "queue": {
+            "capacity": SERVICE_QUEUE_CAPACITY,
+            "batch_size": SERVICE_BATCH_SIZE,
+            "enqueued": queue.enqueued,
+            "dequeued": queue.dequeued,
+            "dropped": queue.dropped,
+            "spilled": queue.spilled,
+            "high_water": queue.high_water,
+        },
+    }
+    gateway.shutdown()
+    return report, delivered
+
+
+def _run_service_kill_restore(queries: List[QueryGraph], duration: float,
+                              edges: List, state_dir,
+                              reference_log: Counter) -> dict:
+    """Checkpoint mid-stream, crash past it, restore, replay; the
+    recovered match log must equal the uninterrupted run's."""
+    config = _service_config(state_dir, queries, duration)
+    gateway = ServiceGateway(config)
+    tenant = gateway.tenant("bench")
+    _ingest_in_batches(tenant, edges[:SERVICE_CHECKPOINT_AT])
+    if not gateway.wait_idle(timeout=600.0):
+        raise AssertionError("gateway never drained to the checkpoint")
+    meta = tenant.checkpoint()
+    _ingest_in_batches(tenant, edges[SERVICE_CHECKPOINT_AT:SERVICE_CRASH_AT])
+    gateway.abort()                               # simulated kill -9
+
+    restored = ServiceGateway(config)
+    tenant = restored.tenant("bench")
+    if not tenant.restored or tenant.edges_offered != SERVICE_CHECKPOINT_AT:
+        raise AssertionError(
+            f"restore came back at stream position {tenant.edges_offered}, "
+            f"expected {SERVICE_CHECKPOINT_AT}")
+    replayed = edges[tenant.edges_offered:]
+    _ingest_in_batches(tenant, replayed)
+    if not restored.wait_idle(timeout=600.0):
+        raise AssertionError("restored gateway never drained the replay")
+    restored.shutdown()
+    recovered_log = _read_match_log(state_dir)
+    if recovered_log != reference_log:
+        raise AssertionError(
+            "kill-restore changed the answer: the recovered match log "
+            "differs from the uninterrupted run")
+    return {
+        "checkpoint_at": SERVICE_CHECKPOINT_AT,
+        "crash_at": SERVICE_CRASH_AT,
+        "checkpoint_meta_position": meta["edges_offered"],
+        "replayed_edges": len(replayed),
+        "match_log_records": sum(recovered_log.values()),
+        "match_log_equal": True,
+    }
+
+
+def run_service_smoke() -> dict:
+    """Run direct vs gateway plus the kill-restore equivalence check;
+    returns the report dict."""
+    queries, duration, edges = build_routing_workload()
+    direct_run = direct_log = None
+    for _ in range(SERVICE_REPETITIONS):
+        run, log = _run_service_direct(queries, duration, edges)
+        if direct_log is None:
+            direct_log = log
+        elif log != direct_log:
+            raise AssertionError("direct push_many is nondeterministic")
+        if direct_run is None or run["throughput_edges_per_s"] \
+                > direct_run["throughput_edges_per_s"]:
+            direct_run = run
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as root:
+        gateway_run = reference_log = None
+        for rep in range(SERVICE_REPETITIONS):
+            uninterrupted = os.path.join(root, f"uninterrupted-{rep}")
+            run, delivered = _run_service_gateway(
+                queries, duration, edges, uninterrupted)
+            if delivered != direct_log:
+                raise AssertionError(
+                    "the gateway changed the answer: delivered match "
+                    "records differ from direct push_many")
+            reference_log = _read_match_log(uninterrupted)
+            if reference_log != direct_log:
+                raise AssertionError(
+                    "the gateway match log differs from direct push_many")
+            if gateway_run is None or run["throughput_edges_per_s"] \
+                    > gateway_run["throughput_edges_per_s"]:
+                gateway_run = run
+        kill_restore = _run_service_kill_restore(
+            queries, duration, edges, os.path.join(root, "killed"),
+            reference_log)
+    return {
+        "benchmark": "pr6-service-perf-smoke",
+        "workload": {
+            "dataset": "NetworkFlow (dst-port/protocol labels)",
+            "stream_edges": ROUTING_STREAM_EDGES,
+            "stream_seed": ROUTING_STREAM_SEED,
+            "num_ips": ROUTING_NUM_IPS,
+            "query_sizes": ROUTING_QUERY_SIZES,
+            "num_queries": ROUTING_NUM_QUERIES,
+            "window_units": ROUTING_WINDOW_UNITS,
+            "storage": "mstree",
+            "queue_capacity": SERVICE_QUEUE_CAPACITY,
+            "batch_size": SERVICE_BATCH_SIZE,
+            "backpressure": "block",
+            "repetitions": SERVICE_REPETITIONS,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "direct": direct_run,
+        "gateway": gateway_run,
+        "kill_restore": kill_restore,
+        "dropped_edges": gateway_run["queue"]["dropped"],
+        # The gated "speedup" here is the gateway/direct throughput
+        # ratio — 1.0 means the queue hop is free, the floor is 0.8.
+        "speedup": round(
+            gateway_run["throughput_edges_per_s"]
+            / direct_run["throughput_edges_per_s"], 2),
+    }
+
+
+def check_service_regression(report: dict, baseline: dict,
+                             tolerance: float) -> List[str]:
+    """Failure messages (empty = pass) for the service suite."""
+    failures = []
+    measured = report["speedup"]
+    recorded = baseline.get("speedup")
+    if measured < SERVICE_RATIO_FLOOR:
+        failures.append(
+            f"gateway/direct throughput ratio {measured} is below the "
+            f"{SERVICE_RATIO_FLOOR} floor")
+    if recorded is not None and measured < (1.0 - tolerance) * recorded:
+        failures.append(
+            f"gateway/direct throughput ratio regressed >{tolerance:.0%}: "
+            f"measured {measured} vs committed baseline {recorded}")
+    if report["dropped_edges"] != 0:
+        failures.append(
+            f"{report['dropped_edges']} edges dropped under the blocking "
+            "backpressure policy (must be zero)")
+    if not report["kill_restore"]["match_log_equal"]:
+        failures.append(
+            "kill-restore no longer reproduces the uninterrupted match log")
+    if report["gateway"]["matches"] != baseline.get(
+            "gateway", {}).get("matches", report["gateway"]["matches"]):
+        failures.append(
+            f"workload drifted: {report['gateway']['matches']} matches vs "
+            f"baseline {baseline['gateway']['matches']}")
+    return failures
+
+
+# --------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------- #
 
@@ -732,6 +1002,21 @@ SUITES = {
             f"→ modeled pipeline speedup {r['speedup']}x "
             f"(wall {r['wall_speedup']}x on this machine)"),
     },
+    "service": {
+        "default_out": "BENCH_pr6.json",
+        "run": run_service_smoke,
+        "check": check_service_regression,
+        "summary": lambda r: (
+            f"direct: {r['direct']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['direct']['elapsed_seconds']}s), gateway: "
+            f"{r['gateway']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['gateway']['elapsed_seconds']}s) "
+            f"→ ratio {r['speedup']} at "
+            f"{r['workload']['num_queries']} queries, "
+            f"{r['dropped_edges']} dropped, kill-restore replayed "
+            f"{r['kill_restore']['replayed_edges']} edges "
+            f"→ match log equal: {r['kill_restore']['match_log_equal']}"),
+    },
 }
 
 
@@ -740,8 +1025,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro.bench.perf_smoke",
         description="pinned perf smokes: indexing (hash vs scan joins), "
                     "routing (shared vs fanout sessions), sharing "
-                    "(shared vs private sub-plans), and sharding "
-                    "(process shards vs in-process)")
+                    "(shared vs private sub-plans), sharding "
+                    "(process shards vs in-process), and service "
+                    "(gateway pipeline vs direct push)")
     parser.add_argument("--suite", choices=sorted(SUITES),
                         default="indexing",
                         help="which smoke to run (default: indexing)")

@@ -13,6 +13,12 @@ Subcommands
 ``repro generate {netflow,wikitalk,lsbench} N OUT.csv [--seed S]``
     Write a seeded synthetic stream to CSV.
 
+``repro serve --config SERVER.toml``
+    Run the long-running ingestion gateway (:mod:`repro.service`):
+    HTTP/WebSocket ingestion, bounded-queue backpressure, periodic
+    checkpoints, and a Prometheus ``/metrics`` endpoint.  ``SIGINT`` /
+    ``SIGTERM`` trigger a graceful drain → checkpoint → exit.
+
 Invoke as ``python -m repro ...`` or through the console entry point.
 """
 
@@ -79,7 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="partition matchers across worker shards: "
                             "none (default, in-process), thread, or "
                             "process")
-    p_run.add_argument("--shards", type=int, default=4,
+    p_run.add_argument("--shards", type=int, default=None,
                        help="worker-shard count when --sharding is not "
                             "none (default 4)")
     p_run.add_argument("--backend", choices=sorted(BACKENDS),
@@ -115,6 +121,21 @@ def build_parser() -> argparse.ArgumentParser:
                            help="query file for a selectivity report")
     p_analyze.add_argument("--window-edges", type=float, default=1000,
                            help="window size in edges for estimates")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-running ingestion gateway")
+    p_serve.add_argument("--config", required=True, metavar="SERVER.toml",
+                         help="gateway config file (see docs/service.md)")
+    p_serve.add_argument("--host", default=None,
+                         help="override the configured bind host")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="override the configured port (0 = "
+                              "OS-assigned)")
+    p_serve.add_argument("--state-dir", default=None,
+                         help="override the checkpoint/state directory")
+    p_serve.add_argument("--checkpoint-interval", type=float, default=None,
+                         help="override the checkpoint period in seconds "
+                              "(0 disables)")
     return parser
 
 
@@ -149,16 +170,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("error: --sharding requires --routing shared",
               file=sys.stderr)
         return 2
-    if args.shards < 1:
+    if args.shards is not None and args.shards < 1:
         print("error: --shards must be >= 1", file=sys.stderr)
         return 2
+    if args.sharding == "none" and args.shards is not None \
+            and args.shards > 1:
+        print("error: --shards needs --sharding thread or process "
+              "(with --sharding none there are no worker shards)",
+              file=sys.stderr)
+        return 2
+    shards = args.shards if args.shards is not None else 4
     config = EngineConfig(
         storage="independent" if args.no_mstree else "mstree",
         indexing=args.indexing,
         routing=args.routing,
         subplan_sharing=args.subplan_sharing,
         sharding=args.sharding,
-        shards=args.shards,
+        shards=shards,
         duplicate_policy=args.duplicates)
     session = Session(window=window, config=config)
     session.register("query", query, backend=args.backend)
@@ -270,11 +298,70 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+    import signal
+    import threading
+
+    from .service import ConfigError, ServiceGateway, load_config
+
+    try:
+        config = load_config(args.config)
+    except OSError as exc:
+        print(f"error: cannot read {args.config}: {exc}", file=sys.stderr)
+        return 2
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    overrides = {
+        key: value for key, value in (
+            ("host", args.host), ("port", args.port),
+            ("state_dir", args.state_dir),
+            ("checkpoint_interval", args.checkpoint_interval))
+        if value is not None}
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    try:
+        config.validate()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        gateway = ServiceGateway(config, start_workers=False)
+        gateway.start_background()
+    except OSError as exc:
+        print(f"error: cannot start gateway: {exc}", file=sys.stderr)
+        return 1
+
+    stop = threading.Event()
+
+    def _signalled(signum, frame):
+        del signum, frame
+        stop.set()
+
+    signal.signal(signal.SIGINT, _signalled)
+    signal.signal(signal.SIGTERM, _signalled)
+    restored = sorted(name for name, tenant in gateway.tenants.items()
+                      if tenant.restored)
+    print(f"repro gateway listening on http://{config.host}:{gateway.port} "
+          f"— {len(gateway.tenants)} tenant(s): "
+          f"{', '.join(sorted(gateway.tenants))}", flush=True)
+    if restored:
+        print(f"restored from checkpoint: {', '.join(restored)}",
+              flush=True)
+    stop.wait()
+    print("shutting down: draining queues, writing final checkpoint",
+          flush=True)
+    gateway.shutdown()
+    print("gateway stopped", flush=True)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"explain": _cmd_explain, "run": _cmd_run,
                 "generate": _cmd_generate, "simulate": _cmd_simulate,
-                "analyze": _cmd_analyze}
+                "analyze": _cmd_analyze, "serve": _cmd_serve}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

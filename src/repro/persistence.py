@@ -22,7 +22,7 @@ Security note: checkpoints are pickles — only restore files you wrote.
 from __future__ import annotations
 
 import pickle
-from typing import BinaryIO, Union
+from typing import BinaryIO, Optional, Tuple, Union
 
 from .api import MatcherBase, Session
 
@@ -44,8 +44,13 @@ from .api import MatcherBase, Session
 #: shard's sub-session collected into the same envelope; each shard's
 #: stores stay single-copy via the pickle memo, and restore re-spawns
 #: the worker shards and hands each its sub-session back.  EngineConfig
-#: gained sharding/shards fields.)
-CHECKPOINT_VERSION = 6
+#: gained sharding/shards fields.
+#: v7: service checkpoints — session envelopes may carry an optional
+#: ``meta`` dict (JSON-able barrier bookkeeping: stream position, sealed
+#: match-log segment, tail-source offsets) written atomically with the
+#: session state, so the gateway's crash recovery can resume producers
+#: and truncate uncommitted match segments from one consistent capture.)
+CHECKPOINT_VERSION = 7
 
 _MAGIC = b"timingsubg-checkpoint"
 
@@ -105,20 +110,39 @@ def load_checkpoint(source: _PathOrFile):
     return matcher
 
 
-def save_session(session: Session, target: _PathOrFile) -> None:
-    """Serialise a whole :class:`~repro.api.Session` (sans sinks/callbacks)."""
+def save_session(session: Session, target: _PathOrFile, *,
+                 meta: Optional[dict] = None) -> None:
+    """Serialise a whole :class:`~repro.api.Session` (sans sinks/callbacks).
+
+    ``meta`` rides in the envelope next to the session — the service
+    layer stores barrier bookkeeping there (stream position, sealed
+    match-log segment, tail offsets) so recovery reads one consistent
+    capture instead of racing a sidecar file.  Retrieve it with
+    :func:`load_session_meta`.
+    """
     envelope = {
         "magic": _MAGIC,
         "version": CHECKPOINT_VERSION,
         "session": session,
     }
+    if meta is not None:
+        envelope["meta"] = meta
     _dump(envelope, target)
 
 
 def load_session(source: _PathOrFile) -> Session:
     """Restore a session saved with :func:`save_session`."""
+    return load_session_meta(source)[0]
+
+
+def load_session_meta(source: _PathOrFile) -> Tuple[Session, Optional[dict]]:
+    """Restore ``(session, meta)`` from a session checkpoint.
+
+    ``meta`` is whatever dict :func:`save_session` was given, or ``None``
+    for checkpoints written without one.
+    """
     envelope = _load(source)
     session = envelope.get("session")
     if not isinstance(session, Session):
         raise CheckpointError("checkpoint does not contain a Session")
-    return session
+    return session, envelope.get("meta")

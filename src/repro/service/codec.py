@@ -1,0 +1,106 @@
+"""The service wire format: JSON codecs for edges and matches.
+
+One codec serves every boundary the gateway has — HTTP ingest bodies,
+WebSocket frames, spill files, JSONL tail sources, and the match records
+the delivery paths emit — so an edge spilled to disk under backpressure
+reads back exactly as it would have arrived, and a producer can replay
+the gateway's own match log.
+
+Labels round-trip with their Python types: the engines key routing and
+join indexes on label *equality*, so ``80`` must not come back as
+``"80"``.  JSON has no tuple, and netflow-style labels are tuples — a
+tuple is encoded as a JSON array and any array decodes back to a tuple
+(the codec's one documented asymmetry: lists and tuples meet in the
+middle, which is safe because :class:`~repro.graph.edge.StreamEdge`
+labels must be hashable and therefore are never lists).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..core.matches import Match
+from ..graph.edge import StreamEdge
+
+#: Keys accepted in an edge JSON object.  ``timestamp`` and ``edge_id``
+#: are optional: a missing timestamp asks the tenant to assign the next
+#: server-side tick, a missing id gets StreamEdge's positional default.
+EDGE_KEYS = frozenset(
+    ("src", "dst", "src_label", "dst_label", "timestamp", "label",
+     "edge_id"))
+
+
+class CodecError(ValueError):
+    """Raised on a malformed edge object (bad keys, types, or values)."""
+
+
+def _encode_value(value: Hashable):
+    if isinstance(value, tuple):
+        return [_encode_value(part) for part in value]
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, list):
+        return tuple(_decode_value(part) for part in value)
+    return value
+
+
+def edge_to_json(edge: StreamEdge) -> dict:
+    """A JSON-able dict describing one edge arrival (see module doc)."""
+    record = {
+        "src": _encode_value(edge.src),
+        "dst": _encode_value(edge.dst),
+        "src_label": _encode_value(edge.src_label),
+        "dst_label": _encode_value(edge.dst_label),
+        "timestamp": edge.timestamp,
+    }
+    if edge.label is not None:
+        record["label"] = _encode_value(edge.label)
+    if edge.edge_id != (edge.src, edge.dst, edge.timestamp):
+        record["edge_id"] = _encode_value(edge.edge_id)
+    return record
+
+
+def edge_from_json(record: dict, *,
+                   default_timestamp: Optional[float] = None) -> StreamEdge:
+    """Decode one edge object; raises :class:`CodecError` on bad shape.
+
+    ``default_timestamp`` backs the server-assigned-timestamp mode: it is
+    used when the record carries no ``timestamp`` key.  A record with
+    neither raises.
+    """
+    if not isinstance(record, dict):
+        raise CodecError(f"edge must be a JSON object, got {type(record).__name__}")
+    unknown = set(record) - EDGE_KEYS
+    if unknown:
+        raise CodecError(f"unknown edge keys: {sorted(unknown)}")
+    missing = {"src", "dst", "src_label", "dst_label"} - set(record)
+    if missing:
+        raise CodecError(f"edge is missing keys: {sorted(missing)}")
+    timestamp = record.get("timestamp", default_timestamp)
+    if timestamp is None:
+        raise CodecError("edge has no timestamp and no server default")
+    if isinstance(timestamp, bool) or not isinstance(timestamp, (int, float)):
+        raise CodecError(f"bad timestamp: {timestamp!r}")
+    try:
+        return StreamEdge(
+            _decode_value(record["src"]), _decode_value(record["dst"]),
+            src_label=_decode_value(record["src_label"]),
+            dst_label=_decode_value(record["dst_label"]),
+            timestamp=float(timestamp),
+            label=_decode_value(record.get("label")),
+            edge_id=_decode_value(record["edge_id"])
+            if "edge_id" in record else None)
+    except TypeError as exc:    # unhashable decoded value
+        raise CodecError(f"bad edge field: {exc}") from exc
+
+
+def match_to_json(name: str, match: Match) -> dict:
+    """The delivery record for one completed match.
+
+    The same shape :class:`~repro.sinks.JSONLSink` writes, so WebSocket
+    subscribers and the rotating match log agree line-for-line.
+    """
+    from ..sinks import match_record
+    return match_record(name, match)

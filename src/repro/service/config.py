@@ -1,0 +1,520 @@
+"""The validated ``server.toml`` schema for ``repro serve``.
+
+A gateway is configured declaratively: one ``[server]`` table (listener,
+state directory, checkpoint cadence), optional ``[defaults]`` applied to
+every tenant, and one ``[[tenant]]`` array entry per named session, each
+carrying its queries (inline DSL text or ``.tq`` file paths), window /
+storage / sharding knobs, queue bounds and backpressure policy, and
+optional ``[[tenant.tail]]`` file sources.  Example::
+
+    [server]
+    host = "127.0.0.1"
+    port = 8765
+    state_dir = "service-state"
+    checkpoint_interval = 30.0
+
+    [defaults]
+    window = 30.0
+    queue_capacity = 10000
+    backpressure = "block"
+
+    [[tenant]]
+    name = "fraud"
+    window = 60.0
+    backpressure = "drop_oldest"
+
+    [[tenant.query]]
+    name = "exfil"
+    file = "queries/exfil.tq"
+
+    [[tenant.query]]
+    name = "two-hop"
+    text = '''
+    vertex a A
+    vertex b B
+    edge e1 a -> b
+    window 10
+    '''
+
+Validation is strict and fails with one-line messages: unknown keys,
+wrong types, out-of-range values, duplicate tenant or query names, and
+inconsistent knob combinations (``shards > 1`` with ``sharding = "none"``)
+are all rejected before anything starts.
+
+Parsing uses :mod:`tomllib` on Python >= 3.11 and falls back to a small
+built-in parser covering exactly the subset above (tables, arrays of
+tables, basic strings, multiline strings, numbers, booleans, flat
+arrays) on older interpreters — the service stays stdlib-only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Tuple
+
+from ..api import SHARDING_MODES, STORAGE_KINDS
+from .queues import BACKPRESSURE_POLICIES
+
+try:
+    import tomllib
+except ModuleNotFoundError:                         # Python < 3.11
+    tomllib = None
+
+#: Timestamp assignment modes: ``client`` trusts each edge's own
+#: ``timestamp`` field (out-of-order arrivals are counted and shed);
+#: ``server`` stamps arrivals with a strictly increasing server clock and
+#: rejects client timestamps entirely.
+TIMESTAMP_MODES = ("client", "server")
+
+#: Tail-source formats.
+TAIL_FORMATS = ("jsonl", "csv")
+
+
+class ConfigError(ValueError):
+    """Raised on a malformed or inconsistent server configuration."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TailConfig:
+    """One file-tailing edge source attached to a tenant.
+
+    ``path`` is followed like ``tail -f``: existing content is replayed
+    from the last checkpointed offset (or the start), then appended lines
+    stream in live.  ``format`` is ``"jsonl"`` (one service-codec edge
+    object per line) or ``"csv"`` (the :mod:`repro.io.csv_stream` column
+    layout).
+    """
+
+    path: str
+    format: str = "jsonl"
+    poll_interval: float = 0.2
+
+    def validate(self) -> "TailConfig":
+        """Raise :class:`ConfigError` on bad values; returns ``self``."""
+        if not self.path or not isinstance(self.path, str):
+            raise ConfigError("tail source needs a non-empty path")
+        if self.format not in TAIL_FORMATS:
+            raise ConfigError(
+                f"unknown tail format: {self.format!r} "
+                f"(expected one of {TAIL_FORMATS})")
+        if not isinstance(self.poll_interval, (int, float)) \
+                or isinstance(self.poll_interval, bool) \
+                or self.poll_interval <= 0:
+            raise ConfigError(
+                f"tail poll_interval must be positive, "
+                f"got {self.poll_interval!r}")
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantConfig:
+    """One named session hosted by the gateway.
+
+    ``queries`` maps query names to DSL text (a ``file = ...`` entry in
+    TOML is read at load time, relative to the config file).  The
+    engine-facing knobs (``window``, ``storage``, ``sharding``,
+    ``shards``, ``duplicate_policy``) mirror
+    :class:`~repro.api.EngineConfig`; the queue knobs mirror
+    :class:`~repro.service.queues.BoundedEdgeQueue`.
+    """
+
+    name: str
+    queries: Dict[str, str] = dataclasses.field(default_factory=dict)
+    window: float = 30.0
+    storage: str = "mstree"
+    sharding: str = "none"
+    shards: int = 1
+    duplicate_policy: str = "skip"
+    queue_capacity: int = 10000
+    backpressure: str = "block"
+    batch_size: int = 256
+    timestamps: str = "client"
+    match_log: bool = True
+    tails: Tuple[TailConfig, ...] = ()
+
+    def validate(self) -> "TenantConfig":
+        """Raise :class:`ConfigError` on bad values; returns ``self``."""
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigError("tenant needs a non-empty name")
+        if "/" in self.name or self.name in (".", ".."):
+            raise ConfigError(
+                f"tenant name {self.name!r} must be usable as a "
+                "directory name (no '/', '.' or '..')")
+        if not self.queries:
+            raise ConfigError(f"tenant {self.name!r} has no queries")
+        for qname, text in self.queries.items():
+            if not qname or not isinstance(qname, str):
+                raise ConfigError(
+                    f"tenant {self.name!r} has a query with no name")
+            if not isinstance(text, str) or not text.strip():
+                raise ConfigError(
+                    f"query {qname!r} of tenant {self.name!r} has no text")
+        if not isinstance(self.window, (int, float)) \
+                or isinstance(self.window, bool) or self.window <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: window must be a positive "
+                f"duration, got {self.window!r}")
+        if self.storage not in STORAGE_KINDS:
+            raise ConfigError(
+                f"tenant {self.name!r}: unknown storage {self.storage!r} "
+                f"(expected one of {STORAGE_KINDS})")
+        if self.sharding not in SHARDING_MODES:
+            raise ConfigError(
+                f"tenant {self.name!r}: unknown sharding "
+                f"{self.sharding!r} (expected one of {SHARDING_MODES})")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool) \
+                or self.shards < 1:
+            raise ConfigError(
+                f"tenant {self.name!r}: shards must be >= 1, "
+                f"got {self.shards!r}")
+        if self.shards > 1 and self.sharding == "none":
+            raise ConfigError(
+                f"tenant {self.name!r}: shards = {self.shards} has no "
+                "effect with sharding = \"none\" — set sharding to "
+                "\"thread\" or \"process\"")
+        if self.duplicate_policy not in ("raise", "skip", "count"):
+            raise ConfigError(
+                f"tenant {self.name!r}: unknown duplicate_policy "
+                f"{self.duplicate_policy!r}")
+        if not isinstance(self.queue_capacity, int) \
+                or isinstance(self.queue_capacity, bool) \
+                or self.queue_capacity < 1:
+            raise ConfigError(
+                f"tenant {self.name!r}: queue_capacity must be >= 1, "
+                f"got {self.queue_capacity!r}")
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ConfigError(
+                f"tenant {self.name!r}: unknown backpressure policy "
+                f"{self.backpressure!r} (expected one of "
+                f"{BACKPRESSURE_POLICIES})")
+        if not isinstance(self.batch_size, int) \
+                or isinstance(self.batch_size, bool) or self.batch_size < 1:
+            raise ConfigError(
+                f"tenant {self.name!r}: batch_size must be >= 1, "
+                f"got {self.batch_size!r}")
+        if self.timestamps not in TIMESTAMP_MODES:
+            raise ConfigError(
+                f"tenant {self.name!r}: unknown timestamps mode "
+                f"{self.timestamps!r} (expected one of {TIMESTAMP_MODES})")
+        if not isinstance(self.match_log, bool):
+            raise ConfigError(
+                f"tenant {self.name!r}: match_log must be a boolean")
+        for tail in self.tails:
+            tail.validate()
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerConfig:
+    """The whole gateway configuration (see the module docstring)."""
+
+    state_dir: str
+    host: str = "127.0.0.1"
+    port: int = 8765
+    checkpoint_interval: float = 30.0
+    tenants: Tuple[TenantConfig, ...] = ()
+
+    def validate(self) -> "ServerConfig":
+        """Raise :class:`ConfigError` on bad values; returns ``self``."""
+        if not self.state_dir or not isinstance(self.state_dir, str):
+            raise ConfigError("server needs a non-empty state_dir")
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigError(f"bad host: {self.host!r}")
+        if not isinstance(self.port, int) or isinstance(self.port, bool) \
+                or not (0 <= self.port <= 65535):
+            raise ConfigError(f"bad port: {self.port!r}")
+        if not isinstance(self.checkpoint_interval, (int, float)) \
+                or isinstance(self.checkpoint_interval, bool) \
+                or self.checkpoint_interval < 0:
+            raise ConfigError(
+                "checkpoint_interval must be >= 0 (0 disables periodic "
+                f"checkpoints), got {self.checkpoint_interval!r}")
+        if not self.tenants:
+            raise ConfigError("configuration defines no tenants")
+        seen = set()
+        for tenant in self.tenants:
+            tenant.validate()
+            if tenant.name in seen:
+                raise ConfigError(f"duplicate tenant name: {tenant.name!r}")
+            seen.add(tenant.name)
+        return self
+
+    def tenant(self, name: str) -> TenantConfig:
+        """The named tenant's config (``KeyError`` if absent)."""
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        raise KeyError(name)
+
+
+# --------------------------------------------------------------------- #
+# TOML loading
+# --------------------------------------------------------------------- #
+
+_SERVER_KEYS = {"host", "port", "state_dir", "checkpoint_interval"}
+_DEFAULT_KEYS = {"window", "storage", "sharding", "shards",
+                 "duplicate_policy", "queue_capacity", "backpressure",
+                 "batch_size", "timestamps", "match_log"}
+_TENANT_KEYS = _DEFAULT_KEYS | {"name", "query", "tail"}
+_QUERY_KEYS = {"name", "text", "file"}
+_TAIL_KEYS = {"path", "format", "poll_interval"}
+
+
+def _reject_unknown(table: dict, allowed: set, where: str) -> None:
+    unknown = set(table) - allowed
+    if unknown:
+        raise ConfigError(f"unknown {where} keys: {sorted(unknown)}")
+
+
+def _load_query(entry: dict, base_dir: str, tenant: str) -> Tuple[str, str]:
+    if not isinstance(entry, dict):
+        raise ConfigError(f"tenant {tenant!r}: query entries must be tables")
+    _reject_unknown(entry, _QUERY_KEYS, f"tenant {tenant!r} query")
+    name = entry.get("name")
+    if not name or not isinstance(name, str):
+        raise ConfigError(f"tenant {tenant!r}: every query needs a name")
+    if ("text" in entry) == ("file" in entry):
+        raise ConfigError(
+            f"query {name!r} of tenant {tenant!r} needs exactly one of "
+            "'text' or 'file'")
+    if "text" in entry:
+        return name, entry["text"]
+    path = entry["file"]
+    if not isinstance(path, str) or not path:
+        raise ConfigError(f"query {name!r}: bad file path {path!r}")
+    if not os.path.isabs(path):
+        path = os.path.join(base_dir, path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return name, handle.read()
+    except OSError as exc:
+        raise ConfigError(
+            f"query {name!r} of tenant {tenant!r}: cannot read "
+            f"{path}: {exc.strerror or exc}") from exc
+
+
+def parse_config(data: dict, *, base_dir: str = ".") -> ServerConfig:
+    """Build a validated :class:`ServerConfig` from a parsed TOML dict."""
+    if not isinstance(data, dict):
+        raise ConfigError("configuration root must be a table")
+    _reject_unknown(data, {"server", "defaults", "tenant"}, "top-level")
+    server = data.get("server", {})
+    if not isinstance(server, dict):
+        raise ConfigError("[server] must be a table")
+    _reject_unknown(server, _SERVER_KEYS, "[server]")
+    defaults = data.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise ConfigError("[defaults] must be a table")
+    _reject_unknown(defaults, _DEFAULT_KEYS, "[defaults]")
+    raw_tenants = data.get("tenant", [])
+    if isinstance(raw_tenants, dict):
+        raw_tenants = [raw_tenants]
+    if not isinstance(raw_tenants, list):
+        raise ConfigError("[[tenant]] must be an array of tables")
+    tenants: List[TenantConfig] = []
+    for raw in raw_tenants:
+        if not isinstance(raw, dict):
+            raise ConfigError("[[tenant]] entries must be tables")
+        _reject_unknown(raw, _TENANT_KEYS, "tenant")
+        name = raw.get("name")
+        if not name or not isinstance(name, str):
+            raise ConfigError("every tenant needs a name")
+        queries: Dict[str, str] = {}
+        raw_queries = raw.get("query", [])
+        if isinstance(raw_queries, dict):
+            raw_queries = [raw_queries]
+        for entry in raw_queries:
+            qname, text = _load_query(entry, base_dir, name)
+            if qname in queries:
+                raise ConfigError(
+                    f"tenant {name!r}: duplicate query name {qname!r}")
+            queries[qname] = text
+        tails = []
+        raw_tails = raw.get("tail", [])
+        if isinstance(raw_tails, dict):
+            raw_tails = [raw_tails]
+        for entry in raw_tails:
+            if not isinstance(entry, dict):
+                raise ConfigError(
+                    f"tenant {name!r}: tail entries must be tables")
+            _reject_unknown(entry, _TAIL_KEYS, f"tenant {name!r} tail")
+            path = entry.get("path", "")
+            if isinstance(path, str) and path and not os.path.isabs(path):
+                path = os.path.join(base_dir, path)
+            tails.append(TailConfig(
+                path=path, format=entry.get("format", "jsonl"),
+                poll_interval=entry.get("poll_interval", 0.2)))
+        merged = dict(defaults)
+        merged.update({k: v for k, v in raw.items()
+                       if k in _DEFAULT_KEYS})
+        tenants.append(TenantConfig(
+            name=name, queries=queries, tails=tuple(tails), **merged))
+    config = ServerConfig(
+        state_dir=server.get("state_dir", ""),
+        host=server.get("host", "127.0.0.1"),
+        port=server.get("port", 8765),
+        checkpoint_interval=server.get("checkpoint_interval", 30.0),
+        tenants=tuple(tenants))
+    if not os.path.isabs(config.state_dir) and config.state_dir:
+        config = dataclasses.replace(
+            config, state_dir=os.path.join(base_dir, config.state_dir))
+    return config.validate()
+
+
+def load_config(path: str) -> ServerConfig:
+    """Load and validate a ``server.toml`` file.
+
+    Relative paths inside the file (query files, tail sources, the state
+    directory) resolve against the config file's own directory, so a
+    deployment directory is relocatable.
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    try:
+        if tomllib is not None:
+            data = tomllib.loads(raw.decode("utf-8"))
+        else:
+            data = parse_toml_subset(raw.decode("utf-8"))
+    except ConfigError:
+        raise
+    except Exception as exc:
+        raise ConfigError(f"cannot parse {path}: {exc}") from exc
+    return parse_config(data, base_dir=os.path.dirname(os.path.abspath(path)))
+
+
+# --------------------------------------------------------------------- #
+# Fallback TOML-subset parser (Python 3.10, no tomllib)
+# --------------------------------------------------------------------- #
+
+def parse_toml_subset(text: str) -> dict:
+    """Parse the TOML subset the server schema uses.
+
+    Supports ``[table]`` / ``[a.b]`` headers, ``[[array.of.tables]]``,
+    ``key = value`` with basic strings (``"..."`` with ``\\``-escapes),
+    multiline basic/literal strings (``\"\"\"...\"\"\"`` / ``'''...'''``),
+    literal strings (``'...'``), integers, floats, booleans, and flat
+    arrays of those scalars; ``#`` comments and blank lines.  Nested
+    inline tables and dates are *not* supported — by design, the schema
+    never needs them.  Used only when :mod:`tomllib` is unavailable.
+    """
+    root: dict = {}
+    current = root
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise ConfigError(f"bad table header: {line!r}")
+            current = _enter(root, line[2:-2].strip(), array=True)
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise ConfigError(f"bad table header: {line!r}")
+            current = _enter(root, line[1:-1].strip(), array=False)
+            continue
+        if "=" not in line:
+            raise ConfigError(f"bad config line: {line!r}")
+        key, _, rest = line.partition("=")
+        key = key.strip().strip('"')
+        rest = rest.strip()
+        if rest[:3] in ('"""', "'''"):
+            quote = rest[:3]
+            body = rest[3:]
+            collected = []
+            if quote in body:
+                collected.append(body[:body.index(quote)])
+            else:
+                if body:
+                    collected.append(body)
+                while i < len(lines):
+                    raw = lines[i]
+                    i += 1
+                    if quote in raw:
+                        collected.append(raw[:raw.index(quote)])
+                        break
+                    collected.append(raw)
+                else:
+                    raise ConfigError(
+                        f"unterminated multiline string for key {key!r}")
+            value = "\n".join(collected)
+            if value.startswith("\n"):
+                value = value[1:]
+            current[key] = value
+            continue
+        current[key] = _parse_scalar(rest, key)
+    return root
+
+
+def _enter(root: dict, dotted: str, *, array: bool) -> dict:
+    if not dotted:
+        raise ConfigError("empty table name")
+    parts = [part.strip().strip('"') for part in dotted.split(".")]
+    node = root
+    for part in parts[:-1]:
+        child = node.setdefault(part, {})
+        if isinstance(child, list):
+            if not child:
+                raise ConfigError(f"array table {part!r} has no entries")
+            child = child[-1]
+        if not isinstance(child, dict):
+            raise ConfigError(f"key {part!r} is not a table")
+        node = child
+    leaf = parts[-1]
+    if array:
+        bucket = node.setdefault(leaf, [])
+        if not isinstance(bucket, list):
+            raise ConfigError(f"key {leaf!r} is not an array of tables")
+        table: dict = {}
+        bucket.append(table)
+        return table
+    table = node.setdefault(leaf, {})
+    if not isinstance(table, dict):
+        raise ConfigError(f"key {leaf!r} is not a table")
+    return table
+
+
+def _parse_scalar(rest: str, key: str):
+    # Strip a trailing comment outside quotes.
+    if rest.startswith('"'):
+        end = 1
+        while end < len(rest):
+            if rest[end] == "\\":
+                end += 2
+                continue
+            if rest[end] == '"':
+                break
+            end += 1
+        else:
+            raise ConfigError(f"unterminated string for key {key!r}")
+        body = rest[1:end]
+        return body.encode("raw_unicode_escape").decode("unicode_escape")
+    if rest.startswith("'"):
+        end = rest.find("'", 1)
+        if end < 0:
+            raise ConfigError(f"unterminated string for key {key!r}")
+        return rest[1:end]
+    if rest.startswith("["):
+        end = rest.rfind("]")
+        if end < 0:
+            raise ConfigError(f"unterminated array for key {key!r}")
+        inner = rest[1:end].strip()
+        if not inner:
+            return []
+        return [_parse_scalar(part.strip(), key)
+                for part in inner.split(",") if part.strip()]
+    rest = rest.split("#", 1)[0].strip()
+    if rest in ("true", "false"):
+        return rest == "true"
+    try:
+        return int(rest)
+    except ValueError:
+        pass
+    try:
+        return float(rest)
+    except ValueError:
+        raise ConfigError(f"cannot parse value for key {key!r}: {rest!r}")

@@ -1,0 +1,617 @@
+"""The gateway runtime: tenants, worker threads, checkpoints, shutdown.
+
+A :class:`ServiceGateway` hosts one or more named **tenants**.  Each
+tenant is an independent :class:`~repro.api.Session` (optionally sharded
+underneath) fed through its own
+:class:`~repro.service.queues.BoundedEdgeQueue` by a dedicated worker
+thread, with matches delivered to a rotating JSONL log and to any live
+subscribers.  The gateway owns the shared machinery: the checkpoint
+scheduler, the restore-on-boot path, and the graceful-shutdown sequence
+(drain queues → final checkpoint → close sinks).
+
+The gateway is fully usable without a network listener — tests and the
+perf bench drive :meth:`Tenant.ingest_edges` directly; the HTTP/WebSocket
+front door (:mod:`repro.service.http`) and the file tailers
+(:mod:`repro.service.tailer`) are producers like any other.
+
+Crash-recovery contract
+-----------------------
+A checkpoint is a *barrier*: under one lock acquisition the tenant seals
+its current match-log segment (flush + fsync) and pickles the session
+together with metadata naming the stream position (``edges_offered``),
+the sealed segment index, and every tail source's resume offset.  The
+pickle lands via write-to-temp + ``os.replace``, so the checkpoint file
+is always either the old capture or the new one, never a torn write.  On
+boot, a tenant with a checkpoint restores the session, deletes match
+segments *newer* than the sealed index (their matches correspond to
+arrivals after the barrier, which will be replayed), and resumes tailers
+from the recorded offsets.  Producers that feed the gateway directly
+read the replay position from :meth:`Tenant.status` /  the ``/stats``
+endpoint.  The net effect — proven by the ``service`` perf-smoke suite —
+is that a kill-and-restore run delivers exactly the match multiset of an
+uninterrupted run: at-least-once replay upstream, exactly-once delivery
+per committed segment downstream.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..api import EngineConfig, Session, ThreadSafeSession
+from ..graph.edge import StreamEdge
+from ..persistence import load_session_meta
+from ..sinks import RotatingJSONLSink, match_record
+from .codec import CodecError, edge_from_json
+from .config import ServerConfig, TenantConfig
+from .queues import BoundedEdgeQueue
+
+_CHECKPOINT_FILE = "checkpoint.pkl"
+_MATCH_DIR = "matches"
+_SPILL_FILE = "spill.jsonl"
+
+
+class MatchHub:
+    """Thread-safe fan-out of match records to live subscribers.
+
+    Subscribers are plain callables taking one JSON-able record (see
+    :func:`repro.sinks.match_record`); the WebSocket layer registers one
+    per connection that trampolines into its event loop.  A subscriber
+    that raises is dropped rather than allowed to stall ingestion.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: List = []
+        #: Records delivered to at least one subscriber.
+        self.delivered = 0
+
+    def subscribe(self, callback) -> None:
+        """Register a record consumer."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        """Remove a consumer (no-op if already gone)."""
+        with self._lock:
+            self._subscribers = [s for s in self._subscribers
+                                 if s is not callback]
+
+    def subscriber_count(self) -> int:
+        """Live subscriber count."""
+        with self._lock:
+            return len(self._subscribers)
+
+    def publish(self, record: dict) -> None:
+        """Deliver one record to every subscriber (see class doc)."""
+        with self._lock:
+            subscribers = list(self._subscribers)
+        if not subscribers:
+            return
+        dead = []
+        for subscriber in subscribers:
+            try:
+                subscriber(record)
+            except Exception:
+                dead.append(subscriber)
+        if dead:
+            with self._lock:
+                self._subscribers = [s for s in self._subscribers
+                                     if s not in dead]
+        self.delivered += 1
+
+
+class Tenant:
+    """One hosted session: queue, worker, match delivery, checkpoints.
+
+    Constructed by :class:`ServiceGateway`; producers interact through
+    :meth:`ingest_edges` / :meth:`ingest_json`, operators through
+    :meth:`status` and the gateway's metrics endpoint.
+    """
+
+    def __init__(self, config: TenantConfig, state_dir: str) -> None:
+        self.config = config
+        self.state_dir = os.path.join(state_dir, config.name)
+        os.makedirs(self.state_dir, exist_ok=True)
+        self.checkpoint_path = os.path.join(self.state_dir, _CHECKPOINT_FILE)
+        self.queue = BoundedEdgeQueue(
+            config.queue_capacity, policy=config.backpressure,
+            spill_path=os.path.join(self.state_dir, _SPILL_FILE))
+        self.hub = MatchHub()
+        #: Entries taken off the queue and offered to the session —
+        #: the tenant's stream position (replay cursor after recovery).
+        self.edges_offered = 0
+        #: Arrivals shed by the worker for non-monotonic timestamps.
+        self.rejected_nonmonotonic = 0
+        #: Arrivals rejected as in-window duplicates (``raise`` policy).
+        self.rejected_duplicate = 0
+        #: Worker batches that failed unexpectedly (kept out of the
+        #: engine; the worker carries on).
+        self.worker_errors = 0
+        #: Matches written to the match log / hub.
+        self.matches_delivered = 0
+        #: Completed checkpoints and the last one's wall-clock cost.
+        self.checkpoints_written = 0
+        self.last_checkpoint_seconds = 0.0
+        self.last_checkpoint_at: Optional[float] = None
+        #: Per-tail-source resume offsets (path -> byte offset), updated
+        #: by the worker as tailed edges are actually pushed.
+        self.source_offsets: Dict[str, int] = {}
+        self._server_clock = 0.0
+        self._clock_lock = threading.Lock()
+        self._worker: Optional[threading.Thread] = None
+        self._aborted = False
+        self.safe = self._boot_session()
+        self._attach_sinks()
+
+    # ------------------------------------------------------------------ #
+    # Boot / restore
+    # ------------------------------------------------------------------ #
+    def _boot_session(self) -> ThreadSafeSession:
+        restored_meta: Optional[dict] = None
+        session: Optional[Session] = None
+        if os.path.exists(self.checkpoint_path):
+            session, restored_meta = load_session_meta(self.checkpoint_path)
+        if session is None:
+            session = self._fresh_session()
+            self._sealed_segment = -1
+        else:
+            meta = restored_meta or {}
+            self.edges_offered = int(meta.get("edges_offered", 0))
+            self.source_offsets = dict(meta.get("tail_offsets", {}))
+            self._server_clock = float(
+                meta.get("server_clock", session.current_time
+                         if session.current_time > float("-inf") else 0.0))
+            self._sealed_segment = int(meta.get("sealed_segment", -1))
+            self._discard_uncommitted_segments(self._sealed_segment)
+            # Config drift: queries added since the checkpoint register
+            # mid-stream (starts-empty semantics); removed ones leave.
+            for name in list(session.names()):
+                if name not in self.config.queries:
+                    session.deregister(name)
+            for name, text in self.config.queries.items():
+                if name not in session:
+                    session.register(name, text, window=self.config.window)
+        self.restored = restored_meta is not None
+        return ThreadSafeSession(session)
+
+    def _fresh_session(self) -> Session:
+        config = EngineConfig(
+            storage=self.config.storage,
+            sharding=self.config.sharding,
+            shards=self.config.shards,
+            duplicate_policy=self.config.duplicate_policy)
+        session = Session(window=self.config.window, config=config)
+        for name, text in self.config.queries.items():
+            session.register(name, text, window=self.config.window)
+        return session
+
+    def _discard_uncommitted_segments(self, sealed: int) -> None:
+        """Delete match segments newer than the checkpoint barrier —
+        their arrivals will be replayed into fresh segments."""
+        match_dir = os.path.join(self.state_dir, _MATCH_DIR)
+        if not os.path.isdir(match_dir):
+            return
+        for name in os.listdir(match_dir):
+            if not (name.startswith("matches-") and name.endswith(".jsonl")):
+                continue
+            try:
+                index = int(name[len("matches-"):-len(".jsonl")])
+            except ValueError:
+                continue
+            if index > sealed:
+                os.remove(os.path.join(match_dir, name))
+
+    def _attach_sinks(self) -> None:
+        self.match_sink: Optional[RotatingJSONLSink] = None
+        if self.config.match_log:
+            self.match_sink = RotatingJSONLSink(
+                os.path.join(self.state_dir, _MATCH_DIR),
+                start_index=self._sealed_segment + 1)
+        with self.safe.locked() as session:
+            session.add_sink(self._deliver)
+
+    def _deliver(self, name: str, match) -> None:
+        record = match_record(name, match)
+        if self.match_sink is not None:
+            self.match_sink(name, match)
+        self.hub.publish(record)
+        self.matches_delivered += 1
+
+    # ------------------------------------------------------------------ #
+    # Producer surface
+    # ------------------------------------------------------------------ #
+    def next_server_timestamp(self) -> float:
+        """The next tick of the server-assigned clock (strictly
+        increasing across threads)."""
+        with self._clock_lock:
+            self._server_clock += 1.0
+            return self._server_clock
+
+    def ingest_edges(self, edges: Iterable[StreamEdge], *,
+                     offset: Optional[tuple] = None,
+                     timeout: Optional[float] = None) -> int:
+        """Enqueue prepared edges; returns how many were admitted.
+
+        Blocks under the ``block`` policy (bounded by ``timeout``);
+        raises :class:`~repro.service.queues.QueueClosed` once shutdown
+        has begun.  ``offset`` tags the *last* edge with its source
+        resume position (file tailers use this).
+        """
+        edges = list(edges)
+        admitted = 0
+        for i, edge in enumerate(edges):
+            tag = offset if i == len(edges) - 1 else None
+            if self.queue.put(edge, offset=tag, timeout=timeout):
+                admitted += 1
+        return admitted
+
+    def ingest_json(self, records: Sequence[dict], *,
+                    timeout: Optional[float] = None) -> dict:
+        """Decode and enqueue a batch of JSON edge objects.
+
+        Returns ``{"accepted": n, "invalid": m, "position": p}`` where
+        ``position`` is the total number of arrivals ever admitted to the
+        queue — the cursor a producer compares against checkpointed
+        ``edges_offered`` to resume after a crash.  Malformed records are
+        counted, not fatal.  Under ``timestamps = "server"`` every record
+        is stamped with the tenant clock (client timestamps rejected).
+        """
+        accepted = 0
+        invalid = 0
+        server_mode = self.config.timestamps == "server"
+        for record in records:
+            try:
+                if server_mode:
+                    if isinstance(record, dict) and "timestamp" in record:
+                        raise CodecError(
+                            "tenant assigns timestamps server-side; "
+                            "remove the timestamp field")
+                    edge = edge_from_json(
+                        record, default_timestamp=self.next_server_timestamp())
+                else:
+                    edge = edge_from_json(record)
+            except CodecError:
+                invalid += 1
+                continue
+            if self.queue.put(edge, timeout=timeout):
+                accepted += 1
+        return {"accepted": accepted, "invalid": invalid,
+                "position": self.queue.enqueued}
+
+    # ------------------------------------------------------------------ #
+    # Worker
+    # ------------------------------------------------------------------ #
+    def start_worker(self) -> None:
+        """Start the drain thread (idempotent)."""
+        if self._worker is not None:
+            return
+        self._worker = threading.Thread(
+            target=self._worker_loop, daemon=True,
+            name=f"repro-tenant-{self.config.name}")
+        self._worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            entries, closed = self.queue.get_batch(
+                self.config.batch_size, timeout=0.1)
+            if self._aborted:
+                return
+            if not entries:
+                if closed:
+                    return
+                continue
+            try:
+                self._process(entries)
+            except Exception as exc:   # keep the service alive
+                self.worker_errors += 1
+                print(f"[repro.service] tenant {self.config.name!r} "
+                      f"worker error: {exc!r}", file=sys.stderr)
+
+    def _process(self, entries: List) -> None:
+        with self.safe.locked() as session:
+            current = session.current_time
+            accepted: List[StreamEdge] = []
+            for entry in entries:
+                if entry.edge.timestamp <= current:
+                    self.rejected_nonmonotonic += 1
+                else:
+                    accepted.append(entry.edge)
+                    current = entry.edge.timestamp
+            if accepted:
+                if self.config.duplicate_policy == "raise":
+                    # Per-edge so one in-window duplicate cannot void the
+                    # rest of the batch.
+                    for edge in accepted:
+                        try:
+                            session.ingest([edge])
+                        except ValueError:
+                            self.rejected_duplicate += 1
+                else:
+                    session.ingest(accepted)
+            # Position and tail offsets advance only once the arrivals
+            # are actually in the engine — the checkpoint barrier reads
+            # them under this same lock.
+            self.edges_offered += len(entries)
+            for entry in entries:
+                if entry.offset is not None:
+                    path, position = entry.offset
+                    self.source_offsets[path] = position
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> dict:
+        """Run one checkpoint barrier; returns the metadata written.
+
+        Seals the match log and captures session + position atomically
+        (see the module docstring), writing the envelope via
+        write-to-temp + rename so a crash mid-checkpoint keeps the
+        previous capture intact.
+        """
+        started = time.perf_counter()
+        with self.safe.locked() as session:
+            sealed = (self.match_sink.rotate()
+                      if self.match_sink is not None else -1)
+            meta = {
+                "tenant": self.config.name,
+                "edges_offered": self.edges_offered,
+                "edges_pushed": session.edges_pushed,
+                "current_time": session.current_time,
+                "server_clock": self._server_clock,
+                "sealed_segment": sealed,
+                "tail_offsets": dict(self.source_offsets),
+            }
+            from ..persistence import save_session
+            tmp = self.checkpoint_path + ".tmp"
+            with open(tmp, "wb") as handle:
+                save_session(session, handle, meta=meta)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.checkpoint_path)
+        self.checkpoints_written += 1
+        self.last_checkpoint_seconds = round(
+            time.perf_counter() - started, 4)
+        self.last_checkpoint_at = time.time()
+        return meta
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Close the queue and wait for the worker to finish the
+        backlog; ``True`` when fully drained."""
+        self.queue.close()
+        if self._worker is not None:
+            self._worker.join(timeout)
+            return not self._worker.is_alive()
+        return True
+
+    def abort(self) -> None:
+        """Simulate a crash: stop the worker without draining,
+        checkpointing, or sealing sinks.  State on disk is left exactly
+        as a ``SIGKILL`` would leave it."""
+        self._aborted = True
+        self.queue.close()
+        if self._worker is not None:
+            self._worker.join(5.0)
+        self.queue.dispose()
+        close = getattr(self.safe.session, "close", None)
+        if close is not None:
+            close()         # sharded sessions own worker processes
+
+    def close_sinks(self) -> None:
+        """Flush and close the match log (idempotent)."""
+        if self.match_sink is not None:
+            self.match_sink.close()
+
+    def idle(self) -> bool:
+        """Whether the queue is empty (the worker may still be mid-batch;
+        poll :meth:`status` positions for exactness)."""
+        return self.queue.depth() == 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def status(self) -> dict:
+        """A JSON-able runtime snapshot (the ``/stats`` payload)."""
+        return {
+            "name": self.config.name,
+            "queries": self.safe.names(),
+            "restored": self.restored,
+            "edges_offered": self.edges_offered,
+            "edges_pushed": self.safe.edges_pushed,
+            "rejected_nonmonotonic": self.rejected_nonmonotonic,
+            "rejected_duplicate": self.rejected_duplicate,
+            "worker_errors": self.worker_errors,
+            "matches_delivered": self.matches_delivered,
+            "subscribers": self.hub.subscriber_count(),
+            "checkpoints_written": self.checkpoints_written,
+            "last_checkpoint_seconds": self.last_checkpoint_seconds,
+            "queue": self.queue.counters(),
+        }
+
+
+class ServiceGateway:
+    """The long-running ingestion gateway (see the module docstring).
+
+    Parameters
+    ----------
+    config:
+        A validated :class:`~repro.service.config.ServerConfig`.
+    start_workers:
+        Start each tenant's drain thread immediately (tests sometimes
+        defer this to control interleavings).
+    """
+
+    def __init__(self, config: ServerConfig, *,
+                 start_workers: bool = True) -> None:
+        self.config = config.validate()
+        os.makedirs(config.state_dir, exist_ok=True)
+        self.started_at = time.time()
+        self.tenants: Dict[str, Tenant] = {}
+        for tenant_config in config.tenants:
+            self.tenants[tenant_config.name] = Tenant(
+                tenant_config, config.state_dir)
+        self._checkpointer: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._shut_down = False
+        self._server = None         # attached by repro.service.http
+        self._tailers: List = []
+        if start_workers:
+            self.start_workers()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start_workers(self) -> None:
+        """Start every tenant worker and the checkpoint scheduler."""
+        for tenant in self.tenants.values():
+            tenant.start_worker()
+        interval = self.config.checkpoint_interval
+        if interval > 0 and self._checkpointer is None:
+            self._checkpointer = threading.Thread(
+                target=self._checkpoint_loop, args=(interval,),
+                daemon=True, name="repro-checkpointer")
+            self._checkpointer.start()
+
+    def start_tailers(self) -> None:
+        """Start the configured file tailers (resuming from checkpointed
+        offsets)."""
+        from .tailer import FileTailer
+        for tenant in self.tenants.values():
+            for tail in tenant.config.tails:
+                tailer = FileTailer(
+                    tenant, tail,
+                    start_offset=tenant.source_offsets.get(tail.path, 0))
+                tailer.start()
+                self._tailers.append(tailer)
+
+    def start_background(self) -> "ServiceGateway":
+        """Start workers, tailers, and the HTTP front door on a
+        background thread; returns ``self``.  The listener's actual port
+        is in :attr:`port` (useful with ``port = 0``)."""
+        from .http import ServiceHTTPServer
+        self.start_workers()
+        self.start_tailers()
+        self._server = ServiceHTTPServer(self)
+        self._server.start_background()
+        return self
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound HTTP port, once a listener is up."""
+        return self._server.port if self._server is not None else None
+
+    def _checkpoint_loop(self, interval: float) -> None:
+        while not self._stop_event.wait(interval):
+            self.checkpoint_all()
+
+    def checkpoint_all(self) -> Dict[str, dict]:
+        """Checkpoint every tenant; returns each barrier's metadata."""
+        results = {}
+        for name, tenant in self.tenants.items():
+            try:
+                results[name] = tenant.checkpoint()
+            except Exception as exc:    # pragma: no cover - disk trouble
+                print(f"[repro.service] checkpoint of {name!r} failed: "
+                      f"{exc!r}", file=sys.stderr)
+        return results
+
+    def shutdown(self, *, drain_timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop intake, drain queues, take a final
+        checkpoint, close sinks.  Idempotent and safe from any thread.
+        """
+        with self._shutdown_lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+        self._stop_event.set()
+        for tailer in self._tailers:
+            tailer.stop()
+        if self._server is not None:
+            self._server.stop()
+        for tenant in self.tenants.values():
+            tenant.drain(drain_timeout)
+        if self._checkpointer is not None:
+            self._checkpointer.join(5.0)
+        for tenant in self.tenants.values():
+            try:
+                tenant.checkpoint()
+            except Exception as exc:    # pragma: no cover - disk trouble
+                print(f"[repro.service] final checkpoint of "
+                      f"{tenant.config.name!r} failed: {exc!r}",
+                      file=sys.stderr)
+            tenant.close_sinks()
+            tenant.queue.dispose()
+            close = getattr(tenant.safe.session, "close", None)
+            if close is not None:
+                close()     # sharded sessions own worker processes
+
+    def abort(self) -> None:
+        """Crash simulation: halt everything without draining or
+        checkpointing (state on disk stays as-is)."""
+        with self._shutdown_lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+        self._stop_event.set()
+        for tailer in self._tailers:
+            tailer.stop()
+        if self._server is not None:
+            self._server.stop()
+        for tenant in self.tenants.values():
+            tenant.abort()
+
+    def __enter__(self) -> "ServiceGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def tenant(self, name: str) -> Tenant:
+        """The named tenant (``KeyError`` if absent)."""
+        return self.tenants[name]
+
+    def default_tenant(self) -> Tenant:
+        """The sole tenant, for single-tenant deployments' unprefixed
+        endpoints (``ValueError`` when several are hosted)."""
+        if len(self.tenants) != 1:
+            raise ValueError(
+                "gateway hosts several tenants; address one by name")
+        return next(iter(self.tenants.values()))
+
+    def status(self) -> dict:
+        """A JSON-able snapshot of the whole gateway (``/stats``)."""
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "checkpoint_interval": self.config.checkpoint_interval,
+            "tenants": {name: tenant.status()
+                        for name, tenant in self.tenants.items()},
+        }
+
+    def wait_idle(self, timeout: float = 30.0,
+                  poll: float = 0.02) -> bool:
+        """Block until every queue is drained *and* processed (positions
+        catch up to admissions); ``True`` on success.  A test/bench
+        convenience, not a production API."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(t.queue.depth() == 0
+                   and t.edges_offered >= t.queue.dequeued
+                   and t.queue.dequeued == t.queue.enqueued
+                   for t in self.tenants.values()):
+                return True
+            time.sleep(poll)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ServiceGateway({len(self.tenants)} tenants, "
+                f"state_dir={self.config.state_dir!r})")

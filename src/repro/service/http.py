@@ -1,0 +1,444 @@
+"""The asyncio front door: HTTP ingestion, metrics, WebSocket streams.
+
+A deliberately small HTTP/1.1 + RFC 6455 WebSocket server on nothing but
+the standard library (the deployment constraint: no third-party web
+framework).  One :class:`ServiceHTTPServer` fronts one
+:class:`~repro.service.gateway.ServiceGateway`; blocking queue puts are
+pushed off the event loop with ``asyncio.to_thread`` so a tenant
+exercising ``block`` backpressure slows *that producer's request*, never
+the whole listener.
+
+Routes
+------
+``GET /healthz``
+    Liveness: ``{"ok": true}``.
+``GET /metrics``
+    Prometheus text format — every tenant's session stats plus queue
+    depth/lag/drop counters (see :mod:`repro.service.metrics`).
+``GET /stats``
+    The gateway status snapshot as JSON.
+``POST /ingest`` / ``POST /tenants/<name>/ingest``
+    A JSON body of edges — ``{"edges": [...]}``, a bare array, or one
+    edge object — enqueued on the (default) tenant's queue.  Replies
+    with ``{"accepted", "invalid", "position"}``; 503 once shutdown has
+    begun.
+``POST /checkpoint``
+    Trigger a checkpoint barrier on every tenant; replies with each
+    barrier's metadata.
+``GET /tenants/<name>/stream`` (WebSocket)
+    Subscribe to the tenant's live match stream: one JSON text frame per
+    match, the same record shape as the JSONL match log.
+``GET /tenants/<name>/ingest`` (WebSocket)
+    Streaming ingestion: each text frame is a JSON edge batch; each is
+    acknowledged with the ``/ingest`` reply object.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import struct
+import threading
+from typing import Dict, Optional, Tuple
+
+from .metrics import render_metrics
+from .queues import QueueClosed
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+_MAX_BODY = 64 * 1024 * 1024
+_MAX_FRAME = 16 * 1024 * 1024
+
+#: Reason phrases for the handful of statuses we emit.
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class _Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str,
+                 headers: Dict[str, str], body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+
+class ServiceHTTPServer:
+    """Serve one gateway over HTTP/WebSocket (see module docstring).
+
+    ``host``/``port`` default to the gateway's config; ``port = 0`` binds
+    an OS-assigned port, published on :attr:`port` once the listener is
+    up.
+    """
+
+    def __init__(self, gateway, host: Optional[str] = None,
+                 port: Optional[int] = None) -> None:
+        self.gateway = gateway
+        self.host = host if host is not None else gateway.config.host
+        self._requested_port = (port if port is not None
+                                else gateway.config.port)
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start_background(self) -> "ServiceHTTPServer":
+        """Run the listener on a daemon thread; returns once bound."""
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-http")
+        self._thread.start()
+        self._started.wait(10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:   # surface bind errors to the caller
+            if not self._started.is_set():
+                self._startup_error = exc
+                self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_async = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        async with server:
+            await self._stop_async.wait()
+
+    def stop(self) -> None:
+        """Stop the listener and join its thread (idempotent)."""
+        if self._loop is not None and self._stop_async is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_async.set)
+            except RuntimeError:      # loop already gone
+                pass
+        if self._thread is not None:
+            self._thread.join(5.0)
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            if request.headers.get("upgrade", "").lower() == "websocket":
+                await self._websocket(request, reader, writer)
+                return
+            status, content_type, payload = await self._dispatch(request)
+            await self._respond(writer, status, content_type, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:
+            try:
+                await self._respond(
+                    writer, 500, "application/json",
+                    json.dumps({"error": repr(exc)}).encode())
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _read_request(self, reader) -> Optional[_Request]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, ValueError):
+            return None
+        if not request_line.strip():
+            return None
+        try:
+            method, path, _version = request_line.decode(
+                "latin-1").strip().split(" ", 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            return _Request(method, path, headers, b"\x00too-large")
+        body = await reader.readexactly(length) if length else b""
+        return _Request(method, path, headers, body)
+
+    async def _respond(self, writer, status: int, content_type: str,
+                       payload: bytes) -> None:
+        reason = _REASONS.get(status, "OK")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _route_tenant(self, parts) -> Optional[object]:
+        """Resolve ``/ingest`` vs ``/tenants/<name>/...`` to a tenant."""
+        if parts and parts[0] == "tenants" and len(parts) >= 2:
+            return self.gateway.tenants.get(parts[1])
+        try:
+            return self.gateway.default_tenant()
+        except ValueError:
+            return None
+
+    async def _dispatch(self, request: _Request
+                        ) -> Tuple[int, str, bytes]:
+        if request.body.startswith(b"\x00too-large"):
+            return 413, "application/json", b'{"error": "body too large"}'
+        path = request.path.split("?", 1)[0]
+        parts = [part for part in path.split("/") if part]
+
+        if request.method == "GET":
+            if path == "/healthz":
+                return (200, "application/json",
+                        json.dumps({"ok": True}).encode())
+            if path == "/metrics":
+                stats = {name: tenant.safe.session_stats()
+                         for name, tenant in self.gateway.tenants.items()}
+                text = render_metrics(self.gateway.status(), stats)
+                return (200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        text.encode())
+            if path == "/stats":
+                return (200, "application/json",
+                        json.dumps(self.gateway.status()).encode())
+            return 404, "application/json", b'{"error": "not found"}'
+
+        if request.method == "POST":
+            if path == "/checkpoint":
+                metas = await asyncio.to_thread(self.gateway.checkpoint_all)
+                return (200, "application/json",
+                        json.dumps({"checkpoints": metas}).encode())
+            if parts and parts[-1] == "ingest":
+                tenant = self._route_tenant(parts)
+                if tenant is None:
+                    return (404, "application/json",
+                            b'{"error": "unknown tenant"}')
+                return await self._ingest(tenant, request.body)
+            return 404, "application/json", b'{"error": "not found"}'
+
+        return (405, "application/json",
+                b'{"error": "method not allowed"}')
+
+    async def _ingest(self, tenant, body: bytes) -> Tuple[int, str, bytes]:
+        records = _parse_edge_body(body)
+        if records is None:
+            return (400, "application/json",
+                    b'{"error": "body must be a JSON edge, an array of '
+                    b'edges, or {\\"edges\\": [...]}"}')
+        try:
+            result = await asyncio.to_thread(tenant.ingest_json, records)
+        except QueueClosed:
+            return (503, "application/json",
+                    b'{"error": "gateway is shutting down"}')
+        return 200, "application/json", json.dumps(result).encode()
+
+    # ------------------------------------------------------------------ #
+    # WebSocket
+    # ------------------------------------------------------------------ #
+    async def _websocket(self, request: _Request, reader,
+                         writer) -> None:
+        key = request.headers.get("sec-websocket-key")
+        path = request.path.split("?", 1)[0]
+        parts = [part for part in path.split("/") if part]
+        endpoint = parts[-1] if parts else ""
+        tenant = self._route_tenant(parts)
+        if key is None or endpoint not in ("stream", "ingest") \
+                or tenant is None:
+            await self._respond(writer, 404, "application/json",
+                                b'{"error": "unknown websocket route"}')
+            return
+        accept = base64.b64encode(hashlib.sha1(
+            (key + _WS_GUID).encode("latin-1")).digest()).decode()
+        writer.write((
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {accept}\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+        if endpoint == "stream":
+            await self._ws_stream(tenant, reader, writer)
+        else:
+            await self._ws_ingest(tenant, reader, writer)
+
+    async def _ws_stream(self, tenant, reader, writer) -> None:
+        """Push the tenant's matches as JSON text frames until the
+        client goes away; a slow client sheds (drops are counted in the
+        final close, never allowed to stall ingestion)."""
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=4096)
+        dropped = [0]
+
+        def deliver(record: dict) -> None:
+            def _put() -> None:
+                try:
+                    queue.put_nowait(record)
+                except asyncio.QueueFull:
+                    dropped[0] += 1
+            loop.call_soon_threadsafe(_put)
+
+        tenant.hub.subscribe(deliver)
+        control = asyncio.ensure_future(
+            self._ws_drain_control(reader, writer))
+        try:
+            while not control.done():
+                try:
+                    record = await asyncio.wait_for(queue.get(), 0.25)
+                except asyncio.TimeoutError:
+                    continue
+                writer.write(_ws_frame(0x1, json.dumps(
+                    record, sort_keys=True).encode()))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            tenant.hub.unsubscribe(deliver)
+            control.cancel()
+
+    async def _ws_drain_control(self, reader, writer) -> None:
+        """Answer pings and wait for the client's close frame."""
+        while True:
+            frame = await _ws_read_frame(reader)
+            if frame is None:
+                return
+            opcode, payload = frame
+            if opcode == 0x8:
+                try:
+                    writer.write(_ws_frame(0x8, payload[:2]))
+                    await writer.drain()
+                except ConnectionError:
+                    pass
+                return
+            if opcode == 0x9:
+                writer.write(_ws_frame(0xA, payload))
+                await writer.drain()
+
+    async def _ws_ingest(self, tenant, reader, writer) -> None:
+        """Each text frame is an edge batch; each gets a JSON ack."""
+        while True:
+            frame = await _ws_read_frame(reader)
+            if frame is None:
+                return
+            opcode, payload = frame
+            if opcode == 0x8:
+                writer.write(_ws_frame(0x8, payload[:2]))
+                await writer.drain()
+                return
+            if opcode == 0x9:
+                writer.write(_ws_frame(0xA, payload))
+                await writer.drain()
+                continue
+            if opcode not in (0x1, 0x2):
+                continue
+            records = _parse_edge_body(payload)
+            if records is None:
+                reply = {"error": "bad edge payload"}
+            else:
+                try:
+                    reply = await asyncio.to_thread(
+                        tenant.ingest_json, records)
+                except QueueClosed:
+                    reply = {"error": "gateway is shutting down"}
+            writer.write(_ws_frame(0x1, json.dumps(reply).encode()))
+            await writer.drain()
+
+
+# ---------------------------------------------------------------------- #
+# Helpers
+# ---------------------------------------------------------------------- #
+def _parse_edge_body(body: bytes):
+    """Decode an ingestion payload into a list of edge records, or
+    ``None`` when the shape is wrong (codec errors are handled
+    per-record downstream)."""
+    try:
+        data = json.loads(body)
+    except ValueError:
+        return None
+    if isinstance(data, dict) and "edges" in data:
+        data = data["edges"]
+    if isinstance(data, dict):
+        return [data]
+    if isinstance(data, list):
+        return data
+    return None
+
+
+def _ws_frame(opcode: int, payload: bytes) -> bytes:
+    """Encode one unmasked (server → client) WebSocket frame."""
+    head = bytes([0x80 | opcode])
+    length = len(payload)
+    if length < 126:
+        head += bytes([length])
+    elif length < 1 << 16:
+        head += bytes([126]) + struct.pack(">H", length)
+    else:
+        head += bytes([127]) + struct.pack(">Q", length)
+    return head + payload
+
+
+async def _ws_read_frame(reader) -> Optional[Tuple[int, bytes]]:
+    """Read one complete message (reassembling continuations); returns
+    ``(opcode, payload)`` or ``None`` once the peer is gone."""
+    message_opcode: Optional[int] = None
+    buffer = b""
+    while True:
+        try:
+            head = await reader.readexactly(2)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        fin = bool(head[0] & 0x80)
+        opcode = head[0] & 0x0F
+        masked = bool(head[1] & 0x80)
+        length = head[1] & 0x7F
+        try:
+            if length == 126:
+                length = struct.unpack(
+                    ">H", await reader.readexactly(2))[0]
+            elif length == 127:
+                length = struct.unpack(
+                    ">Q", await reader.readexactly(8))[0]
+            if length > _MAX_FRAME:
+                return None
+            mask = await reader.readexactly(4) if masked else b""
+            payload = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        if masked:
+            payload = bytes(b ^ mask[i % 4]
+                            for i, b in enumerate(payload))
+        if opcode in (0x8, 0x9, 0xA):    # control frames never fragment
+            return opcode, payload
+        if opcode:                        # first (or only) data frame
+            message_opcode = opcode
+            buffer = payload
+        else:                             # continuation
+            buffer += payload
+        if fin:
+            return message_opcode or 0x1, buffer

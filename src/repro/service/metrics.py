@@ -1,0 +1,162 @@
+"""Prometheus text-format rendering of gateway and session counters.
+
+:func:`render_metrics` turns a :meth:`ServiceGateway.status
+<repro.service.gateway.ServiceGateway.status>` snapshot plus each
+tenant's :meth:`Session.session_stats <repro.api.Session.session_stats>`
+into the Prometheus `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+stdlib only, no client library.
+
+Conventions
+-----------
+* Every numeric counter/gauge becomes ``repro_<name>{tenant="..."}``;
+  nested queue counters become ``repro_queue_<name>``.
+* Session stats whose values are strings or booleans (routing mode,
+  sub-plan sharing flag) are folded into one ``repro_tenant_info`` metric
+  with a constant value of 1 and the strings as labels — the idiomatic
+  Prometheus pattern for non-numeric facts.
+* Gateway-level facts (uptime, tenant count) carry no tenant label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+_PREFIX = "repro"
+
+#: Metric name -> help text for the gateway/tenant counters we always
+#: export (queue counters get theirs generated).
+_HELP = {
+    "uptime_seconds": "Seconds since the gateway started.",
+    "tenants": "Number of hosted tenants.",
+    "edges_offered": "Arrivals taken off the queue and offered to the "
+                     "session (the tenant's stream position).",
+    "edges_pushed": "Arrivals accepted into the engine window.",
+    "rejected_nonmonotonic": "Arrivals shed for non-increasing timestamps.",
+    "rejected_duplicate": "Arrivals rejected as in-window duplicates.",
+    "worker_errors": "Worker batches that failed unexpectedly.",
+    "matches_delivered": "Matches written to the match log / subscribers.",
+    "subscribers": "Live match-stream subscribers.",
+    "checkpoints_written": "Completed checkpoint barriers.",
+    "last_checkpoint_seconds": "Wall-clock cost of the last checkpoint.",
+}
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _labels(pairs: Mapping[str, str]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape(str(value))}"'
+                     for key, value in sorted(pairs.items()))
+    return "{" + inner + "}"
+
+
+class _Writer:
+    """Accumulates samples grouped by metric, emitting HELP/TYPE once."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[Tuple[str, float]]] = {}
+        self._meta: Dict[str, Tuple[str, str]] = {}
+
+    def sample(self, name: str, labels: Mapping[str, str], value,
+               *, help_text: str = "", kind: str = "gauge") -> None:
+        metric = f"{_PREFIX}_{name}"
+        self._samples.setdefault(metric, []).append(
+            (_labels(labels), float(value)))
+        if metric not in self._meta:
+            self._meta[metric] = (help_text, kind)
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for metric in sorted(self._samples):
+            help_text, kind = self._meta[metric]
+            if help_text:
+                lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} {kind}")
+            for labels, value in self._samples[metric]:
+                if value == int(value):
+                    rendered = str(int(value))
+                else:
+                    rendered = repr(value)
+                lines.append(f"{metric}{labels} {rendered}")
+        return "\n".join(lines) + "\n"
+
+
+def _counter_like(name: str) -> str:
+    if name.endswith(("_total", "enqueued", "dequeued", "dropped",
+                      "spilled", "rejected_closed", "offered", "pushed",
+                      "delivered", "errors", "written", "reuses",
+                      "rejected_nonmonotonic", "rejected_duplicate")):
+        return "counter"
+    return "gauge"
+
+
+def render_metrics(status: dict,
+                   session_stats: Mapping[str, Mapping[str, object]]
+                   ) -> str:
+    """Render one ``/metrics`` page.
+
+    Parameters
+    ----------
+    status:
+        A :meth:`ServiceGateway.status` snapshot.
+    session_stats:
+        ``tenant name -> session_stats()`` for every tenant (numeric
+        entries become labelled metrics; strings/bools fold into the
+        info metric).
+    """
+    writer = _Writer()
+    writer.sample("uptime_seconds", {}, status.get("uptime_seconds", 0.0),
+                  help_text=_HELP["uptime_seconds"])
+    tenants = status.get("tenants", {})
+    writer.sample("tenants", {}, len(tenants), help_text=_HELP["tenants"])
+
+    for name, tenant in tenants.items():
+        label = {"tenant": name}
+        for key, value in tenant.items():
+            if key in ("name", "queue"):
+                continue
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, (int, float)):
+                writer.sample(key, label, value,
+                              help_text=_HELP.get(key, ""),
+                              kind=_counter_like(key))
+            elif isinstance(value, list):
+                writer.sample("queries", label, len(value),
+                              help_text="Registered queries.")
+        for key, value in tenant.get("queue", {}).items():
+            writer.sample(
+                f"queue_{key}", label, value,
+                help_text=f"Queue {key.replace('_', ' ')}.",
+                kind=_counter_like(key))
+
+    for name, stats in session_stats.items():
+        label = {"tenant": name}
+        info = dict(label)
+        for key, value in stats.items():
+            if isinstance(value, bool):
+                info[key] = str(value).lower()
+            elif isinstance(value, (int, float)):
+                writer.sample(f"session_{key}", label, value,
+                              help_text=f"Session {key.replace('_', ' ')}.",
+                              kind=_counter_like(key))
+            elif isinstance(value, str):
+                info[key] = value
+            elif isinstance(value, Mapping):
+                # Sharded sessions expose nested per-shard dicts.
+                for shard, shard_value in value.items():
+                    if isinstance(shard_value, (int, float)) \
+                            and not isinstance(shard_value, bool):
+                        writer.sample(
+                            f"session_{key}",
+                            {**label, "shard": str(shard)}, shard_value,
+                            help_text=f"Session {key.replace('_', ' ')}.",
+                            kind=_counter_like(key))
+        writer.sample("tenant_info", info, 1,
+                      help_text="Non-numeric tenant facts as labels.")
+    return writer.render()

@@ -1,0 +1,302 @@
+"""Bounded ingest queues with explicit, countable backpressure.
+
+Every tenant owns one :class:`BoundedEdgeQueue` between the gateway's
+front door (asyncio handlers, file tailers, in-process producers) and its
+worker thread.  The queue is the *only* place the service absorbs a
+producer/consumer rate mismatch, and it makes the absorption policy
+explicit instead of letting memory grow silently:
+
+``block`` (default)
+    ``put`` waits until the consumer makes room.  Lossless — the
+    backpressure propagates to the producer (an HTTP caller's request
+    simply takes longer; a tailer pauses).
+``drop_oldest``
+    A full queue evicts its oldest unprocessed entries to admit new
+    ones, counting every eviction in ``dropped``.  Freshness over
+    completeness — the load-shedding mode.
+``spill``
+    A full queue overflows to a disk file (JSON lines, the service
+    codec) and replays it in FIFO order as the consumer catches up.
+    Lossless like ``block`` but absorbs bursts without slowing the
+    producer; ``spilled`` / ``spill_pending`` surface the overflow.
+
+All counters (``enqueued``, ``dequeued``, ``dropped``, ``spilled``,
+``rejected_closed``, depth, high-water mark, oldest-entry lag) feed the
+``/metrics`` endpoint.  The queue is thread-safe; ``close()`` starts the
+shutdown drain: producers are refused, the consumer keeps draining until
+:meth:`get_batch` returns an empty batch with ``closed`` set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Iterable, List, Optional, Tuple
+
+from ..graph.edge import StreamEdge
+from .codec import edge_from_json, edge_to_json
+
+#: Accepted backpressure policies (see module docstring).
+BACKPRESSURE_POLICIES = ("block", "drop_oldest", "spill")
+
+
+class QueueClosed(RuntimeError):
+    """Raised by :meth:`BoundedEdgeQueue.put` after :meth:`close`."""
+
+
+class _Entry:
+    """One queued arrival: the edge, its source offset (file tailers use
+    this to checkpoint resume positions), and its enqueue time (lag)."""
+
+    __slots__ = ("edge", "offset", "enqueued_at")
+
+    def __init__(self, edge: StreamEdge, offset: Optional[int],
+                 enqueued_at: float) -> None:
+        self.edge = edge
+        self.offset = offset
+        self.enqueued_at = enqueued_at
+
+
+class BoundedEdgeQueue:
+    """A bounded, thread-safe FIFO of edge arrivals (see module doc).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum in-memory entries.  Must be >= 1.
+    policy:
+        One of :data:`BACKPRESSURE_POLICIES`.
+    spill_path:
+        Overflow file for the ``spill`` policy (required there, ignored
+        otherwise).  Created lazily on first overflow.
+    """
+
+    def __init__(self, capacity: int, *, policy: str = "block",
+                 spill_path: Optional[str] = None) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool) \
+                or capacity < 1:
+            raise ValueError(f"queue capacity must be a positive int, "
+                             f"got {capacity!r}")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy: {policy!r} "
+                f"(expected one of {BACKPRESSURE_POLICIES})")
+        if policy == "spill" and spill_path is None:
+            raise ValueError("the spill policy needs a spill_path")
+        self.capacity = capacity
+        self.policy = policy
+        self.spill_path = spill_path
+        self._entries: deque = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        # Spill bookkeeping: while a spill file holds entries, FIFO order
+        # requires every new arrival to join it (memory would overtake the
+        # spilled middle otherwise).  The file is append-write, offset-read.
+        self._spill_handle = None
+        self._spill_read_offset = 0
+        self._spill_pending = 0
+        #: Counters surfaced on /metrics.
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.spilled = 0
+        self.rejected_closed = 0
+        self.high_water = 0
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+    def put(self, edge: StreamEdge, *, offset: Optional[int] = None,
+            timeout: Optional[float] = None) -> bool:
+        """Enqueue one arrival; returns ``False`` only when it was shed.
+
+        Under ``block`` a full queue waits (up to ``timeout`` seconds if
+        given — expiry raises ``TimeoutError`` rather than dropping,
+        because blocking promises losslessness).  Raises
+        :class:`QueueClosed` after :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                self.rejected_closed += 1
+                raise QueueClosed("queue is closed to new arrivals")
+            if self.policy == "spill" and (
+                    self._spill_pending or len(self._entries) >= self.capacity):
+                self._spill_out(edge, offset)
+                return True
+            if self.policy == "drop_oldest":
+                while len(self._entries) >= self.capacity:
+                    self._entries.popleft()
+                    self.dropped += 1
+            elif self.policy == "block":
+                deadline = None if timeout is None \
+                    else time.monotonic() + timeout
+                while len(self._entries) >= self.capacity:
+                    remaining = None if deadline is None \
+                        else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        raise TimeoutError(
+                            "queue stayed full past the put timeout")
+                    if not self._not_full.wait(remaining):
+                        raise TimeoutError(
+                            "queue stayed full past the put timeout")
+                    if self._closed:
+                        self.rejected_closed += 1
+                        raise QueueClosed("queue closed while blocked")
+            self._append(edge, offset)
+            return True
+
+    def put_many(self, edges: Iterable[StreamEdge], *,
+                 timeout: Optional[float] = None) -> int:
+        """Enqueue a batch; returns how many were admitted (all of them
+        except ``drop_oldest`` sheds, which never refuse the *new* edge —
+        admitted means entered the pipeline, not survived it)."""
+        admitted = 0
+        for edge in edges:
+            if self.put(edge, timeout=timeout):
+                admitted += 1
+        return admitted
+
+    def _append(self, edge: StreamEdge, offset: Optional[int]) -> None:
+        self._entries.append(_Entry(edge, offset, time.monotonic()))
+        self.enqueued += 1
+        if len(self._entries) > self.high_water:
+            self.high_water = len(self._entries)
+        self._not_empty.notify()
+
+    # ------------------------------------------------------------------ #
+    # Spill file (all under self._lock)
+    # ------------------------------------------------------------------ #
+    def _spill_out(self, edge: StreamEdge, offset: Optional[int]) -> None:
+        if self._spill_handle is None:
+            self._spill_handle = open(self.spill_path, "w+", encoding="utf-8")
+            self._spill_read_offset = 0
+        record = {"edge": edge_to_json(edge)}
+        if offset is not None:
+            record["offset"] = offset
+        self._spill_handle.seek(0, os.SEEK_END)
+        self._spill_handle.write(json.dumps(record) + "\n")
+        self._spill_handle.flush()
+        self._spill_pending += 1
+        self.spilled += 1
+        self.enqueued += 1
+        self._not_empty.notify()
+
+    def _spill_in(self, budget: int) -> None:
+        """Refill up to ``budget`` entries from the spill file, resetting
+        it once fully drained."""
+        handle = self._spill_handle
+        handle.seek(self._spill_read_offset)
+        while budget > 0 and self._spill_pending > 0:
+            line = handle.readline()
+            if not line:
+                break
+            record = json.loads(line)
+            entry = _Entry(edge_from_json(record["edge"]),
+                           record.get("offset"), time.monotonic())
+            self._entries.append(entry)
+            self._spill_pending -= 1
+            budget -= 1
+        self._spill_read_offset = handle.tell()
+        if self._spill_pending == 0:
+            handle.seek(0)
+            handle.truncate()
+            self._spill_read_offset = 0
+
+    # ------------------------------------------------------------------ #
+    # Consumer side
+    # ------------------------------------------------------------------ #
+    def get_batch(self, max_batch: int,
+                  timeout: Optional[float] = None
+                  ) -> Tuple[List[_Entry], bool]:
+        """Dequeue up to ``max_batch`` entries.
+
+        Returns ``(entries, closed)``.  Blocks up to ``timeout`` seconds
+        for the first entry (``None`` = forever); an empty batch with
+        ``closed=True`` means the queue is closed *and* fully drained —
+        the worker's exit signal.
+        """
+        with self._lock:
+            while not self._entries and not self._spill_pending:
+                if self._closed:
+                    return [], True
+                if not self._not_empty.wait(timeout):
+                    return [], self._closed and not self._entries \
+                        and not self._spill_pending
+            batch: List[_Entry] = []
+            while self._entries and len(batch) < max_batch:
+                batch.append(self._entries.popleft())
+            if self._spill_pending and len(batch) < max_batch:
+                self._spill_in(max_batch - len(batch))
+                while self._entries and len(batch) < max_batch:
+                    batch.append(self._entries.popleft())
+            self.dequeued += len(batch)
+            self._not_full.notify_all()
+            return batch, False
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def depth(self) -> int:
+        """Entries currently queued (memory + spill overflow)."""
+        with self._lock:
+            return len(self._entries) + self._spill_pending
+
+    def spill_pending(self) -> int:
+        """Entries currently parked in the spill file."""
+        with self._lock:
+            return self._spill_pending
+
+    def lag_seconds(self) -> float:
+        """Age of the oldest queued in-memory entry (0.0 when empty) —
+        how far the consumer trails the front door."""
+        with self._lock:
+            if not self._entries:
+                return 0.0
+            return max(0.0, time.monotonic() - self._entries[0].enqueued_at)
+
+    def counters(self) -> dict:
+        """A snapshot of every counter the metrics endpoint exports."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "depth": len(self._entries) + self._spill_pending,
+                "spill_pending": self._spill_pending,
+                "high_water": self.high_water,
+                "enqueued": self.enqueued,
+                "dequeued": self.dequeued,
+                "dropped": self.dropped,
+                "spilled": self.spilled,
+                "rejected_closed": self.rejected_closed,
+                "lag_seconds": (
+                    max(0.0, time.monotonic() - self._entries[0].enqueued_at)
+                    if self._entries else 0.0),
+            }
+
+    def close(self) -> None:
+        """Refuse new arrivals; wakes blocked producers and the consumer
+        (which keeps draining what is already queued).  Idempotent."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def dispose(self) -> None:
+        """Release the spill file handle (after the worker has exited)."""
+        with self._lock:
+            if self._spill_handle is not None:
+                self._spill_handle.close()
+                self._spill_handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BoundedEdgeQueue(depth={self.depth()}, "
+                f"capacity={self.capacity}, policy={self.policy})")

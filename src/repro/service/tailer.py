@@ -1,0 +1,148 @@
+"""File tailing producers: follow JSONL/CSV files into a tenant's queue.
+
+A :class:`FileTailer` is a daemon thread that follows a growing file
+(``tail -f`` style), parses each completed line into a
+:class:`~repro.graph.edge.StreamEdge`, and enqueues it on its tenant's
+bounded queue — so file-fed deployments get the same backpressure,
+metrics, and crash recovery as network producers.
+
+Each enqueued edge carries the byte offset *after* its line as a source
+resume position; the tenant's worker records the offset once the edge is
+actually in the engine, and the checkpoint barrier persists it.  On
+restart the gateway hands the tailer the checkpointed offset, so lines
+already absorbed before the crash are not re-read and lines after the
+barrier are replayed — exactly the at-least-once replay the recovery
+contract needs (see :mod:`repro.service.gateway`).
+
+Formats: ``jsonl`` (one service-codec edge object per line) and ``csv``
+(the :mod:`repro.io.csv_stream` column layout; the header row is re-read
+on every boot to recover the field order, then the tailer seeks to the
+resume offset).  A line that fails to parse is counted and skipped — a
+corrupt row must not wedge the feed.  Partial lines (a writer caught
+mid-append) are left unconsumed until their newline arrives.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import threading
+from typing import List, Optional
+
+from ..graph.edge import StreamEdge
+from ..io.csv_stream import _parse_label
+from .codec import CodecError, edge_from_json
+from .config import TailConfig
+from .queues import QueueClosed
+
+
+class FileTailer(threading.Thread):
+    """Follow one file into one tenant's queue (see module docstring)."""
+
+    def __init__(self, tenant, config: TailConfig, *,
+                 start_offset: int = 0) -> None:
+        super().__init__(daemon=True,
+                         name=f"repro-tail-{tenant.config.name}")
+        self.tenant = tenant
+        self.config = config
+        self.start_offset = start_offset
+        self._stop_event = threading.Event()
+        #: Completed lines consumed this run.
+        self.lines_read = 0
+        #: Lines skipped because they would not parse.
+        self.parse_errors = 0
+        #: Edges successfully enqueued.
+        self.edges_enqueued = 0
+
+    def stop(self) -> None:
+        """Ask the tailer to exit; it stops at the next poll tick."""
+        self._stop_event.set()
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:  # noqa: D102 - Thread API
+        poll = self.config.poll_interval
+        while not os.path.exists(self.config.path):
+            if self._stop_event.wait(poll):
+                return
+        try:
+            with open(self.config.path, encoding="utf-8", newline="") as fh:
+                fields = self._position(fh)
+                self._follow(fh, fields, poll)
+        except QueueClosed:
+            return
+
+    def _position(self, fh) -> Optional[List[str]]:
+        """Consume the CSV header (if any) and seek to the resume
+        offset; returns the CSV field order or ``None`` for JSONL."""
+        fields: Optional[List[str]] = None
+        if self.config.format == "csv":
+            header = fh.readline()
+            if header:
+                fields = next(csv.reader([header]))
+            header_end = fh.tell()
+            if self.start_offset > header_end:
+                fh.seek(self.start_offset)
+        elif self.start_offset:
+            fh.seek(self.start_offset)
+        return fields
+
+    def _follow(self, fh, fields, poll: float) -> None:
+        while not self._stop_event.is_set():
+            position = fh.tell()
+            line = fh.readline()
+            if not line or not line.endswith("\n"):
+                # Nothing new, or a writer caught mid-line: rewind and
+                # wait for the newline to land.
+                fh.seek(position)
+                if self._stop_event.wait(poll):
+                    return
+                continue
+            self.lines_read += 1
+            stripped = line.strip()
+            if not stripped:
+                continue
+            edge = self._parse(stripped, fields)
+            if edge is None:
+                self.parse_errors += 1
+                continue
+            self.tenant.ingest_edges(
+                [edge], offset=(self.config.path, fh.tell()))
+            self.edges_enqueued += 1
+
+    def _parse(self, line: str,
+               fields: Optional[List[str]]) -> Optional[StreamEdge]:
+        server_mode = self.tenant.config.timestamps == "server"
+        if self.config.format == "jsonl":
+            try:
+                record = json.loads(line)
+                default = (self.tenant.next_server_timestamp()
+                           if server_mode else None)
+                return edge_from_json(record, default_timestamp=default)
+            except (ValueError, CodecError):
+                return None
+        # csv
+        if not fields:
+            return None
+        try:
+            row = dict(zip(fields, next(csv.reader([line]))))
+            timestamp = (self.tenant.next_server_timestamp()
+                         if server_mode else float(row["timestamp"]))
+            return StreamEdge(
+                row["src"], row["dst"],
+                src_label=row["src_label"], dst_label=row["dst_label"],
+                timestamp=timestamp,
+                label=_parse_label(row.get("label") or ""),
+                edge_id=row.get("edge_id") or None)
+        except (KeyError, ValueError, StopIteration):
+            return None
+
+    def status(self) -> dict:
+        """A JSON-able snapshot of the tailer's counters."""
+        return {
+            "path": self.config.path,
+            "format": self.config.format,
+            "lines_read": self.lines_read,
+            "parse_errors": self.parse_errors,
+            "edges_enqueued": self.edges_enqueued,
+        }

@@ -1,0 +1,1 @@
+"""Service-layer tests: gateway, queues, config, HTTP, tailers, CLI."""

@@ -1,0 +1,54 @@
+"""Shared builders for the service-layer tests."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro import StreamEdge
+from repro.service import ServerConfig, TenantConfig
+
+CHAIN_DSL = """
+vertex a A
+vertex b B
+vertex c C
+edge e1 a -> b
+edge e2 b -> c
+order e1 < e2
+window 6
+"""
+
+#: The chain stream: 4 edges producing 3 matches of CHAIN_DSL.
+CHAIN_ROWS = [("a1", "b1", 1.0, "A", "B"), ("b1", "c1", 2.0, "B", "C"),
+              ("a2", "b1", 3.0, "A", "B"), ("b1", "c2", 4.0, "B", "C")]
+
+
+def chain_edges() -> List[StreamEdge]:
+    return [StreamEdge(src, dst, src_label=sl, dst_label=dl, timestamp=ts)
+            for src, dst, ts, sl, dl in CHAIN_ROWS]
+
+
+def chain_records() -> List[dict]:
+    return [{"src": src, "dst": dst, "timestamp": ts,
+             "src_label": sl, "dst_label": dl}
+            for src, dst, ts, sl, dl in CHAIN_ROWS]
+
+
+def chain_config(state_dir, **tenant_overrides) -> ServerConfig:
+    """A one-tenant gateway config over CHAIN_DSL with no periodic
+    checkpoints (tests trigger barriers explicitly)."""
+    tenant = TenantConfig(name="t0", queries={"chain": CHAIN_DSL},
+                          **tenant_overrides)
+    return ServerConfig(state_dir=str(state_dir), port=0,
+                        checkpoint_interval=0.0, tenants=(tenant,))
+
+
+@pytest.fixture
+def gateway(tmp_path):
+    """A started in-process gateway (no HTTP listener), shut down after
+    the test."""
+    from repro.service import ServiceGateway
+    gw = ServiceGateway(chain_config(tmp_path / "state"))
+    yield gw
+    gw.shutdown()

@@ -1,0 +1,93 @@
+"""Edge/match JSON codec: round-trips, tuple labels, strict validation."""
+
+import json
+
+import pytest
+
+from repro import StreamEdge
+from repro.service import edge_from_json, edge_to_json
+from repro.service.codec import CodecError
+
+
+def roundtrip(edge):
+    return edge_from_json(json.loads(json.dumps(edge_to_json(edge))))
+
+
+class TestRoundTrip:
+    def test_plain_edge(self):
+        edge = StreamEdge("v1", "w1", src_label="V", dst_label="W",
+                          timestamp=3.0)
+        back = roundtrip(edge)
+        assert back == edge
+        assert back.src_label == "V" and back.timestamp == 3.0
+
+    def test_tuple_label_round_trips_with_types(self):
+        edge = StreamEdge("v1", "w1", src_label="IP", dst_label="IP",
+                          timestamp=1.0, label=(51234, 80, "tcp"))
+        back = roundtrip(edge)
+        assert back.label == (51234, 80, "tcp")
+        assert isinstance(back.label[0], int)
+
+    def test_explicit_edge_id_round_trips(self):
+        edge = StreamEdge("v1", "w1", src_label="V", dst_label="W",
+                          timestamp=1.0, edge_id="flow-42")
+        record = edge_to_json(edge)
+        assert record["edge_id"] == "flow-42"
+        assert roundtrip(edge).edge_id == "flow-42"
+
+    def test_default_edge_id_is_omitted(self):
+        edge = StreamEdge("v1", "w1", src_label="V", dst_label="W",
+                          timestamp=1.0)
+        record = edge_to_json(edge)
+        assert "edge_id" not in record
+        assert roundtrip(edge).edge_id == edge.edge_id
+
+    def test_none_label_is_omitted(self):
+        edge = StreamEdge("v1", "w1", src_label="V", dst_label="W",
+                          timestamp=1.0)
+        assert "label" not in edge_to_json(edge)
+
+
+class TestDecodeValidation:
+    def base(self, **extra):
+        record = {"src": "v", "dst": "w", "src_label": "V",
+                  "dst_label": "W", "timestamp": 1.0}
+        record.update(extra)
+        return record
+
+    def test_not_an_object(self):
+        with pytest.raises(CodecError, match="JSON object"):
+            edge_from_json([1, 2, 3])
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(CodecError, match="unknown edge keys"):
+            edge_from_json(self.base(colour="red"))
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(CodecError, match="missing keys"):
+            edge_from_json({"src": "v", "timestamp": 1.0})
+
+    def test_missing_timestamp_without_default(self):
+        record = self.base()
+        del record["timestamp"]
+        with pytest.raises(CodecError, match="no timestamp"):
+            edge_from_json(record)
+
+    def test_default_timestamp_backs_server_mode(self):
+        record = self.base()
+        del record["timestamp"]
+        edge = edge_from_json(record, default_timestamp=17.0)
+        assert edge.timestamp == 17.0
+
+    def test_explicit_timestamp_wins_over_default(self):
+        edge = edge_from_json(self.base(), default_timestamp=99.0)
+        assert edge.timestamp == 1.0
+
+    @pytest.mark.parametrize("bad", ["soon", True, None, [1]])
+    def test_bad_timestamp_types(self, bad):
+        with pytest.raises(CodecError, match="timestamp"):
+            edge_from_json(self.base(timestamp=bad))
+
+    def test_array_decodes_to_tuple(self):
+        edge = edge_from_json(self.base(label=[6667, "tcp"]))
+        assert edge.label == (6667, "tcp")

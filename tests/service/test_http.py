@@ -1,0 +1,244 @@
+"""The HTTP/WebSocket front door against a live in-process gateway."""
+
+import base64
+import hashlib
+import json
+import os
+import socket
+import struct
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceGateway
+from repro.service.http import ServiceHTTPServer, _parse_edge_body
+
+from .conftest import chain_config, chain_records
+
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+
+@pytest.fixture
+def served(tmp_path):
+    """(gateway, port) with the HTTP listener running on port 0."""
+    gateway = ServiceGateway(chain_config(tmp_path / "state"))
+    server = ServiceHTTPServer(gateway).start_background()
+    yield gateway, server.port
+    gateway.shutdown()
+    server.stop()
+
+
+def get(port, path):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=10) as resp:
+        return resp.status, resp.read().decode()
+
+
+def post(port, path, payload):
+    data = payload if isinstance(payload, bytes) \
+        else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestHTTPEndpoints:
+    def test_healthz(self, served):
+        _gateway, port = served
+        status, body = get(port, "/healthz")
+        assert status == 200 and json.loads(body) == {"ok": True}
+
+    def test_ingest_and_stats(self, served):
+        gateway, port = served
+        status, reply = post(port, "/ingest",
+                             {"edges": chain_records()})
+        assert status == 200
+        assert reply == {"accepted": 4, "invalid": 0, "position": 4}
+        assert gateway.wait_idle(10)
+        status, body = get(port, "/stats")
+        stats = json.loads(body)
+        assert stats["tenants"]["t0"]["matches_delivered"] == 3
+
+    def test_ingest_named_tenant_route(self, served):
+        gateway, port = served
+        status, reply = post(port, "/tenants/t0/ingest",
+                             chain_records())      # bare array form
+        assert status == 200 and reply["accepted"] == 4
+
+    def test_ingest_single_object_form(self, served):
+        _gateway, port = served
+        status, reply = post(port, "/ingest", chain_records()[0])
+        assert status == 200 and reply["accepted"] == 1
+
+    def test_unknown_tenant_404(self, served):
+        _gateway, port = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(port, "/tenants/nope/ingest", chain_records())
+        assert excinfo.value.code == 404
+
+    def test_bad_body_400(self, served):
+        _gateway, port = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(port, "/ingest", b"not json {")
+        assert excinfo.value.code == 400
+
+    def test_unknown_route_404(self, served):
+        _gateway, port = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(port, "/nothing/here")
+        assert excinfo.value.code == 404
+
+    def test_metrics_scrape(self, served):
+        gateway, port = served
+        post(port, "/ingest", {"edges": chain_records()})
+        assert gateway.wait_idle(10)
+        status, text = get(port, "/metrics")
+        assert status == 200
+        assert 'repro_matches_delivered{tenant="t0"} 3' in text
+        assert 'repro_queue_depth{tenant="t0"} 0' in text
+        assert "repro_uptime_seconds" in text
+
+    def test_checkpoint_trigger(self, served, tmp_path):
+        gateway, port = served
+        post(port, "/ingest", {"edges": chain_records()})
+        assert gateway.wait_idle(10)
+        status, reply = post(port, "/checkpoint", {})
+        assert status == 200
+        assert reply["checkpoints"]["t0"]["edges_offered"] == 4
+        assert os.path.exists(gateway.tenant("t0").checkpoint_path)
+
+    def test_port_zero_publishes_bound_port(self, served):
+        _gateway, port = served
+        assert isinstance(port, int) and port > 0
+
+
+class TestParseEdgeBody:
+    def test_shapes(self):
+        record = {"src": "a"}
+        assert _parse_edge_body(json.dumps(record).encode()) == [record]
+        assert _parse_edge_body(json.dumps([record]).encode()) == [record]
+        assert _parse_edge_body(
+            json.dumps({"edges": [record]}).encode()) == [record]
+        assert _parse_edge_body(b"42") is None
+        assert _parse_edge_body(b"nope") is None
+
+
+class _WSClient:
+    """A tiny blocking RFC 6455 client for tests."""
+
+    def __init__(self, port, path):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=10)
+        key = base64.b64encode(os.urandom(16)).decode()
+        self.sock.sendall((
+            f"GET {path} HTTP/1.1\r\nHost: localhost\r\n"
+            "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n\r\n").encode())
+        response = b""
+        while b"\r\n\r\n" not in response:
+            response += self.sock.recv(1024)
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"101" in status_line, response
+        expected = base64.b64encode(hashlib.sha1(
+            (key + WS_GUID).encode()).digest())
+        assert expected in response
+
+    def send_text(self, text: str) -> None:
+        payload = text.encode()
+        mask = os.urandom(4)
+        masked = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+        head = b"\x81"
+        length = len(payload)
+        if length < 126:
+            head += bytes([0x80 | length])
+        else:
+            head += bytes([0x80 | 126]) + struct.pack(">H", length)
+        self.sock.sendall(head + mask + masked)
+
+    def recv_frame(self):
+        head = self._exactly(2)
+        opcode = head[0] & 0x0F
+        length = head[1] & 0x7F
+        if length == 126:
+            length = struct.unpack(">H", self._exactly(2))[0]
+        elif length == 127:
+            length = struct.unpack(">Q", self._exactly(8))[0]
+        return opcode, self._exactly(length)
+
+    def _exactly(self, n):
+        data = b""
+        while len(data) < n:
+            chunk = self.sock.recv(n - len(data))
+            if not chunk:
+                raise ConnectionError("peer closed")
+            data += chunk
+        return data
+
+    def close(self):
+        mask = b"\x00\x00\x00\x00"
+        self.sock.sendall(b"\x88\x82" + mask + struct.pack(">H", 1000))
+        self.sock.close()
+
+
+class TestWebSocket:
+    def test_match_stream_subscription(self, served):
+        gateway, port = served
+        client = _WSClient(port, "/tenants/t0/stream")
+        # The 101 reply can race the server-side subscribe call.
+        hub = gateway.tenant("t0").hub
+        deadline = time.monotonic() + 10
+        while hub.subscriber_count() < 1:
+            assert time.monotonic() < deadline, "subscription never landed"
+            time.sleep(0.01)
+        post(port, "/ingest", {"edges": chain_records()})
+        records = []
+        while len(records) < 3:
+            opcode, payload = client.recv_frame()
+            if opcode == 0x1:
+                records.append(json.loads(payload))
+        assert all(r["query"] == "chain" for r in records)
+        assert records[0]["matched_at"] == 2.0
+        # The record shape matches the on-disk match log exactly.
+        assert set(records[0]) == {"query", "matched_at", "edges"}
+        client.close()
+
+    def test_websocket_ingest_with_acks(self, served):
+        gateway, port = served
+        client = _WSClient(port, "/tenants/t0/ingest")
+        client.send_text(json.dumps({"edges": chain_records()}))
+        opcode, payload = client.recv_frame()
+        assert opcode == 0x1
+        assert json.loads(payload) == {
+            "accepted": 4, "invalid": 0, "position": 4}
+        client.send_text("not json")
+        opcode, payload = client.recv_frame()
+        assert json.loads(payload) == {"error": "bad edge payload"}
+        client.close()
+        assert gateway.wait_idle(10)
+        assert gateway.tenant("t0").matches_delivered == 3
+
+    def test_unknown_ws_route_404(self, served):
+        _gateway, port = served
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        key = base64.b64encode(os.urandom(16)).decode()
+        sock.sendall((
+            "GET /tenants/t0/nonsense HTTP/1.1\r\nHost: x\r\n"
+            "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n\r\n").encode())
+        response = sock.recv(4096)
+        assert b"404" in response.split(b"\r\n", 1)[0]
+        sock.close()
+
+    def test_ping_gets_pong(self, served):
+        _gateway, port = served
+        client = _WSClient(port, "/tenants/t0/stream")
+        mask = b"\x00\x00\x00\x00"
+        client.sock.sendall(b"\x89\x84" + mask + b"ping")
+        opcode, payload = client.recv_frame()
+        assert opcode == 0xA and payload == b"ping"
+        client.close()

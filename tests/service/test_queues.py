@@ -1,0 +1,178 @@
+"""BoundedEdgeQueue: the three backpressure policies, counters, close."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import BoundedEdgeQueue, QueueClosed
+from repro.service.queues import BACKPRESSURE_POLICIES
+
+from .conftest import chain_edges
+
+
+def drain(queue, max_batch=100):
+    entries, _closed = queue.get_batch(max_batch, timeout=0.1)
+    return [entry.edge for entry in entries]
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        queue = BoundedEdgeQueue(16)
+        edges = chain_edges()
+        for edge in edges:
+            queue.put(edge)
+        assert drain(queue) == edges
+
+    def test_counters(self):
+        queue = BoundedEdgeQueue(16)
+        edges = chain_edges()
+        queue.put_many(edges)
+        counters = queue.counters()
+        assert counters["enqueued"] == 4
+        assert counters["depth"] == 4
+        assert counters["high_water"] == 4
+        drain(queue)
+        counters = queue.counters()
+        assert counters["dequeued"] == 4 and counters["depth"] == 0
+
+    def test_lag_tracks_oldest_entry(self):
+        queue = BoundedEdgeQueue(16)
+        assert queue.lag_seconds() == 0.0
+        queue.put(chain_edges()[0])
+        time.sleep(0.02)
+        assert queue.lag_seconds() >= 0.02
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            BoundedEdgeQueue(0)
+        with pytest.raises(ValueError, match="policy"):
+            BoundedEdgeQueue(4, policy="yolo")
+        with pytest.raises(ValueError, match="spill_path"):
+            BoundedEdgeQueue(4, policy="spill")
+
+    def test_policies_constant(self):
+        assert BACKPRESSURE_POLICIES == ("block", "drop_oldest", "spill")
+
+
+class TestBlockPolicy:
+    def test_put_blocks_until_consumer_makes_room(self):
+        queue = BoundedEdgeQueue(2, policy="block")
+        edges = chain_edges()
+        queue.put(edges[0])
+        queue.put(edges[1])
+        admitted = []
+
+        def producer():
+            queue.put(edges[2])
+            admitted.append(True)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted, "put should still be blocked"
+        got = drain(queue, max_batch=1)
+        thread.join(2.0)
+        assert admitted and got == [edges[0]]
+        assert queue.dropped == 0
+
+    def test_put_timeout_raises_instead_of_dropping(self):
+        queue = BoundedEdgeQueue(1, policy="block")
+        edges = chain_edges()
+        queue.put(edges[0])
+        with pytest.raises(TimeoutError):
+            queue.put(edges[1], timeout=0.05)
+        assert queue.dropped == 0 and queue.enqueued == 1
+
+
+class TestDropOldestPolicy:
+    def test_oldest_evicted_and_counted(self):
+        queue = BoundedEdgeQueue(2, policy="drop_oldest")
+        edges = chain_edges()
+        queue.put_many(edges)
+        assert queue.dropped == 2
+        assert drain(queue) == edges[2:]
+        assert queue.counters()["dropped"] == 2
+
+
+class TestSpillPolicy:
+    def test_overflow_spills_and_replays_in_order(self, tmp_path):
+        spill = str(tmp_path / "spill.jsonl")
+        queue = BoundedEdgeQueue(2, policy="spill", spill_path=spill)
+        edges = chain_edges()
+        queue.put_many(edges)
+        assert queue.spilled == 2
+        assert queue.spill_pending() == 2
+        assert queue.depth() == 4
+        assert drain(queue) == edges, "spill must preserve FIFO order"
+        assert queue.spill_pending() == 0
+        assert queue.dropped == 0
+
+    def test_spill_keeps_fifo_while_pending(self, tmp_path):
+        # Once anything spilled, later puts must also spill — otherwise
+        # memory entries would overtake the spilled middle of the stream.
+        spill = str(tmp_path / "spill.jsonl")
+        queue = BoundedEdgeQueue(2, policy="spill", spill_path=spill)
+        edges = chain_edges()
+        queue.put_many(edges[:3])          # third spills
+        got_first = drain(queue, max_batch=1)   # makes memory room
+        queue.put(edges[3])                # must spill, not jump the line
+        assert queue.spilled == 2
+        assert got_first + drain(queue) == edges
+
+    def test_spill_preserves_offsets(self, tmp_path):
+        spill = str(tmp_path / "spill.jsonl")
+        queue = BoundedEdgeQueue(1, policy="spill", spill_path=spill)
+        edges = chain_edges()
+        queue.put(edges[0], offset=("feed", 10))
+        queue.put(edges[1], offset=("feed", 20))
+        entries, _ = queue.get_batch(10, timeout=0.1)
+        assert [tuple(e.offset) for e in entries] == [
+            ("feed", 10), ("feed", 20)]
+        queue.dispose()
+
+
+class TestClose:
+    def test_put_after_close_raises(self):
+        queue = BoundedEdgeQueue(4)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put(chain_edges()[0])
+        assert queue.rejected_closed == 1
+
+    def test_close_wakes_blocked_producer(self):
+        queue = BoundedEdgeQueue(1, policy="block")
+        edges = chain_edges()
+        queue.put(edges[0])
+        outcome = []
+
+        def producer():
+            try:
+                queue.put(edges[1])
+            except QueueClosed:
+                outcome.append("closed")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(2.0)
+        assert outcome == ["closed"]
+
+    def test_consumer_drains_backlog_then_sees_closed(self):
+        queue = BoundedEdgeQueue(8)
+        edges = chain_edges()
+        queue.put_many(edges)
+        queue.close()
+        entries, closed = queue.get_batch(2, timeout=0.1)
+        assert len(entries) == 2 and not closed
+        entries, closed = queue.get_batch(10, timeout=0.1)
+        assert len(entries) == 2 and not closed
+        entries, closed = queue.get_batch(10, timeout=0.1)
+        assert entries == [] and closed
+
+    def test_close_is_idempotent(self):
+        queue = BoundedEdgeQueue(4)
+        queue.close()
+        queue.close()
+        assert queue.closed

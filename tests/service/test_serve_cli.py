@@ -1,0 +1,140 @@
+"""``repro serve``: subprocess smoke, graceful signals, config errors."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+import repro
+
+from .conftest import CHAIN_DSL
+
+#: The subprocess must import the same repro package the tests run
+#: against, regardless of the pytest invocation's cwd.
+SUBPROCESS_ENV = dict(
+    os.environ,
+    PYTHONPATH=os.pathsep.join(filter(None, [
+        os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__))),
+        os.environ.get("PYTHONPATH", "")])))
+
+SERVER_TOML = """\
+[server]
+host = "127.0.0.1"
+port = 0
+state_dir = "state"
+checkpoint_interval = 60.0
+
+[[tenant]]
+name = "main"
+
+[[tenant.query]]
+name = "chain"
+text = '''{dsl}'''
+"""
+
+
+@pytest.fixture
+def config_file(tmp_path):
+    path = tmp_path / "server.toml"
+    path.write_text(SERVER_TOML.format(dsl=CHAIN_DSL))
+    return path
+
+
+def start_serve(config_file):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--config", str(config_file)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        cwd=str(config_file.parent), env=SUBPROCESS_ENV)
+    banner = proc.stdout.readline()
+    match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+    if match is None:
+        proc.kill()
+        raise AssertionError(f"no listening banner: {banner!r}"
+                             f" {proc.stdout.read()!r}")
+    return proc, int(match.group(1))
+
+
+def ingest(port, records):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/ingest",
+        data=json.dumps({"edges": records}).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+CHAIN_RECORDS = [
+    {"src": "a1", "dst": "b1", "src_label": "A", "dst_label": "B",
+     "timestamp": 1.0},
+    {"src": "b1", "dst": "c1", "src_label": "B", "dst_label": "C",
+     "timestamp": 2.0},
+]
+
+
+class TestServeSubprocess:
+    def test_serve_sigterm_roundtrip_and_restart(self, config_file):
+        proc, port = start_serve(config_file)
+        try:
+            reply = ingest(port, CHAIN_RECORDS)
+            assert reply["accepted"] == 2
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                metrics = urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics",
+                    timeout=10).read().decode()
+                if 'repro_matches_delivered{tenant="main"} 1' in metrics:
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("match never appeared in /metrics")
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "final checkpoint" in out and "gateway stopped" in out
+
+        # Restart: the state dir restores and the clock continues.
+        proc, port = start_serve(config_file)
+        try:
+            stats = json.loads(urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/stats", timeout=10).read())
+            assert stats["tenants"]["main"]["restored"] is True
+            assert stats["tenants"]["main"]["edges_pushed"] == 2
+        finally:
+            proc.send_signal(signal.SIGINT)
+            proc.communicate(timeout=30)
+        assert proc.returncode == 0
+
+
+class TestServeErrors:
+    def run_serve(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "serve", *argv],
+            capture_output=True, text=True, timeout=60,
+            env=SUBPROCESS_ENV)
+
+    def test_missing_config_file(self, tmp_path):
+        result = self.run_serve("--config", str(tmp_path / "nope.toml"))
+        assert result.returncode == 2
+        assert "error: cannot read" in result.stderr
+
+    def test_invalid_config_one_line_error(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("[server]\nstate_dir = \"s\"\nbogus_key = 1\n")
+        result = self.run_serve("--config", str(path))
+        assert result.returncode == 2
+        assert result.stderr.startswith("error:")
+        assert "bogus_key" in result.stderr
+
+    def test_override_rejects_bad_port(self, config_file):
+        result = self.run_serve("--config", str(config_file),
+                                "--port", "70000")
+        assert result.returncode == 2
+        assert "port" in result.stderr

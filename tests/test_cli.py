@@ -113,6 +113,31 @@ class TestRun:
                      "thread", "--routing", "fanout"]) == 2
         assert "requires --routing shared" in capsys.readouterr().err
 
+    def test_run_rejects_nonpositive_shards(self, query_file, stream_file,
+                                            capsys):
+        assert main(["run", query_file, stream_file, "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_run_rejects_shards_without_sharding(self, query_file,
+                                                 stream_file, capsys):
+        assert main(["run", query_file, stream_file, "--shards", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "--shards needs --sharding thread or process" in err
+
+    def test_run_default_shard_count_still_applies(self, query_file,
+                                                   stream_file, capsys):
+        # No explicit --shards: sharded runs get the default of 4.
+        assert main(["run", query_file, stream_file, "--quiet",
+                     "--sharding", "thread"]) == 0
+        assert "sharding: thread x 4" in capsys.readouterr().out
+
+    def test_perf_smoke_rejects_unknown_suite(self, capsys):
+        from repro.bench.perf_smoke import main as bench_main
+        with pytest.raises(SystemExit) as excinfo:
+            bench_main(["--suite", "nosuch"])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'nosuch'" in capsys.readouterr().err
+
     def test_run_duplicates_count(self, query_file, tmp_path, capsys):
         stream = tmp_path / "dups.csv"
         stream.write_text(

@@ -1,0 +1,161 @@
+"""Sink lifecycle semantics: flush/close, rotation, cross-thread appends."""
+
+import io
+import json
+import os
+import threading
+
+import pytest
+
+from repro import JSONLSink, ListSink, Session
+from repro.sinks import RotatingJSONLSink, match_record
+
+from .test_session import TWO_HOP_DSL, two_hop_stream
+
+
+def run_through(sink):
+    session = Session()
+    session.register("chain", TWO_HOP_DSL)
+    session.add_sink(sink)
+    session.push_many(two_hop_stream())
+    return session
+
+
+class TestJSONLSinkLifecycle:
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "matches.jsonl")
+        with JSONLSink(path) as sink:
+            run_through(sink)
+            assert sink.count == 3
+        assert sink.closed
+        with open(path, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 3
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JSONLSink(str(tmp_path / "m.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            run_through(sink)
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JSONLSink(str(tmp_path / "m.jsonl"))
+        sink.close()
+        sink.close()
+
+    def test_flush_after_close_raises(self, tmp_path):
+        sink = JSONLSink(str(tmp_path / "m.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.flush()
+
+    def test_caller_owned_handle_left_open(self):
+        buffer = io.StringIO()
+        sink = JSONLSink(buffer)
+        run_through(sink)
+        sink.close()
+        assert not buffer.closed            # caller owns its lifetime
+        assert len(buffer.getvalue().splitlines()) == 3
+        with pytest.raises(ValueError, match="closed"):
+            sink("chain", None)
+
+
+class TestRotatingJSONLSink:
+    def test_segments_rotate_and_seal(self, tmp_path):
+        directory = str(tmp_path / "segments")
+        sink = RotatingJSONLSink(directory)
+        session = Session()
+        session.register("chain", TWO_HOP_DSL)
+        session.add_sink(sink)
+        edges = two_hop_stream()
+        session.push_many(edges[:2])
+        sealed = sink.rotate()
+        assert sealed == 0 and sink.index == 1
+        session.push_many(edges[2:])
+        sink.close()
+
+        files = sink.segment_files()
+        assert [os.path.basename(f) for f in files] == [
+            "matches-000000.jsonl", "matches-000001.jsonl"]
+        with open(files[0], encoding="utf-8") as handle:
+            first = [json.loads(line) for line in handle]
+        with open(files[1], encoding="utf-8") as handle:
+            second = [json.loads(line) for line in handle]
+        assert len(first) == 1 and len(second) == 2
+        assert first[0]["matched_at"] == 2.0
+        assert {r["matched_at"] for r in second} == {4.0}
+
+    def test_start_index_continues_numbering(self, tmp_path):
+        directory = str(tmp_path / "segments")
+        sink = RotatingJSONLSink(directory, start_index=7)
+        assert os.path.basename(sink.segment_path(sink.index)) \
+            == "matches-000007.jsonl"
+        sink.close()
+        assert os.path.exists(os.path.join(directory,
+                                           "matches-000007.jsonl"))
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = RotatingJSONLSink(str(tmp_path / "segments"))
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.rotate()
+
+    def test_counts_across_rotations(self, tmp_path):
+        sink = RotatingJSONLSink(str(tmp_path / "segments"))
+        run_through(sink)
+        sink.rotate()
+        run_through(sink)
+        assert sink.count == 6
+        sink.close()
+
+
+class TestListSinkThreading:
+    def test_concurrent_appends_never_lost(self):
+        sink = ListSink()
+        session = Session()
+        session.register("chain", TWO_HOP_DSL)
+
+        def append_directly(tag):
+            for i in range(200):
+                sink(f"direct-{tag}", _FakeMatch(i))
+
+        threads = [threading.Thread(target=append_directly, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(sink) == 800
+        assert len(sink.for_query("direct-0")) == 200
+        assert len(list(sink)) == 800
+
+    def test_iteration_snapshot_survives_concurrent_clear(self):
+        sink = ListSink()
+        for i in range(100):
+            sink("q", _FakeMatch(i))
+        iterator = iter(sink)
+        sink.clear()
+        assert len(list(iterator)) == 100   # snapshot, not live view
+        assert len(sink) == 0
+
+
+class _FakeMatch:
+    """Just enough of a Match for ListSink bookkeeping."""
+
+    def __init__(self, i):
+        self.i = i
+
+    def latest_timestamp(self):
+        return float(self.i)
+
+
+class TestMatchRecord:
+    def test_canonical_shape(self):
+        sink = ListSink()
+        run_through(sink)
+        name, match = sink.records[0]
+        record = match_record(name, match)
+        assert set(record) == {"query", "matched_at", "edges"}
+        assert record["query"] == "chain"
+        for edge in record["edges"].values():
+            assert set(edge) == {"src", "dst", "timestamp", "label"}
+        json.dumps(record)      # JSON-able throughout
