@@ -75,7 +75,7 @@ from .api import (
     SUBPLAN_SHARING_MODES, EngineConfig, EngineStats, Matcher, MatcherBase,
     Session, SharedSubplanStore, ThreadSafeSession, as_window,
 )
-from .concurrency.sharding import ShardedSession
+from .concurrency.sharding import ShardDeadError, ShardedSession
 from .core.engine import TimingMatcher
 from .core.matches import Match, verify_match
 from .core.plan import explain
@@ -103,7 +103,8 @@ __all__ = [
     "SharedSlidingWindow", "SharedWindowView", "SnapshotGraph",
     # the unified API
     "Matcher", "MatcherBase", "EngineConfig", "EngineStats", "Session",
-    "ShardedSession", "SharedSubplanStore", "ThreadSafeSession", "BACKENDS",
+    "ShardDeadError", "ShardedSession", "SharedSubplanStore",
+    "ThreadSafeSession", "BACKENDS",
     "DUPLICATE_POLICIES", "ROUTING_MODES", "SHARDING_MODES",
     "SUBPLAN_SHARING_MODES", "as_window",
     # engines and results

@@ -1844,3 +1844,13 @@ class _LockedSession:
 
     def __exit__(self, *exc_info) -> None:
         self._lock.release()
+
+
+def __getattr__(name: str):
+    # Lazy re-export: sharding.py imports this module at its top, so the
+    # error type has to be pulled in on first access rather than at import.
+    if name == "ShardDeadError":
+        from .concurrency.sharding import ShardDeadError
+
+        return ShardDeadError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

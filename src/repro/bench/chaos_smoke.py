@@ -1,0 +1,539 @@
+"""Chaos smoke: ``repro serve`` under a pinned fault plan, gated on
+zero match loss.
+
+The CI counterpart of :mod:`repro.faults` — the fault registry is only
+worth its hooks if something routinely proves the service *heals*.  This
+harness runs the real server twice as a subprocess over the identical
+pinned workload:
+
+1. **Baseline** — no faults.  The match log it leaves behind is the
+   ground truth.
+2. **Chaos** — the same workload with ``REPRO_FAULTS`` injecting
+   a deterministic worker kill (``shard.rpc.send=kill_worker:at:60``,
+   which lands strictly after the driver's explicit checkpoint and
+   strictly before ingestion ends) and a 1% seeded I/O-error rate on
+   match-log writes (absorbed by the sink's retry ladder), while the
+   driver deliberately bursts past the tenant's token-bucket rate limit
+   and honours the resulting ``429 Retry-After`` replies.
+
+The driver follows the documented producer recovery contract: it paces
+one burst at a time, waits for the queue to drain, and when ``/stats``
+shows ``restarts`` incremented it rewinds its cursor to the restored
+``edges_offered`` and resends everything past the checkpoint barrier
+(monotonic-timestamp shedding makes overlap harmless).
+
+Gates (any failure exits non-zero):
+
+- the server process survives both runs and exits 0 on SIGTERM;
+- the chaos run restarts its tenant exactly once, and ``/healthz``
+  shows the ``degraded -> recovering -> healthy`` arc ending healthy;
+- the driver observed at least one 429 (the rate limiter really
+  engaged) and zero non-monotonic sheds leaked into the baseline;
+- the chaos run's match-log **multiset** equals the baseline's — no
+  match lost, none duplicated, despite the kill and the sink faults.
+
+Workload: one tenant, two queries pinned to *different* shards of a
+2-shard process-sharded session (``chain`` hashes to shard 0, ``relay``
+to shard 1 — see :func:`repro.concurrency.sharding.shard_of`), so every
+worker round RPCs both shards and the kill site fires at a predictable
+call count no matter which handle draws it.
+
+Run: ``python -m repro.bench.chaos_smoke`` (CI job ``chaos-smoke``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Counter, Dict, List, Optional, Sequence, Tuple
+
+#: The pinned fault plan (see the module docstring for why these bounds
+#: are safe): seed 9 fires ``sink.write`` at call indices 35, 114, 152,
+#: 155 ... — never twice in a row, so the 3-attempt retry ladder absorbs
+#: every one; the kill's ``at:60`` sits between the worst-case send
+#: count before the driver's checkpoint (~26) and the guaranteed
+#: minimum for the whole run (>= 96).
+FAULT_PLAN = "seed=9;sink.write=io_error:0.01;shard.rpc.send=kill_worker:at:60"
+
+#: Edges per workload triple: a->b, b->c (completing ``chain``), d->e
+#: (matching ``relay``).  Each triple yields exactly 2 matches.
+EDGES_PER_TRIPLE = 3
+
+#: How many leading edges the driver confirms and checkpoints before
+#: opening the throttled firehose (must stay small so the checkpoint
+#: happens well under the kill's ``at:60`` send count).
+PRIMING_EDGES = 9
+
+CHAIN_DSL = """\
+vertex a A
+vertex b B
+vertex c C
+edge e1 a -> b
+edge e2 b -> c
+order e1 < e2
+window 5
+"""
+
+RELAY_DSL = """\
+vertex x D
+vertex y E
+edge e1 x -> y
+window 5
+"""
+
+_CONFIG_TEMPLATE = """\
+[server]
+host = "127.0.0.1"
+port = 0
+state_dir = {state_dir!r}
+checkpoint_interval = 0.0
+
+[[tenant]]
+name = "main"
+window = 5.0
+sharding = "process"
+shards = 2
+batch_size = 8
+max_restarts = 3
+
+[tenant.rate_limit]
+rps = {rps}
+burst = {burst}
+
+[[tenant.query]]
+name = "chain"
+text = '''
+{chain}'''
+
+[[tenant.query]]
+name = "relay"
+text = '''
+{relay}'''
+"""
+
+_LISTEN_RE = re.compile(r"listening on http://[^:]+:(\d+)")
+
+
+class ChaosFailure(AssertionError):
+    """A chaos gate did not hold."""
+
+
+def build_records(triples: int) -> List[dict]:
+    """The pinned stream: ``triples`` groups of 3 edges with strictly
+    increasing integer timestamps (flat index + 1)."""
+    records: List[dict] = []
+    for i in range(triples):
+        base = float(EDGES_PER_TRIPLE * i)
+        records.append({"src": f"a{i}", "dst": f"b{i}", "src_label": "A",
+                        "dst_label": "B", "timestamp": base + 1.0})
+        records.append({"src": f"b{i}", "dst": f"c{i}", "src_label": "B",
+                        "dst_label": "C", "timestamp": base + 2.0})
+        records.append({"src": f"d{i}", "dst": f"e{i}", "src_label": "D",
+                        "dst_label": "E", "timestamp": base + 3.0})
+    return records
+
+
+# --------------------------------------------------------------------- #
+# The server subprocess
+# --------------------------------------------------------------------- #
+
+class ServeProcess:
+    """A ``repro serve`` subprocess with its bound port parsed from
+    stdout and both pipes captured for post-mortems."""
+
+    def __init__(self, config_path: str, *, faults: Optional[str],
+                 startup_timeout: float) -> None:
+        env = dict(os.environ)
+        env.pop("REPRO_FAULTS", None)
+        if faults is not None:
+            env["REPRO_FAULTS"] = faults
+        env["PYTHONUNBUFFERED"] = "1"
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--config",
+             config_path],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        self.lines: List[str] = []
+        self._port: Optional[int] = None
+        self._port_ready = threading.Event()
+        self._readers = [
+            threading.Thread(target=self._pump, args=(stream,), daemon=True)
+            for stream in (self.proc.stdout, self.proc.stderr)]
+        for reader in self._readers:
+            reader.start()
+        if not self._port_ready.wait(startup_timeout):
+            self.kill()
+            raise ChaosFailure(
+                "server never announced its port:\n" + self.tail())
+        assert self._port is not None
+        self.port: int = self._port
+
+    def _pump(self, stream) -> None:
+        for line in stream:
+            self.lines.append(line.rstrip("\n"))
+            match = _LISTEN_RE.search(line)
+            if match:
+                self._port = int(match.group(1))
+                self._port_ready.set()
+        self._port_ready.set()      # EOF: unblock a waiting constructor
+
+    def tail(self, count: int = 20) -> str:
+        return "\n".join(self.lines[-count:])
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def stop(self, timeout: float) -> int:
+        """SIGTERM and wait for the graceful drain -> checkpoint -> exit."""
+        if self.alive():
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout)
+        except subprocess.TimeoutExpired:
+            self.kill()
+            raise ChaosFailure(
+                "server did not exit within %.0fs of SIGTERM:\n%s"
+                % (timeout, self.tail()))
+
+    def kill(self) -> None:
+        if self.alive():
+            self.proc.kill()
+            self.proc.wait(10)
+
+
+# --------------------------------------------------------------------- #
+# The replay-aware driver
+# --------------------------------------------------------------------- #
+
+def _get(port: int, path: str) -> dict:
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=10) as reply:
+        return json.loads(reply.read())
+
+
+def _post(port: int, path: str, payload) -> Tuple[int, dict, Dict[str, str]]:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            return reply.status, json.loads(reply.read()), dict(
+                reply.headers)
+    except urllib.error.HTTPError as exc:
+        body = json.loads(exc.read() or b"{}")
+        return exc.code, body, dict(exc.headers)
+
+
+class Driver:
+    """Feeds the pinned stream over HTTP, obeying 429 backoff and the
+    restart/replay contract; collects the chaos evidence."""
+
+    def __init__(self, port: int, records: List[dict], *,
+                 burst: int, deadline: float) -> None:
+        self.port = port
+        self.records = records
+        self.burst = burst
+        self.deadline = deadline
+        self.rate_limited = 0
+        self.restarts_seen = 0
+
+    def _check_deadline(self, doing: str) -> None:
+        if time.monotonic() > self.deadline:
+            raise ChaosFailure(f"driver timed out while {doing}")
+
+    def _stats(self) -> dict:
+        return _get(self.port, "/stats")["tenants"]["main"]
+
+    def _send_burst(self, batch: List[dict]) -> None:
+        """POST one burst, sleeping out 429s until it is admitted."""
+        while True:
+            self._check_deadline("ingesting (rate-limit backoff)")
+            status, body, headers = _post(
+                self.port, "/ingest", {"edges": batch})
+            if status == 200:
+                if body.get("accepted") != len(batch):
+                    raise ChaosFailure(
+                        f"partial admit: {body} for a burst "
+                        f"of {len(batch)}")
+                return
+            if status != 429:
+                raise ChaosFailure(f"unexpected ingest reply {status}: "
+                                   f"{body}")
+            self.rate_limited += 1
+            retry_after = float(headers.get("Retry-After")
+                                or body.get("retry_after") or 0.05)
+            time.sleep(min(retry_after, 2.0))
+
+    def _wait_drained(self, cursor: int) -> Optional[int]:
+        """Poll until the admitted prefix is fully processed.
+
+        Returns ``None`` once ``edges_offered`` reaches ``cursor`` with
+        an empty queue, or the restored ``edges_offered`` to rewind to
+        when a supervised restart is observed instead.
+        """
+        while True:
+            self._check_deadline("waiting for the queue to drain")
+            stats = self._stats()
+            if stats["restarts"] > self.restarts_seen:
+                self.restarts_seen = stats["restarts"]
+                return int(stats["edges_offered"])
+            queue = stats["queue"]
+            if stats["edges_offered"] >= cursor \
+                    and queue["depth"] == 0:
+                return None
+            time.sleep(0.02)
+
+    def run(self) -> dict:
+        """Prime + checkpoint, then burst the rest; returns final stats."""
+        cursor = 0
+        checkpointed = False
+        while cursor < len(self.records):
+            step = PRIMING_EDGES if not checkpointed else self.burst
+            batch = self.records[cursor:cursor + step]
+            self._send_burst(batch)
+            cursor += len(batch)
+            rewind = self._wait_drained(cursor)
+            if rewind is not None:
+                # Supervised restart: resume past the checkpoint barrier.
+                cursor = rewind
+                continue
+            if not checkpointed:
+                reply = _post(self.port, "/checkpoint", {})[1]
+                if "main" not in reply.get("checkpoints", {}):
+                    raise ChaosFailure(
+                        f"priming checkpoint did not land: {reply}")
+                checkpointed = True
+        # A kill can still be in flight on the last burst's rounds.
+        rewind = self._wait_drained(cursor)
+        while rewind is not None:
+            cursor = rewind
+            while cursor < len(self.records):
+                batch = self.records[cursor:cursor + self.burst]
+                self._send_burst(batch)
+                cursor += len(batch)
+            rewind = self._wait_drained(cursor)
+        return self._stats()
+
+
+# --------------------------------------------------------------------- #
+# Match-log evidence
+# --------------------------------------------------------------------- #
+
+def collect_matches(state_dir: str, tenant: str = "main") -> Counter[str]:
+    """The tenant's full match log as a multiset of normalised records."""
+    match_dir = os.path.join(state_dir, tenant, "matches")
+    matches: Counter[str] = collections.Counter()
+    if not os.path.isdir(match_dir):
+        return matches
+    for name in sorted(os.listdir(match_dir)):
+        if not (name.startswith("matches-") and name.endswith(".jsonl")):
+            continue
+        with open(os.path.join(match_dir, name), encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    key = json.dumps(json.loads(line), sort_keys=True)
+                    matches[key] += 1
+    return matches
+
+
+def _diff_summary(baseline: Counter[str], chaos: Counter[str]) -> str:
+    lost = baseline - chaos
+    extra = chaos - baseline
+    parts = []
+    if lost:
+        parts.append(f"{sum(lost.values())} lost, e.g. "
+                     f"{next(iter(lost))[:120]}")
+    if extra:
+        parts.append(f"{sum(extra.values())} duplicated/extra, e.g. "
+                     f"{next(iter(extra))[:120]}")
+    return "; ".join(parts) or "identical"
+
+
+# --------------------------------------------------------------------- #
+# The two phases
+# --------------------------------------------------------------------- #
+
+def run_phase(label: str, records: List[dict], *, faults: Optional[str],
+              rps: float, burst: int, timeout: float) -> dict:
+    """One full server lifecycle; returns the phase's evidence."""
+    with tempfile.TemporaryDirectory(prefix=f"chaos-{label}-") as root:
+        state_dir = os.path.join(root, "state")
+        config_path = os.path.join(root, "server.toml")
+        with open(config_path, "w", encoding="utf-8") as fh:
+            fh.write(_CONFIG_TEMPLATE.format(
+                state_dir=state_dir, rps=rps, burst=burst,
+                chain=CHAIN_DSL, relay=RELAY_DSL))
+        server = ServeProcess(config_path, faults=faults,
+                              startup_timeout=min(timeout, 60.0))
+        try:
+            driver = Driver(server.port, records, burst=burst,
+                            deadline=time.monotonic() + timeout)
+            stats = driver.run()
+            if not server.alive():
+                raise ChaosFailure(
+                    f"{label}: server died mid-run:\n" + server.tail())
+            health = _get(server.port, "/healthz")
+            exit_code = server.stop(timeout=min(timeout, 60.0))
+            if exit_code != 0:
+                raise ChaosFailure(
+                    f"{label}: server exited {exit_code}:\n"
+                    + server.tail())
+            return {
+                "stats": stats,
+                "health": health["tenants"]["main"],
+                "ok": health["ok"],
+                "rate_limited": driver.rate_limited,
+                "restarts": driver.restarts_seen,
+                "matches": collect_matches(state_dir),
+            }
+        except BaseException:
+            server.kill()
+            print(f"[chaos_smoke] {label} server output:\n"
+                  + server.tail(40), file=sys.stderr)
+            raise
+
+
+def check_chaos_evidence(baseline: dict, chaos: dict,
+                         expected_matches: int) -> None:
+    """Every gate from the module docstring, with one-line messages."""
+    base_stats, chaos_stats = baseline["stats"], chaos["stats"]
+    if baseline["restarts"] != 0 or base_stats["restarts"] != 0:
+        raise ChaosFailure("baseline run restarted — the workload is "
+                           "not clean")
+    if base_stats["rejected_nonmonotonic"] != 0:
+        raise ChaosFailure(
+            "baseline shed %d edges as non-monotonic"
+            % base_stats["rejected_nonmonotonic"])
+    total = sum(baseline["matches"].values())
+    if total != expected_matches:
+        raise ChaosFailure(f"baseline produced {total} matches, "
+                           f"expected {expected_matches}")
+    if chaos["restarts"] != 1 or chaos_stats["restarts"] != 1:
+        raise ChaosFailure(
+            "chaos run restarted %d times (driver saw %d), expected "
+            "exactly 1" % (chaos_stats["restarts"], chaos["restarts"]))
+    if chaos["rate_limited"] < 1:
+        raise ChaosFailure("the driver never saw a 429 — the rate "
+                           "limiter did not engage")
+    if chaos_stats["dead_letters"]["recorded"] != 0:
+        raise ChaosFailure(
+            "chaos run dead-lettered %d records"
+            % chaos_stats["dead_letters"]["recorded"])
+    arc = [entry["state"] for entry in chaos["health"]["transitions"]]
+    position = 0
+    for state in ("degraded", "recovering", "healthy"):
+        try:
+            position = arc.index(state, position) + 1
+        except ValueError:
+            raise ChaosFailure(
+                f"health arc {arc} is missing the degraded -> "
+                f"recovering -> healthy recovery") from None
+    if chaos["health"]["state"] != "healthy" or not chaos["ok"]:
+        raise ChaosFailure(
+            "chaos run ended %r (%r), not healthy"
+            % (chaos["health"]["state"], chaos["health"]["reason"]))
+    if chaos["matches"] != baseline["matches"]:
+        raise ChaosFailure(
+            "match loss under chaos: "
+            + _diff_summary(baseline["matches"], chaos["matches"]))
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Differential chaos smoke over the repro service "
+                    "gateway (see the module docstring).")
+    parser.add_argument("--triples", type=int, default=96,
+                        help="workload size in 3-edge groups, 2 matches "
+                             "each (default: 96)")
+    parser.add_argument("--rps", type=float, default=40.0,
+                        help="tenant rate limit, edges/second "
+                             "(default: 40)")
+    parser.add_argument("--burst", type=int, default=48,
+                        help="driver burst size and bucket capacity "
+                             "headroom (default: 48)")
+    parser.add_argument("--timeout", type=float, default=180.0,
+                        help="per-phase deadline in seconds "
+                             "(default: 180)")
+    parser.add_argument("--report", default=None,
+                        help="write a JSON evidence report here")
+    options = parser.parse_args(argv)
+    if options.triples * EDGES_PER_TRIPLE <= PRIMING_EDGES + options.burst:
+        parser.error("--triples too small to outlast the priming "
+                     "checkpoint and one burst")
+
+    records = build_records(options.triples)
+    expected = 2 * options.triples
+    # The bucket must hold one burst but not two, so back-to-back bursts
+    # reliably draw a 429 at any sane drain latency (48 tokens at 40
+    # rps take 1.2 s to refill).
+    bucket = int(options.burst * 4 / 3)
+
+    print(f"[chaos_smoke] baseline: {len(records)} edges, "
+          f"{expected} expected matches ...")
+    baseline = run_phase("baseline", records, faults=None,
+                         rps=options.rps, burst=bucket,
+                         timeout=options.timeout)
+    print(f"[chaos_smoke] baseline ok: "
+          f"{sum(baseline['matches'].values())} matches, "
+          f"{baseline['rate_limited']} rate-limited bursts")
+
+    print(f"[chaos_smoke] chaos: REPRO_FAULTS={FAULT_PLAN!r} ...")
+    chaos = run_phase("chaos", records, faults=FAULT_PLAN,
+                      rps=options.rps, burst=bucket,
+                      timeout=options.timeout)
+    print(f"[chaos_smoke] chaos run: restarts="
+          f"{chaos['stats']['restarts']}, "
+          f"429s={chaos['rate_limited']}, "
+          f"matches={sum(chaos['matches'].values())}, health arc="
+          f"{[t['state'] for t in chaos['health']['transitions']]}")
+
+    try:
+        check_chaos_evidence(baseline, chaos, expected)
+    except ChaosFailure as failure:
+        print(f"[chaos_smoke] FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    if options.report:
+        report = {
+            "fault_plan": FAULT_PLAN,
+            "edges": len(records),
+            "matches": expected,
+            "baseline": {"rate_limited": baseline["rate_limited"]},
+            "chaos": {
+                "rate_limited": chaos["rate_limited"],
+                "restarts": chaos["stats"]["restarts"],
+                "worker_errors": chaos["stats"]["worker_errors"],
+                "restart_budget": chaos["stats"]["restart_budget"],
+                "health_arc": [entry["state"] for entry in
+                               chaos["health"]["transitions"]],
+            },
+        }
+        with open(options.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[chaos_smoke] report written to {options.report}")
+
+    print("[chaos_smoke] PASS: zero match loss under kill + sink "
+          "faults + rate-limit pressure")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -136,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--checkpoint-interval", type=float, default=None,
                          help="override the checkpoint period in seconds "
                               "(0 disables)")
+    p_serve.add_argument("--validate-config", action="store_true",
+                         help="parse and validate the config (incl. "
+                              "[faults] and rate-limit keys), print a "
+                              "summary, and exit 0/1 without serving")
     return parser
 
 
@@ -305,14 +309,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import ConfigError, ServiceGateway, load_config
 
+    # --validate-config is a dry run: 0/1 with one-line errors (a real
+    # serve keeps its historical exit code 2 for config trouble).
+    bad_config = 1 if args.validate_config else 2
     try:
         config = load_config(args.config)
     except OSError as exc:
         print(f"error: cannot read {args.config}: {exc}", file=sys.stderr)
-        return 2
+        return bad_config
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return bad_config
     overrides = {
         key: value for key, value in (
             ("host", args.host), ("port", args.port),
@@ -325,7 +332,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config.validate()
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return bad_config
+    if args.validate_config:
+        names = ", ".join(tenant.name for tenant in config.tenants)
+        limited = sum(1 for tenant in config.tenants
+                      if tenant.rate_limit is not None)
+        summary = (f"ok: {args.config}: {len(config.tenants)} tenant(s) "
+                   f"[{names}], {limited} rate-limited, "
+                   f"state_dir={config.state_dir}")
+        if config.faults is not None:
+            summary += ", [faults] plan present"
+        print(summary)
+        return 0
     try:
         gateway = ServiceGateway(config, start_workers=False)
         gateway.start_background()

@@ -72,11 +72,13 @@ import queue
 import threading
 import weakref
 import zlib
+from time import monotonic as time_monotonic
 from time import process_time, thread_time
 from typing import (
     TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple,
 )
 
+from .. import faults
 from ..api import (
     BACKENDS, DUPLICATE_POLICIES, EngineConfig, MatchCallback, Session,
     _shared_group_key,
@@ -93,6 +95,23 @@ if TYPE_CHECKING:   # pragma: no cover - typing only
 #: round costs one message exchange per targeted shard, so larger batches
 #: amortise serialisation; smaller ones tighten sink latency.
 DEFAULT_BATCH_SIZE = 1024
+
+#: Default per-RPC deadline (seconds) for shard workers.  Generous —
+#: it exists to bound *hangs*, not to police slow batches; lower it per
+#: instance via :attr:`ShardedSession.rpc_timeout`.
+DEFAULT_RPC_TIMEOUT = 60.0
+
+
+class ShardDeadError(RuntimeError):
+    """A shard worker died (or stopped answering within the RPC
+    deadline) mid-call.
+
+    The facade's in-flight state for that shard is unrecoverable: the
+    session should be closed and rebuilt — the service layer restores
+    the owning tenant from its last checkpoint
+    (:mod:`repro.service.gateway`), preserving the kill-restore match
+    contract.
+    """
 
 
 def shard_of(name, num_shards: int) -> int:
@@ -182,6 +201,11 @@ class _ShardServer:
             return {"busy_seconds": self.busy_seconds,
                     "edges_received": self.edges_received,
                     "batches": self.batches}
+        if cmd == "ping":
+            # Liveness heartbeat: proves the worker's dispatch loop is
+            # responsive, not just that its process exists.
+            return {"pong": True, "queries": len(self.session),
+                    "edges_received": self.edges_received}
         raise ValueError(f"unknown shard command: {cmd!r}")
 
     def _push_batch(self, rows) -> List[Tuple[int, str, Match]]:
@@ -296,16 +320,58 @@ class _ProcessHandle:
         self.process.start()
         child.close()
 
+    def kill(self) -> None:
+        """Hard-kill the worker (``SIGKILL``) — the chaos path a
+        ``kill_worker`` fault takes."""
+        self.process.kill()
+
+    def is_alive(self) -> bool:
+        """Whether the worker process is still running."""
+        return self.process.is_alive()
+
     def send(self, cmd: str, payload) -> None:
         """Dispatch a command without waiting for its result."""
-        self.conn.send((cmd, payload))
-
-    def recv(self):
-        """Collect one command's result; re-raises worker exceptions."""
+        faults.fire("shard.rpc.send", kill=self.kill)
         try:
-            status, result = self.conn.recv()
-        except (EOFError, OSError) as exc:
-            raise RuntimeError("shard worker died") from exc
+            self.conn.send((cmd, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardDeadError(
+                f"shard worker pipe broken sending {cmd!r}") from exc
+
+    def recv(self, timeout: Optional[float] = None):
+        """Collect one command's result; re-raises worker exceptions.
+
+        Polls the pipe in short steps, checking worker liveness between
+        them, so a crashed shard raises :class:`ShardDeadError` promptly
+        instead of blocking the facade forever.  ``timeout`` bounds the
+        whole wait (``None`` = only the liveness check applies).
+        """
+        faults.fire("shard.rpc.recv", kill=self.kill)
+        deadline = None if timeout is None \
+            else time_monotonic() + timeout
+        while True:
+            try:
+                if self.conn.poll(0.05):
+                    status, result = self.conn.recv()
+                    break
+            except (EOFError, OSError) as exc:
+                raise ShardDeadError("shard worker died mid-call") from exc
+            if not self.process.is_alive():
+                # One final drain: the worker may have answered and then
+                # exited between our poll and the liveness check.
+                try:
+                    if self.conn.poll(0):
+                        status, result = self.conn.recv()
+                        break
+                except (EOFError, OSError):
+                    pass
+                raise ShardDeadError(
+                    f"shard worker died (exitcode="
+                    f"{self.process.exitcode})")
+            if deadline is not None and time_monotonic() > deadline:
+                raise ShardDeadError(
+                    f"shard worker unresponsive past the {timeout}s "
+                    "RPC deadline")
         if status == "error":
             raise result
         return result
@@ -341,13 +407,38 @@ class _ThreadHandle:
             args=(self.server, self.requests, self.responses), daemon=True)
         self.thread.start()
 
+    def kill(self) -> None:
+        """Threads cannot be hard-killed; poison the request queue so
+        the dispatch loop exits (the closest chaos analogue)."""
+        self.requests.put(("shutdown", None))
+
+    def is_alive(self) -> bool:
+        """Whether the worker thread is still running."""
+        return self.thread.is_alive()
+
     def send(self, cmd: str, payload) -> None:
         """Enqueue a command without waiting for its result."""
+        faults.fire("shard.rpc.send", kill=self.kill)
         self.requests.put((cmd, payload))
 
-    def recv(self):
-        """Collect one command's result; re-raises worker exceptions."""
-        status, result = self.responses.get()
+    def recv(self, timeout: Optional[float] = None):
+        """Collect one command's result; re-raises worker exceptions.
+        Same liveness/deadline contract as the process handle."""
+        faults.fire("shard.rpc.recv", kill=self.kill)
+        deadline = None if timeout is None \
+            else time_monotonic() + timeout
+        while True:
+            try:
+                status, result = self.responses.get(timeout=0.05)
+                break
+            except queue.Empty:
+                if not self.thread.is_alive():
+                    raise ShardDeadError(
+                        "shard worker thread exited mid-call") from None
+                if deadline is not None and time_monotonic() > deadline:
+                    raise ShardDeadError(
+                        f"shard worker unresponsive past the {timeout}s "
+                        "RPC deadline") from None
         if status == "error":
             raise result
         return result
@@ -491,6 +582,9 @@ class ShardedSession(Session):
         self._shard_count = self.config.shards
         #: Arrivals staged per dispatch round (tunable per instance).
         self.batch_size = DEFAULT_BATCH_SIZE
+        #: Per-RPC deadline in seconds (``None`` disables the deadline;
+        #: worker-death detection stays on either way).
+        self.rpc_timeout: Optional[float] = DEFAULT_RPC_TIMEOUT
         self._assignments: Dict[str, int] = {}
         self._ordinals: Dict[str, int] = {}
         # name -> (group key, exact triples, generic?) for deregistration.
@@ -533,7 +627,7 @@ class ShardedSession(Session):
 
     def _call(self, shard: _ShardState, cmd: str, payload=None):
         shard.handle.send(cmd, payload)
-        return shard.handle.recv()
+        return shard.handle.recv(self.rpc_timeout)
 
     def _call_all(self, cmd: str, payload=None) -> List:
         """One command to every shard, gathered in shard order.  All
@@ -544,12 +638,42 @@ class ShardedSession(Session):
         results, errors = [], []
         for shard in self._shards:
             try:
-                results.append(shard.handle.recv())
+                results.append(shard.handle.recv(self.rpc_timeout))
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors.append(exc)
         if errors:
             raise errors[0]
         return results
+
+    def shard_health(self, *, ping_timeout: float = 2.0) -> List[dict]:
+        """Per-shard liveness: worker alive + heartbeat answered.
+
+        Degrades gracefully — a dead or wedged shard yields
+        ``{"alive": False, ...}`` rather than raising, so health probes
+        never take the gateway down.
+        """
+        self._check_open()
+        out = []
+        for shard in self._shards:
+            entry = {"shard": shard.index, "queries": shard.members,
+                     "alive": False, "responsive": False}
+            handle = shard.handle
+            if handle is not None and handle.is_alive():
+                entry["alive"] = True
+                try:
+                    beat = self._call_with_timeout(
+                        shard, "ping", timeout=ping_timeout)
+                    entry["responsive"] = bool(beat.get("pong"))
+                    entry["edges_received"] = beat.get("edges_received", 0)
+                except Exception:     # wedged or died under the probe
+                    entry["alive"] = handle.is_alive()
+            out.append(entry)
+        return out
+
+    def _call_with_timeout(self, shard: _ShardState, cmd: str,
+                           payload=None, *, timeout: float = 2.0):
+        shard.handle.send(cmd, payload)
+        return shard.handle.recv(timeout)
 
     def _sync_shards(self) -> None:
         """Advance every shard to the facade clock so reads observe the
@@ -819,7 +943,7 @@ class ShardedSession(Session):
         errors: List[BaseException] = []
         for shard in sent:
             try:
-                merged.extend(shard.handle.recv())
+                merged.extend(shard.handle.recv(self.rpc_timeout))
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors.append(exc)
         if errors:

@@ -29,6 +29,11 @@ Layout
     Prometheus text rendering of the gateway's counters.
 :mod:`~repro.service.tailer`
     JSONL/CSV file tailing with checkpointed resume offsets.
+:mod:`~repro.service.resilience`
+    The fault-containment primitives: retry/backoff, circuit breakers,
+    token-bucket rate limiting, restart budgets, health tracking, and
+    the dead-letter queue (see also :mod:`repro.faults`, the
+    deterministic fault-injection registry that proves them in CI).
 
 Quickstart::
 
@@ -47,18 +52,28 @@ or from the command line: ``repro serve --config server.toml``.
 
 from .codec import edge_from_json, edge_to_json, match_to_json
 from .config import (
-    ConfigError, ServerConfig, TailConfig, TenantConfig, load_config,
+    ConfigError, RateLimitConfig, ServerConfig, TailConfig, TenantConfig,
+    load_config,
 )
 from .gateway import MatchHub, ServiceGateway, Tenant
 from .http import ServiceHTTPServer
 from .metrics import render_metrics
 from .queues import BACKPRESSURE_POLICIES, BoundedEdgeQueue, QueueClosed
+from .resilience import (
+    HEALTH_STATES, CircuitBreaker, DeadLetterQueue, HealthTracker,
+    RateLimited, RestartBudget, RetryBudget, RetryPolicy, TokenBucket,
+    call_with_retry, retrying,
+)
 from .tailer import FileTailer
 
 __all__ = [
     "BACKPRESSURE_POLICIES", "BoundedEdgeQueue", "QueueClosed",
     "ConfigError", "ServerConfig", "TenantConfig", "TailConfig",
-    "load_config", "MatchHub", "ServiceGateway", "Tenant",
-    "ServiceHTTPServer", "FileTailer", "render_metrics",
+    "RateLimitConfig", "load_config", "MatchHub", "ServiceGateway",
+    "Tenant", "ServiceHTTPServer", "FileTailer", "render_metrics",
     "edge_from_json", "edge_to_json", "match_to_json",
+    # resilience primitives
+    "HEALTH_STATES", "CircuitBreaker", "DeadLetterQueue", "HealthTracker",
+    "RateLimited", "RestartBudget", "RetryBudget", "RetryPolicy",
+    "TokenBucket", "call_with_retry", "retrying",
 ]

@@ -53,6 +53,7 @@ import dataclasses
 import os
 from typing import Dict, List, Tuple
 
+from .. import faults as _faults
 from ..api import SHARDING_MODES, STORAGE_KINDS
 from .queues import BACKPRESSURE_POLICIES
 
@@ -108,6 +109,38 @@ class TailConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class RateLimitConfig:
+    """Per-tenant ingestion rate limit (token bucket).
+
+    ``rps`` tokens (one per edge record) refill per second up to
+    ``burst``; a request that cannot be fully admitted is rejected with
+    HTTP 429 and a ``Retry-After`` hint (WS producers get a ``backoff``
+    frame).  ``burst = 0`` defaults to one second's worth of tokens.
+    """
+
+    rps: float
+    burst: int = 0
+
+    def validate(self) -> "RateLimitConfig":
+        """Raise :class:`ConfigError` on bad values; returns ``self``."""
+        if not isinstance(self.rps, (int, float)) \
+                or isinstance(self.rps, bool) or self.rps <= 0:
+            raise ConfigError(
+                f"rate_limit.rps must be positive, got {self.rps!r}")
+        if not isinstance(self.burst, int) or isinstance(self.burst, bool) \
+                or self.burst < 0:
+            raise ConfigError(
+                f"rate_limit.burst must be >= 0 (0 means one second's "
+                f"worth), got {self.burst!r}")
+        return self
+
+    @property
+    def effective_burst(self) -> int:
+        """The bucket depth actually used (see class doc)."""
+        return self.burst if self.burst > 0 else max(1, int(self.rps))
+
+
+@dataclasses.dataclass(frozen=True)
 class TenantConfig:
     """One named session hosted by the gateway.
 
@@ -132,6 +165,14 @@ class TenantConfig:
     timestamps: str = "client"
     match_log: bool = True
     tails: Tuple[TailConfig, ...] = ()
+    rate_limit: "RateLimitConfig | None" = None
+    #: Supervision: worker/session restarts allowed per sliding window
+    #: before the tenant degrades (stops restarting, keeps serving what
+    #: it can) instead of crash-looping.
+    max_restarts: int = 5
+    restart_window: float = 300.0
+    #: Poison arrivals kept in the dead-letter JSONL before dropping.
+    dead_letter_capacity: int = 1000
 
     def validate(self) -> "TenantConfig":
         """Raise :class:`ConfigError` on bad values; returns ``self``."""
@@ -200,6 +241,30 @@ class TenantConfig:
         if not isinstance(self.match_log, bool):
             raise ConfigError(
                 f"tenant {self.name!r}: match_log must be a boolean")
+        if self.rate_limit is not None:
+            if not isinstance(self.rate_limit, RateLimitConfig):
+                raise ConfigError(
+                    f"tenant {self.name!r}: rate_limit must be a table "
+                    "with 'rps' (and optional 'burst')")
+            self.rate_limit.validate()
+        if not isinstance(self.max_restarts, int) \
+                or isinstance(self.max_restarts, bool) \
+                or self.max_restarts < 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: max_restarts must be >= 0, "
+                f"got {self.max_restarts!r}")
+        if not isinstance(self.restart_window, (int, float)) \
+                or isinstance(self.restart_window, bool) \
+                or self.restart_window <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: restart_window must be a "
+                f"positive duration, got {self.restart_window!r}")
+        if not isinstance(self.dead_letter_capacity, int) \
+                or isinstance(self.dead_letter_capacity, bool) \
+                or self.dead_letter_capacity < 1:
+            raise ConfigError(
+                f"tenant {self.name!r}: dead_letter_capacity must be "
+                f">= 1, got {self.dead_letter_capacity!r}")
         for tail in self.tails:
             tail.validate()
         return self
@@ -214,6 +279,9 @@ class ServerConfig:
     port: int = 8765
     checkpoint_interval: float = 30.0
     tenants: Tuple[TenantConfig, ...] = ()
+    #: Optional ``[faults]`` table — a :class:`repro.faults.FaultPlan`
+    #: in dict form, installed by the gateway at boot (chaos testing).
+    faults: "dict | None" = None
 
     def validate(self) -> "ServerConfig":
         """Raise :class:`ConfigError` on bad values; returns ``self``."""
@@ -232,6 +300,11 @@ class ServerConfig:
                 f"checkpoints), got {self.checkpoint_interval!r}")
         if not self.tenants:
             raise ConfigError("configuration defines no tenants")
+        if self.faults is not None:
+            try:
+                _faults.FaultPlan.from_dict(self.faults)
+            except _faults.FaultError as exc:
+                raise ConfigError(f"[faults]: {exc}") from exc
         seen = set()
         for tenant in self.tenants:
             tenant.validate()
@@ -255,10 +328,25 @@ class ServerConfig:
 _SERVER_KEYS = {"host", "port", "state_dir", "checkpoint_interval"}
 _DEFAULT_KEYS = {"window", "storage", "sharding", "shards",
                  "duplicate_policy", "queue_capacity", "backpressure",
-                 "batch_size", "timestamps", "match_log"}
+                 "batch_size", "timestamps", "match_log", "rate_limit",
+                 "max_restarts", "restart_window", "dead_letter_capacity"}
 _TENANT_KEYS = _DEFAULT_KEYS | {"name", "query", "tail"}
 _QUERY_KEYS = {"name", "text", "file"}
 _TAIL_KEYS = {"path", "format", "poll_interval"}
+_RATE_LIMIT_KEYS = {"rps", "burst"}
+
+
+def _load_rate_limit(entry, where: str) -> RateLimitConfig:
+    if isinstance(entry, RateLimitConfig):
+        return entry
+    if not isinstance(entry, dict):
+        raise ConfigError(
+            f"{where} rate_limit must be a table with 'rps' "
+            "(and optional 'burst')")
+    _reject_unknown(entry, _RATE_LIMIT_KEYS, f"{where} rate_limit")
+    if "rps" not in entry:
+        raise ConfigError(f"{where} rate_limit needs 'rps'")
+    return RateLimitConfig(rps=entry["rps"], burst=entry.get("burst", 0))
 
 
 def _reject_unknown(table: dict, allowed: set, where: str) -> None:
@@ -298,7 +386,8 @@ def parse_config(data: dict, *, base_dir: str = ".") -> ServerConfig:
     """Build a validated :class:`ServerConfig` from a parsed TOML dict."""
     if not isinstance(data, dict):
         raise ConfigError("configuration root must be a table")
-    _reject_unknown(data, {"server", "defaults", "tenant"}, "top-level")
+    _reject_unknown(data, {"server", "defaults", "tenant", "faults"},
+                    "top-level")
     server = data.get("server", {})
     if not isinstance(server, dict):
         raise ConfigError("[server] must be a table")
@@ -348,14 +437,21 @@ def parse_config(data: dict, *, base_dir: str = ".") -> ServerConfig:
         merged = dict(defaults)
         merged.update({k: v for k, v in raw.items()
                        if k in _DEFAULT_KEYS})
+        if merged.get("rate_limit") is not None:
+            merged["rate_limit"] = _load_rate_limit(
+                merged["rate_limit"], f"tenant {name!r}")
         tenants.append(TenantConfig(
             name=name, queries=queries, tails=tuple(tails), **merged))
+    faults_table = data.get("faults")
+    if faults_table is not None and not isinstance(faults_table, dict):
+        raise ConfigError("[faults] must be a table")
     config = ServerConfig(
         state_dir=server.get("state_dir", ""),
         host=server.get("host", "127.0.0.1"),
         port=server.get("port", 8765),
         checkpoint_interval=server.get("checkpoint_interval", 30.0),
-        tenants=tuple(tenants))
+        tenants=tuple(tenants),
+        faults=faults_table)
     if not os.path.isabs(config.state_dir) and config.state_dir:
         config = dataclasses.replace(
             config, state_dir=os.path.join(base_dir, config.state_dir))

@@ -41,17 +41,29 @@ import threading
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .. import faults
 from ..api import EngineConfig, Session, ThreadSafeSession
+from ..concurrency.sharding import ShardDeadError
 from ..graph.edge import StreamEdge
 from ..persistence import load_session_meta
 from ..sinks import RotatingJSONLSink, match_record
-from .codec import CodecError, edge_from_json
+from .codec import CodecError, edge_from_json, edge_to_json
 from .config import ServerConfig, TenantConfig
 from .queues import BoundedEdgeQueue
+from .resilience import (
+    CircuitBreaker, DeadLetterQueue, HealthTracker, RateLimited,
+    RestartBudget, RetryPolicy, TokenBucket, call_with_retry,
+)
 
 _CHECKPOINT_FILE = "checkpoint.pkl"
 _MATCH_DIR = "matches"
 _SPILL_FILE = "spill.jsonl"
+_DEAD_LETTER_FILE = "deadletter.jsonl"
+
+#: Retry ladders for the two disk-facing components.  Short and
+#: budget-free: persistent failure is the circuit breaker's job.
+_SINK_RETRY = RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.5)
+_CHECKPOINT_RETRY = RetryPolicy(attempts=3, base_delay=0.05, max_delay=1.0)
 
 
 class MatchHub:
@@ -144,6 +156,26 @@ class Tenant:
         self._clock_lock = threading.Lock()
         self._worker: Optional[threading.Thread] = None
         self._aborted = False
+        # --- resilience -------------------------------------------------
+        self.health = HealthTracker()
+        self.dead_letters = DeadLetterQueue(
+            os.path.join(self.state_dir, _DEAD_LETTER_FILE),
+            max_records=config.dead_letter_capacity)
+        self.restart_budget = RestartBudget(
+            config.max_restarts, window=config.restart_window)
+        self.rate_limiter: Optional[TokenBucket] = None
+        if config.rate_limit is not None:
+            self.rate_limiter = TokenBucket(
+                config.rate_limit.rps, config.rate_limit.effective_burst)
+        self.sink_breaker = CircuitBreaker(f"{config.name}.match_log")
+        self.checkpoint_breaker = CircuitBreaker(f"{config.name}.checkpoint")
+        #: Session rebuilds performed by the supervisor (see
+        #: :meth:`_restart_from_checkpoint`).
+        self.restarts = 0
+        #: Match-log writes abandoned after retries / while tripped.
+        self.sink_write_errors = 0
+        #: Checkpoint barriers that failed even after retries.
+        self.checkpoint_failures = 0
         self.safe = self._boot_session()
         self._attach_sinks()
 
@@ -217,9 +249,35 @@ class Tenant:
     def _deliver(self, name: str, match) -> None:
         record = match_record(name, match)
         if self.match_sink is not None:
-            self.match_sink(name, match)
+            self._write_match(name, match, record)
         self.hub.publish(record)
         self.matches_delivered += 1
+
+    def _write_match(self, name: str, match, record: dict) -> None:
+        """Write one match to the log under retry + circuit breaker.
+
+        A write that fails all retries (or arrives while the breaker is
+        open) is dead-lettered rather than lost silently, and the tenant
+        degrades until the log recovers.
+        """
+        if not self.sink_breaker.allow():
+            self.sink_write_errors += 1
+            self.dead_letters.record("sink_circuit_open", record)
+            return
+        try:
+            call_with_retry(self.match_sink, name, match,
+                            policy=_SINK_RETRY)
+        except OSError as exc:
+            self.sink_breaker.record_failure()
+            if self.sink_breaker.state == "open":
+                self.health.set_state(
+                    "degraded", f"match log failing: {exc!r}")
+            self.sink_write_errors += 1
+            self.dead_letters.record("sink_write", record, error=exc)
+            return
+        self.sink_breaker.record_success()
+        if self.health.reason.startswith("match log failing"):
+            self.health.set_state("healthy")
 
     # ------------------------------------------------------------------ #
     # Producer surface
@@ -259,7 +317,16 @@ class Tenant:
         ``edges_offered`` to resume after a crash.  Malformed records are
         counted, not fatal.  Under ``timestamps = "server"`` every record
         is stamped with the tenant clock (client timestamps rejected).
+
+        A configured rate limit is all-or-nothing per batch: either every
+        record is admitted or :class:`RateLimited` carries the wait after
+        which the *same* batch can be resent — partial admission would
+        make 429 retries unsafe for order-sensitive producers.
         """
+        if self.rate_limiter is not None and records:
+            wait = self.rate_limiter.try_acquire(len(records))
+            if wait > 0:
+                raise RateLimited(wait)
         accepted = 0
         invalid = 0
         server_mode = self.config.timestamps == "server"
@@ -306,10 +373,84 @@ class Tenant:
                 continue
             try:
                 self._process(entries)
+            except ShardDeadError as exc:
+                self._supervise_shard_death(exc)
             except Exception as exc:   # keep the service alive
+                try:
+                    self._handle_batch_failure(entries, exc)
+                except ShardDeadError as dead:
+                    self._supervise_shard_death(dead)
+
+    def _handle_batch_failure(self, entries: List, exc: Exception) -> None:
+        """Retry a failed batch edge-by-edge, dead-lettering the poison
+        arrivals — one bad edge must not void its whole batch (and must
+        not vanish into a counter)."""
+        self.worker_errors += 1
+        print(f"[repro.service] tenant {self.config.name!r} worker "
+              f"error: {exc!r}; isolating a batch of {len(entries)}",
+              file=sys.stderr)
+        for entry in entries:
+            try:
+                self._process([entry])
+            except ShardDeadError:
+                raise
+            except Exception as poison:
                 self.worker_errors += 1
-                print(f"[repro.service] tenant {self.config.name!r} "
-                      f"worker error: {exc!r}", file=sys.stderr)
+                self.dead_letters.record(
+                    "poison_edge", edge_to_json(entry.edge), error=poison)
+                with self.safe.locked():
+                    # The replay cursor must move past the poison, or
+                    # recovery would resend it forever.
+                    self.edges_offered += 1
+                    if entry.offset is not None:
+                        path, position = entry.offset
+                        self.source_offsets[path] = position
+
+    def _supervise_shard_death(self, exc: ShardDeadError) -> None:
+        self.worker_errors += 1
+        print(f"[repro.service] tenant {self.config.name!r} lost a "
+              f"shard: {exc}", file=sys.stderr)
+        self.health.set_state("degraded", f"shard died: {exc}")
+        self._restart_from_checkpoint(exc)
+
+    def _restart_from_checkpoint(self, exc: Exception) -> bool:
+        """Supervisor: rebuild the session from the last checkpoint.
+
+        Restarts are granted by the bounded budget (exponential
+        backoff); once exhausted the tenant stays ``degraded`` — serving
+        stats and health, shedding arrivals — instead of crash-looping.
+        The queue backlog past the barrier is dropped: a restored
+        session replays from the checkpointed position, which producers
+        read off ``/stats`` (the same contract as a process restart).
+        """
+        delay = self.restart_budget.next_delay()
+        if delay is None:
+            self.health.set_state(
+                "degraded", f"restart budget exhausted after: {exc}")
+            return False
+        self.health.set_state("recovering", str(exc))
+        time.sleep(delay)
+        try:
+            close = getattr(self.safe.session, "close", None)
+            if close is not None:
+                close()
+        except Exception:       # the old session is already wreckage
+            pass
+        self.close_sinks()
+        self.queue.clear()
+        self.edges_offered = 0
+        self.source_offsets = {}
+        self._server_clock = 0.0
+        try:
+            self.safe = self._boot_session()
+            self._attach_sinks()
+        except Exception as boot_exc:
+            self.health.set_state(
+                "degraded", f"restore failed: {boot_exc!r}")
+            return False
+        self.restarts += 1
+        self.health.set_state("healthy")
+        return True
 
     def _process(self, entries: List) -> None:
         with self.safe.locked() as session:
@@ -366,12 +507,28 @@ class Tenant:
                 "tail_offsets": dict(self.source_offsets),
             }
             from ..persistence import save_session
-            tmp = self.checkpoint_path + ".tmp"
-            with open(tmp, "wb") as handle:
-                save_session(session, handle, meta=meta)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, self.checkpoint_path)
+
+            def write() -> None:
+                faults.fire("checkpoint.write")
+                tmp = self.checkpoint_path + ".tmp"
+                with open(tmp, "wb") as handle:
+                    save_session(session, handle, meta=meta)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, self.checkpoint_path)
+
+            try:
+                call_with_retry(write, policy=_CHECKPOINT_RETRY)
+            except OSError as exc:
+                self.checkpoint_failures += 1
+                self.checkpoint_breaker.record_failure()
+                if self.checkpoint_breaker.state == "open":
+                    self.health.set_state(
+                        "degraded", f"checkpoints failing: {exc!r}")
+                raise
+            self.checkpoint_breaker.record_success()
+            if self.health.reason.startswith("checkpoints failing"):
+                self.health.set_state("healthy")
         self.checkpoints_written += 1
         self.last_checkpoint_seconds = round(
             time.perf_counter() - started, 4)
@@ -418,21 +575,49 @@ class Tenant:
     # ------------------------------------------------------------------ #
     def status(self) -> dict:
         """A JSON-able runtime snapshot (the ``/stats`` payload)."""
-        return {
+        status = {
             "name": self.config.name,
             "queries": self.safe.names(),
             "restored": self.restored,
+            "health": self.health.state,
+            "health_reason": self.health.reason,
             "edges_offered": self.edges_offered,
             "edges_pushed": self.safe.edges_pushed,
             "rejected_nonmonotonic": self.rejected_nonmonotonic,
             "rejected_duplicate": self.rejected_duplicate,
             "worker_errors": self.worker_errors,
+            "restarts": self.restarts,
+            "sink_write_errors": self.sink_write_errors,
+            "checkpoint_failures": self.checkpoint_failures,
             "matches_delivered": self.matches_delivered,
             "subscribers": self.hub.subscriber_count(),
             "checkpoints_written": self.checkpoints_written,
             "last_checkpoint_seconds": self.last_checkpoint_seconds,
             "queue": self.queue.counters(),
+            "dead_letters": self.dead_letters.counters(),
+            "restart_budget": self.restart_budget.counters(),
+            "breakers": {
+                "match_log": self.sink_breaker.counters(),
+                "checkpoint": self.checkpoint_breaker.counters(),
+            },
         }
+        if self.rate_limiter is not None:
+            status["rate_limit"] = self.rate_limiter.counters()
+        return status
+
+    def health_snapshot(self, *, ping_timeout: float = 0.5) -> dict:
+        """The tenant's node of the ``/healthz`` tree: its own state
+        machine plus per-shard liveness when the session is sharded."""
+        snapshot = self.health.snapshot()
+        session = self.safe.session
+        if hasattr(session, "shard_health"):
+            try:
+                with self.safe.locked() as locked:
+                    snapshot["shards"] = locked.shard_health(
+                        ping_timeout=ping_timeout)
+            except Exception:   # a dying session must not break /healthz
+                snapshot["shards"] = []
+        return snapshot
 
 
 class ServiceGateway:
@@ -452,6 +637,13 @@ class ServiceGateway:
         self.config = config.validate()
         os.makedirs(config.state_dir, exist_ok=True)
         self.started_at = time.time()
+        # Chaos harness: REPRO_FAULTS overrides the [faults] table; the
+        # plan is process-wide and uninstalled again at shutdown.
+        self._fault_plan = faults.FaultPlan.from_env()
+        if self._fault_plan is None and config.faults is not None:
+            self._fault_plan = faults.FaultPlan.from_dict(config.faults)
+        if self._fault_plan is not None:
+            faults.install(self._fault_plan)
         self.tenants: Dict[str, Tenant] = {}
         for tenant_config in config.tenants:
             self.tenants[tenant_config.name] = Tenant(
@@ -551,6 +743,9 @@ class ServiceGateway:
             close = getattr(tenant.safe.session, "close", None)
             if close is not None:
                 close()     # sharded sessions own worker processes
+        if self._fault_plan is not None and \
+                faults.current() is self._fault_plan:
+            faults.install(None)
 
     def abort(self) -> None:
         """Crash simulation: halt everything without draining or
@@ -566,6 +761,9 @@ class ServiceGateway:
             self._server.stop()
         for tenant in self.tenants.values():
             tenant.abort()
+        if self._fault_plan is not None and \
+                faults.current() is self._fault_plan:
+            faults.install(None)
 
     def __enter__(self) -> "ServiceGateway":
         return self
@@ -595,6 +793,22 @@ class ServiceGateway:
             "checkpoint_interval": self.config.checkpoint_interval,
             "tenants": {name: tenant.status()
                         for name, tenant in self.tenants.items()},
+        }
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` payload: the supervision tree's health.
+
+        ``ok`` is ``True`` only while every tenant is ``healthy`` (an
+        orchestrator's readiness bit); per-tenant nodes carry the state,
+        the reason, the bounded transition history, and per-shard
+        liveness — enough to see a dip *and* the recovery.
+        """
+        tenants = {name: tenant.health_snapshot()
+                   for name, tenant in self.tenants.items()}
+        return {
+            "ok": all(node["state"] == "healthy"
+                      for node in tenants.values()),
+            "tenants": tenants,
         }
 
     def wait_idle(self, timeout: float = 30.0,

@@ -11,7 +11,10 @@ the whole listener.
 Routes
 ------
 ``GET /healthz``
-    Liveness: ``{"ok": true}``.
+    The supervision tree's health: ``{"ok": ..., "tenants": {...}}``
+    with per-tenant ``healthy | degraded | recovering`` states, bounded
+    transition histories, and per-shard liveness (see
+    :meth:`~repro.service.gateway.ServiceGateway.healthz`).
 ``GET /metrics``
     Prometheus text format — every tenant's session stats plus queue
     depth/lag/drop counters (see :mod:`repro.service.metrics`).
@@ -21,7 +24,8 @@ Routes
     A JSON body of edges — ``{"edges": [...]}``, a bare array, or one
     edge object — enqueued on the (default) tenant's queue.  Replies
     with ``{"accepted", "invalid", "position"}``; 503 once shutdown has
-    begun.
+    begun; 429 with a ``Retry-After`` header when the tenant's rate
+    limit rejects the batch (resend the same batch after the wait).
 ``POST /checkpoint``
     Trigger a checkpoint barrier on every tenant; replies with each
     barrier's metadata.
@@ -45,6 +49,7 @@ from typing import Dict, Optional, Tuple
 
 from .metrics import render_metrics
 from .queues import QueueClosed
+from .resilience import RateLimited
 
 _WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
 _MAX_BODY = 64 * 1024 * 1024
@@ -53,7 +58,8 @@ _MAX_FRAME = 16 * 1024 * 1024
 #: Reason phrases for the handful of statuses we emit.
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
-            500: "Internal Server Error", 503: "Service Unavailable"}
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
 
 
 class _Request:
@@ -143,8 +149,11 @@ class ServiceHTTPServer:
             if request.headers.get("upgrade", "").lower() == "websocket":
                 await self._websocket(request, reader, writer)
                 return
-            status, content_type, payload = await self._dispatch(request)
-            await self._respond(writer, status, content_type, payload)
+            result = await self._dispatch(request)
+            status, content_type, payload = result[:3]
+            extra = result[3] if len(result) > 3 else None
+            await self._respond(writer, status, content_type, payload,
+                                extra)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception as exc:
@@ -187,12 +196,16 @@ class ServiceHTTPServer:
         return _Request(method, path, headers, body)
 
     async def _respond(self, writer, status: int, content_type: str,
-                       payload: bytes) -> None:
+                       payload: bytes,
+                       extra_headers: Optional[Dict[str, str]] = None
+                       ) -> None:
         reason = _REASONS.get(status, "OK")
         head = (f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: {content_type}\r\n"
-                f"Content-Length: {len(payload)}\r\n"
-                f"Connection: close\r\n\r\n")
+                f"Content-Length: {len(payload)}\r\n")
+        for name, value in (extra_headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += "Connection: close\r\n\r\n"
         writer.write(head.encode("latin-1") + payload)
         await writer.drain()
 
@@ -208,8 +221,7 @@ class ServiceHTTPServer:
         except ValueError:
             return None
 
-    async def _dispatch(self, request: _Request
-                        ) -> Tuple[int, str, bytes]:
+    async def _dispatch(self, request: _Request) -> tuple:
         if request.body.startswith(b"\x00too-large"):
             return 413, "application/json", b'{"error": "body too large"}'
         path = request.path.split("?", 1)[0]
@@ -217,8 +229,9 @@ class ServiceHTTPServer:
 
         if request.method == "GET":
             if path == "/healthz":
+                health = await asyncio.to_thread(self.gateway.healthz)
                 return (200, "application/json",
-                        json.dumps({"ok": True}).encode())
+                        json.dumps(health).encode())
             if path == "/metrics":
                 stats = {name: tenant.safe.session_stats()
                          for name, tenant in self.gateway.tenants.items()}
@@ -247,7 +260,7 @@ class ServiceHTTPServer:
         return (405, "application/json",
                 b'{"error": "method not allowed"}')
 
-    async def _ingest(self, tenant, body: bytes) -> Tuple[int, str, bytes]:
+    async def _ingest(self, tenant, body: bytes) -> tuple:
         records = _parse_edge_body(body)
         if records is None:
             return (400, "application/json",
@@ -258,6 +271,13 @@ class ServiceHTTPServer:
         except QueueClosed:
             return (503, "application/json",
                     b'{"error": "gateway is shutting down"}')
+        except RateLimited as exc:
+            retry_after = max(0.001, exc.retry_after)
+            return (429, "application/json",
+                    json.dumps({"error": "rate limit exceeded",
+                                "retry_after": round(retry_after, 3)}
+                               ).encode(),
+                    {"Retry-After": f"{retry_after:.3f}"})
         return 200, "application/json", json.dumps(result).encode()
 
     # ------------------------------------------------------------------ #
@@ -341,7 +361,11 @@ class ServiceHTTPServer:
                 await writer.drain()
 
     async def _ws_ingest(self, tenant, reader, writer) -> None:
-        """Each text frame is an edge batch; each gets a JSON ack."""
+        """Each text frame is an edge batch; each gets a JSON ack.
+
+        A rate-limited batch is answered with a ``backoff`` frame —
+        ``{"backoff": true, "retry_after": s}`` — telling the producer
+        to pause and resend the *same* batch (nothing was admitted)."""
         while True:
             frame = await _ws_read_frame(reader)
             if frame is None:
@@ -366,6 +390,10 @@ class ServiceHTTPServer:
                         tenant.ingest_json, records)
                 except QueueClosed:
                     reply = {"error": "gateway is shutting down"}
+                except RateLimited as exc:
+                    reply = {"backoff": True,
+                             "retry_after": round(
+                                 max(0.001, exc.retry_after), 3)}
             writer.write(_ws_frame(0x1, json.dumps(reply).encode()))
             await writer.drain()
 

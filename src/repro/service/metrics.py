@@ -39,7 +39,19 @@ _HELP = {
     "subscribers": "Live match-stream subscribers.",
     "checkpoints_written": "Completed checkpoint barriers.",
     "last_checkpoint_seconds": "Wall-clock cost of the last checkpoint.",
+    "restarts": "Supervisor session rebuilds from the last checkpoint.",
+    "sink_write_errors": "Match-log writes abandoned after retries.",
+    "checkpoint_failures": "Checkpoint barriers that failed after "
+                           "retries.",
 }
+
+#: Tenant health states, exported one-hot (the Prometheus state-set
+#: pattern) so dashboards can alert on any non-healthy tenant.
+_HEALTH_STATES = ("healthy", "degraded", "recovering")
+
+#: Nested counter groups in a tenant status, exported with their group
+#: as the metric prefix (``repro_dead_letters_recorded`` etc.).
+_NESTED_GROUPS = ("dead_letters", "restart_budget", "rate_limit")
 
 
 def _escape(value: str) -> str:
@@ -90,7 +102,10 @@ def _counter_like(name: str) -> str:
     if name.endswith(("_total", "enqueued", "dequeued", "dropped",
                       "spilled", "rejected_closed", "offered", "pushed",
                       "delivered", "errors", "written", "reuses",
-                      "rejected_nonmonotonic", "rejected_duplicate")):
+                      "rejected_nonmonotonic", "rejected_duplicate",
+                      "recorded", "granted", "refused", "limited",
+                      "admitted", "trips", "short_circuits", "restarts",
+                      "failures", "cleared", "recovered")):
         return "counter"
     return "gauge"
 
@@ -118,7 +133,8 @@ def render_metrics(status: dict,
     for name, tenant in tenants.items():
         label = {"tenant": name}
         for key, value in tenant.items():
-            if key in ("name", "queue"):
+            if key in ("name", "queue", "breakers", "health",
+                       "health_reason") or key in _NESTED_GROUPS:
                 continue
             if isinstance(value, bool):
                 value = int(value)
@@ -134,6 +150,35 @@ def render_metrics(status: dict,
                 f"queue_{key}", label, value,
                 help_text=f"Queue {key.replace('_', ' ')}.",
                 kind=_counter_like(key))
+        health = tenant.get("health")
+        if isinstance(health, str):
+            for state in _HEALTH_STATES:
+                writer.sample(
+                    "health_state", {**label, "state": state},
+                    int(health == state),
+                    help_text="Tenant health state (one-hot).")
+        for group in _NESTED_GROUPS:
+            for key, value in (tenant.get(group) or {}).items():
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    writer.sample(
+                        f"{group}_{key}", label, value,
+                        help_text=f"{group.replace('_', ' ').capitalize()}"
+                                  f" {key.replace('_', ' ')}.",
+                        kind=_counter_like(key))
+        for component, counters in (tenant.get("breakers") or {}).items():
+            clabel = {**label, "component": component}
+            for key, value in counters.items():
+                if key == "state":
+                    writer.sample(
+                        "breaker_open", clabel, int(value == "open"),
+                        help_text="Whether the circuit breaker is open.")
+                elif isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    writer.sample(
+                        f"breaker_{key}", clabel, value,
+                        help_text=f"Circuit breaker {key.replace('_', ' ')}.",
+                        kind=_counter_like(key))
 
     for name, stats in session_stats.items():
         label = {"tenant": name}

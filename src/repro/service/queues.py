@@ -36,6 +36,7 @@ import time
 from collections import deque
 from typing import Iterable, List, Optional, Tuple
 
+from .. import faults
 from ..graph.edge import StreamEdge
 from .codec import edge_from_json, edge_to_json
 
@@ -107,6 +108,12 @@ class BoundedEdgeQueue:
         self.spilled = 0
         self.rejected_closed = 0
         self.high_water = 0
+        #: Entries adopted from an orphaned spill file at boot.
+        self.spill_recovered = 0
+        #: Entries discarded by :meth:`clear` (supervisor restarts).
+        self.cleared = 0
+        if policy == "spill":
+            self._recover_spill()
 
     # ------------------------------------------------------------------ #
     # Producer side
@@ -120,6 +127,7 @@ class BoundedEdgeQueue:
         because blocking promises losslessness).  Raises
         :class:`QueueClosed` after :meth:`close`.
         """
+        faults.fire("queue.put")
         with self._lock:
             if self._closed:
                 self.rejected_closed += 1
@@ -171,9 +179,46 @@ class BoundedEdgeQueue:
     # ------------------------------------------------------------------ #
     # Spill file (all under self._lock)
     # ------------------------------------------------------------------ #
+    def _recover_spill(self) -> None:
+        """Adopt an orphaned spill file left by a crash (init only).
+
+        A kill between spill-out and spill-in used to lose the parked
+        edges silently: the next overflow reopened the file with ``w+``
+        and truncated them.  Now complete lines are counted back into
+        the pending total (a torn trailing write — no final newline —
+        is discarded via an atomic rewrite, never a partial parse).
+        """
+        try:
+            with open(self.spill_path, encoding="utf-8") as handle:
+                data = handle.read()
+        except (FileNotFoundError, OSError):
+            return
+        if not data:
+            return
+        keep = data if data.endswith("\n") \
+            else data[:data.rfind("\n") + 1]
+        if keep != data:
+            tmp = self.spill_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as out:
+                out.write(keep)
+                out.flush()
+                os.fsync(out.fileno())
+            os.replace(tmp, self.spill_path)
+        count = keep.count("\n")
+        if not count:
+            return
+        self._spill_handle = open(self.spill_path, "a+", encoding="utf-8")
+        self._spill_read_offset = 0
+        self._spill_pending = count
+        self.spill_recovered = count
+        # Keep the flow balance (enqueued == dequeued once drained):
+        # recovered entries re-enter this process's pipeline.
+        self.enqueued += count
+        self.spilled += count
+
     def _spill_out(self, edge: StreamEdge, offset: Optional[int]) -> None:
         if self._spill_handle is None:
-            self._spill_handle = open(self.spill_path, "w+", encoding="utf-8")
+            self._spill_handle = open(self.spill_path, "a+", encoding="utf-8")
             self._spill_read_offset = 0
         record = {"edge": edge_to_json(edge)}
         if offset is not None:
@@ -181,31 +226,52 @@ class BoundedEdgeQueue:
         self._spill_handle.seek(0, os.SEEK_END)
         self._spill_handle.write(json.dumps(record) + "\n")
         self._spill_handle.flush()
+        # Durability before acknowledgement: once put() returns, a kill
+        # must not lose the parked edge.
+        os.fsync(self._spill_handle.fileno())
         self._spill_pending += 1
         self.spilled += 1
         self.enqueued += 1
         self._not_empty.notify()
 
     def _spill_in(self, budget: int) -> None:
-        """Refill up to ``budget`` entries from the spill file, resetting
-        it once fully drained."""
+        """Refill up to ``budget`` entries from the spill file, swapping
+        in a fresh file once fully drained."""
         handle = self._spill_handle
         handle.seek(self._spill_read_offset)
         while budget > 0 and self._spill_pending > 0:
             line = handle.readline()
             if not line:
                 break
-            record = json.loads(line)
-            entry = _Entry(edge_from_json(record["edge"]),
-                           record.get("offset"), time.monotonic())
-            self._entries.append(entry)
             self._spill_pending -= 1
+            try:
+                record = json.loads(line)
+                entry = _Entry(edge_from_json(record["edge"]),
+                               record.get("offset"), time.monotonic())
+            except (ValueError, KeyError):
+                # A corrupt recovered line: drop it, keep draining.
+                self.dropped += 1
+                self.dequeued += 1
+                continue
+            self._entries.append(entry)
             budget -= 1
         self._spill_read_offset = handle.tell()
         if self._spill_pending == 0:
-            handle.seek(0)
-            handle.truncate()
-            self._spill_read_offset = 0
+            self._spill_reset()
+
+    def _spill_reset(self) -> None:
+        """Replace the drained spill file with a fresh empty one via
+        atomic rename — an in-place truncate torn by a crash could leave
+        half a record to be mis-recovered on the next boot."""
+        tmp = self.spill_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as out:
+            out.flush()
+            os.fsync(out.fileno())
+        if self._spill_handle is not None:
+            self._spill_handle.close()
+        os.replace(tmp, self.spill_path)
+        self._spill_handle = open(self.spill_path, "a+", encoding="utf-8")
+        self._spill_read_offset = 0
 
     # ------------------------------------------------------------------ #
     # Consumer side
@@ -220,6 +286,7 @@ class BoundedEdgeQueue:
         ``closed=True`` means the queue is closed *and* fully drained —
         the worker's exit signal.
         """
+        faults.fire("queue.get")
         with self._lock:
             while not self._entries and not self._spill_pending:
                 if self._closed:
@@ -272,10 +339,30 @@ class BoundedEdgeQueue:
                 "dropped": self.dropped,
                 "spilled": self.spilled,
                 "rejected_closed": self.rejected_closed,
+                "spill_recovered": self.spill_recovered,
+                "cleared": self.cleared,
                 "lag_seconds": (
                     max(0.0, time.monotonic() - self._entries[0].enqueued_at)
                     if self._entries else 0.0),
             }
+
+    def clear(self) -> int:
+        """Discard every pending entry (memory + spill) — the
+        supervisor's restart path: a session restored from its
+        checkpoint replays from the checkpointed position, so the
+        backlog past the barrier must not be applied out of order.
+        Returns how many entries were discarded."""
+        with self._lock:
+            count = len(self._entries) + self._spill_pending
+            self._entries.clear()
+            if self._spill_pending:
+                self._spill_pending = 0
+                self._spill_reset()
+            self.cleared += count
+            # Flow balance: cleared entries left the pipeline.
+            self.dequeued += count
+            self._not_full.notify_all()
+            return count
 
     def close(self) -> None:
         """Refuse new arrivals; wakes blocked producers and the consumer

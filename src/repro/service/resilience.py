@@ -1,0 +1,489 @@
+"""Fault containment primitives: retries, breakers, budgets, health.
+
+The gateway's reliability story is built from five small, independently
+testable pieces, all stdlib-only and thread-safe:
+
+:class:`RetryPolicy` / :func:`call_with_retry`
+    Jittered exponential backoff around a transient operation (a sink
+    write, a checkpoint, a tailer read).  Retries are *budget-capped*
+    across the component (:class:`RetryBudget`), so a persistent failure
+    degrades quickly instead of multiplying latency forever.
+:class:`CircuitBreaker`
+    After ``failure_threshold`` consecutive failures a component stops
+    being attempted (*open* = degraded) until a cool-down passes, then a
+    probe either closes it again or re-opens it.  Breakers let a broken
+    match log or checkpoint disk degrade that one component while
+    ingestion keeps flowing.
+:class:`TokenBucket`
+    Per-tenant request admission: ``rate`` tokens/second refill up to
+    ``burst``; a rejected acquisition names the seconds to wait (the
+    HTTP layer's ``Retry-After``).
+:class:`RestartBudget`
+    Bounded supervised restarts with exponential backoff — how many
+    times, and how fast, a tenant session may be rebuilt from its last
+    checkpoint before the tenant is declared ``degraded``.
+:class:`HealthTracker`
+    The ``healthy | degraded | recovering`` state machine every tenant
+    (and the gateway as a whole) exposes on ``/healthz``, with a bounded
+    transition history so operators and the chaos suite can verify a
+    ``degraded -> recovering -> healthy`` arc actually happened.
+
+:class:`DeadLetterQueue` rounds it out: poison arrivals (edges whose
+ingestion raises even in isolation) are appended to a bounded JSONL file
+instead of being silently dropped, with counters surfaced in
+``/metrics``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+#: The tenant/gateway health states (see :class:`HealthTracker`).
+HEALTH_STATES = ("healthy", "degraded", "recovering")
+
+
+# --------------------------------------------------------------------- #
+# Retries
+# --------------------------------------------------------------------- #
+
+class RetryBudget:
+    """A token bucket of *retries* shared by one component.
+
+    Each retry spends one token; tokens refill at ``rate`` per second up
+    to ``capacity``.  When the bucket is empty the caller stops retrying
+    immediately — under a persistent failure every operation fails once,
+    fast, instead of each paying the full backoff ladder.
+    """
+
+    def __init__(self, capacity: int = 10, rate: float = 1.0,
+                 *, clock: Callable[[], float] = time.monotonic) -> None:
+        self.capacity = float(capacity)
+        self.rate = float(rate)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+        #: Retries refused because the budget was exhausted.
+        self.exhausted = 0
+
+    def spend(self) -> bool:
+        """Take one retry token; ``False`` when the budget is spent."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            self.exhausted += 1
+            return False
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of a retry ladder (see :func:`call_with_retry`).
+
+    ``attempts`` counts the *total* tries (1 = no retry).  Delays grow
+    from ``base_delay`` by ``multiplier`` up to ``max_delay``, each
+    multiplied by a uniform jitter in ``[1 - jitter, 1 + jitter]`` so
+    synchronized failures do not retry in lockstep.  Only exception
+    types in ``retry_on`` are retried; everything else propagates at
+    once.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    retry_on: Tuple[type, ...] = (OSError,)
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """The post-failure sleep before try ``attempt + 1`` (0-based)."""
+        delay = min(self.max_delay,
+                    self.base_delay * (self.multiplier ** attempt))
+        if self.jitter:
+            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return max(0.0, delay)
+
+
+def call_with_retry(fn: Callable, *args,
+                    policy: RetryPolicy = RetryPolicy(),
+                    budget: Optional[RetryBudget] = None,
+                    on_retry: Optional[Callable] = None,
+                    sleep: Callable[[float], None] = time.sleep,
+                    rng: Optional[random.Random] = None,
+                    **kwargs):
+    """Run ``fn(*args, **kwargs)`` under ``policy``.
+
+    Retries only ``policy.retry_on`` exceptions, sleeping the jittered
+    exponential delay between tries; a ``budget`` (if given) caps
+    retries component-wide.  ``on_retry(attempt, exc)`` is called before
+    each sleep (logging / counters).  The last failure propagates.
+    """
+    rng = rng if rng is not None else random
+    for attempt in range(policy.attempts):
+        try:
+            return fn(*args, **kwargs)
+        except policy.retry_on as exc:
+            last_try = attempt >= policy.attempts - 1
+            if last_try or (budget is not None and not budget.spend()):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay_for(attempt, rng))
+    raise AssertionError("unreachable")    # pragma: no cover
+
+
+def retrying(policy: RetryPolicy = RetryPolicy(),
+             budget: Optional[RetryBudget] = None):
+    """Decorator form of :func:`call_with_retry`."""
+    def wrap(fn):
+        def wrapped(*args, **kwargs):
+            return call_with_retry(
+                fn, *args, policy=policy, budget=budget, **kwargs)
+        wrapped.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapped.__doc__ = fn.__doc__
+        return wrapped
+    return wrap
+
+
+# --------------------------------------------------------------------- #
+# Circuit breaker
+# --------------------------------------------------------------------- #
+
+class CircuitBreaker:
+    """Trip a persistently failing component to degraded mode.
+
+    *Closed* (normal): calls flow; ``failure_threshold`` consecutive
+    failures trip it.  *Open*: :meth:`allow` refuses for
+    ``reset_timeout`` seconds — the component is skipped entirely, so a
+    dead disk cannot add per-call latency.  *Half-open*: after the
+    cool-down one probe call is allowed through; success closes the
+    breaker, failure re-opens it.
+
+    Maps onto health states via :attr:`health`:
+    closed → ``healthy``, open → ``degraded``, half-open →
+    ``recovering``.
+    """
+
+    def __init__(self, name: str, *, failure_threshold: int = 5,
+                 reset_timeout: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        #: Trip count (closed -> open transitions), for metrics.
+        self.trips = 0
+        #: Calls refused while open.
+        self.short_circuits = 0
+
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half_open``."""
+        with self._lock:
+            return self._peek()
+
+    def _peek(self) -> str:
+        if self._state == "open" \
+                and self._clock() - self._opened_at >= self.reset_timeout:
+            self._state = "half_open"
+        return self._state
+
+    @property
+    def health(self) -> str:
+        """The breaker's contribution to component health."""
+        return {"closed": "healthy", "open": "degraded",
+                "half_open": "recovering"}[self.state]
+
+    def allow(self) -> bool:
+        """Whether the component should be attempted right now."""
+        with self._lock:
+            state = self._peek()
+            if state == "open":
+                self.short_circuits += 1
+                return False
+            return True
+
+    def record_success(self) -> None:
+        """Note a successful call (closes a half-open breaker)."""
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        """Note a failed call (may trip the breaker)."""
+        with self._lock:
+            if self._state == "half_open":
+                self._state = "open"
+                self._opened_at = self._clock()
+                return
+            self._failures += 1
+            if self._state == "closed" \
+                    and self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def counters(self) -> dict:
+        """A JSON-able snapshot for ``/stats``."""
+        return {"state": self.state, "trips": self.trips,
+                "short_circuits": self.short_circuits}
+
+
+# --------------------------------------------------------------------- #
+# Rate limiting
+# --------------------------------------------------------------------- #
+
+class TokenBucket:
+    """The classic token-bucket admission controller.
+
+    ``rate`` tokens per second refill continuously up to ``burst``.
+    :meth:`try_acquire` either admits (returns ``0.0``) or names how
+    long the caller should wait before retrying — the number the HTTP
+    layer sends as ``Retry-After`` and the WebSocket layer puts in its
+    backoff frame.
+    """
+
+    def __init__(self, rate: float, burst: float, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+        #: Admitted / rejected token counts, for metrics.
+        self.admitted = 0
+        self.limited = 0
+
+    def try_acquire(self, tokens: int = 1) -> float:
+        """Admit ``tokens`` units or say how long to wait.
+
+        Returns ``0.0`` on admission, else the seconds until the bucket
+        will hold the requested tokens (at least a millisecond, so a
+        caller that sleeps the returned value always makes progress).
+        Requests larger than ``burst`` are admitted whenever the bucket
+        is *full* — an oversized batch is throttled, not unservable.
+        """
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            needed = min(float(tokens), self.burst)
+            if self._tokens >= needed:
+                self._tokens -= needed
+                self.admitted += tokens
+                return 0.0
+            self.limited += tokens
+            return max(0.001, (needed - self._tokens) / self.rate)
+
+    def counters(self) -> dict:
+        """A JSON-able snapshot for ``/stats``."""
+        return {"rate": self.rate, "burst": self.burst,
+                "admitted": self.admitted, "limited": self.limited}
+
+
+class RateLimited(RuntimeError):
+    """Raised by the gateway when a tenant's bucket rejects a batch;
+    carries the suggested wait in :attr:`retry_after` (seconds)."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"rate limit exceeded; retry in {retry_after:.3f}s")
+        self.retry_after = retry_after
+
+
+# --------------------------------------------------------------------- #
+# Supervised restarts
+# --------------------------------------------------------------------- #
+
+class RestartBudget:
+    """Bounded restarts with exponential backoff.
+
+    A supervisor asks :meth:`next_delay` before each restart: it returns
+    the backoff to sleep (``base_delay * 2^n``, capped) or ``None`` once
+    ``max_restarts`` have happened within the sliding ``window`` — the
+    signal to stop restarting and mark the component ``degraded``.  A
+    component that stays up longer than ``window`` earns its budget
+    back.
+    """
+
+    def __init__(self, max_restarts: int = 5, *, window: float = 300.0,
+                 base_delay: float = 0.1, max_delay: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.max_restarts = max_restarts
+        self.window = window
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._restarts: List[float] = []
+        #: Total restarts granted / refused, for metrics.
+        self.granted = 0
+        self.refused = 0
+
+    def next_delay(self) -> Optional[float]:
+        """Grant one restart (returning its backoff) or ``None``."""
+        with self._lock:
+            now = self._clock()
+            self._restarts = [stamp for stamp in self._restarts
+                              if now - stamp < self.window]
+            if len(self._restarts) >= self.max_restarts:
+                self.refused += 1
+                return None
+            delay = min(self.max_delay,
+                        self.base_delay * (2 ** len(self._restarts)))
+            self._restarts.append(now)
+            self.granted += 1
+            return delay
+
+    def counters(self) -> dict:
+        """A JSON-able snapshot for ``/stats``."""
+        with self._lock:
+            return {"granted": self.granted, "refused": self.refused,
+                    "recent": len(self._restarts),
+                    "max_restarts": self.max_restarts}
+
+
+# --------------------------------------------------------------------- #
+# Health
+# --------------------------------------------------------------------- #
+
+class HealthTracker:
+    """The ``healthy | degraded | recovering`` state machine.
+
+    Transitions are timestamped and kept in a bounded history so
+    ``/stats`` (and the chaos suite) can show *that* a component dipped
+    and came back, not just its instantaneous state.
+    """
+
+    def __init__(self, *, history: int = 32,
+                 clock: Callable[[], float] = time.time) -> None:
+        self._lock = threading.Lock()
+        self._state = "healthy"
+        self._reason = ""
+        self._clock = clock
+        self._history_cap = history
+        self._history: List[dict] = []
+
+    @property
+    def state(self) -> str:
+        """The current health state."""
+        with self._lock:
+            return self._state
+
+    @property
+    def reason(self) -> str:
+        """Why the component is not healthy ("" when healthy)."""
+        with self._lock:
+            return self._reason
+
+    def set_state(self, state: str, reason: str = "") -> None:
+        """Transition (no-op when already in ``state``)."""
+        if state not in HEALTH_STATES:
+            raise ValueError(f"unknown health state: {state!r}")
+        with self._lock:
+            if state == self._state:
+                return
+            self._state = state
+            self._reason = reason if state != "healthy" else ""
+            self._history.append({
+                "state": state, "reason": reason,
+                "at": round(self._clock(), 3)})
+            del self._history[:-self._history_cap]
+
+    def history(self) -> List[dict]:
+        """The bounded transition log (oldest first)."""
+        with self._lock:
+            return list(self._history)
+
+    def snapshot(self) -> dict:
+        """A JSON-able snapshot for ``/stats`` and ``/healthz``."""
+        with self._lock:
+            return {"state": self._state, "reason": self._reason,
+                    "transitions": list(self._history)}
+
+
+# --------------------------------------------------------------------- #
+# Dead letters
+# --------------------------------------------------------------------- #
+
+class DeadLetterQueue:
+    """A bounded JSONL sink for poison arrivals.
+
+    An edge whose ingestion raises — even retried in isolation — is
+    *recorded* here (reason, error, the edge's wire form, a timestamp)
+    instead of vanishing into a counter.  The file is bounded: past
+    ``max_records`` new poison is counted in :attr:`dropped` but not
+    written, so a poison storm cannot fill the disk.
+    """
+
+    def __init__(self, path: str, *, max_records: int = 1000) -> None:
+        self.path = path
+        self.max_records = max_records
+        self._lock = threading.Lock()
+        #: Records written / shed-over-bound, for metrics.
+        self.recorded = 0
+        self.dropped = 0
+        if os.path.exists(path):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    self.recorded = sum(1 for line in handle if line.strip())
+            except OSError:            # pragma: no cover - disk trouble
+                pass
+
+    def record(self, reason: str, payload: dict,
+               error: Optional[BaseException] = None) -> bool:
+        """Append one dead letter; ``False`` when over the bound (or the
+        disk refused — dead-lettering must never raise into the
+        worker)."""
+        with self._lock:
+            if self.recorded >= self.max_records:
+                self.dropped += 1
+                return False
+            entry = {"at": round(time.time(), 3), "reason": reason,
+                     "payload": payload}
+            if error is not None:
+                entry["error"] = repr(error)
+            try:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            except OSError:
+                self.dropped += 1
+                return False
+            self.recorded += 1
+            return True
+
+    def read_all(self) -> List[dict]:
+        """Every recorded dead letter (tests / operators)."""
+        if not os.path.exists(self.path):
+            return []
+        out = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
+
+    def counters(self) -> dict:
+        """A JSON-able snapshot for ``/stats``."""
+        return {"recorded": self.recorded, "dropped": self.dropped}

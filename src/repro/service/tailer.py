@@ -20,6 +20,13 @@ on every boot to recover the field order, then the tailer seeks to the
 resume offset).  A line that fails to parse is counted and skipped — a
 corrupt row must not wedge the feed.  Partial lines (a writer caught
 mid-append) are left unconsumed until their newline arrives.
+
+Resilience: read errors back off exponentially (capped) and reopen the
+file at the last fully-consumed offset, so a transient I/O failure never
+kills the feed.  Truncation (the file shrank under the tailer) and
+rotation (the path now names a different inode) are detected at the next
+idle poll; both reopen from the start of the new content and are
+counted.  The ``tailer.read`` fault-injection site covers every read.
 """
 
 from __future__ import annotations
@@ -30,11 +37,15 @@ import os
 import threading
 from typing import List, Optional
 
+from .. import faults
 from ..graph.edge import StreamEdge
 from ..io.csv_stream import _parse_label
 from .codec import CodecError, edge_from_json
 from .config import TailConfig
 from .queues import QueueClosed
+
+#: Read-error backoff bounds (seconds).
+_BACKOFF_CAP = 5.0
 
 
 class FileTailer(threading.Thread):
@@ -54,6 +65,13 @@ class FileTailer(threading.Thread):
         self.parse_errors = 0
         #: Edges successfully enqueued.
         self.edges_enqueued = 0
+        #: Read failures survived (each backs off and reopens).
+        self.read_errors = 0
+        #: Times the file shrank under the tailer.
+        self.truncations = 0
+        #: Times the path started naming a different inode.
+        self.rotations = 0
+        self._resume_offset = start_offset
 
     def stop(self) -> None:
         """Ask the tailer to exit; it stops at the next poll tick."""
@@ -62,17 +80,33 @@ class FileTailer(threading.Thread):
     # ------------------------------------------------------------------ #
     def run(self) -> None:  # noqa: D102 - Thread API
         poll = self.config.poll_interval
-        while not os.path.exists(self.config.path):
-            if self._stop_event.wait(poll):
+        backoff = poll
+        while not self._stop_event.is_set():
+            if not os.path.exists(self.config.path):
+                if self._stop_event.wait(poll):
+                    return
+                continue
+            try:
+                with open(self.config.path, encoding="utf-8",
+                          newline="") as fh:
+                    fields = self._position(fh, self._resume_offset)
+                    outcome = self._follow(fh, fields, poll)
+            except QueueClosed:
                 return
-        try:
-            with open(self.config.path, encoding="utf-8", newline="") as fh:
-                fields = self._position(fh)
-                self._follow(fh, fields, poll)
-        except QueueClosed:
-            return
+            except OSError:
+                # Transient read trouble (or an injected fault): back
+                # off and reopen at the last fully-consumed offset.
+                self.read_errors += 1
+                backoff = min(backoff * 2.0, _BACKOFF_CAP)
+                if self._stop_event.wait(backoff):
+                    return
+                continue
+            backoff = poll
+            if outcome == "stopped":
+                return
+            # "reopen": truncation/rotation — loop around and reattach.
 
-    def _position(self, fh) -> Optional[List[str]]:
+    def _position(self, fh, offset: int) -> Optional[List[str]]:
         """Consume the CSV header (if any) and seek to the resume
         offset; returns the CSV field order or ``None`` for JSONL."""
         fields: Optional[List[str]] = None
@@ -81,34 +115,61 @@ class FileTailer(threading.Thread):
             if header:
                 fields = next(csv.reader([header]))
             header_end = fh.tell()
-            if self.start_offset > header_end:
-                fh.seek(self.start_offset)
-        elif self.start_offset:
-            fh.seek(self.start_offset)
+            if offset > header_end:
+                fh.seek(offset)
+        elif offset:
+            fh.seek(offset)
         return fields
 
-    def _follow(self, fh, fields, poll: float) -> None:
+    def _follow(self, fh, fields, poll: float) -> str:
+        """Consume completed lines until stop ("stopped") or until the
+        file is truncated/rotated under us ("reopen")."""
         while not self._stop_event.is_set():
             position = fh.tell()
+            faults.fire("tailer.read")
             line = fh.readline()
             if not line or not line.endswith("\n"):
                 # Nothing new, or a writer caught mid-line: rewind and
                 # wait for the newline to land.
                 fh.seek(position)
+                event = self._check_replaced(fh, position)
+                if event is not None:
+                    self._resume_offset = 0
+                    return "reopen"
                 if self._stop_event.wait(poll):
-                    return
+                    return "stopped"
                 continue
             self.lines_read += 1
             stripped = line.strip()
             if not stripped:
+                self._resume_offset = fh.tell()
                 continue
             edge = self._parse(stripped, fields)
             if edge is None:
                 self.parse_errors += 1
+                self._resume_offset = fh.tell()
                 continue
             self.tenant.ingest_edges(
                 [edge], offset=(self.config.path, fh.tell()))
             self.edges_enqueued += 1
+            self._resume_offset = fh.tell()
+        return "stopped"
+
+    def _check_replaced(self, fh, position: int) -> Optional[str]:
+        """At an idle poll, notice the file changing under the tailer."""
+        try:
+            disk = os.stat(self.config.path)
+        except OSError:
+            # The path vanished mid-rotation; reopen once it returns.
+            self.rotations += 1
+            return "rotated"
+        if disk.st_size < position:
+            self.truncations += 1
+            return "truncated"
+        if disk.st_ino != os.fstat(fh.fileno()).st_ino:
+            self.rotations += 1
+            return "rotated"
+        return None
 
     def _parse(self, line: str,
                fields: Optional[List[str]]) -> Optional[StreamEdge]:
@@ -145,4 +206,7 @@ class FileTailer(threading.Thread):
             "lines_read": self.lines_read,
             "parse_errors": self.parse_errors,
             "edges_enqueued": self.edges_enqueued,
+            "read_errors": self.read_errors,
+            "truncations": self.truncations,
+            "rotations": self.rotations,
         }

@@ -26,6 +26,7 @@ import os
 import threading
 from typing import Hashable, IO, Iterator, List, Optional, Tuple, Union
 
+from . import faults
 from .core.matches import Match
 from .core.query import ANY
 
@@ -219,6 +220,7 @@ class RotatingJSONLSink:
         with self._lock:
             if self._closed:
                 raise ValueError("sink is closed")
+            faults.fire("sink.write")
             self._handle.write(line)
             self.count += 1
 
@@ -246,6 +248,7 @@ class RotatingJSONLSink:
         with self._lock:
             if self._closed:
                 raise ValueError("sink is closed")
+            faults.fire("sink.flush")
             self._handle.flush()
 
     def close(self) -> None:

@@ -50,7 +50,9 @@ class TestHTTPEndpoints:
     def test_healthz(self, served):
         _gateway, port = served
         status, body = get(port, "/healthz")
-        assert status == 200 and json.loads(body) == {"ok": True}
+        health = json.loads(body)
+        assert status == 200 and health["ok"] is True
+        assert health["tenants"]["t0"]["state"] == "healthy"
 
     def test_ingest_and_stats(self, served):
         gateway, port = served

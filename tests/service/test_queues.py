@@ -132,6 +132,67 @@ class TestSpillPolicy:
         queue.dispose()
 
 
+class TestSpillDurability:
+    def test_orphaned_spill_recovered_on_boot(self, tmp_path):
+        spill = str(tmp_path / "spill.jsonl")
+        crashed = BoundedEdgeQueue(2, policy="spill", spill_path=spill)
+        edges = chain_edges()
+        crashed.put_many(edges)            # the last two spill, fsynced
+        crashed.dispose()                  # "crash": never drained
+
+        queue = BoundedEdgeQueue(2, policy="spill", spill_path=spill)
+        assert queue.spill_recovered == 2
+        assert queue.depth() == 2
+        assert drain(queue) == edges[2:]
+        counters = queue.counters()
+        assert counters["spill_recovered"] == 2
+        assert counters["enqueued"] == counters["dequeued"] == 2
+        queue.dispose()
+
+    def test_torn_spill_tail_discarded(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        crashed = BoundedEdgeQueue(2, policy="spill",
+                                   spill_path=str(spill))
+        edges = chain_edges()
+        crashed.put_many(edges)
+        crashed.dispose()
+        # A kill mid-append leaves half a record with no newline.
+        with open(spill, "a", encoding="utf-8") as fh:
+            fh.write('{"edge": {"src": "half')
+
+        queue = BoundedEdgeQueue(2, policy="spill", spill_path=str(spill))
+        assert queue.spill_recovered == 2
+        with open(spill, encoding="utf-8") as fh:
+            assert fh.read().endswith("\n"), "torn tail must be rewritten"
+        assert drain(queue) == edges[2:]
+        assert queue.dropped == 0
+        queue.dispose()
+
+    def test_new_arrivals_queue_behind_recovered_spill(self, tmp_path):
+        spill = str(tmp_path / "spill.jsonl")
+        crashed = BoundedEdgeQueue(1, policy="spill", spill_path=spill)
+        edges = chain_edges()
+        crashed.put_many(edges[:2])        # the second spills
+        crashed.dispose()
+
+        queue = BoundedEdgeQueue(4, policy="spill", spill_path=spill)
+        queue.put(edges[2])                # must not overtake the spill
+        assert drain(queue) == [edges[1], edges[2]]
+        queue.dispose()
+
+    def test_clear_discards_memory_and_spill(self, tmp_path):
+        import os
+        spill = str(tmp_path / "spill.jsonl")
+        queue = BoundedEdgeQueue(2, policy="spill", spill_path=spill)
+        queue.put_many(chain_edges())      # 2 in memory + 2 spilled
+        assert queue.clear() == 4
+        assert queue.depth() == 0 and queue.cleared == 4
+        counters = queue.counters()
+        assert counters["enqueued"] == counters["dequeued"]
+        assert os.path.getsize(spill) == 0, "spill file must be reset"
+        queue.dispose()
+
+
 class TestClose:
     def test_put_after_close_raises(self):
         queue = BoundedEdgeQueue(4)
