@@ -1,54 +1,71 @@
-"""Chaos smoke: ``repro serve`` under a pinned fault plan, gated on
+"""Chaos smoke: ``repro serve`` under pinned fault plans, gated on
 zero match loss.
 
 The CI counterpart of :mod:`repro.faults` — the fault registry is only
 worth its hooks if something routinely proves the service *heals*.  This
-harness runs the real server twice as a subprocess over the identical
-pinned workload:
+harness runs the real server as a subprocess over an identical pinned
+workload, once clean (the match log it leaves behind is the ground
+truth) and once under faults, then compares the match-log **multisets**
+byte for byte.  Two plans:
 
-1. **Baseline** — no faults.  The match log it leaves behind is the
-   ground truth.
-2. **Chaos** — the same workload with ``REPRO_FAULTS`` injecting
-   a deterministic worker kill (``shard.rpc.send=kill_worker:at:60``,
-   which lands strictly after the driver's explicit checkpoint and
-   strictly before ingestion ends) and a 1% seeded I/O-error rate on
-   match-log writes (absorbed by the sink's retry ladder), while the
-   driver deliberately bursts past the tenant's token-bucket rate limit
-   and honours the resulting ``429 Retry-After`` replies.
+``--plan shard`` (the default)
+    The supervised-restart story.  ``REPRO_FAULTS`` injects a
+    deterministic worker kill (``shard.rpc.send=kill_worker:at:60``,
+    which lands strictly after the driver's explicit checkpoint and
+    strictly before ingestion ends) and a 1% seeded I/O-error rate on
+    match-log writes (absorbed by the sink's retry ladder), while the
+    driver deliberately bursts past the tenant's token-bucket rate
+    limit and honours the resulting ``429 Retry-After`` replies.  The
+    driver follows the *producer* recovery contract: when ``/stats``
+    shows ``restarts`` incremented it rewinds its cursor to the
+    restored ``edges_offered`` and resends everything past the
+    checkpoint barrier (monotonic-timestamp shedding makes overlap
+    harmless).  Gates: exactly one supervised restart, the ``degraded
+    -> recovering -> healthy`` health arc, at least one 429, zero
+    match loss.
 
-The driver follows the documented producer recovery contract: it paces
-one burst at a time, waits for the queue to drain, and when ``/stats``
-shows ``restarts`` incremented it rewinds its cursor to the restored
-``edges_offered`` and resends everything past the checkpoint barrier
-(monotonic-timestamp shedding makes overlap harmless).
+``--plan wal``
+    The producer-independent story: the same workload against a
+    WAL-enabled tenant, with the server **SIGKILLed twice** in one
+    persistent state directory and never the same edge re-offered.
+    Incarnation A is killed mid-burst; the driver resends only the one
+    un-acked burst — under the same ``request_id`` — and trusts boot
+    replay for everything it already has acks for (it proves the point
+    by re-posting every acked burst and requiring ``deduplicated``
+    acks back).  Incarnation B takes two explicit checkpoints around a
+    WebSocket ingest leg that honours ``{"backoff": true,
+    "retry_after": s}`` frames, then is killed again and its newest
+    ``checkpoint.pkl`` is deliberately bit-flipped, so incarnation C
+    must fall back down the checkpoint chain and replay deeper into
+    the journal.  A seeded ``wal.fsync=io_error`` rate runs
+    throughout; single failures are absorbed by the group-commit retry
+    ladder and a triple failure surfaces as a retryable 5xx/WS error
+    the driver resends through.  Gates: boot replay observed after
+    both crashes, every pre-crash ack deduplicated on resend,
+    ``checkpoint_fallbacks >= 1``, at least one 429 *and* one WS
+    backoff frame, zero supervised restarts, zero match loss.
 
-Gates (any failure exits non-zero):
+Workload (both plans): triples of edges matching a 2-query tenant —
+under ``--plan shard`` the queries pin to *different* shards of a
+2-shard process-sharded session (``chain`` hashes to shard 0,
+``relay`` to shard 1 — see :func:`repro.concurrency.sharding.shard_of`)
+so the kill site fires at a predictable RPC count; under ``--plan wal``
+the tenant is unsharded and the crashes are process-level SIGKILLs.
 
-- the server process survives both runs and exits 0 on SIGTERM;
-- the chaos run restarts its tenant exactly once, and ``/healthz``
-  shows the ``degraded -> recovering -> healthy`` arc ending healthy;
-- the driver observed at least one 429 (the rate limiter really
-  engaged) and zero non-monotonic sheds leaked into the baseline;
-- the chaos run's match-log **multiset** equals the baseline's — no
-  match lost, none duplicated, despite the kill and the sink faults.
-
-Workload: one tenant, two queries pinned to *different* shards of a
-2-shard process-sharded session (``chain`` hashes to shard 0, ``relay``
-to shard 1 — see :func:`repro.concurrency.sharding.shard_of`), so every
-worker round RPCs both shards and the kill site fires at a predictable
-call count no matter which handle draws it.
-
-Run: ``python -m repro.bench.chaos_smoke`` (CI job ``chaos-smoke``).
+Run: ``python -m repro.bench.chaos_smoke`` (CI jobs ``chaos-smoke``
+and ``chaos-smoke-wal``).
 """
 
 from __future__ import annotations
 
 import argparse
+import base64
 import collections
 import json
 import os
 import re
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -65,6 +82,14 @@ from typing import Counter, Dict, List, Optional, Sequence, Tuple
 #: count before the driver's checkpoint (~26) and the guaranteed
 #: minimum for the whole run (>= 96).
 FAULT_PLAN = "seed=9;sink.write=io_error:0.01;shard.rpc.send=kill_worker:at:60"
+
+#: The pinned plan for ``--plan wal``: a seeded 5% I/O-error rate on
+#: WAL fsyncs, capped at 6 firings.  A single failure is retried by the
+#: sync ladder; the (vanishingly rare) triple failure surfaces as a
+#: retryable 5xx / WS error frame that the driver resends through under
+#: the same request id.  The *crashes* in this plan are not injected
+#: faults at all — the harness SIGKILLs the whole server process.
+WAL_FAULT_PLAN = "seed=5;wal.fsync=io_error:0.05:6"
 
 #: Edges per workload triple: a->b, b->c (completing ``chain``), d->e
 #: (matching ``relay``).  Each triple yields exactly 2 matches.
@@ -110,6 +135,42 @@ max_restarts = 3
 [tenant.rate_limit]
 rps = {rps}
 burst = {burst}
+
+[[tenant.query]]
+name = "chain"
+text = '''
+{chain}'''
+
+[[tenant.query]]
+name = "relay"
+text = '''
+{relay}'''
+"""
+
+#: ``--plan wal``: the same two queries on an unsharded tenant with a
+#: write-ahead log.  ``checkpoint_keep = 2`` gives the chain exactly one
+#: fallback step — which incarnation C is forced to take.
+_WAL_CONFIG_TEMPLATE = """\
+[server]
+host = "127.0.0.1"
+port = 0
+state_dir = {state_dir!r}
+checkpoint_interval = 0.0
+checkpoint_keep = 2
+
+[[tenant]]
+name = "main"
+window = 5.0
+batch_size = 8
+max_restarts = 3
+
+[tenant.rate_limit]
+rps = {rps}
+burst = {burst}
+
+[tenant.wal]
+fsync_interval_ms = 0.0
+fsync_batch = 64
 
 [[tenant.query]]
 name = "chain"
@@ -406,6 +467,474 @@ def run_phase(label: str, records: List[dict], *, faults: Optional[str],
             raise
 
 
+# --------------------------------------------------------------------- #
+# The WAL plan: SIGKILLs, zero producer replay, checkpoint-chain
+# fallback, WebSocket backoff
+# --------------------------------------------------------------------- #
+
+class _WSIngestClient:
+    """A minimal blocking RFC 6455 client for the WS ingest endpoint."""
+
+    def __init__(self, port: int, tenant: str = "main") -> None:
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=10)
+        key = base64.b64encode(os.urandom(16)).decode()
+        self.sock.sendall((
+            f"GET /tenants/{tenant}/ingest HTTP/1.1\r\n"
+            "Host: localhost\r\n"
+            "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n\r\n").encode())
+        reply = b""
+        while b"\r\n\r\n" not in reply:
+            chunk = self.sock.recv(1024)
+            if not chunk:
+                raise ChaosFailure("WS handshake: peer closed early")
+            reply += chunk
+        if b"101" not in reply.split(b"\r\n", 1)[0]:
+            raise ChaosFailure(
+                f"WS handshake refused: {reply[:120]!r}")
+
+    def request(self, payload: dict) -> dict:
+        """Send one text frame, return the JSON reply frame."""
+        data = json.dumps(payload).encode()
+        mask = os.urandom(4)
+        masked = bytes(b ^ mask[i % 4] for i, b in enumerate(data))
+        head = b"\x81"
+        if len(data) < 126:
+            head += bytes([0x80 | len(data)])
+        elif len(data) < 1 << 16:
+            head += bytes([0x80 | 126]) + len(data).to_bytes(2, "big")
+        else:
+            head += bytes([0x80 | 127]) + len(data).to_bytes(8, "big")
+        self.sock.sendall(head + mask + masked)
+        while True:
+            opcode, body = self._read_frame()
+            if opcode == 0x1:
+                return json.loads(body)
+            if opcode == 0x8:
+                raise ConnectionError("server closed the WS stream")
+
+    def _read_frame(self) -> Tuple[int, bytes]:
+        head = self._exactly(2)
+        opcode = head[0] & 0x0F
+        length = head[1] & 0x7F
+        if length == 126:
+            length = int.from_bytes(self._exactly(2), "big")
+        elif length == 127:
+            length = int.from_bytes(self._exactly(8), "big")
+        return opcode, self._exactly(length)
+
+    def _exactly(self, count: int) -> bytes:
+        data = b""
+        while len(data) < count:
+            chunk = self.sock.recv(count - len(data))
+            if not chunk:
+                raise ConnectionError("WS peer closed mid-frame")
+            data += chunk
+        return data
+
+    def close(self) -> None:
+        try:
+            self.sock.sendall(
+                b"\x88\x82\x00\x00\x00\x00" + (1000).to_bytes(2, "big"))
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class WalDriver:
+    """Feeds request-id-tagged bursts to a WAL-backed tenant.
+
+    The whole point of the plan: this driver never rewinds.  After a
+    crash it resends only the single burst whose ack it never saw —
+    under the same ``request_id`` — and trusts boot-time WAL replay for
+    every burst it holds an ack for.  429s and backoff frames pause and
+    resend the same batch; retryable 5xx / WS error replies (a WAL
+    fsync that failed its whole retry ladder) do the same, made safe by
+    the dedup window.
+    """
+
+    def __init__(self, records: List[dict], *, burst: int,
+                 deadline: float) -> None:
+        self.bursts = [records[i:i + burst]
+                       for i in range(0, len(records), burst)]
+        self.rids = [f"chaos-{i:04d}" for i in range(len(self.bursts))]
+        self.deadline = deadline
+        self.rate_limited = 0
+        self.ws_backoffs = 0
+        self.retried_errors = 0
+        self.dedup_acks = 0
+
+    def _check_deadline(self, doing: str) -> None:
+        if time.monotonic() > self.deadline:
+            raise ChaosFailure(f"driver timed out while {doing}")
+
+    def stats(self, port: int) -> dict:
+        return _get(port, "/stats")["tenants"]["main"]
+
+    def _settle(self, index: int, reply: dict, expect_dedup: bool) -> dict:
+        batch = self.bursts[index]
+        if reply.get("deduplicated"):
+            self.dedup_acks += 1
+        elif expect_dedup:
+            raise ChaosFailure(
+                f"burst {index}: expected a deduplicated ack (its "
+                f"first ack was received pre-crash), got {reply}")
+        elif reply.get("accepted") != len(batch) \
+                or reply.get("durable") is not True:
+            raise ChaosFailure(f"burst {index}: bad ack {reply}")
+        return reply
+
+    def send_http(self, port: int, index: int, *,
+                  expect_dedup: bool = False) -> dict:
+        """POST one burst until it is acked; returns the ack."""
+        batch, rid = self.bursts[index], self.rids[index]
+        while True:
+            self._check_deadline(f"posting burst {index}")
+            status, body, headers = _post(
+                port, "/ingest", {"edges": batch, "request_id": rid})
+            if status == 200:
+                return self._settle(index, body, expect_dedup)
+            if status == 429:
+                self.rate_limited += 1
+                retry_after = float(headers.get("Retry-After")
+                                    or body.get("retry_after") or 0.05)
+                time.sleep(min(retry_after, 2.0))
+                continue
+            if 500 <= status < 600:
+                self.retried_errors += 1
+                time.sleep(0.05)
+                continue
+            raise ChaosFailure(
+                f"burst {index}: unexpected ingest reply {status}: {body}")
+
+    def send_ws(self, client: _WSIngestClient, index: int) -> dict:
+        """Stream one burst as a WS frame, honouring backoff frames."""
+        frame = {"edges": self.bursts[index],
+                 "request_id": self.rids[index]}
+        while True:
+            self._check_deadline(f"streaming burst {index} over WS")
+            reply = client.request(frame)
+            if reply.get("backoff"):
+                self.ws_backoffs += 1
+                time.sleep(min(float(reply.get("retry_after", 0.05)), 2.0))
+                continue
+            if reply.get("error"):
+                if not reply.get("retryable"):
+                    raise ChaosFailure(
+                        f"burst {index}: WS ingest error {reply}")
+                self.retried_errors += 1
+                time.sleep(0.05)
+                continue
+            return self._settle(index, reply, False)
+
+    def wait_drained(self, port: int) -> dict:
+        """Poll until every journaled edge has been applied."""
+        while True:
+            self._check_deadline("waiting for the WAL to drain")
+            stats = self.stats(port)
+            wal = stats["wal"]
+            if stats["queue"]["depth"] == 0 \
+                    and wal["applied_lsn"] >= wal["appended_lsn"]:
+                return stats
+            time.sleep(0.02)
+
+
+def _write_wal_config(root: str, name: str, state_dir: str, *,
+                      rps: float, bucket: int) -> str:
+    config_path = os.path.join(root, name)
+    with open(config_path, "w", encoding="utf-8") as fh:
+        fh.write(_WAL_CONFIG_TEMPLATE.format(
+            state_dir=state_dir, rps=rps, burst=bucket,
+            chain=CHAIN_DSL, relay=RELAY_DSL))
+    return config_path
+
+
+def _take_checkpoint(port: int) -> None:
+    reply = _post(port, "/checkpoint", {})[1]
+    if "main" not in reply.get("checkpoints", {}):
+        raise ChaosFailure(f"checkpoint did not land: {reply}")
+
+
+def _corrupt_newest_checkpoint(state_dir: str) -> str:
+    """Bit-flip the middle of ``checkpoint.pkl``; returns the path."""
+    path = os.path.join(state_dir, "main", "checkpoint.pkl")
+    with open(path, "r+b") as fh:
+        blob = fh.read()
+        if len(blob) < 16:
+            raise ChaosFailure(
+                f"checkpoint {path} is implausibly small ({len(blob)}B)")
+        fh.seek(len(blob) // 2)
+        fh.write(bytes([blob[len(blob) // 2] ^ 0xFF]))
+    return path
+
+
+def run_wal_baseline(root: str, records: List[dict], *, rps: float,
+                     bucket: int, burst: int, timeout: float) -> dict:
+    """One clean WAL-tenant lifecycle; its match log is ground truth."""
+    state_dir = os.path.join(root, "baseline-state")
+    config_path = _write_wal_config(root, "baseline.toml", state_dir,
+                                    rps=rps, bucket=bucket)
+    server = ServeProcess(config_path, faults=None,
+                          startup_timeout=min(timeout, 60.0))
+    try:
+        driver = WalDriver(records, burst=burst,
+                           deadline=time.monotonic() + timeout)
+        for index in range(len(driver.bursts)):
+            driver.send_http(server.port, index)
+        stats = driver.wait_drained(server.port)
+        exit_code = server.stop(timeout=min(timeout, 60.0))
+        if exit_code != 0:
+            raise ChaosFailure(
+                f"wal baseline: server exited {exit_code}:\n"
+                + server.tail())
+        return {"stats": stats, "rate_limited": driver.rate_limited,
+                "matches": collect_matches(state_dir)}
+    except BaseException:
+        server.kill()
+        print("[chaos_smoke] wal baseline server output:\n"
+              + server.tail(40), file=sys.stderr)
+        raise
+
+
+def run_wal_chaos(root: str, records: List[dict], *, rps: float,
+                  bucket: int, burst: int, timeout: float,
+                  faults: str) -> dict:
+    """Three server incarnations over one state dir (see module doc)."""
+    state_dir = os.path.join(root, "chaos-state")
+    config_path = _write_wal_config(root, "chaos.toml", state_dir,
+                                    rps=rps, bucket=bucket)
+    driver = WalDriver(records, burst=burst,
+                       deadline=time.monotonic() + timeout)
+    total = len(driver.bursts)
+    first_kill = max(2, total // 4)         # the victim burst's index
+    ws_start = first_kill + 1
+    ws_until = ws_start + max(2, total // 4)
+    if ws_until >= total:
+        raise ChaosFailure(
+            f"workload too small for the wal plan: {total} bursts "
+            f"cannot fit two kills, a WS leg, and an HTTP tail")
+    evidence: Dict[str, object] = {
+        "bursts": total, "first_kill": first_kill,
+        "ws_bursts": [ws_start, ws_until]}
+    startup = min(timeout, 60.0)
+
+    # -- incarnation A: ack a prefix, then SIGKILL mid-burst ---------- #
+    server = ServeProcess(config_path, faults=faults,
+                          startup_timeout=startup)
+    try:
+        for index in range(first_kill):
+            driver.send_http(server.port, index)
+        victim_acked: List[dict] = []
+
+        def _post_victim() -> None:
+            try:
+                victim_acked.append(
+                    driver.send_http(server.port, first_kill))
+            except Exception:
+                pass                    # the kill ate the ack — expected
+
+        poster = threading.Thread(target=_post_victim, daemon=True)
+        poster.start()
+        time.sleep(0.05)
+        server.kill()                   # SIGKILL: no drain, no checkpoint
+        poster.join(10)
+        evidence["victim_ack_lost"] = not victim_acked
+    except BaseException:
+        server.kill()
+        print("[chaos_smoke] wal chaos (A) server output:\n"
+              + server.tail(40), file=sys.stderr)
+        raise
+
+    # -- incarnation B: boot replay, dedup proof, checkpoints, WS ----- #
+    server = ServeProcess(config_path, faults=faults,
+                          startup_timeout=startup)
+    try:
+        boot = driver.stats(server.port)
+        evidence["replay_after_crash"] = boot["wal"]["replayed_edges"]
+        if boot["wal"]["replayed_edges"] <= 0:
+            raise ChaosFailure(
+                "no WAL replay after the mid-burst SIGKILL: "
+                f"wal={boot['wal']}")
+        # Re-post every burst acked before the crash: with zero
+        # producer replay admitted, each must dedup, not re-enter.
+        for index in range(first_kill):
+            driver.send_http(server.port, index, expect_dedup=True)
+        # The victim burst: same request_id — journaled pre-kill means
+        # a dedup ack, lost in flight means a fresh admit.  Either way
+        # it lands exactly once.
+        driver.send_http(server.port, first_kill)
+        driver.wait_drained(server.port)
+        _take_checkpoint(server.port)
+        ws = _WSIngestClient(server.port)
+        try:
+            for index in range(ws_start, ws_until):
+                driver.send_ws(ws, index)
+        finally:
+            ws.close()
+        driver.wait_drained(server.port)
+        _take_checkpoint(server.port)   # the chain is now two deep
+        settled = driver.stats(server.port)
+        evidence["dedup_hits"] = settled["wal"]["dedup_hits"]
+        if settled["wal"]["dedup_hits"] < first_kill:
+            raise ChaosFailure(
+                f"only {settled['wal']['dedup_hits']} dedup hits for "
+                f"{first_kill} resent pre-crash bursts")
+        server.kill()                   # SIGKILL again, post-checkpoint
+    except BaseException:
+        server.kill()
+        print("[chaos_smoke] wal chaos (B) server output:\n"
+              + server.tail(40), file=sys.stderr)
+        raise
+
+    evidence["corrupted"] = _corrupt_newest_checkpoint(state_dir)
+
+    # -- incarnation C: chain fallback, deeper replay, clean finish --- #
+    server = ServeProcess(config_path, faults=faults,
+                          startup_timeout=startup)
+    try:
+        boot = driver.stats(server.port)
+        evidence["checkpoint_fallbacks"] = boot["checkpoint_fallbacks"]
+        evidence["fallback_replay"] = boot["wal"]["replayed_edges"]
+        if boot["checkpoint_fallbacks"] < 1:
+            raise ChaosFailure(
+                "the corrupted newest checkpoint was not detected — "
+                f"no chain fallback: {boot['checkpoint_fallbacks']}")
+        if boot["wal"]["replayed_edges"] <= 0:
+            raise ChaosFailure(
+                "chain fallback did not replay the journal: "
+                f"wal={boot['wal']}")
+        for index in range(ws_until, total):
+            driver.send_http(server.port, index)
+        final = driver.wait_drained(server.port)
+        health = _get(server.port, "/healthz")
+        exit_code = server.stop(timeout=startup)
+        if exit_code != 0:
+            raise ChaosFailure(
+                f"wal chaos: server exited {exit_code}:\n"
+                + server.tail())
+    except BaseException:
+        server.kill()
+        print("[chaos_smoke] wal chaos (C) server output:\n"
+              + server.tail(40), file=sys.stderr)
+        raise
+
+    return {
+        "stats": final,
+        "health": health["tenants"]["main"],
+        "ok": health["ok"],
+        "rate_limited": driver.rate_limited,
+        "ws_backoffs": driver.ws_backoffs,
+        "retried_errors": driver.retried_errors,
+        "dedup_acks": driver.dedup_acks,
+        "evidence": evidence,
+        "matches": collect_matches(state_dir),
+    }
+
+
+def check_wal_evidence(baseline: dict, chaos: dict,
+                       expected_matches: int) -> None:
+    """The ``--plan wal`` gates (the temporal ones — replay observed at
+    each boot, dedup acks on resend, the chain fallback — were already
+    enforced inline by :func:`run_wal_chaos`)."""
+    if baseline["stats"]["restarts"] != 0:
+        raise ChaosFailure("wal baseline run restarted — the workload "
+                           "is not clean")
+    total = sum(baseline["matches"].values())
+    if total != expected_matches:
+        raise ChaosFailure(f"wal baseline produced {total} matches, "
+                           f"expected {expected_matches}")
+    stats = chaos["stats"]
+    if stats["restarts"] != 0:
+        raise ChaosFailure(
+            "the wal plan saw %d supervised restarts — recovery was "
+            "supposed to be the journal's job alone" % stats["restarts"])
+    if stats["rejected_nonmonotonic"] != 0:
+        raise ChaosFailure(
+            "replay leaked %d non-monotonic sheds"
+            % stats["rejected_nonmonotonic"])
+    if stats["dead_letters"]["recorded"] != 0:
+        raise ChaosFailure(
+            "wal chaos dead-lettered %d records"
+            % stats["dead_letters"]["recorded"])
+    if chaos["rate_limited"] < 1:
+        raise ChaosFailure("the driver never saw a 429 — the rate "
+                           "limiter did not engage")
+    if chaos["ws_backoffs"] < 1:
+        raise ChaosFailure("the WS leg never drew a backoff frame")
+    if chaos["health"]["state"] != "healthy" or not chaos["ok"]:
+        raise ChaosFailure(
+            "wal chaos ended %r (%r), not healthy"
+            % (chaos["health"]["state"], chaos["health"]["reason"]))
+    if chaos["matches"] != baseline["matches"]:
+        raise ChaosFailure(
+            "match loss under the wal plan: "
+            + _diff_summary(baseline["matches"], chaos["matches"]))
+
+
+def run_wal_plan(options, records: List[dict], expected: int,
+                 bucket: int) -> int:
+    """The whole ``--plan wal`` differential; returns an exit code."""
+    with tempfile.TemporaryDirectory(prefix="chaos-wal-") as root:
+        print(f"[chaos_smoke] wal baseline: {len(records)} edges, "
+              f"{expected} expected matches ...")
+        baseline = run_wal_baseline(
+            root, records, rps=options.rps, bucket=bucket,
+            burst=options.burst, timeout=options.timeout)
+        print(f"[chaos_smoke] wal baseline ok: "
+              f"{sum(baseline['matches'].values())} matches, "
+              f"{baseline['rate_limited']} rate-limited bursts")
+
+        print(f"[chaos_smoke] wal chaos: two SIGKILLs + corrupted "
+              f"checkpoint, REPRO_FAULTS={WAL_FAULT_PLAN!r} ...")
+        chaos = run_wal_chaos(
+            root, records, rps=options.rps, bucket=bucket,
+            burst=options.burst, timeout=options.timeout,
+            faults=WAL_FAULT_PLAN)
+        evidence = chaos["evidence"]
+        print(f"[chaos_smoke] wal chaos run: "
+              f"replayed={evidence['replay_after_crash']}"
+              f"+{evidence['fallback_replay']}, "
+              f"dedup_acks={chaos['dedup_acks']}, "
+              f"fallbacks={evidence['checkpoint_fallbacks']}, "
+              f"429s={chaos['rate_limited']}, "
+              f"ws_backoffs={chaos['ws_backoffs']}, "
+              f"matches={sum(chaos['matches'].values())}")
+
+        try:
+            check_wal_evidence(baseline, chaos, expected)
+        except ChaosFailure as failure:
+            print(f"[chaos_smoke] FAIL: {failure}", file=sys.stderr)
+            return 1
+
+        if options.report:
+            report = {
+                "plan": "wal",
+                "fault_plan": WAL_FAULT_PLAN,
+                "edges": len(records),
+                "matches": expected,
+                "baseline": {"rate_limited": baseline["rate_limited"]},
+                "chaos": {
+                    "rate_limited": chaos["rate_limited"],
+                    "ws_backoffs": chaos["ws_backoffs"],
+                    "retried_errors": chaos["retried_errors"],
+                    "dedup_acks": chaos["dedup_acks"],
+                    "evidence": {
+                        key: value for key, value in evidence.items()
+                        if key != "corrupted"},
+                },
+            }
+            with open(options.report, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"[chaos_smoke] report written to {options.report}")
+
+    print("[chaos_smoke] PASS: zero match loss, zero producer replay "
+          "across two SIGKILLs and a corrupted checkpoint")
+    return 0
+
+
 def check_chaos_evidence(baseline: dict, chaos: dict,
                          expected_matches: int) -> None:
     """Every gate from the module docstring, with one-line messages."""
@@ -459,6 +988,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Differential chaos smoke over the repro service "
                     "gateway (see the module docstring).")
+    parser.add_argument("--plan", choices=("shard", "wal"),
+                        default="shard",
+                        help="'shard': supervised worker-kill recovery "
+                             "with producer replay; 'wal': SIGKILLs + "
+                             "checkpoint corruption with zero producer "
+                             "replay (default: shard)")
     parser.add_argument("--triples", type=int, default=96,
                         help="workload size in 3-edge groups, 2 matches "
                              "each (default: 96)")
@@ -484,6 +1019,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # reliably draw a 429 at any sane drain latency (48 tokens at 40
     # rps take 1.2 s to refill).
     bucket = int(options.burst * 4 / 3)
+
+    if options.plan == "wal":
+        return run_wal_plan(options, records, expected, bucket)
 
     print(f"[chaos_smoke] baseline: {len(records)} edges, "
           f"{expected} expected matches ...")

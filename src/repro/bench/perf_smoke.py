@@ -1,6 +1,6 @@
 """Repeatable perf smokes: pinned workloads, JSON reports, CI gates.
 
-Five suites, selected with ``--suite``:
+Six suites, selected with ``--suite``:
 
 ``indexing`` (PR 2, report ``BENCH_pr2.json``)
     The fig15-style default workload (seeded NetworkFlow stream, one
@@ -57,6 +57,18 @@ Five suites, selected with ``--suite``:
     throughput ratio (the queue hop plus delivery overhead must stay
     within 20%).
 
+``wal`` (PR 8, report ``BENCH_pr8.json``)
+    The service suite's pinned workload through a **WAL-enabled**
+    gateway — every ingest batch CRC-framed, appended, and fsynced
+    before the ack — against the plain gateway.  Verifies identical
+    match-record multisets, then runs the producer-independence proof:
+    checkpoint mid-stream, crash (``abort()``) past it, restore, and
+    assert boot-time WAL replay alone restored exactly ``crash_at -
+    checkpoint_at`` edges with the producer resending **nothing**
+    before the crash point, and that the recovered match log equals the
+    uninterrupted run's.  Gates the WAL/plain throughput ratio (the
+    durability tax must stay within 25%).
+
 Used two ways:
 
 * locally: ``python -m repro.bench.perf_smoke --suite routing`` to
@@ -95,7 +107,7 @@ from ..datasets import (
 )
 from ..graph.ops import relabel_stream
 from ..io.dsl import format_query
-from ..service import ServerConfig, ServiceGateway, TenantConfig
+from ..service import ServerConfig, ServiceGateway, TenantConfig, WalConfig
 from ..sinks import match_record
 
 # --------------------------------------------------------------------- #
@@ -944,6 +956,219 @@ def check_service_regression(report: dict, baseline: dict,
 
 
 # --------------------------------------------------------------------- #
+# Suite: wal (PR 8)
+# --------------------------------------------------------------------- #
+
+#: The WAL suite reuses the service suite's pinned 16-query workload and
+#: queue shape, but every ingest batch is journaled (CRC-framed append +
+#: fsync) before it is acked.  The gated ratio is WAL-gateway over
+#: plain-gateway throughput: the durability tax of the journal hop.  The
+#: kill-restore leg is the producer-independence proof — after the crash
+#: the producer resends *nothing* before the crash point; boot-time WAL
+#: replay alone must restore exactly the journaled suffix past the
+#: checkpoint, and the final match log must equal the uninterrupted
+#: run's.
+WAL_RATIO_FLOOR = 0.75
+
+
+def _wal_service_config(state_dir, queries: List[QueryGraph],
+                        duration: float) -> ServerConfig:
+    texts = {f"q{i:02d}": format_query(query)
+             for i, query in enumerate(queries)}
+    tenant = TenantConfig(
+        name="bench", queries=texts, window=duration,
+        queue_capacity=SERVICE_QUEUE_CAPACITY, backpressure="block",
+        batch_size=SERVICE_BATCH_SIZE, wal=WalConfig())
+    return ServerConfig(state_dir=str(state_dir), port=0,
+                        checkpoint_interval=0.0,
+                        tenants=(tenant,)).validate()
+
+
+def _run_wal_gateway(queries: List[QueryGraph], duration: float,
+                     edges: List, state_dir):
+    """The durable pipeline: producer → WAL (append + fsync) → queue →
+    worker → session."""
+    gateway = ServiceGateway(_wal_service_config(state_dir, queries,
+                                                 duration))
+    tenant = gateway.tenant("bench")
+    delivered: Counter = Counter()
+    tenant.hub.subscribe(
+        lambda record: delivered.update([_canonical_record(record)]))
+    started = time.perf_counter()
+    _ingest_in_batches(tenant, edges)
+    if not gateway.wait_idle(timeout=600.0):
+        raise AssertionError("WAL gateway never drained the pinned stream")
+    elapsed = time.perf_counter() - started
+    wal_counters = tenant.wal.counters()
+    report = {
+        "mode": "WAL gateway pipeline (producer -> journal -> queue "
+                "-> worker)",
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_edges_per_s": round(len(edges) / elapsed, 1),
+        "matches": sum(delivered.values()),
+        "wal": {
+            "appends": wal_counters["appends"],
+            "fsyncs": wal_counters["fsyncs"],
+            "bytes_written": wal_counters["bytes_written"],
+            "segments_created": wal_counters["segments_created"],
+            "appended_lsn": wal_counters["appended_lsn"],
+        },
+        "queue_dropped": tenant.queue.dropped,
+    }
+    gateway.shutdown()
+    return report, delivered
+
+
+def _run_wal_kill_restore(queries: List[QueryGraph], duration: float,
+                          edges: List, state_dir,
+                          reference_log: Counter) -> dict:
+    """Checkpoint mid-stream, crash past it, restore **without any
+    producer replay** — the journal alone must cover the gap."""
+    config = _wal_service_config(state_dir, queries, duration)
+    gateway = ServiceGateway(config)
+    tenant = gateway.tenant("bench")
+    _ingest_in_batches(tenant, edges[:SERVICE_CHECKPOINT_AT])
+    if not gateway.wait_idle(timeout=600.0):
+        raise AssertionError("WAL gateway never drained to the checkpoint")
+    meta = tenant.checkpoint()
+    _ingest_in_batches(tenant, edges[SERVICE_CHECKPOINT_AT:SERVICE_CRASH_AT])
+    gateway.abort()                               # simulated kill -9
+
+    restored = ServiceGateway(config)
+    tenant = restored.tenant("bench")
+    expected_replay = SERVICE_CRASH_AT - SERVICE_CHECKPOINT_AT
+    if not tenant.restored:
+        raise AssertionError("the crash left no usable checkpoint")
+    if tenant.replayed_edges != expected_replay:
+        raise AssertionError(
+            f"boot replay restored {tenant.replayed_edges} edges, "
+            f"expected exactly {expected_replay} "
+            f"(crash_at - checkpoint_at)")
+    # Producer-independent recovery: the producer continues from the
+    # crash point; everything before it came back from the journal.
+    _ingest_in_batches(tenant, edges[SERVICE_CRASH_AT:])
+    if not restored.wait_idle(timeout=600.0):
+        raise AssertionError("restored WAL gateway never drained")
+    restored.shutdown()
+    recovered_log = _read_match_log(state_dir)
+    if recovered_log != reference_log:
+        raise AssertionError(
+            "WAL kill-restore changed the answer: the recovered match "
+            "log differs from the uninterrupted run")
+    return {
+        "checkpoint_at": SERVICE_CHECKPOINT_AT,
+        "crash_at": SERVICE_CRASH_AT,
+        "checkpoint_wal_lsn": meta["wal_lsn"],
+        "replayed_edges": expected_replay,
+        "producer_replayed_edges": 0,
+        "match_log_records": sum(recovered_log.values()),
+        "match_log_equal": True,
+    }
+
+
+def run_wal_smoke() -> dict:
+    """Run plain-gateway vs WAL-gateway plus the zero-producer-replay
+    kill-restore check; returns the report dict."""
+    queries, duration, edges = build_routing_workload()
+    with tempfile.TemporaryDirectory(prefix="repro-wal-bench-") as root:
+        plain_run = plain_log = None
+        for rep in range(SERVICE_REPETITIONS):
+            run, delivered = _run_service_gateway(
+                queries, duration, edges, os.path.join(root, f"plain-{rep}"))
+            if plain_log is None:
+                plain_log = delivered
+            elif delivered != plain_log:
+                raise AssertionError("plain gateway is nondeterministic")
+            if plain_run is None or run["throughput_edges_per_s"] \
+                    > plain_run["throughput_edges_per_s"]:
+                plain_run = run
+        wal_run = reference_log = None
+        for rep in range(SERVICE_REPETITIONS):
+            durable = os.path.join(root, f"durable-{rep}")
+            run, delivered = _run_wal_gateway(
+                queries, duration, edges, durable)
+            if delivered != plain_log:
+                raise AssertionError(
+                    "the WAL changed the answer: delivered match records "
+                    "differ from the plain gateway")
+            reference_log = _read_match_log(durable)
+            if reference_log != plain_log:
+                raise AssertionError(
+                    "the WAL gateway match log differs from the plain "
+                    "gateway's")
+            if wal_run is None or run["throughput_edges_per_s"] \
+                    > wal_run["throughput_edges_per_s"]:
+                wal_run = run
+        kill_restore = _run_wal_kill_restore(
+            queries, duration, edges, os.path.join(root, "killed"),
+            reference_log)
+    return {
+        "benchmark": "pr8-wal-perf-smoke",
+        "workload": {
+            "dataset": "NetworkFlow (dst-port/protocol labels)",
+            "stream_edges": ROUTING_STREAM_EDGES,
+            "stream_seed": ROUTING_STREAM_SEED,
+            "num_ips": ROUTING_NUM_IPS,
+            "query_sizes": ROUTING_QUERY_SIZES,
+            "num_queries": ROUTING_NUM_QUERIES,
+            "window_units": ROUTING_WINDOW_UNITS,
+            "storage": "mstree",
+            "queue_capacity": SERVICE_QUEUE_CAPACITY,
+            "batch_size": SERVICE_BATCH_SIZE,
+            "backpressure": "block",
+            "repetitions": SERVICE_REPETITIONS,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "plain": plain_run,
+        "wal": wal_run,
+        "kill_restore": kill_restore,
+        "dropped_edges": wal_run["queue_dropped"],
+        # The gated "speedup" is the WAL/plain throughput ratio — the
+        # durability tax; 1.0 means journaling is free, the floor 0.75.
+        "speedup": round(
+            wal_run["throughput_edges_per_s"]
+            / plain_run["throughput_edges_per_s"], 2),
+    }
+
+
+def check_wal_regression(report: dict, baseline: dict,
+                         tolerance: float) -> List[str]:
+    """Failure messages (empty = pass) for the wal suite."""
+    failures = []
+    measured = report["speedup"]
+    recorded = baseline.get("speedup")
+    if measured < WAL_RATIO_FLOOR:
+        failures.append(
+            f"WAL/plain throughput ratio {measured} is below the "
+            f"{WAL_RATIO_FLOOR} floor")
+    if recorded is not None and measured < (1.0 - tolerance) * recorded:
+        failures.append(
+            f"WAL/plain throughput ratio regressed >{tolerance:.0%}: "
+            f"measured {measured} vs committed baseline {recorded}")
+    if report["dropped_edges"] != 0:
+        failures.append(
+            f"{report['dropped_edges']} edges dropped under the blocking "
+            "backpressure policy (must be zero)")
+    if not report["kill_restore"]["match_log_equal"]:
+        failures.append(
+            "WAL kill-restore no longer reproduces the uninterrupted "
+            "match log")
+    if report["kill_restore"]["producer_replayed_edges"] != 0:
+        failures.append(
+            "the kill-restore leg replayed edges from the producer — "
+            "recovery is supposed to be journal-only")
+    if report["wal"]["matches"] != baseline.get(
+            "wal", {}).get("matches", report["wal"]["matches"]):
+        failures.append(
+            f"workload drifted: {report['wal']['matches']} matches vs "
+            f"baseline {baseline['wal']['matches']}")
+    return failures
+
+
+# --------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------- #
 
@@ -1002,6 +1227,22 @@ SUITES = {
             f"→ modeled pipeline speedup {r['speedup']}x "
             f"(wall {r['wall_speedup']}x on this machine)"),
     },
+    "wal": {
+        "default_out": "BENCH_pr8.json",
+        "run": run_wal_smoke,
+        "check": check_wal_regression,
+        "summary": lambda r: (
+            f"plain: {r['plain']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['plain']['elapsed_seconds']}s), wal: "
+            f"{r['wal']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['wal']['elapsed_seconds']}s, "
+            f"{r['wal']['wal']['fsyncs']} fsyncs) "
+            f"→ durability tax ratio {r['speedup']}, kill-restore "
+            f"replayed {r['kill_restore']['replayed_edges']} edges from "
+            f"the journal (producer resent "
+            f"{r['kill_restore']['producer_replayed_edges']}) "
+            f"→ match log equal: {r['kill_restore']['match_log_equal']}"),
+    },
     "service": {
         "default_out": "BENCH_pr6.json",
         "run": run_service_smoke,
@@ -1026,8 +1267,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="pinned perf smokes: indexing (hash vs scan joins), "
                     "routing (shared vs fanout sessions), sharing "
                     "(shared vs private sub-plans), sharding "
-                    "(process shards vs in-process), and service "
-                    "(gateway pipeline vs direct push)")
+                    "(process shards vs in-process), service "
+                    "(gateway pipeline vs direct push), and wal "
+                    "(durable WAL gateway vs plain gateway)")
     parser.add_argument("--suite", choices=sorted(SUITES),
                         default="indexing",
                         help="which smoke to run (default: indexing)")

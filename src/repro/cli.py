@@ -19,6 +19,21 @@ Subcommands
     checkpoints, and a Prometheus ``/metrics`` endpoint.  ``SIGINT`` /
     ``SIGTERM`` trigger a graceful drain → checkpoint → exit.
 
+``repro wal {inspect,verify} DIR``
+    Offline tooling for a tenant's write-ahead log directory
+    (``state/<tenant>/wal``): ``inspect`` prints per-segment frame and
+    edge counts plus any damage found; ``verify`` exits 1 when the log
+    carries interior corruption (a torn final tail is normal
+    crash debris, not an error).
+
+``repro dlq {list,inspect,replay} FILE``
+    Operate on a tenant's dead-letter file
+    (``state/<tenant>/deadletter.jsonl``): ``list`` summarises records
+    by reason, ``inspect`` prints them, and ``replay`` re-ingests the
+    poison-edge records into a running gateway over HTTP (each batch
+    tagged with a deterministic ``request_id`` so a re-run of the same
+    file cannot double-ingest on a WAL-enabled tenant).
+
 Invoke as ``python -m repro ...`` or through the console entry point.
 """
 
@@ -140,6 +155,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="parse and validate the config (incl. "
                               "[faults] and rate-limit keys), print a "
                               "summary, and exit 0/1 without serving")
+
+    p_wal = sub.add_parser(
+        "wal", help="inspect or verify a tenant's write-ahead log")
+    wal_sub = p_wal.add_subparsers(dest="wal_command", required=True)
+    for name, blurb in (("inspect", "print per-segment frame/edge counts"),
+                        ("verify", "exit 1 on interior corruption")):
+        p = wal_sub.add_parser(name, help=blurb)
+        p.add_argument("directory", metavar="DIR",
+                       help="the tenant's wal/ directory")
+        p.add_argument("--json", action="store_true",
+                       help="emit the raw report as JSON")
+
+    p_dlq = sub.add_parser(
+        "dlq", help="list, inspect, or re-ingest dead letters")
+    dlq_sub = p_dlq.add_subparsers(dest="dlq_command", required=True)
+    p_dlq_list = dlq_sub.add_parser(
+        "list", help="summarise dead letters by reason")
+    p_dlq_list.add_argument("file", metavar="DEADLETTER.jsonl")
+    p_dlq_inspect = dlq_sub.add_parser(
+        "inspect", help="print dead-letter records")
+    p_dlq_inspect.add_argument("file", metavar="DEADLETTER.jsonl")
+    p_dlq_inspect.add_argument("--reason", default=None,
+                               help="only records with this reason")
+    p_dlq_inspect.add_argument("--limit", type=int, default=20,
+                               help="print at most N records (default 20)")
+    p_dlq_replay = dlq_sub.add_parser(
+        "replay", help="re-ingest poison edges into a running gateway")
+    p_dlq_replay.add_argument("file", metavar="DEADLETTER.jsonl")
+    p_dlq_replay.add_argument("--url", default="http://127.0.0.1:8080",
+                              help="gateway base URL "
+                                   "(default http://127.0.0.1:8080)")
+    p_dlq_replay.add_argument("--tenant", default=None,
+                              help="target tenant (default: the "
+                                   "gateway's sole tenant)")
+    p_dlq_replay.add_argument("--batch-size", type=int, default=100,
+                              help="edges per ingest request (default 100)")
+    p_dlq_replay.add_argument("--dry-run", action="store_true",
+                              help="print what would be sent, send "
+                                   "nothing")
     return parser
 
 
@@ -375,11 +429,158 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_wal(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+
+    from .service.wal import inspect_wal
+
+    if not os.path.isdir(args.directory):
+        print(f"error: {args.directory} is not a directory",
+              file=sys.stderr)
+        return 2
+    report = inspect_wal(args.directory)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"{args.directory}: {len(report['segments'])} segment(s), "
+              f"{report['frames']} frame(s), {report['edges']} edge(s), "
+              f"last lsn {report['last_lsn']}")
+        for seg in report["segments"]:
+            line = (f"  {seg['name']}: base {seg['base_lsn']}, "
+                    f"{seg['frames']} frame(s), {seg['edges']} edge(s), "
+                    f"{seg['bytes']} byte(s)")
+            if seg["torn_bytes"]:
+                line += f", {seg['torn_bytes']} torn byte(s)"
+            if seg.get("error"):
+                line += f" [{seg['error']}]"
+            print(line)
+        for error in report["errors"]:
+            print(f"  error: {error}")
+    if args.wal_command == "verify":
+        if report["errors"]:
+            print("verify: FAILED — the log carries interior corruption; "
+                  "frames after the damage were dropped at recovery",
+                  file=sys.stderr)
+            return 1
+        print("verify: ok (torn final tail, if any, is normal crash "
+              "debris)")
+    return 0
+
+
+def _read_dead_letters(path: str):
+    import json as _json
+
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(_json.loads(line))
+            except ValueError:
+                print(f"warning: line {number} is not JSON; skipped",
+                      file=sys.stderr)
+    return records
+
+
+def _cmd_dlq(args: argparse.Namespace) -> int:
+    import json as _json
+
+    try:
+        records = _read_dead_letters(args.file)
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dlq_command == "list":
+        by_reason: dict = {}
+        for record in records:
+            by_reason.setdefault(record.get("reason", "?"), []).append(record)
+        print(f"{args.file}: {len(records)} dead letter(s)")
+        for reason in sorted(by_reason):
+            bucket = by_reason[reason]
+            newest = max((r.get("at", 0) for r in bucket), default=0)
+            print(f"  {reason}: {len(bucket)} (newest at {newest})")
+        return 0
+
+    if args.dlq_command == "inspect":
+        shown = 0
+        for record in records:
+            if args.reason is not None \
+                    and record.get("reason") != args.reason:
+                continue
+            if shown >= args.limit:
+                remaining = sum(
+                    1 for r in records
+                    if args.reason is None or r.get("reason") == args.reason
+                ) - shown
+                print(f"... {remaining} more (raise --limit)")
+                break
+            print(_json.dumps(record, sort_keys=True))
+            shown += 1
+        return 0
+
+    # replay: only poison_edge payloads are edges; sink_* payloads are
+    # match records and cannot be re-ingested.
+    edges = [record["payload"] for record in records
+             if record.get("reason") == "poison_edge"
+             and isinstance(record.get("payload"), dict)]
+    skipped = len(records) - len(edges)
+    if not edges:
+        print(f"nothing to replay: {len(records)} record(s), none with "
+              f"reason poison_edge")
+        return 0
+    path = "/ingest" if args.tenant is None \
+        else f"/tenants/{args.tenant}/ingest"
+    url = args.url.rstrip("/") + path
+    batches = [edges[i:i + max(1, args.batch_size)]
+               for i in range(0, len(edges), max(1, args.batch_size))]
+    if args.dry_run:
+        print(f"dry run: would POST {len(edges)} edge(s) in "
+              f"{len(batches)} batch(es) to {url} "
+              f"({skipped} non-replayable record(s) skipped)")
+        return 0
+    import hashlib
+    import urllib.error
+    import urllib.request
+
+    sent = 0
+    for index, batch in enumerate(batches):
+        # Deterministic id over file + batch content: re-running the
+        # same replay against a WAL-enabled tenant dedups instead of
+        # double-ingesting.
+        digest = hashlib.sha256(
+            _json.dumps([args.file, index, batch],
+                        sort_keys=True).encode()).hexdigest()[:24]
+        body = _json.dumps({"edges": batch, "dlq_replay": True,
+                            "request_id": f"dlq-{digest}"}).encode()
+        request = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=30.0) as response:
+                ack = _json.loads(response.read())
+        except urllib.error.URLError as exc:
+            print(f"error: POST {url} failed after {sent} edge(s): {exc}",
+                  file=sys.stderr)
+            return 1
+        sent += len(batch)
+        note = " (deduplicated)" if ack.get("deduplicated") else ""
+        print(f"batch {index + 1}/{len(batches)}: accepted "
+              f"{ack.get('accepted')}, invalid {ack.get('invalid')}"
+              f"{note}")
+    print(f"replayed {sent} edge(s); {skipped} non-replayable "
+          f"record(s) skipped")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"explain": _cmd_explain, "run": _cmd_run,
                 "generate": _cmd_generate, "simulate": _cmd_simulate,
-                "analyze": _cmd_analyze, "serve": _cmd_serve}
+                "analyze": _cmd_analyze, "serve": _cmd_serve,
+                "wal": _cmd_wal, "dlq": _cmd_dlq}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

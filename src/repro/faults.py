@@ -63,6 +63,7 @@ SITES = (
     "sink.write", "sink.flush",
     "tailer.read",
     "checkpoint.write",
+    "wal.append", "wal.fsync",
 )
 
 #: Supported fault kinds (see :class:`FaultSpec`).

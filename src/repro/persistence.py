@@ -22,6 +22,8 @@ Security note: checkpoints are pickles — only restore files you wrote.
 from __future__ import annotations
 
 import pickle
+import struct
+import zlib
 from typing import BinaryIO, Optional, Tuple, Union
 
 from .api import MatcherBase, Session
@@ -49,10 +51,20 @@ from .api import MatcherBase, Session
 #: ``meta`` dict (JSON-able barrier bookkeeping: stream position, sealed
 #: match-log segment, tail-source offsets) written atomically with the
 #: session state, so the gateway's crash recovery can resume producers
-#: and truncate uncommitted match segments from one consistent capture.)
-CHECKPOINT_VERSION = 7
+#: and truncate uncommitted match segments from one consistent capture.
+#: v8: checksummed containers — the pickled envelope is wrapped in a
+#: CRC32 frame on disk, so a truncated or bit-flipped checkpoint is
+#: detected *before* unpickling and surfaces as a typed
+#: :class:`CheckpointCorruptError` (path + reason) that the service
+#: layer catches to fall back down its keep-last-K checkpoint chain.
+#: Meta grew WAL bookkeeping (``wal_lsn``, the dedup-window snapshot).)
+CHECKPOINT_VERSION = 8
 
 _MAGIC = b"timingsubg-checkpoint"
+#: On-disk container prefix for the v8 CRC frame; files without it are
+#: read as pre-v8 bare pickles (and then fail the version gate loudly).
+_FRAME_MAGIC = b"TSGCKPT\x02"
+_FRAME_HEADER = struct.Struct("<II")    # crc32(payload), len(payload)
 
 _PathOrFile = Union[str, BinaryIO]
 
@@ -61,20 +73,59 @@ class CheckpointError(RuntimeError):
     """Raised for malformed or version-incompatible checkpoint files."""
 
 
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file exists but cannot be trusted — truncated,
+    bit-flipped, or an unreadable pickle.  Carries ``path`` and
+    ``reason`` so operators see *which* artifact died and recovery code
+    can fall back (older checkpoint, deeper WAL replay) instead of
+    refusing to boot."""
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(f"corrupt checkpoint {path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
 def _dump(envelope: dict, target: _PathOrFile) -> None:
+    payload = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = _FRAME_MAGIC + _FRAME_HEADER.pack(
+        zlib.crc32(payload) & 0xFFFFFFFF, len(payload)) + payload
     if isinstance(target, str):
         with open(target, "wb") as handle:
-            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(blob)
     else:
-        pickle.dump(envelope, target, protocol=pickle.HIGHEST_PROTOCOL)
+        target.write(blob)
 
 
 def _load(source: _PathOrFile) -> dict:
     if isinstance(source, str):
+        path = source
         with open(source, "rb") as handle:
-            envelope = pickle.load(handle)
+            blob = handle.read()
     else:
-        envelope = pickle.load(source)
+        path = getattr(source, "name", "<stream>")
+        blob = source.read()
+    if blob.startswith(_FRAME_MAGIC):
+        head = blob[len(_FRAME_MAGIC):len(_FRAME_MAGIC) + _FRAME_HEADER.size]
+        if len(head) < _FRAME_HEADER.size:
+            raise CheckpointCorruptError(path, "truncated container header")
+        crc, length = _FRAME_HEADER.unpack(head)
+        payload = blob[len(_FRAME_MAGIC) + _FRAME_HEADER.size:]
+        if len(payload) != length:
+            raise CheckpointCorruptError(
+                path, f"payload is {len(payload)} bytes, header promised "
+                      f"{length} (truncated or overwritten)")
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise CheckpointCorruptError(path, "payload CRC mismatch")
+    else:
+        payload = blob      # pre-v8 bare pickle
+    try:
+        envelope = pickle.loads(payload)
+    except Exception as exc:
+        # A garbled pickle raises anything from EOFError to AttributeError
+        # depending on where the damage lands; all of them mean the same
+        # operational fact.
+        raise CheckpointCorruptError(path, f"unreadable pickle: {exc!r}")
     if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
         raise CheckpointError("not a timingsubg checkpoint file")
     version = envelope.get("version")

@@ -34,6 +34,10 @@ Layout
     token-bucket rate limiting, restart budgets, health tracking, and
     the dead-letter queue (see also :mod:`repro.faults`, the
     deterministic fault-injection registry that proves them in CI).
+:mod:`~repro.service.wal`
+    The per-tenant write-ahead log: CRC-framed segments, group-commit
+    fsync, boot-time replay, and the request-id dedup window that makes
+    ingestion exactly-once without producer cooperation.
 
 Quickstart::
 
@@ -53,7 +57,7 @@ or from the command line: ``repro serve --config server.toml``.
 from .codec import edge_from_json, edge_to_json, match_to_json
 from .config import (
     ConfigError, RateLimitConfig, ServerConfig, TailConfig, TenantConfig,
-    load_config,
+    WalConfig, load_config,
 )
 from .gateway import MatchHub, ServiceGateway, Tenant
 from .http import ServiceHTTPServer
@@ -65,13 +69,15 @@ from .resilience import (
     call_with_retry, retrying,
 )
 from .tailer import FileTailer
+from .wal import DedupIndex, WalCorruptError, WriteAheadLog, inspect_wal
 
 __all__ = [
     "BACKPRESSURE_POLICIES", "BoundedEdgeQueue", "QueueClosed",
     "ConfigError", "ServerConfig", "TenantConfig", "TailConfig",
-    "RateLimitConfig", "load_config", "MatchHub", "ServiceGateway",
-    "Tenant", "ServiceHTTPServer", "FileTailer", "render_metrics",
-    "edge_from_json", "edge_to_json", "match_to_json",
+    "RateLimitConfig", "WalConfig", "load_config", "MatchHub",
+    "ServiceGateway", "Tenant", "ServiceHTTPServer", "FileTailer",
+    "render_metrics", "edge_from_json", "edge_to_json", "match_to_json",
+    "DedupIndex", "WalCorruptError", "WriteAheadLog", "inspect_wal",
     # resilience primitives
     "HEALTH_STATES", "CircuitBreaker", "DeadLetterQueue", "HealthTracker",
     "RateLimited", "RestartBudget", "RetryBudget", "RetryPolicy",

@@ -141,6 +141,59 @@ class RateLimitConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class WalConfig:
+    """Per-tenant write-ahead log settings (``[tenant.wal]``).
+
+    With a WAL enabled, every admitted batch is journaled and fsynced
+    *before* the ingest ack, producers never replay after a crash, and
+    optional ``request_id`` fields get exactly-once semantics through a
+    bounded dedup window (see :mod:`repro.service.wal`).
+
+    ``fsync_interval_ms`` > 0 turns on group commit: the sync leader
+    waits that long so concurrent producers share one fsync — higher
+    ack latency, far fewer fsyncs.  ``fsync_batch`` pending frames skip
+    the wait.  ``dedup_window`` bounds how many recent ``request_id``
+    acks are remembered (and checkpointed).
+    """
+
+    enabled: bool = True
+    segment_bytes: int = 4 * 1024 * 1024
+    fsync_interval_ms: float = 0.0
+    fsync_batch: int = 256
+    dedup_window: int = 1024
+
+    def validate(self) -> "WalConfig":
+        """Raise :class:`ConfigError` on bad values; returns ``self``."""
+        if not isinstance(self.enabled, bool):
+            raise ConfigError(
+                f"wal.enabled must be a boolean, got {self.enabled!r}")
+        if not isinstance(self.segment_bytes, int) \
+                or isinstance(self.segment_bytes, bool) \
+                or self.segment_bytes < 1024:
+            raise ConfigError(
+                f"wal.segment_bytes must be an int >= 1024, "
+                f"got {self.segment_bytes!r}")
+        if not isinstance(self.fsync_interval_ms, (int, float)) \
+                or isinstance(self.fsync_interval_ms, bool) \
+                or self.fsync_interval_ms < 0:
+            raise ConfigError(
+                f"wal.fsync_interval_ms must be >= 0, "
+                f"got {self.fsync_interval_ms!r}")
+        if not isinstance(self.fsync_batch, int) \
+                or isinstance(self.fsync_batch, bool) \
+                or self.fsync_batch < 1:
+            raise ConfigError(
+                f"wal.fsync_batch must be >= 1, got {self.fsync_batch!r}")
+        if not isinstance(self.dedup_window, int) \
+                or isinstance(self.dedup_window, bool) \
+                or self.dedup_window < 1:
+            raise ConfigError(
+                f"wal.dedup_window must be >= 1, "
+                f"got {self.dedup_window!r}")
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
 class TenantConfig:
     """One named session hosted by the gateway.
 
@@ -166,6 +219,9 @@ class TenantConfig:
     match_log: bool = True
     tails: Tuple[TailConfig, ...] = ()
     rate_limit: "RateLimitConfig | None" = None
+    #: Optional write-ahead log (``[tenant.wal]``): durable admission,
+    #: producer-independent recovery, request-id exactly-once.
+    wal: "WalConfig | None" = None
     #: Supervision: worker/session restarts allowed per sliding window
     #: before the tenant degrades (stops restarting, keeps serving what
     #: it can) instead of crash-looping.
@@ -247,6 +303,13 @@ class TenantConfig:
                     f"tenant {self.name!r}: rate_limit must be a table "
                     "with 'rps' (and optional 'burst')")
             self.rate_limit.validate()
+        if self.wal is not None:
+            if not isinstance(self.wal, WalConfig):
+                raise ConfigError(
+                    f"tenant {self.name!r}: wal must be a table "
+                    "(enabled, segment_bytes, fsync_interval_ms, "
+                    "fsync_batch, dedup_window)")
+            self.wal.validate()
         if not isinstance(self.max_restarts, int) \
                 or isinstance(self.max_restarts, bool) \
                 or self.max_restarts < 0:
@@ -278,6 +341,11 @@ class ServerConfig:
     host: str = "127.0.0.1"
     port: int = 8765
     checkpoint_interval: float = 30.0
+    #: Checkpoints kept per tenant (the newest plus ``checkpoint_keep - 1``
+    #: predecessors).  A corrupt newest checkpoint falls back down this
+    #: chain; WAL retention covers the whole chain so the fallback can
+    #: always replay forward.
+    checkpoint_keep: int = 2
     tenants: Tuple[TenantConfig, ...] = ()
     #: Optional ``[faults]`` table — a :class:`repro.faults.FaultPlan`
     #: in dict form, installed by the gateway at boot (chaos testing).
@@ -298,6 +366,11 @@ class ServerConfig:
             raise ConfigError(
                 "checkpoint_interval must be >= 0 (0 disables periodic "
                 f"checkpoints), got {self.checkpoint_interval!r}")
+        if not isinstance(self.checkpoint_keep, int) \
+                or isinstance(self.checkpoint_keep, bool) \
+                or self.checkpoint_keep < 1:
+            raise ConfigError(
+                f"checkpoint_keep must be >= 1, got {self.checkpoint_keep!r}")
         if not self.tenants:
             raise ConfigError("configuration defines no tenants")
         if self.faults is not None:
@@ -325,15 +398,19 @@ class ServerConfig:
 # TOML loading
 # --------------------------------------------------------------------- #
 
-_SERVER_KEYS = {"host", "port", "state_dir", "checkpoint_interval"}
+_SERVER_KEYS = {"host", "port", "state_dir", "checkpoint_interval",
+                "checkpoint_keep"}
 _DEFAULT_KEYS = {"window", "storage", "sharding", "shards",
                  "duplicate_policy", "queue_capacity", "backpressure",
                  "batch_size", "timestamps", "match_log", "rate_limit",
-                 "max_restarts", "restart_window", "dead_letter_capacity"}
+                 "max_restarts", "restart_window", "dead_letter_capacity",
+                 "wal"}
 _TENANT_KEYS = _DEFAULT_KEYS | {"name", "query", "tail"}
 _QUERY_KEYS = {"name", "text", "file"}
 _TAIL_KEYS = {"path", "format", "poll_interval"}
 _RATE_LIMIT_KEYS = {"rps", "burst"}
+_WAL_KEYS = {"enabled", "segment_bytes", "fsync_interval_ms",
+             "fsync_batch", "dedup_window"}
 
 
 def _load_rate_limit(entry, where: str) -> RateLimitConfig:
@@ -347,6 +424,20 @@ def _load_rate_limit(entry, where: str) -> RateLimitConfig:
     if "rps" not in entry:
         raise ConfigError(f"{where} rate_limit needs 'rps'")
     return RateLimitConfig(rps=entry["rps"], burst=entry.get("burst", 0))
+
+
+def _load_wal(entry, where: str) -> WalConfig:
+    if isinstance(entry, WalConfig):
+        return entry
+    if not isinstance(entry, dict):
+        raise ConfigError(f"{where} wal must be a table (see WalConfig)")
+    _reject_unknown(entry, _WAL_KEYS, f"{where} wal")
+    return WalConfig(
+        enabled=entry.get("enabled", True),
+        segment_bytes=entry.get("segment_bytes", 4 * 1024 * 1024),
+        fsync_interval_ms=entry.get("fsync_interval_ms", 0.0),
+        fsync_batch=entry.get("fsync_batch", 256),
+        dedup_window=entry.get("dedup_window", 1024))
 
 
 def _reject_unknown(table: dict, allowed: set, where: str) -> None:
@@ -440,6 +531,8 @@ def parse_config(data: dict, *, base_dir: str = ".") -> ServerConfig:
         if merged.get("rate_limit") is not None:
             merged["rate_limit"] = _load_rate_limit(
                 merged["rate_limit"], f"tenant {name!r}")
+        if merged.get("wal") is not None:
+            merged["wal"] = _load_wal(merged["wal"], f"tenant {name!r}")
         tenants.append(TenantConfig(
             name=name, queries=queries, tails=tuple(tails), **merged))
     faults_table = data.get("faults")
@@ -450,6 +543,7 @@ def parse_config(data: dict, *, base_dir: str = ".") -> ServerConfig:
         host=server.get("host", "127.0.0.1"),
         port=server.get("port", 8765),
         checkpoint_interval=server.get("checkpoint_interval", 30.0),
+        checkpoint_keep=server.get("checkpoint_keep", 2),
         tenants=tuple(tenants),
         faults=faults_table)
     if not os.path.isabs(config.state_dir) and config.state_dir:

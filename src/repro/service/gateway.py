@@ -19,18 +19,24 @@ Crash-recovery contract
 A checkpoint is a *barrier*: under one lock acquisition the tenant seals
 its current match-log segment (flush + fsync) and pickles the session
 together with metadata naming the stream position (``edges_offered``),
-the sealed segment index, and every tail source's resume offset.  The
-pickle lands via write-to-temp + ``os.replace``, so the checkpoint file
-is always either the old capture or the new one, never a torn write.  On
-boot, a tenant with a checkpoint restores the session, deletes match
-segments *newer* than the sealed index (their matches correspond to
-arrivals after the barrier, which will be replayed), and resumes tailers
-from the recorded offsets.  Producers that feed the gateway directly
-read the replay position from :meth:`Tenant.status` /  the ``/stats``
-endpoint.  The net effect — proven by the ``service`` perf-smoke suite —
-is that a kill-and-restore run delivers exactly the match multiset of an
-uninterrupted run: at-least-once replay upstream, exactly-once delivery
-per committed segment downstream.
+the sealed segment index, every tail source's resume offset, the WAL
+position (``wal_lsn``), and the request-id dedup window.  The pickle
+lands via write-to-temp + ``os.replace`` after rotating the previous
+capture down a keep-last-K chain (``checkpoint.pkl``,
+``checkpoint.pkl.1``, ...), so recovery can fall back to an older good
+capture when the newest is corrupt (:class:`CheckpointCorruptError`).
+
+Tenants with a ``[tenant.wal]`` table journal every admitted batch to a
+segmented write-ahead log *before* it enters the queue and withhold the
+ingest ack until the journal is fsynced.  On boot (or a supervised
+in-process restart) the tenant restores the best checkpoint in the
+chain, discards uncommitted match segments, then replays the WAL from
+the checkpoint's ``wal_lsn`` — reconstructing the exact session and
+match log with **zero producer cooperation**.  Producers that attach a
+``request_id`` to ingest batches additionally get exactly-once retries:
+a retry after a lost ack returns the cached ack instead of
+re-admitting.  Without a WAL the pre-existing contract stands: producers
+replay from the checkpointed position read off ``/stats``.
 """
 
 from __future__ import annotations
@@ -45,25 +51,28 @@ from .. import faults
 from ..api import EngineConfig, Session, ThreadSafeSession
 from ..concurrency.sharding import ShardDeadError
 from ..graph.edge import StreamEdge
-from ..persistence import load_session_meta
+from ..persistence import CheckpointError, load_session_meta
 from ..sinks import RotatingJSONLSink, match_record
 from .codec import CodecError, edge_from_json, edge_to_json
 from .config import ServerConfig, TenantConfig
-from .queues import BoundedEdgeQueue
+from .queues import BoundedEdgeQueue, _Entry
 from .resilience import (
     CircuitBreaker, DeadLetterQueue, HealthTracker, RateLimited,
     RestartBudget, RetryPolicy, TokenBucket, call_with_retry,
 )
+from .wal import DedupIndex, WriteAheadLog
 
 _CHECKPOINT_FILE = "checkpoint.pkl"
 _MATCH_DIR = "matches"
 _SPILL_FILE = "spill.jsonl"
 _DEAD_LETTER_FILE = "deadletter.jsonl"
+_WAL_DIR = "wal"
 
-#: Retry ladders for the two disk-facing components.  Short and
+#: Retry ladders for the disk-facing components.  Short and
 #: budget-free: persistent failure is the circuit breaker's job.
 _SINK_RETRY = RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.5)
 _CHECKPOINT_RETRY = RetryPolicy(attempts=3, base_delay=0.05, max_delay=1.0)
+_WAL_RETRY = RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.5)
 
 
 class MatchHub:
@@ -124,14 +133,21 @@ class Tenant:
     :meth:`status` and the gateway's metrics endpoint.
     """
 
-    def __init__(self, config: TenantConfig, state_dir: str) -> None:
+    def __init__(self, config: TenantConfig, state_dir: str, *,
+                 checkpoint_keep: int = 2) -> None:
         self.config = config
         self.state_dir = os.path.join(state_dir, config.name)
         os.makedirs(self.state_dir, exist_ok=True)
         self.checkpoint_path = os.path.join(self.state_dir, _CHECKPOINT_FILE)
+        self.checkpoint_keep = max(1, checkpoint_keep)
+        wal_enabled = config.wal is not None and config.wal.enabled
         self.queue = BoundedEdgeQueue(
             config.queue_capacity, policy=config.backpressure,
-            spill_path=os.path.join(self.state_dir, _SPILL_FILE))
+            spill_path=os.path.join(self.state_dir, _SPILL_FILE),
+            # A WAL-enabled tenant journals before enqueueing, so the
+            # spill is plain overflow: no per-record fsync, and a
+            # crash-orphaned spill is discarded (WAL replay re-delivers).
+            durable_spill=not wal_enabled)
         self.hub = MatchHub()
         #: Entries taken off the queue and offered to the session —
         #: the tenant's stream position (replay cursor after recovery).
@@ -176,20 +192,78 @@ class Tenant:
         self.sink_write_errors = 0
         #: Checkpoint barriers that failed even after retries.
         self.checkpoint_failures = 0
+        # --- write-ahead log -------------------------------------------
+        #: Admission order must equal journal order: one lock wraps
+        #: journal-then-enqueue for every producer.
+        self._admission_lock = threading.Lock()
+        self.wal: Optional[WriteAheadLog] = None
+        self.dedup: Optional[DedupIndex] = None
+        if wal_enabled:
+            self.wal = WriteAheadLog(
+                os.path.join(self.state_dir, _WAL_DIR),
+                segment_bytes=config.wal.segment_bytes,
+                fsync_interval_ms=config.wal.fsync_interval_ms,
+                fsync_batch=config.wal.fsync_batch)
+            self.dedup = DedupIndex(config.wal.dedup_window)
+        #: Highest WAL LSN actually applied to the session (advanced by
+        #: the worker under the session lock; checkpointed as wal_lsn).
+        self.wal_applied_lsn = 0
+        #: Edges re-delivered from the WAL at boot / supervised restart.
+        self.replayed_edges = 0
+        #: Ingest batches answered from the request-id dedup window.
+        self.dedup_hits = 0
+        #: WAL fsyncs that failed even after retries (acks proceed on the
+        #: next successful sync; see ingest_json).
+        self.wal_sync_errors = 0
+        #: Dead-letter entries re-ingested via ``repro dlq replay``.
+        self.dlq_replayed = 0
+        #: Boot-time falls down the checkpoint chain (corrupt newest).
+        self.checkpoint_fallbacks = 0
+        #: WAL positions of the checkpoints written since boot, oldest
+        #: first — WAL segments are reclaimed only up to the *oldest*
+        #: kept checkpoint, and only once the whole chain was written by
+        #: this incarnation (older on-disk captures may reach further
+        #: back than we know).
+        self._chain_lsns: List[int] = []
         self.safe = self._boot_session()
         self._attach_sinks()
+        self._replay_wal()
 
     # ------------------------------------------------------------------ #
     # Boot / restore
     # ------------------------------------------------------------------ #
+    def checkpoint_chain(self) -> List[str]:
+        """The checkpoint candidate paths, newest first."""
+        return [self.checkpoint_path] + [
+            f"{self.checkpoint_path}.{i}"
+            for i in range(1, self.checkpoint_keep)]
+
     def _boot_session(self) -> ThreadSafeSession:
         restored_meta: Optional[dict] = None
         session: Optional[Session] = None
-        if os.path.exists(self.checkpoint_path):
-            session, restored_meta = load_session_meta(self.checkpoint_path)
+        for path in self.checkpoint_chain():
+            if not os.path.exists(path):
+                continue
+            try:
+                session, restored_meta = load_session_meta(path)
+                break
+            except CheckpointError as exc:
+                # Typed corruption (CheckpointCorruptError) and version
+                # mismatches alike: log, fall back down the chain.  The
+                # WAL retention policy guarantees an older capture still
+                # has enough log ahead of it to replay forward.
+                self.checkpoint_fallbacks += 1
+                print(f"[repro.service] tenant {self.config.name!r} "
+                      f"checkpoint {path} unusable ({exc}); falling back",
+                      file=sys.stderr)
         if session is None:
             session = self._fresh_session()
             self._sealed_segment = -1
+            self._ckpt_wal_lsn = 0
+            # No barrier means no committed match segments: leftovers
+            # from a crashed (or restarted) incarnation would sit next
+            # to the replay's rewrite and double every match.
+            self._discard_uncommitted_segments(-1)
         else:
             meta = restored_meta or {}
             self.edges_offered = int(meta.get("edges_offered", 0))
@@ -198,6 +272,9 @@ class Tenant:
                 meta.get("server_clock", session.current_time
                          if session.current_time > float("-inf") else 0.0))
             self._sealed_segment = int(meta.get("sealed_segment", -1))
+            self._ckpt_wal_lsn = int(meta.get("wal_lsn", 0))
+            if self.dedup is not None:
+                self.dedup.restore(meta.get("dedup"))
             self._discard_uncommitted_segments(self._sealed_segment)
             # Config drift: queries added since the checkpoint register
             # mid-stream (starts-empty semantics); removed ones leave.
@@ -245,6 +322,53 @@ class Tenant:
                 start_index=self._sealed_segment + 1)
         with self.safe.locked() as session:
             session.add_sink(self._deliver)
+
+    def _replay_wal(self) -> None:
+        """Re-apply every journaled batch past the checkpoint's WAL
+        position, synchronously, before any worker or tailer starts.
+
+        Replay drives the same code path as the live worker
+        (:meth:`_process`), so monotonicity shedding, duplicate policy,
+        match delivery, ``edges_offered`` and tail offsets all advance
+        exactly as they did the first time — the match log comes out
+        byte-identical.  Frames carrying a ``request_id`` repopulate the
+        dedup window so producer retries stay exactly-once across the
+        crash."""
+        if self.wal is None:
+            return
+        start = self._ckpt_wal_lsn
+        self.wal_applied_lsn = start
+        replayed = 0
+        for first_lsn, frame in self.wal.replay(start):
+            entries: List[_Entry] = []
+            for i, item in enumerate(frame.get("entries", [])):
+                lsn = first_lsn + i
+                if lsn <= start:
+                    continue        # the checkpoint already covers it
+                try:
+                    edge = edge_from_json(item["e"])
+                except (CodecError, KeyError, TypeError):
+                    continue        # CRC-clean but unreadable: skip once
+                offset = tuple(item["o"]) if item.get("o") else None
+                entries.append(_Entry(edge, offset, time.monotonic(), lsn))
+            if entries:
+                self._process(entries)
+                replayed += len(entries)
+            rid = frame.get("rid")
+            if rid is not None and self.dedup is not None \
+                    and self.dedup.get(rid) is None:
+                self.dedup.put(rid, {
+                    "accepted": int(frame.get("n", 0)),
+                    "invalid": int(frame.get("invalid", 0)),
+                    "position": self.edges_offered,
+                    "durable": True,
+                })
+        self.replayed_edges += replayed
+        if replayed:
+            print(f"[repro.service] tenant {self.config.name!r} replayed "
+                  f"{replayed} edge(s) from the WAL "
+                  f"(lsn {start} -> {self.wal_applied_lsn})",
+                  file=sys.stderr)
 
     def _deliver(self, name: str, match) -> None:
         record = match_record(name, match)
@@ -297,18 +421,61 @@ class Tenant:
         Blocks under the ``block`` policy (bounded by ``timeout``);
         raises :class:`~repro.service.queues.QueueClosed` once shutdown
         has begun.  ``offset`` tags the *last* edge with its source
-        resume position (file tailers use this).
+        resume position (file tailers use this).  WAL-enabled tenants
+        journal the batch before enqueueing and fsync before returning —
+        an admitted edge is durable by the time the caller hears so.
         """
         edges = list(edges)
-        admitted = 0
-        for i, edge in enumerate(edges):
-            tag = offset if i == len(edges) - 1 else None
-            if self.queue.put(edge, offset=tag, timeout=timeout):
-                admitted += 1
+        if self.wal is None:
+            admitted = 0
+            for i, edge in enumerate(edges):
+                tag = offset if i == len(edges) - 1 else None
+                if self.queue.put(edge, offset=tag, timeout=timeout):
+                    admitted += 1
+            return admitted
+        if not edges:
+            return 0
+        payload = [{"e": edge_to_json(edge)} for edge in edges]
+        if offset is not None:
+            payload[-1]["o"] = list(offset)
+        with self._admission_lock:
+            last_lsn, ticket = call_with_retry(
+                self.wal.append, payload, policy=_WAL_RETRY)
+            base = last_lsn - len(edges) + 1
+            admitted = 0
+            for i, edge in enumerate(edges):
+                tag = offset if i == len(edges) - 1 else None
+                if self.queue.put(edge, offset=tag, timeout=timeout,
+                                  lsn=base + i):
+                    admitted += 1
+        self._wal_sync(ticket)
         return admitted
 
+    def _wal_sync(self, ticket: int, *, raise_on_failure: bool = False) -> None:
+        """Group-commit the journal up to ``ticket`` (retry ladder).
+
+        On a sync that fails all retries the frames stay buffered; the
+        next successful sync (or segment rotation, or shutdown) carries
+        them to disk.  File tailers swallow the failure (the tail file
+        is its own source of truth and offsets only advance via
+        checkpoints); the HTTP path passes ``raise_on_failure`` so the
+        producer gets a 5xx instead of a durable-looking ack — its
+        retry is made safe by the request-id dedup window."""
+        try:
+            call_with_retry(self.wal.sync, ticket, policy=_WAL_RETRY)
+        except OSError as exc:
+            self.wal_sync_errors += 1
+            self.health.set_state("degraded", f"WAL fsync failing: {exc!r}")
+            if raise_on_failure:
+                raise
+            return
+        if self.health.reason.startswith("WAL fsync failing"):
+            self.health.set_state("healthy")
+
     def ingest_json(self, records: Sequence[dict], *,
-                    timeout: Optional[float] = None) -> dict:
+                    timeout: Optional[float] = None,
+                    request_id: Optional[str] = None,
+                    dlq_replay: bool = False) -> dict:
         """Decode and enqueue a batch of JSON edge objects.
 
         Returns ``{"accepted": n, "invalid": m, "position": p}`` where
@@ -322,13 +489,34 @@ class Tenant:
         record is admitted or :class:`RateLimited` carries the wait after
         which the *same* batch can be resent — partial admission would
         make 429 retries unsafe for order-sensitive producers.
+
+        WAL-enabled tenants add two fields and two guarantees.  The ack
+        gains ``"durable": true`` and is only returned once the batch's
+        journal frame is fsynced (ack-after-durable).  ``request_id`` —
+        any opaque string the producer chooses — makes retries
+        exactly-once: the ack is remembered in a bounded dedup window
+        (journaled and checkpointed), and a retry after a lost ack gets
+        the cached ack back, marked ``"deduplicated": true``, instead of
+        re-admitting the batch.  The dedup entry is recorded *before*
+        the edges enter the queue, so no crash interleaving can
+        checkpoint applied edges without their request id.
+
+        ``dlq_replay`` marks the batch as a dead-letter re-ingest
+        (``repro dlq replay``) and counts it in ``dlq_replayed``.
         """
+        if request_id is not None and self.dedup is not None:
+            cached = self.dedup.get(request_id)
+            if cached is not None:
+                self.dedup_hits += 1
+                ack = dict(cached)
+                ack["deduplicated"] = True
+                return ack
         if self.rate_limiter is not None and records:
             wait = self.rate_limiter.try_acquire(len(records))
             if wait > 0:
                 raise RateLimited(wait)
-        accepted = 0
         invalid = 0
+        edges: List[StreamEdge] = []
         server_mode = self.config.timestamps == "server"
         for record in records:
             try:
@@ -344,10 +532,38 @@ class Tenant:
             except CodecError:
                 invalid += 1
                 continue
-            if self.queue.put(edge, timeout=timeout):
-                accepted += 1
-        return {"accepted": accepted, "invalid": invalid,
-                "position": self.queue.enqueued}
+            edges.append(edge)
+        if self.wal is None:
+            accepted = 0
+            for edge in edges:
+                if self.queue.put(edge, timeout=timeout):
+                    accepted += 1
+            ack = {"accepted": accepted, "invalid": invalid,
+                   "position": self.queue.enqueued}
+            if dlq_replay:
+                self.dlq_replayed += accepted
+            return ack
+        payload = [{"e": edge_to_json(edge)} for edge in edges]
+        with self._admission_lock:
+            last_lsn, ticket = call_with_retry(
+                self.wal.append, payload, policy=_WAL_RETRY,
+                rid=request_id, invalid=invalid)
+            base = last_lsn - len(edges) + 1
+            ack = {"accepted": len(edges), "invalid": invalid,
+                   "position": self.queue.enqueued + len(edges),
+                   "durable": True}
+            if request_id is not None and self.dedup is not None:
+                # Before the enqueue, deliberately: once an edge can be
+                # applied (and checkpointed), its request id must already
+                # be recoverable — otherwise a crash between apply and
+                # remember would turn a retry into a double delivery.
+                self.dedup.put(request_id, ack)
+            for i, edge in enumerate(edges):
+                self.queue.put(edge, timeout=timeout, lsn=base + i)
+        self._wal_sync(ticket, raise_on_failure=True)
+        if dlq_replay:
+            self.dlq_replayed += len(edges)
+        return ack
 
     # ------------------------------------------------------------------ #
     # Worker
@@ -405,6 +621,9 @@ class Tenant:
                     if entry.offset is not None:
                         path, position = entry.offset
                         self.source_offsets[path] = position
+                    if entry.lsn is not None \
+                            and entry.lsn > self.wal_applied_lsn:
+                        self.wal_applied_lsn = entry.lsn
 
     def _supervise_shard_death(self, exc: ShardDeadError) -> None:
         self.worker_errors += 1
@@ -422,6 +641,10 @@ class Tenant:
         The queue backlog past the barrier is dropped: a restored
         session replays from the checkpointed position, which producers
         read off ``/stats`` (the same contract as a process restart).
+        WAL-enabled tenants instead replay the journal themselves — the
+        rebuild runs under the admission lock so a batch journaled
+        mid-restart cannot be applied twice (once from the queue it was
+        pushed into, once from the replay).
         """
         delay = self.restart_budget.next_delay()
         if delay is None:
@@ -437,17 +660,25 @@ class Tenant:
         except Exception:       # the old session is already wreckage
             pass
         self.close_sinks()
+        # First clear frees queue capacity so a producer blocked inside
+        # ``put()`` (holding the admission lock) can finish and release
+        # it; the second clear, under the lock, drops whatever slipped in
+        # between — journaled batches come back via the WAL replay,
+        # un-journaled ones via the producer-replay contract.
         self.queue.clear()
-        self.edges_offered = 0
-        self.source_offsets = {}
-        self._server_clock = 0.0
-        try:
-            self.safe = self._boot_session()
-            self._attach_sinks()
-        except Exception as boot_exc:
-            self.health.set_state(
-                "degraded", f"restore failed: {boot_exc!r}")
-            return False
+        with self._admission_lock:
+            self.queue.clear()
+            self.edges_offered = 0
+            self.source_offsets = {}
+            self._server_clock = 0.0
+            try:
+                self.safe = self._boot_session()
+                self._attach_sinks()
+                self._replay_wal()
+            except Exception as boot_exc:
+                self.health.set_state(
+                    "degraded", f"restore failed: {boot_exc!r}")
+                return False
         self.restarts += 1
         self.health.set_state("healthy")
         return True
@@ -481,6 +712,8 @@ class Tenant:
                 if entry.offset is not None:
                     path, position = entry.offset
                     self.source_offsets[path] = position
+                if entry.lsn is not None and entry.lsn > self.wal_applied_lsn:
+                    self.wal_applied_lsn = entry.lsn
 
     # ------------------------------------------------------------------ #
     # Checkpointing
@@ -491,7 +724,14 @@ class Tenant:
         Seals the match log and captures session + position atomically
         (see the module docstring), writing the envelope via
         write-to-temp + rename so a crash mid-checkpoint keeps the
-        previous capture intact.
+        previous capture intact.  The previous capture is first rotated
+        down the keep-last-K chain (once, *outside* the write retry
+        loop — retrying a rotation would double-shift the chain), so
+        even a crash between the rotation and the replace leaves
+        ``checkpoint.pkl.1`` restorable.  WAL-enabled tenants record the
+        applied WAL position and the dedup window in the metadata, then
+        reclaim journal segments wholly covered by the *oldest* capture
+        in the chain.
         """
         started = time.perf_counter()
         with self.safe.locked() as session:
@@ -506,7 +746,13 @@ class Tenant:
                 "sealed_segment": sealed,
                 "tail_offsets": dict(self.source_offsets),
             }
+            if self.wal is not None:
+                meta["wal_lsn"] = self.wal_applied_lsn
+                meta["dedup"] = (self.dedup.snapshot()
+                                 if self.dedup is not None else [])
             from ..persistence import save_session
+
+            self._rotate_checkpoint_chain()
 
             def write() -> None:
                 faults.fire("checkpoint.write")
@@ -533,7 +779,28 @@ class Tenant:
         self.last_checkpoint_seconds = round(
             time.perf_counter() - started, 4)
         self.last_checkpoint_at = time.time()
+        if self.wal is not None:
+            self._chain_lsns.append(int(meta.get("wal_lsn", 0)))
+            if len(self._chain_lsns) > self.checkpoint_keep:
+                del self._chain_lsns[:-self.checkpoint_keep]
+            if len(self._chain_lsns) == self.checkpoint_keep:
+                try:
+                    self.wal.reclaim(self._chain_lsns[0])
+                except OSError:     # retention is best-effort
+                    pass
         return meta
+
+    def _rotate_checkpoint_chain(self) -> None:
+        """Shift ``checkpoint.pkl`` → ``.1`` → ``.2`` … dropping the
+        oldest, so the barrier about to run never overwrites the only
+        good capture."""
+        paths = self.checkpoint_chain()
+        for i in range(len(paths) - 1, 0, -1):
+            if os.path.exists(paths[i - 1]):
+                try:
+                    os.replace(paths[i - 1], paths[i])
+                except OSError:     # keep the newest where boot looks
+                    pass
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -556,6 +823,8 @@ class Tenant:
         if self._worker is not None:
             self._worker.join(5.0)
         self.queue.dispose()
+        if self.wal is not None:
+            self.wal.abort()
         close = getattr(self.safe.session, "close", None)
         if close is not None:
             close()         # sharded sessions own worker processes
@@ -564,6 +833,15 @@ class Tenant:
         """Flush and close the match log (idempotent)."""
         if self.match_sink is not None:
             self.match_sink.close()
+
+    def close_wal(self) -> None:
+        """Flush, fsync and close the journal (idempotent)."""
+        if self.wal is not None:
+            try:
+                self.wal.close()
+            except OSError as exc:  # pragma: no cover - disk trouble
+                print(f"[repro.service] tenant {self.config.name!r} WAL "
+                      f"close failed: {exc!r}", file=sys.stderr)
 
     def idle(self) -> bool:
         """Whether the queue is empty (the worker may still be mid-batch;
@@ -593,6 +871,8 @@ class Tenant:
             "subscribers": self.hub.subscriber_count(),
             "checkpoints_written": self.checkpoints_written,
             "last_checkpoint_seconds": self.last_checkpoint_seconds,
+            "checkpoint_fallbacks": self.checkpoint_fallbacks,
+            "dlq_replayed": self.dlq_replayed,
             "queue": self.queue.counters(),
             "dead_letters": self.dead_letters.counters(),
             "restart_budget": self.restart_budget.counters(),
@@ -603,6 +883,15 @@ class Tenant:
         }
         if self.rate_limiter is not None:
             status["rate_limit"] = self.rate_limiter.counters()
+        if self.wal is not None:
+            wal = self.wal.counters()
+            wal["applied_lsn"] = self.wal_applied_lsn
+            wal["replayed_edges"] = self.replayed_edges
+            wal["dedup_hits"] = self.dedup_hits
+            wal["dedup_window"] = (len(self.dedup)
+                                   if self.dedup is not None else 0)
+            wal["sync_errors"] = self.wal_sync_errors
+            status["wal"] = wal
         return status
 
     def health_snapshot(self, *, ping_timeout: float = 0.5) -> dict:
@@ -647,7 +936,8 @@ class ServiceGateway:
         self.tenants: Dict[str, Tenant] = {}
         for tenant_config in config.tenants:
             self.tenants[tenant_config.name] = Tenant(
-                tenant_config, config.state_dir)
+                tenant_config, config.state_dir,
+                checkpoint_keep=config.checkpoint_keep)
         self._checkpointer: Optional[threading.Thread] = None
         self._stop_event = threading.Event()
         self._shutdown_lock = threading.Lock()
@@ -739,6 +1029,7 @@ class ServiceGateway:
                       f"{tenant.config.name!r} failed: {exc!r}",
                       file=sys.stderr)
             tenant.close_sinks()
+            tenant.close_wal()
             tenant.queue.dispose()
             close = getattr(tenant.safe.session, "close", None)
             if close is not None:

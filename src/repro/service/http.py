@@ -26,6 +26,11 @@ Routes
     with ``{"accepted", "invalid", "position"}``; 503 once shutdown has
     begun; 429 with a ``Retry-After`` header when the tenant's rate
     limit rejects the batch (resend the same batch after the wait).
+    The dict form takes an optional ``"request_id"`` — on WAL-enabled
+    tenants the ack is then exactly-once across retries and crashes
+    (``"durable": true`` once journaled, ``"deduplicated": true`` on a
+    replayed ack) — and ``"dlq_replay": true``, set by ``repro dlq
+    replay`` so re-ingested dead letters are counted apart.
 ``POST /checkpoint``
     Trigger a checkpoint barrier on every tenant; replies with each
     barrier's metadata.
@@ -261,13 +266,16 @@ class ServiceHTTPServer:
                 b'{"error": "method not allowed"}')
 
     async def _ingest(self, tenant, body: bytes) -> tuple:
-        records = _parse_edge_body(body)
-        if records is None:
+        parsed = _parse_edge_body(body)
+        if parsed is None:
             return (400, "application/json",
                     b'{"error": "body must be a JSON edge, an array of '
                     b'edges, or {\\"edges\\": [...]}"}')
+        records, request_id, dlq_replay = parsed
         try:
-            result = await asyncio.to_thread(tenant.ingest_json, records)
+            result = await asyncio.to_thread(
+                lambda: tenant.ingest_json(
+                    records, request_id=request_id, dlq_replay=dlq_replay))
         except QueueClosed:
             return (503, "application/json",
                     b'{"error": "gateway is shutting down"}')
@@ -381,19 +389,29 @@ class ServiceHTTPServer:
                 continue
             if opcode not in (0x1, 0x2):
                 continue
-            records = _parse_edge_body(payload)
-            if records is None:
+            parsed = _parse_edge_body(payload)
+            if parsed is None:
                 reply = {"error": "bad edge payload"}
             else:
+                records, request_id, dlq_replay = parsed
                 try:
                     reply = await asyncio.to_thread(
-                        tenant.ingest_json, records)
+                        lambda: tenant.ingest_json(
+                            records, request_id=request_id,
+                            dlq_replay=dlq_replay))
                 except QueueClosed:
                     reply = {"error": "gateway is shutting down"}
                 except RateLimited as exc:
                     reply = {"backoff": True,
                              "retry_after": round(
                                  max(0.001, exc.retry_after), 3)}
+                except OSError as exc:
+                    # A WAL append/fsync that failed every retry: the
+                    # batch got no durable ack, so the producer resends
+                    # it under the same request_id (exactly-once makes
+                    # that safe) instead of losing the whole stream.
+                    reply = {"error": f"durability failure: {exc}",
+                             "retryable": True}
             writer.write(_ws_frame(0x1, json.dumps(reply).encode()))
             await writer.drain()
 
@@ -402,19 +420,26 @@ class ServiceHTTPServer:
 # Helpers
 # ---------------------------------------------------------------------- #
 def _parse_edge_body(body: bytes):
-    """Decode an ingestion payload into a list of edge records, or
-    ``None`` when the shape is wrong (codec errors are handled
-    per-record downstream)."""
+    """Decode an ingestion payload into ``(records, request_id,
+    dlq_replay)``, or ``None`` when the shape is wrong (codec errors
+    are handled per-record downstream).  Only the ``{"edges": [...]}``
+    envelope can carry a request id or the dead-letter-replay flag."""
     try:
         data = json.loads(body)
     except ValueError:
         return None
+    request_id = None
+    dlq_replay = False
     if isinstance(data, dict) and "edges" in data:
+        raw_rid = data.get("request_id")
+        if raw_rid is not None:
+            request_id = str(raw_rid)
+        dlq_replay = bool(data.get("dlq_replay", False))
         data = data["edges"]
     if isinstance(data, dict):
-        return [data]
+        return [data], request_id, dlq_replay
     if isinstance(data, list):
-        return data
+        return data, request_id, dlq_replay
     return None
 
 

@@ -43,6 +43,10 @@ _HELP = {
     "sink_write_errors": "Match-log writes abandoned after retries.",
     "checkpoint_failures": "Checkpoint barriers that failed after "
                            "retries.",
+    "checkpoint_fallbacks": "Boot-time falls down the checkpoint chain "
+                            "(newest capture corrupt).",
+    "dlq_replayed": "Dead-letter records re-ingested via repro dlq "
+                    "replay.",
 }
 
 #: Tenant health states, exported one-hot (the Prometheus state-set
@@ -50,8 +54,9 @@ _HELP = {
 _HEALTH_STATES = ("healthy", "degraded", "recovering")
 
 #: Nested counter groups in a tenant status, exported with their group
-#: as the metric prefix (``repro_dead_letters_recorded`` etc.).
-_NESTED_GROUPS = ("dead_letters", "restart_budget", "rate_limit")
+#: as the metric prefix (``repro_dead_letters_recorded``,
+#: ``repro_wal_appends`` etc.).
+_NESTED_GROUPS = ("dead_letters", "restart_budget", "rate_limit", "wal")
 
 
 def _escape(value: str) -> str:
@@ -105,7 +110,11 @@ def _counter_like(name: str) -> str:
                       "rejected_nonmonotonic", "rejected_duplicate",
                       "recorded", "granted", "refused", "limited",
                       "admitted", "trips", "short_circuits", "restarts",
-                      "failures", "cleared", "recovered")):
+                      "failures", "cleared", "recovered", "appends",
+                      "fsyncs", "replayed", "replayed_edges", "hits",
+                      "sync_errors", "segments_created",
+                      "segments_reclaimed", "truncated_bytes",
+                      "dropped_frames", "bytes_written")):
         return "counter"
     return "gauge"
 

@@ -50,15 +50,19 @@ class QueueClosed(RuntimeError):
 
 class _Entry:
     """One queued arrival: the edge, its source offset (file tailers use
-    this to checkpoint resume positions), and its enqueue time (lag)."""
+    this to checkpoint resume positions), its enqueue time (lag), and —
+    for WAL-enabled tenants — the edge's log sequence number, which the
+    worker uses to advance the applied-LSN watermark the checkpoint
+    barrier records."""
 
-    __slots__ = ("edge", "offset", "enqueued_at")
+    __slots__ = ("edge", "offset", "enqueued_at", "lsn")
 
     def __init__(self, edge: StreamEdge, offset: Optional[int],
-                 enqueued_at: float) -> None:
+                 enqueued_at: float, lsn: Optional[int] = None) -> None:
         self.edge = edge
         self.offset = offset
         self.enqueued_at = enqueued_at
+        self.lsn = lsn
 
 
 class BoundedEdgeQueue:
@@ -73,10 +77,20 @@ class BoundedEdgeQueue:
     spill_path:
         Overflow file for the ``spill`` policy (required there, ignored
         otherwise).  Created lazily on first overflow.
+    durable_spill:
+        When ``True`` (the default) every spilled record is fsynced and
+        an orphaned spill file is re-adopted at boot — the spill file
+        *is* the durability story.  A WAL-enabled tenant passes
+        ``False``: spilled edges are already journaled upstream, so the
+        spill is a plain memory overflow (no per-record fsync) and an
+        orphan left by a crash is discarded, because boot-time WAL
+        replay re-delivers those edges — re-adopting them too would
+        double-deliver.
     """
 
     def __init__(self, capacity: int, *, policy: str = "block",
-                 spill_path: Optional[str] = None) -> None:
+                 spill_path: Optional[str] = None,
+                 durable_spill: bool = True) -> None:
         if not isinstance(capacity, int) or isinstance(capacity, bool) \
                 or capacity < 1:
             raise ValueError(f"queue capacity must be a positive int, "
@@ -90,6 +104,7 @@ class BoundedEdgeQueue:
         self.capacity = capacity
         self.policy = policy
         self.spill_path = spill_path
+        self.durable_spill = durable_spill
         self._entries: deque = deque()
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
@@ -113,13 +128,17 @@ class BoundedEdgeQueue:
         #: Entries discarded by :meth:`clear` (supervisor restarts).
         self.cleared = 0
         if policy == "spill":
-            self._recover_spill()
+            if durable_spill:
+                self._recover_spill()
+            else:
+                self._discard_orphan_spill()
 
     # ------------------------------------------------------------------ #
     # Producer side
     # ------------------------------------------------------------------ #
     def put(self, edge: StreamEdge, *, offset: Optional[int] = None,
-            timeout: Optional[float] = None) -> bool:
+            timeout: Optional[float] = None,
+            lsn: Optional[int] = None) -> bool:
         """Enqueue one arrival; returns ``False`` only when it was shed.
 
         Under ``block`` a full queue waits (up to ``timeout`` seconds if
@@ -134,7 +153,7 @@ class BoundedEdgeQueue:
                 raise QueueClosed("queue is closed to new arrivals")
             if self.policy == "spill" and (
                     self._spill_pending or len(self._entries) >= self.capacity):
-                self._spill_out(edge, offset)
+                self._spill_out(edge, offset, lsn)
                 return True
             if self.policy == "drop_oldest":
                 while len(self._entries) >= self.capacity:
@@ -155,7 +174,7 @@ class BoundedEdgeQueue:
                     if self._closed:
                         self.rejected_closed += 1
                         raise QueueClosed("queue closed while blocked")
-            self._append(edge, offset)
+            self._append(edge, offset, lsn)
             return True
 
     def put_many(self, edges: Iterable[StreamEdge], *,
@@ -169,8 +188,9 @@ class BoundedEdgeQueue:
                 admitted += 1
         return admitted
 
-    def _append(self, edge: StreamEdge, offset: Optional[int]) -> None:
-        self._entries.append(_Entry(edge, offset, time.monotonic()))
+    def _append(self, edge: StreamEdge, offset: Optional[int],
+                lsn: Optional[int] = None) -> None:
+        self._entries.append(_Entry(edge, offset, time.monotonic(), lsn))
         self.enqueued += 1
         if len(self._entries) > self.high_water:
             self.high_water = len(self._entries)
@@ -216,19 +236,33 @@ class BoundedEdgeQueue:
         self.enqueued += count
         self.spilled += count
 
-    def _spill_out(self, edge: StreamEdge, offset: Optional[int]) -> None:
+    def _discard_orphan_spill(self) -> None:
+        """Drop a crash-orphaned spill file (init, non-durable mode) —
+        its edges live in the WAL and replay will re-deliver them; a
+        second delivery from the spill would break exactly-once."""
+        try:
+            os.remove(self.spill_path)
+        except OSError:
+            pass
+
+    def _spill_out(self, edge: StreamEdge, offset: Optional[int],
+                   lsn: Optional[int] = None) -> None:
         if self._spill_handle is None:
             self._spill_handle = open(self.spill_path, "a+", encoding="utf-8")
             self._spill_read_offset = 0
         record = {"edge": edge_to_json(edge)}
         if offset is not None:
             record["offset"] = offset
+        if lsn is not None:
+            record["lsn"] = lsn
         self._spill_handle.seek(0, os.SEEK_END)
         self._spill_handle.write(json.dumps(record) + "\n")
         self._spill_handle.flush()
-        # Durability before acknowledgement: once put() returns, a kill
-        # must not lose the parked edge.
-        os.fsync(self._spill_handle.fileno())
+        if self.durable_spill:
+            # Durability before acknowledgement: once put() returns, a
+            # kill must not lose the parked edge.  (A WAL-enabled tenant
+            # already journaled it — the spill is just overflow.)
+            os.fsync(self._spill_handle.fileno())
         self._spill_pending += 1
         self.spilled += 1
         self.enqueued += 1
@@ -247,7 +281,8 @@ class BoundedEdgeQueue:
             try:
                 record = json.loads(line)
                 entry = _Entry(edge_from_json(record["edge"]),
-                               record.get("offset"), time.monotonic())
+                               record.get("offset"), time.monotonic(),
+                               record.get("lsn"))
             except (ValueError, KeyError):
                 # A corrupt recovered line: drop it, keep draining.
                 self.dropped += 1

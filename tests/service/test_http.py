@@ -121,12 +121,23 @@ class TestHTTPEndpoints:
 class TestParseEdgeBody:
     def test_shapes(self):
         record = {"src": "a"}
-        assert _parse_edge_body(json.dumps(record).encode()) == [record]
-        assert _parse_edge_body(json.dumps([record]).encode()) == [record]
+        assert _parse_edge_body(json.dumps(record).encode()) \
+            == ([record], None, False)
+        assert _parse_edge_body(json.dumps([record]).encode()) \
+            == ([record], None, False)
         assert _parse_edge_body(
-            json.dumps({"edges": [record]}).encode()) == [record]
+            json.dumps({"edges": [record]}).encode()) \
+            == ([record], None, False)
         assert _parse_edge_body(b"42") is None
         assert _parse_edge_body(b"nope") is None
+
+    def test_envelope_carries_request_metadata(self):
+        record = {"src": "a"}
+        body = json.dumps({"edges": [record], "request_id": "r-1",
+                           "dlq_replay": True}).encode()
+        assert _parse_edge_body(body) == ([record], "r-1", True)
+        # A bare array cannot carry a request id.
+        assert _parse_edge_body(json.dumps([record]).encode())[1] is None
 
 
 class _WSClient:

@@ -1,0 +1,639 @@
+"""The write-ahead log: framing, recovery, exactly-once, tooling.
+
+The crash model throughout: a ``SIGKILL`` leaves the log either intact,
+missing its buffered tail, or torn mid-frame.  Every test reduces one of
+those states to "reopen and check the survivors form a batch-atomic
+prefix" — the property the gateway's zero-producer-replay recovery
+stands on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import faults
+from repro.cli import main as cli_main
+from repro.persistence import (
+    CheckpointCorruptError, CheckpointError, load_session_meta,
+)
+from repro.service.config import TenantConfig, WalConfig
+from repro.service.gateway import Tenant
+from repro.service.wal import (
+    DedupIndex, WriteAheadLog, _encode_frame, inspect_wal, scan_segment,
+)
+
+from .conftest import CHAIN_DSL, chain_records
+
+
+def _entries(n, start=0):
+    return [{"e": {"src": f"s{start + i}", "dst": "d", "src_label": "A",
+                   "dst_label": "B", "timestamp": float(start + i + 1)}}
+            for i in range(n)]
+
+
+def _segments(directory):
+    return sorted(name for name in os.listdir(directory)
+                  if name.startswith("wal-"))
+
+
+# --------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------- #
+class TestFraming:
+    def test_scan_roundtrip(self, tmp_path):
+        path = tmp_path / "seg.log"
+        frames = [{"base": 1}, {"n": 2, "entries": _entries(2)},
+                  {"n": 0, "entries": [], "rid": "r1", "invalid": 3}]
+        with open(path, "wb") as handle:
+            for frame in frames:
+                handle.write(_encode_frame(frame))
+        scan = scan_segment(str(path))
+        assert scan["frames"] == frames
+        assert scan["torn_bytes"] == 0
+        assert scan["error"] is None
+
+    def test_torn_tail_detected_not_fatal(self, tmp_path):
+        path = tmp_path / "seg.log"
+        good = _encode_frame({"base": 1}) \
+            + _encode_frame({"n": 1, "entries": _entries(1)})
+        with open(path, "wb") as handle:
+            handle.write(good + _encode_frame(
+                {"n": 1, "entries": _entries(1, 1)})[:-3])
+        scan = scan_segment(str(path))
+        assert len(scan["frames"]) == 2
+        assert scan["good_bytes"] == len(good)
+        assert scan["torn_bytes"] > 0
+        assert scan["error"] is not None
+
+    def test_bitflip_detected(self, tmp_path):
+        path = tmp_path / "seg.log"
+        blob = _encode_frame({"base": 1}) \
+            + _encode_frame({"n": 1, "entries": _entries(1)})
+        blob = blob[:len(blob) - 4] + b"\xff" + blob[len(blob) - 3:]
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        scan = scan_segment(str(path))
+        assert len(scan["frames"]) == 1      # the header survived
+        assert scan["error"] is not None
+
+
+# --------------------------------------------------------------------- #
+# The log itself
+# --------------------------------------------------------------------- #
+class TestWriteAheadLog:
+    def test_append_sync_lsn_accounting(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"))
+        last, ticket = wal.append(_entries(3))
+        assert (last, wal.appended_lsn) == (3, 3)
+        assert wal.durable_lsn == 0
+        wal.sync(ticket)
+        assert wal.durable_lsn == 3
+        last, ticket = wal.append(_entries(2, 3), rid="r9", invalid=1)
+        assert last == 5
+        wal.sync()                           # None = everything
+        assert wal.durable_lsn == 5
+        wal.close()
+
+    def test_rid_only_frame_needs_sync_but_no_lsn(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"))
+        last, ticket = wal.append([], rid="all-invalid", invalid=4)
+        assert last == 0                     # no edges, no LSN advance
+        wal.sync(ticket)                     # still durably journaled
+        frames = [frame for _, frame in wal.replay(0)]
+        assert frames == [{"n": 0, "entries": [], "rid": "all-invalid",
+                           "invalid": 4}]
+        wal.close()
+
+    def test_rotation_and_replay_continuity(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"), segment_bytes=1024)
+        total = 0
+        for i in range(40):
+            wal.append(_entries(2, total))
+            total += 2
+        wal.close()
+        assert len(_segments(tmp_path / "wal")) > 1
+        reopened = WriteAheadLog(str(tmp_path / "wal"), segment_bytes=1024)
+        lsns = []
+        for first, frame in reopened.replay(0):
+            lsns.extend(range(first, first + frame["n"]))
+        assert lsns == list(range(1, total + 1))
+        reopened.close()
+
+    def test_replay_after_lsn_skips_covered_batches(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"))
+        for i in range(5):
+            wal.append(_entries(2, i * 2))
+        wal.sync()
+        got = [(first, frame["n"]) for first, frame in wal.replay(6)]
+        assert got == [(7, 2), (9, 2)]
+        # A cut inside a batch re-yields the whole frame: the caller
+        # filters per-edge (batch atomicity, not per-edge addressing).
+        got = [first for first, _ in wal.replay(5)]
+        assert got == [5, 7, 9]
+        wal.close()
+
+    def test_torn_tail_truncated_on_reopen(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"))
+        wal.append(_entries(2))
+        wal.append(_entries(2, 2))
+        wal.close()
+        (path,) = [os.path.join(tmp_path / "wal", name)
+                   for name in _segments(tmp_path / "wal")]
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 5)        # tear the last frame
+        reopened = WriteAheadLog(str(tmp_path / "wal"))
+        assert reopened.appended_lsn == 2
+        assert reopened.truncated_bytes > 0
+        lsns = [first for first, _ in reopened.replay(0)]
+        assert lsns == [1]
+        # The log keeps going where the survivors end.
+        last, ticket = reopened.append(_entries(2, 2))
+        assert last == 4
+        reopened.sync(ticket)
+        reopened.close()
+
+    def test_interior_corruption_drops_later_segments(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"), segment_bytes=1024)
+        total = 0
+        for i in range(40):
+            wal.append(_entries(2, total))
+            total += 2
+        wal.close()
+        names = _segments(tmp_path / "wal")
+        assert len(names) >= 3
+        first_seg = os.path.join(tmp_path / "wal", names[0])
+        data = bytearray(open(first_seg, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(first_seg, "wb").write(bytes(data))
+        reopened = WriteAheadLog(str(tmp_path / "wal"), segment_bytes=1024)
+        # Only an unbroken prefix of segment 1 survives; everything
+        # after the damage is gone (a hole would corrupt replay order).
+        assert len(_segments(tmp_path / "wal")) == 1
+        assert reopened.corrupt_dropped_frames > 0
+        lsns = []
+        for first, frame in reopened.replay(0):
+            lsns.extend(range(first, first + frame["n"]))
+        assert lsns == list(range(1, reopened.appended_lsn + 1))
+        assert reopened.appended_lsn < total
+        reopened.close()
+
+    def test_reclaim_spares_active_and_uncovered(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"), segment_bytes=1024)
+        total = 0
+        for i in range(40):
+            wal.append(_entries(2, total))
+            total += 2
+        before = len(_segments(tmp_path / "wal"))
+        assert before >= 3
+        assert wal.reclaim(0) == 0
+        removed = wal.reclaim(wal.appended_lsn)
+        assert removed > 0
+        after = _segments(tmp_path / "wal")
+        assert len(after) == before - removed
+        # Replay past a reclaimed prefix still yields the survivors.
+        survivors = [first for first, _ in wal.replay(0)]
+        assert survivors and survivors[0] > 1
+        wal.close()
+
+    def test_abort_then_reopen_is_a_prefix(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"))
+        wal.append(_entries(2))
+        wal.sync()
+        wal.append(_entries(2, 2))
+        wal.abort()                          # no fsync for the tail
+        reopened = WriteAheadLog(str(tmp_path / "wal"))
+        lsns = []
+        for first, frame in reopened.replay(0):
+            lsns.extend(range(first, first + frame["n"]))
+        # Whatever survived is a contiguous prefix that includes every
+        # synced edge.
+        assert lsns == list(range(1, len(lsns) + 1))
+        assert len(lsns) >= 2
+        reopened.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(batches=st.lists(st.integers(min_value=1, max_value=4),
+                            min_size=1, max_size=8),
+           cut=st.integers(min_value=0, max_value=10_000),
+           data=st.data())
+    def test_recovery_yields_batch_atomic_prefix(self, tmp_path_factory,
+                                                 batches, cut, data):
+        """Tear the log at *any* byte: reopening must yield a prefix of
+        whole batches — never a partial batch, never a hole."""
+        directory = str(tmp_path_factory.mktemp("wal"))
+        wal = WriteAheadLog(directory, segment_bytes=1024)
+        sizes = []
+        total = 0
+        for size in batches:
+            wal.append(_entries(size, total))
+            sizes.append(size)
+            total += size
+        wal.close()
+        names = _segments(directory)
+        victim = os.path.join(
+            directory, data.draw(st.sampled_from(names), label="segment"))
+        size = os.path.getsize(victim)
+        with open(victim, "r+b") as handle:
+            handle.truncate(min(cut % (size + 1), size))
+        reopened = WriteAheadLog(directory, segment_bytes=1024)
+        recovered = []
+        for first, frame in reopened.replay(0):
+            assert first == len(recovered) + 1      # contiguous
+            recovered.extend(
+                item["e"]["src"] for item in frame["entries"])
+        # A prefix of the original admission order, on batch boundaries.
+        expected = [f"s{i}" for i in range(total)]
+        assert recovered == expected[:len(recovered)]
+        boundaries = {0}
+        acc = 0
+        for size in sizes:
+            acc += size
+            boundaries.add(acc)
+        assert len(recovered) in boundaries
+        reopened.close()
+
+    def test_mid_fsync_crash_is_retry_safe(self, tmp_path):
+        """An fsync that dies (EIO) leaves the ticket unsynced; a retry
+        completes the same commit without duplicating frames."""
+        wal = WriteAheadLog(str(tmp_path / "wal"))
+        plan = faults.FaultPlan([faults.FaultSpec(
+            site="wal.fsync", kind="io_error", at=1)])
+        with faults.active(plan):
+            last, ticket = wal.append(_entries(2))
+            with pytest.raises(OSError):
+                wal.sync(ticket)
+            assert wal.durable_lsn == 0
+            wal.sync(ticket)                 # retry: same commit
+        assert wal.durable_lsn == 2
+        lsns = [first for first, _ in wal.replay(0)]
+        assert lsns == [1]
+        wal.close()
+
+
+# --------------------------------------------------------------------- #
+# Dedup window
+# --------------------------------------------------------------------- #
+class TestDedupIndex:
+    def test_bounded_fifo(self):
+        index = DedupIndex(capacity=2)
+        for i in range(3):
+            index.put(f"r{i}", {"accepted": i})
+        assert index.get("r0") is None       # displaced, oldest first
+        assert index.get("r2") == {"accepted": 2}
+        assert len(index) == 2
+
+    def test_snapshot_restore_roundtrip(self):
+        index = DedupIndex(capacity=8)
+        index.put("a", {"accepted": 1})
+        index.put("b", {"accepted": 2})
+        other = DedupIndex(capacity=8)
+        other.put("stale", {"accepted": 0})
+        other.restore(index.snapshot())
+        assert other.get("stale") is None    # restore replaces
+        assert other.get("b") == {"accepted": 2}
+        other.restore(None)                  # pre-WAL checkpoint meta
+        assert len(other) == 0
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint container corruption (satellite: typed errors)
+# --------------------------------------------------------------------- #
+class TestCheckpointCorruption:
+    def _write_checkpoint(self, tmp_path):
+        from repro.api import Session
+        from repro.persistence import save_session
+
+        session = Session(window=6.0)
+        session.register("chain", CHAIN_DSL)
+        path = str(tmp_path / "checkpoint.pkl")
+        save_session(session, path, meta={"edges_offered": 0})
+        return path
+
+    def test_truncation_raises_typed_error(self, tmp_path):
+        path = self._write_checkpoint(tmp_path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:len(data) // 2])
+        with pytest.raises(CheckpointCorruptError) as info:
+            load_session_meta(path)
+        assert info.value.path == path
+        assert "truncated" in info.value.reason
+
+    def test_bitflip_raises_typed_error(self, tmp_path):
+        path = self._write_checkpoint(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[-10] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(CheckpointCorruptError) as info:
+            load_session_meta(path)
+        assert "CRC" in info.value.reason
+
+    def test_garbage_pickle_raises_typed_error(self, tmp_path):
+        path = str(tmp_path / "checkpoint.pkl")
+        open(path, "wb").write(b"not a pickle at all")
+        with pytest.raises(CheckpointCorruptError):
+            load_session_meta(path)
+
+    def test_typed_error_is_a_checkpoint_error(self):
+        # The gateway's chain walk catches the base class.
+        assert issubclass(CheckpointCorruptError, CheckpointError)
+
+
+# --------------------------------------------------------------------- #
+# Tenant-level recovery (the tentpole end to end)
+# --------------------------------------------------------------------- #
+def _wal_tenant_config(**wal_overrides):
+    return TenantConfig(
+        name="t0", queries={"chain": CHAIN_DSL},
+        wal=WalConfig(**wal_overrides)).validate()
+
+
+def _drain(tenant, count, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while tenant.edges_offered < count and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert tenant.edges_offered >= count
+
+
+class TestTenantRecovery:
+    def test_crash_replay_restores_everything(self, tmp_path):
+        config = _wal_tenant_config()
+        tenant = Tenant(config, str(tmp_path))
+        tenant.start_worker()
+        ack = tenant.ingest_json(chain_records(), request_id="burst-1")
+        assert ack == {"accepted": 4, "invalid": 0, "position": 4,
+                       "durable": True}
+        _drain(tenant, 4)
+        matches_before = tenant.matches_delivered
+        assert matches_before == 3
+        tenant.abort()                       # SIGKILL stand-in
+
+        reborn = Tenant(config, str(tmp_path))
+        assert reborn.replayed_edges == 4
+        assert reborn.matches_delivered == matches_before
+        assert reborn.edges_offered == 4
+        retry = reborn.ingest_json(chain_records(),
+                                   request_id="burst-1")
+        assert retry["deduplicated"] is True
+        assert retry["accepted"] == 4
+        assert reborn.dedup_hits == 1
+        reborn.abort()
+
+    def test_checkpoint_bounds_replay(self, tmp_path):
+        config = _wal_tenant_config()
+        tenant = Tenant(config, str(tmp_path))
+        tenant.start_worker()
+        records = chain_records()
+        tenant.ingest_json(records[:2])
+        _drain(tenant, 2)
+        meta = tenant.checkpoint()
+        assert meta["wal_lsn"] == 2
+        tenant.ingest_json(records[2:])
+        _drain(tenant, 4)
+        tenant.abort()
+
+        reborn = Tenant(config, str(tmp_path))
+        assert reborn.replayed_edges == 2    # only past the barrier
+        assert reborn.edges_offered == 4
+        reborn.abort()
+
+    def test_corrupt_newest_checkpoint_falls_back(self, tmp_path):
+        config = _wal_tenant_config()
+        tenant = Tenant(config, str(tmp_path), checkpoint_keep=2)
+        tenant.start_worker()
+        records = chain_records()
+        tenant.ingest_json(records[:2])
+        _drain(tenant, 2)
+        tenant.checkpoint()                  # becomes .1 on the next one
+        tenant.ingest_json(records[2:])
+        _drain(tenant, 4)
+        tenant.checkpoint()
+        tenant.abort()
+
+        newest = os.path.join(str(tmp_path), "t0", "checkpoint.pkl")
+        fallback = newest + ".1"
+        assert os.path.exists(fallback)
+        data = bytearray(open(newest, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(newest, "wb").write(bytes(data))
+
+        reborn = Tenant(config, str(tmp_path), checkpoint_keep=2)
+        assert reborn.checkpoint_fallbacks == 1
+        # The older capture covers 2 edges; the WAL replays the rest.
+        assert reborn.replayed_edges == 2
+        assert reborn.edges_offered == 4
+        # This incarnation redelivers the 2 post-barrier matches; the
+        # one before the barrier sits in the sealed segment — the full
+        # log holds all 3.
+        assert reborn.matches_delivered == 2
+        match_dir = os.path.join(str(tmp_path), "t0", "matches")
+        reborn.close_sinks()
+        logged = sum(
+            1 for name in os.listdir(match_dir)
+            for line in open(os.path.join(match_dir, name))
+            if line.strip())
+        assert logged == 3
+        reborn.abort()
+
+    def test_spill_overflow_stays_exactly_once(self, tmp_path):
+        config = TenantConfig(
+            name="t0", queries={"chain": CHAIN_DSL},
+            queue_capacity=2, backpressure="spill",
+            wal=WalConfig()).validate()
+        tenant = Tenant(config, str(tmp_path))
+        # No worker: the queue spills past capacity 2.
+        ack = tenant.ingest_json(chain_records())
+        assert ack["accepted"] == 4
+        assert tenant.queue.spilled > 0
+        spill_path = tenant.queue.spill_path
+        assert os.path.exists(spill_path)
+        tenant.abort()
+
+        # The orphan spill is discarded — the WAL alone re-delivers, so
+        # nothing arrives twice.
+        reborn = Tenant(config, str(tmp_path))
+        assert not os.path.exists(spill_path)
+        assert reborn.replayed_edges == 4
+        assert reborn.edges_offered == 4
+        assert reborn.matches_delivered == 3
+        reborn.abort()
+
+    def test_sync_failure_fails_http_but_not_tailers(self, tmp_path):
+        from repro.graph.edge import StreamEdge
+
+        config = _wal_tenant_config()
+        tenant = Tenant(config, str(tmp_path))
+        # Four specs: one per retry attempt of the first HTTP sync plus
+        # one for the tailer path (each sync retries up to 3 times).
+        plan = faults.FaultPlan([
+            faults.FaultSpec(site="wal.fsync", kind="io_error", every=1,
+                             limit=6)])
+        with faults.active(plan):
+            with pytest.raises(OSError):
+                tenant.ingest_json(chain_records()[:1],
+                                   request_id="will-retry")
+            assert tenant.wal_sync_errors == 1
+            assert tenant.health.state == "degraded"
+            # The tailer path swallows: the batch stays journaled and
+            # buffered, the offset only moves via checkpoints.
+            edge = StreamEdge("x1", "y1", src_label="A", dst_label="B",
+                              timestamp=9.0)
+            admitted = tenant.ingest_edges([edge], offset=("feed", 10))
+            assert admitted == 1
+            assert tenant.wal_sync_errors == 2
+        # Post-fault, a retry of the HTTP batch dedups (the ack was
+        # recorded with the journal entry, exactly-once holds).
+        retry = tenant.ingest_json(chain_records()[:1],
+                                   request_id="will-retry")
+        assert retry["deduplicated"] is True
+        tenant.start_worker()
+        _drain(tenant, 2)
+        tenant.abort()
+
+    def test_supervised_restart_replays_wal(self, tmp_path):
+        config = _wal_tenant_config()
+        tenant = Tenant(config, str(tmp_path))
+        tenant.start_worker()
+        tenant.ingest_json(chain_records())
+        _drain(tenant, 4)
+        matches = tenant.matches_delivered
+        assert tenant._restart_from_checkpoint(RuntimeError("boom"))
+        assert tenant.restarts == 1
+        assert tenant.replayed_edges == 4
+        assert tenant.edges_offered == 4
+        # The counter is cumulative across the in-process restart; the
+        # rebuilt match log holds exactly one copy of each match.
+        assert tenant.matches_delivered == 2 * matches
+        tenant.close_sinks()
+        match_dir = os.path.join(str(tmp_path), "t0", "matches")
+        logged = sum(
+            1 for name in os.listdir(match_dir)
+            for line in open(os.path.join(match_dir, name))
+            if line.strip())
+        assert logged == matches
+        tenant.abort()
+
+    def test_non_wal_tenant_acks_keep_their_shape(self, tmp_path):
+        config = TenantConfig(
+            name="t0", queries={"chain": CHAIN_DSL}).validate()
+        tenant = Tenant(config, str(tmp_path))
+        ack = tenant.ingest_json(chain_records())
+        assert ack == {"accepted": 4, "invalid": 0, "position": 4}
+        assert tenant.wal is None
+        tenant.start_worker()
+        _drain(tenant, 4)
+        tenant.abort()
+
+    def test_status_exposes_wal_counters(self, tmp_path):
+        config = _wal_tenant_config()
+        tenant = Tenant(config, str(tmp_path))
+        tenant.ingest_json(chain_records()[:1], request_id="r")
+        status = tenant.status()
+        wal = status["wal"]
+        assert wal["appends"] == 1
+        assert wal["fsyncs"] >= 1
+        assert wal["durable_lsn"] == 1
+        assert wal["dedup_window"] == 1
+        assert status["checkpoint_fallbacks"] == 0
+        assert status["dlq_replayed"] == 0
+        tenant.abort()
+
+
+# --------------------------------------------------------------------- #
+# CLI tooling
+# --------------------------------------------------------------------- #
+class TestWalCli:
+    def test_inspect_and_verify_clean(self, tmp_path, capsys):
+        wal = WriteAheadLog(str(tmp_path / "wal"))
+        wal.append(_entries(3))
+        wal.close()
+        assert cli_main(["wal", "inspect", str(tmp_path / "wal")]) == 0
+        out = capsys.readouterr().out
+        assert "3 edge(s)" in out
+        assert cli_main(["wal", "verify", str(tmp_path / "wal")]) == 0
+
+    def test_verify_fails_on_interior_corruption(self, tmp_path, capsys):
+        wal = WriteAheadLog(str(tmp_path / "wal"), segment_bytes=1024)
+        for i in range(40):
+            wal.append(_entries(2, i * 2))
+        wal.close()
+        names = _segments(tmp_path / "wal")
+        victim = os.path.join(tmp_path / "wal", names[0])
+        data = bytearray(open(victim, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(victim, "wb").write(bytes(data))
+        assert cli_main(["wal", "verify", str(tmp_path / "wal")]) == 1
+        assert "interior corruption" in capsys.readouterr().err
+
+    def test_inspect_json(self, tmp_path, capsys):
+        wal = WriteAheadLog(str(tmp_path / "wal"))
+        wal.append(_entries(1))
+        wal.close()
+        assert cli_main(["wal", "inspect", str(tmp_path / "wal"),
+                         "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["edges"] == 1
+        assert inspect_wal(str(tmp_path / "wal"))["edges"] == 1
+
+
+class TestDlqCli:
+    def _dead_letter_file(self, tmp_path):
+        path = tmp_path / "deadletter.jsonl"
+        rows = [
+            {"at": 1.0, "reason": "poison_edge",
+             "payload": {"src": "a1", "dst": "b1", "src_label": "A",
+                         "dst_label": "B", "timestamp": 1.0}},
+            {"at": 2.0, "reason": "sink_write", "payload": {"m": 1},
+             "error": "OSError(...)"},
+        ]
+        path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+        return str(path)
+
+    def test_list_and_inspect(self, tmp_path, capsys):
+        path = self._dead_letter_file(tmp_path)
+        assert cli_main(["dlq", "list", path]) == 0
+        out = capsys.readouterr().out
+        assert "poison_edge: 1" in out and "sink_write: 1" in out
+        assert cli_main(["dlq", "inspect", path,
+                         "--reason", "poison_edge"]) == 0
+        out = capsys.readouterr().out
+        assert "a1" in out and "sink_write" not in out
+
+    def test_replay_dry_run(self, tmp_path, capsys):
+        path = self._dead_letter_file(tmp_path)
+        assert cli_main(["dlq", "replay", path, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would POST 1 edge(s)" in out
+
+    def test_replay_against_live_gateway(self, tmp_path, capsys):
+        import urllib.request
+
+        from repro.service import ServerConfig, ServiceGateway
+
+        path = self._dead_letter_file(tmp_path)
+        tenant = TenantConfig(name="t0", queries={"chain": CHAIN_DSL},
+                              wal=WalConfig())
+        config = ServerConfig(state_dir=str(tmp_path / "state"), port=0,
+                              checkpoint_interval=0.0, tenants=(tenant,))
+        gateway = ServiceGateway(config).start_background()
+        try:
+            url = f"http://127.0.0.1:{gateway.port}"
+            assert cli_main(["dlq", "replay", path, "--url", url]) == 0
+            out = capsys.readouterr().out
+            assert "replayed 1 edge(s)" in out
+            live = gateway.tenant("t0")
+            assert live.dlq_replayed == 1
+            # Same file, same ids: a re-run dedups instead of doubling.
+            assert cli_main(["dlq", "replay", path, "--url", url]) == 0
+            assert "deduplicated" in capsys.readouterr().out
+            assert live.dlq_replayed == 1
+            with urllib.request.urlopen(url + "/stats", timeout=5) as resp:
+                stats = json.loads(resp.read())
+            assert stats["tenants"]["t0"]["wal"]["dedup_hits"] == 1
+        finally:
+            gateway.shutdown()
