@@ -116,6 +116,17 @@ SUBPLAN_SHARING_MODES = ("shared", "private")
 #: streams — see :class:`repro.concurrency.sharding.ShardedSession`.
 SHARDING_MODES = ("none", "thread", "process")
 
+#: Shard batch transports for ``sharding="process"`` sessions:
+#: ``"shm"`` (default) frames struct-packed edge batches into
+#: preallocated shared-memory rings — one SPSC data ring and one result
+#: ring per shard — so the facade never pickles on the hot path (the
+#: duplex pipe stays for control RPCs and oversized fallbacks);
+#: ``"pipe"`` is the historical pickle-over-pipe batch path, kept as
+#: the ablation baseline.  ``"thread"`` shards pass objects by
+#: reference and ignore the knob.  Both transports produce identical
+#: ``(name, match)`` streams — see :mod:`repro.concurrency.transport`.
+TRANSPORT_MODES = ("shm", "pipe")
+
 MatchCallback = Callable[[str, "Match"], None]
 
 
@@ -482,6 +493,13 @@ class EngineConfig:
     shards:
         Worker-shard count used when ``sharding`` is not ``"none"``
         (ignored otherwise).
+    transport:
+        Batch transport for ``sharding="process"`` sessions: ``"shm"``
+        (default) ships struct-packed edge batches through per-shard
+        shared-memory rings with zero hot-path pickling; ``"pipe"`` is
+        the pickle-over-pipe ablation baseline.  Ignored by ``"none"``
+        and ``"thread"`` sessions; identical matches either way — see
+        :data:`TRANSPORT_MODES`.
     guard:
         Default access guard threaded through every operation when no
         per-call guard is given (``None`` → serial no-op guard).
@@ -501,6 +519,7 @@ class EngineConfig:
     subplan_sharing: str = "shared"
     sharding: str = "none"
     shards: int = 4
+    transport: str = "shm"
     guard: Optional[object] = None
     seed: int = 0
     duplicate_policy: str = "raise"
@@ -508,6 +527,13 @@ class EngineConfig:
     def replace(self, **changes) -> "EngineConfig":
         """A copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
+
+    def __setstate__(self, state: dict) -> None:
+        # Checkpoints written before a knob existed restore with its
+        # default, so old snapshots keep loading as fields are added.
+        for field in dataclasses.fields(self):
+            state.setdefault(field.name, field.default)
+        self.__dict__.update(state)
 
     def validate(self) -> "EngineConfig":
         """Raise ``ValueError`` on any unknown or inconsistent knob;
@@ -543,6 +569,10 @@ class EngineConfig:
                 or self.shards < 1:
             raise ValueError(f"shards must be a positive int, "
                              f"got {self.shards!r}")
+        if self.transport not in TRANSPORT_MODES:
+            raise ValueError(
+                f"unknown shard transport: {self.transport!r} "
+                f"(expected one of {TRANSPORT_MODES})")
         if self.sharding != "none" and self.routing != "shared":
             raise ValueError(
                 "sharded sessions ride on the shared-routing index: "
@@ -941,6 +971,10 @@ class Session:
         partitions registered matchers across ``shards`` worker shards.
     shards:
         Shorthand for ``config.replace(shards=...)``.
+    transport:
+        Shorthand for ``config.replace(transport=...)`` — the process
+        shard batch transport (``"shm"``/``"pipe"``, see
+        :data:`TRANSPORT_MODES`).
     """
 
     def __new__(cls, *args, **kwargs):
@@ -957,7 +991,8 @@ class Session:
                  duplicate_policy: Optional[str] = None,
                  routing: Optional[str] = None,
                  sharding: Optional[str] = None,
-                 shards: Optional[int] = None) -> None:
+                 shards: Optional[int] = None,
+                 transport: Optional[str] = None) -> None:
         if isinstance(window, bool):
             raise TypeError("window must be a duration or a window factory")
         if isinstance(window, (int, float)) and window <= 0:
@@ -978,6 +1013,8 @@ class Session:
             config = config.replace(sharding=sharding)
         if shards is not None:
             config = config.replace(shards=shards)
+        if transport is not None:
+            config = config.replace(transport=transport)
         self.config = config.validate()
         self._matchers: Dict[str, Matcher] = {}
         self._callbacks: Dict[str, Optional[MatchCallback]] = {}

@@ -10,7 +10,7 @@ byte for byte.  Two plans:
 
 ``--plan shard`` (the default)
     The supervised-restart story.  ``REPRO_FAULTS`` injects a
-    deterministic worker kill (``shard.rpc.send=kill_worker:at:60``,
+    deterministic worker kill (``shard.ring.write=kill_worker:at:60``,
     which lands strictly after the driver's explicit checkpoint and
     strictly before ingestion ends) and a 1% seeded I/O-error rate on
     match-log writes (absorbed by the sink's retry ladder), while the
@@ -49,7 +49,7 @@ Workload (both plans): triples of edges matching a 2-query tenant —
 under ``--plan shard`` the queries pin to *different* shards of a
 2-shard process-sharded session (``chain`` hashes to shard 0,
 ``relay`` to shard 1 — see :func:`repro.concurrency.sharding.shard_of`)
-so the kill site fires at a predictable RPC count; under ``--plan wal``
+so the kill site fires at a predictable ring-frame count; under ``--plan wal``
 the tenant is unsharded and the crashes are process-level SIGKILLs.
 
 Run: ``python -m repro.bench.chaos_smoke`` (CI jobs ``chaos-smoke``
@@ -78,10 +78,15 @@ from typing import Counter, Dict, List, Optional, Sequence, Tuple
 #: The pinned fault plan (see the module docstring for why these bounds
 #: are safe): seed 9 fires ``sink.write`` at call indices 35, 114, 152,
 #: 155 ... — never twice in a row, so the 3-attempt retry ladder absorbs
-#: every one; the kill's ``at:60`` sits between the worst-case send
-#: count before the driver's checkpoint (~26) and the guaranteed
-#: minimum for the whole run (>= 96).
-FAULT_PLAN = "seed=9;sink.write=io_error:0.01;shard.rpc.send=kill_worker:at:60"
+#: every one.  The kill site rides the shm transport's batch hot path
+#: (``shard.ring.write`` fires once per batch frame per shard; control
+#: RPCs stay on the pipe and never count): every 8-edge batch of the
+#: triple workload holds both query classes, so the 288 post-priming
+#: edges publish at least 72 frames, while the 9 priming edges publish
+#: at most 9 — ``at:60`` lands strictly after the driver's checkpoint
+#: and strictly before ingestion ends.
+FAULT_PLAN = ("seed=9;sink.write=io_error:0.01;"
+              "shard.ring.write=kill_worker:at:60")
 
 #: The pinned plan for ``--plan wal``: a seeded 5% I/O-error rate on
 #: WAL fsyncs, capped at 6 firings.  A single failure is retried by the

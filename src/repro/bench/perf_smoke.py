@@ -27,22 +27,24 @@ Six suites, selected with ``--suite``:
     insert throughput and (b) the sub-linear shared-store cell count
     (the private/shared partial-match space ratio).
 
-``sharding`` (PR 5, report ``BENCH_pr5.json``)
+``sharding`` (PR 9, report ``BENCH_pr9.json``)
     The routing suite's pinned 16-query workload pushed through
     ``sharding="none"`` vs ``sharding="process"`` at 4 shards
-    (:class:`~repro.concurrency.sharding.ShardedSession`), verifying
-    identical ``(name, match)`` multisets and a balanced partition, and
-    gating the insert-throughput speedup of the sharded *pipeline*.  The
-    gated ratio is modeled, not wall-clock: like the paper's ``Timing-N``
-    speedup figures (which replay measured lock traces through
-    :mod:`repro.concurrency.simulation` because the GIL hides thread
-    speedup), this suite measures each pipeline stage's real CPU cost —
-    the facade's routing/serialisation thread-time and every shard
-    worker's busy process-time — and models steady-state throughput as
-    ``stream / max(stage cost)``.  That makes the gate meaningful on any
-    runner, including single-core CI where 4-way wall-clock parallelism
-    is physically impossible; the wall-clock numbers are reported
-    alongside for information.
+    (:class:`~repro.concurrency.sharding.ShardedSession`) under both the
+    zero-pickle shared-memory ring transport (``transport="shm"``) and
+    the pickle-over-pipe fallback (``transport="pipe"``), verifying
+    identical ``(name, match)`` multisets across all three and a
+    balanced partition.  Three gates: (a) the modeled pipeline speedup —
+    like the paper's ``Timing-N`` figures (which replay measured lock
+    traces through :mod:`repro.concurrency.simulation` because the GIL
+    hides thread speedup), each pipeline stage's real CPU cost is
+    measured and steady-state throughput modeled as ``stream /
+    max(stage cost)``; (b) the *measured* end-to-end wall-clock speedup
+    of the shm run over ``sharding="none"``, enforced only when the
+    runner has a core per shard (``wall_gate_enforced``) because 4-way
+    parallelism is physically impossible on a single core; and (c) the
+    pipe/shm wall ratio, enforced everywhere — the ring must never lose
+    to pickling.
 
 ``service`` (PR 6, report ``BENCH_pr6.json``)
     The routing suite's pinned 16-query workload pushed through the
@@ -575,6 +577,32 @@ SHARDING_SHARDS = 4
 #: pipeline model).
 SHARDING_SPEEDUP_FLOOR = 2.0
 
+#: Hard floor on the *measured wall-clock* speedup of the shm transport
+#: over ``sharding="none"`` at 4 shards.  Only enforced when the machine
+#: actually has a core per shard (``wall_gate_enforced`` in the report) —
+#: on a 1-core container the processes time-slice a single CPU and no
+#: transport can make sharding win on wall-clock.
+SHARDING_WALL_SPEEDUP_FLOOR = 2.0
+
+#: Hard floor on shm-wall over pipe-wall (pipe elapsed / shm elapsed),
+#: enforced on every machine including single-core ones: the zero-pickle
+#: ring must never make the hot path *slower* than pickling into a pipe.
+#: The slack below 1.0 absorbs scheduler noise on sub-second runs.
+SHARDING_SHM_OVER_PIPE_FLOOR = 0.9
+
+#: Every leg is timed best-of-N (the answer is asserted identical on
+#: every repetition): the gated quantities are ratios of sub-second
+#: wall-clock runs, and a single sample of each is scheduler noise.
+SHARDING_REPETITIONS = 3
+
+
+def _sharding_cpu_cores() -> int:
+    """Cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:      # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
 
 def _run_sharding_none(queries: List[QueryGraph], duration: float,
                        edges: List):
@@ -601,10 +629,10 @@ def _run_sharding_none(queries: List[QueryGraph], duration: float,
 
 
 def _run_sharding_sharded(queries: List[QueryGraph], duration: float,
-                          edges: List):
+                          edges: List, transport: str):
     session = Session(window=duration, config=EngineConfig(
         subplan_sharing="private", sharding="process",
-        shards=SHARDING_SHARDS))
+        shards=SHARDING_SHARDS, transport=transport))
     try:
         for i, query in enumerate(queries):
             session.register(f"q{i:02d}", query)
@@ -620,6 +648,7 @@ def _run_sharding_sharded(queries: List[QueryGraph], duration: float,
     report = {
         "sharding": "process",
         "shards": SHARDING_SHARDS,
+        "transport": stats["transport"],
         "elapsed_wall_seconds": round(elapsed, 4),
         "throughput_wall_edges_per_s": round(len(edges) / elapsed, 1),
         "matches": len(tagged),
@@ -634,25 +663,47 @@ def _run_sharding_sharded(queries: List[QueryGraph], duration: float,
     return report, Counter(tagged)
 
 
+def _best_of(run, reference: Optional[Counter], label: str,
+             wall_key: str):
+    """Best-of-N repetitions of ``run``; every repetition must reproduce
+    ``reference`` (when given) exactly."""
+    best = None
+    tagged = None
+    for _ in range(SHARDING_REPETITIONS):
+        report, counted = run()
+        if reference is not None and counted != reference:
+            raise AssertionError(
+                f"sharding changed the answer: none and {label} "
+                "(name, match) multisets differ")
+        if best is None or report[wall_key] < best[wall_key]:
+            best = report
+        tagged = counted
+    return best, tagged
+
+
 def run_sharding_smoke() -> dict:
-    """Run the 16-query workload unsharded and at 4 process shards;
-    returns the report dict (see the module docstring for the gated
-    pipeline model)."""
+    """Run the 16-query workload unsharded and at 4 process shards under
+    both the zero-pickle shm ring transport and the pickle-over-pipe
+    fallback; returns the report dict (see the module docstring for the
+    gated pipeline model and wall-clock gates)."""
     queries, duration, edges = build_routing_workload()
-    none_run, none_tagged = _run_sharding_none(queries, duration, edges)
-    sharded_run, sharded_tagged = _run_sharding_sharded(
-        queries, duration, edges)
-    if none_tagged != sharded_tagged:
-        raise AssertionError(
-            "sharding changed the answer: none and process (name, match) "
-            "multisets differ")
-    per_shard = sharded_run["queries_per_shard"]
+    none_run, none_tagged = _best_of(
+        lambda: _run_sharding_none(queries, duration, edges),
+        None, "none", "elapsed_seconds")
+    shm_run, _ = _best_of(
+        lambda: _run_sharding_sharded(queries, duration, edges, "shm"),
+        none_tagged, "process/shm", "elapsed_wall_seconds")
+    pipe_run, _ = _best_of(
+        lambda: _run_sharding_sharded(queries, duration, edges, "pipe"),
+        none_tagged, "process/pipe", "elapsed_wall_seconds")
+    per_shard = shm_run["queries_per_shard"]
     if sorted(per_shard) != [4, 4, 4, 4]:
         raise AssertionError(
             f"the pinned name hash no longer balances the partition: "
             f"{per_shard} queries per shard")
+    cpu_cores = _sharding_cpu_cores()
     return {
-        "benchmark": "pr5-sharding-perf-smoke",
+        "benchmark": "pr9-sharding-transport-perf-smoke",
         "workload": {
             "dataset": "NetworkFlow (dst-port/protocol labels)",
             "stream_edges": ROUTING_STREAM_EDGES,
@@ -663,22 +714,32 @@ def run_sharding_smoke() -> dict:
             "window_units": ROUTING_WINDOW_UNITS,
             "storage": "mstree",
             "shards": SHARDING_SHARDS,
+            "repetitions": SHARDING_REPETITIONS,
         },
         "environment": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
+            "cpu_cores": cpu_cores,
         },
         "none": none_run,
-        "sharded": sharded_run,
+        "sharded": shm_run,
+        "sharded_pipe": pipe_run,
         "model": "pipeline: none cpu_seconds / max(facade_cpu_seconds, "
-                 "max(shard_busy_seconds)); wall-clock reported for "
-                 "information only",
+                 "max(shard_busy_seconds)); wall_speedup is measured "
+                 "end-to-end wall clock, gated when cpu_cores >= shards",
         "wall_speedup": round(
             none_run["elapsed_seconds"]
-            / sharded_run["elapsed_wall_seconds"], 2),
+            / shm_run["elapsed_wall_seconds"], 2),
+        "wall_speedup_pipe": round(
+            none_run["elapsed_seconds"]
+            / pipe_run["elapsed_wall_seconds"], 2),
+        "shm_over_pipe": round(
+            pipe_run["elapsed_wall_seconds"]
+            / shm_run["elapsed_wall_seconds"], 2),
+        "wall_gate_enforced": cpu_cores >= SHARDING_SHARDS,
         "speedup": round(
             none_run["cpu_seconds"]
-            / sharded_run["critical_stage_seconds"], 2),
+            / shm_run["critical_stage_seconds"], 2),
     }
 
 
@@ -696,6 +757,25 @@ def check_sharding_regression(report: dict, baseline: dict,
         failures.append(
             f"sharded-pipeline speedup regressed >{tolerance:.0%}: "
             f"measured {measured}x vs committed baseline {recorded}x")
+    if report["sharded"].get("transport") != "shm":
+        failures.append(
+            "the shm leg silently degraded to "
+            f"{report['sharded'].get('transport')!r} — shared memory is "
+            "required on gated platforms")
+    if report.get("wall_gate_enforced"):
+        wall = report["wall_speedup"]
+        if wall < SHARDING_WALL_SPEEDUP_FLOOR:
+            failures.append(
+                f"measured wall-clock speedup {wall}x at "
+                f"{report['workload']['shards']} shards is below the "
+                f"{SHARDING_WALL_SPEEDUP_FLOOR}x floor "
+                f"({report['environment']['cpu_cores']} cores)")
+    ratio = report.get("shm_over_pipe")
+    if ratio is not None and ratio < SHARDING_SHM_OVER_PIPE_FLOOR:
+        failures.append(
+            f"shm transport is slower than the pipe fallback: "
+            f"pipe/shm wall ratio {ratio} is below the "
+            f"{SHARDING_SHM_OVER_PIPE_FLOOR} floor")
     if report["none"]["matches"] != baseline.get(
             "none", {}).get("matches", report["none"]["matches"]):
         failures.append(
@@ -1214,18 +1294,21 @@ SUITES = {
             f"(ratio {r['space_ratio']}x)"),
     },
     "sharding": {
-        "default_out": "BENCH_pr5.json",
+        "default_out": "BENCH_pr9.json",
         "run": run_sharding_smoke,
         "check": check_sharding_regression,
         "summary": lambda r: (
             f"none: {r['none']['throughput_edges_per_s']:.0f} edges/s "
             f"({r['none']['cpu_seconds']}s cpu), sharded x"
-            f"{r['workload']['shards']}: critical stage "
-            f"{r['sharded']['critical_stage_seconds']}s "
-            f"(facade {r['sharded']['facade_cpu_seconds']}s, shards "
-            f"{r['sharded']['shard_busy_seconds']}) "
-            f"→ modeled pipeline speedup {r['speedup']}x "
-            f"(wall {r['wall_speedup']}x on this machine)"),
+            f"{r['workload']['shards']}: shm wall "
+            f"{r['sharded']['elapsed_wall_seconds']}s, pipe wall "
+            f"{r['sharded_pipe']['elapsed_wall_seconds']}s "
+            f"→ wall speedup {r['wall_speedup']}x shm / "
+            f"{r['wall_speedup_pipe']}x pipe (shm/pipe "
+            f"{r['shm_over_pipe']}, gate "
+            f"{'on' if r['wall_gate_enforced'] else 'off'} at "
+            f"{r['environment']['cpu_cores']} cores), modeled pipeline "
+            f"speedup {r['speedup']}x"),
     },
     "wal": {
         "default_out": "BENCH_pr8.json",

@@ -1,0 +1,137 @@
+"""Bench-trend aggregator: one Markdown table across every PR's gate.
+
+Each perf-smoke suite commits its baseline as ``BENCH_pr<N>.json`` and
+CI re-measures it as ``bench_pr<N>_ci.json``.  This module folds both
+sets into a single trend table — one row per benchmark, committed vs
+fresh gated ratio and the delta between them — so a reviewer reads the
+whole performance story of the repo in one ``$GITHUB_STEP_SUMMARY``
+block instead of six artifact downloads.
+
+Run: ``python -m repro.bench.trend --committed . --fresh ci-reports``
+(CI job ``bench-trend``); with no fresh directory the table still
+renders from the committed baselines alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+from typing import Dict, List, Optional, Sequence
+
+#: ``BENCH_pr<N>.json`` / ``bench_pr<N>_ci.json`` → N.
+_PR_NUMBER = re.compile(r"pr(\d+)", re.IGNORECASE)
+
+
+def pr_number(path: str) -> Optional[int]:
+    """The PR number encoded in a report filename, or ``None``."""
+    match = _PR_NUMBER.search(os.path.basename(path))
+    return int(match.group(1)) if match else None
+
+
+def load_reports(paths: Sequence[str]) -> Dict[int, dict]:
+    """``{pr: report}`` for every parseable report with a PR number and
+    a gated ``speedup``; on a collision the later path wins."""
+    reports: Dict[int, dict] = {}
+    for path in paths:
+        number = pr_number(path)
+        if number is None:
+            continue
+        try:
+            with open(path, encoding="utf-8") as handle:
+                report = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(report, dict) or "speedup" not in report:
+            continue
+        reports[number] = report
+    return reports
+
+
+def collect(directory: str, pattern: str) -> Dict[int, dict]:
+    """Reports matching ``pattern`` (sorted, so collisions are
+    deterministic) under ``directory``."""
+    return load_reports(sorted(glob.glob(os.path.join(directory,
+                                                      pattern))))
+
+
+def _fmt(value) -> str:
+    return "—" if value is None else f"{value}"
+
+
+def _delta(committed, fresh) -> str:
+    if committed is None or fresh is None or not committed:
+        return "—"
+    return f"{(fresh - committed) / committed:+.1%}"
+
+
+def trend_rows(committed: Dict[int, dict],
+               fresh: Dict[int, dict]) -> List[dict]:
+    """One row per PR (ascending), joining committed and fresh runs."""
+    rows = []
+    for number in sorted(set(committed) | set(fresh)):
+        base = committed.get(number, {})
+        run = fresh.get(number, {})
+        rows.append({
+            "pr": number,
+            "benchmark": base.get("benchmark") or run.get("benchmark")
+            or f"pr{number}",
+            "committed": base.get("speedup"),
+            "fresh": run.get("speedup"),
+            "delta": _delta(base.get("speedup"), run.get("speedup")),
+            "committed_wall": base.get("wall_speedup"),
+            "fresh_wall": run.get("wall_speedup"),
+        })
+    return rows
+
+
+def render_markdown(rows: List[dict]) -> str:
+    """The trend table (gated ratio plus measured wall-clock where a
+    suite reports one)."""
+    lines = [
+        "## Bench trend",
+        "",
+        "| PR | benchmark | gated ratio (committed) | gated ratio (CI) "
+        "| Δ | wall× (committed) | wall× (CI) |",
+        "|---:|---|---:|---:|---:|---:|---:|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['pr']} | {row['benchmark']} "
+            f"| {_fmt(row['committed'])} | {_fmt(row['fresh'])} "
+            f"| {row['delta']} | {_fmt(row['committed_wall'])} "
+            f"| {_fmt(row['fresh_wall'])} |")
+    if not rows:
+        lines.append("| — | no reports found | — | — | — | — | — |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.trend",
+        description="aggregate committed BENCH_pr*.json baselines and "
+                    "fresh CI perf reports into a Markdown trend table")
+    parser.add_argument("--committed", default=".",
+                        help="directory holding the committed "
+                             "BENCH_pr*.json baselines (default: .)")
+    parser.add_argument("--fresh", default=None,
+                        help="directory holding this run's "
+                             "*pr*_ci.json reports (optional)")
+    parser.add_argument("--out", default=None,
+                        help="also write the table to this file")
+    args = parser.parse_args(argv)
+    committed = collect(args.committed, "BENCH_pr*.json")
+    fresh = collect(args.fresh, "*pr*.json") if args.fresh else {}
+    table = render_markdown(trend_rows(committed, fresh))
+    sys.stdout.write(table)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(table)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -45,7 +45,8 @@ from typing import Optional, Sequence
 
 from .api import (
     BACKENDS, DUPLICATE_POLICIES, INDEXING_MODES, ROUTING_MODES,
-    SHARDING_MODES, SUBPLAN_SHARING_MODES, EngineConfig, Session,
+    SHARDING_MODES, SUBPLAN_SHARING_MODES, TRANSPORT_MODES, EngineConfig,
+    Session,
 )
 from .core.engine import TimingMatcher
 from .core.plan import explain
@@ -103,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--shards", type=int, default=None,
                        help="worker-shard count when --sharding is not "
                             "none (default 4)")
+    p_run.add_argument("--transport", choices=sorted(TRANSPORT_MODES),
+                       default="shm",
+                       help="process-shard batch transport: zero-pickle "
+                            "shared-memory rings (default) or "
+                            "pickle-over-pipe (ablation); only "
+                            "meaningful with --sharding process")
     p_run.add_argument("--backend", choices=sorted(BACKENDS),
                        default="timing",
                        help="matcher engine (default: timing)")
@@ -245,6 +252,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         subplan_sharing=args.subplan_sharing,
         sharding=args.sharding,
         shards=shards,
+        transport=args.transport,
         duplicate_policy=args.duplicates)
     session = Session(window=window, config=config)
     session.register("query", query, backend=args.backend)

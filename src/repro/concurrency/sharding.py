@@ -68,10 +68,13 @@ model gates on.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import queue
 import threading
+import time as time_module
 import weakref
 import zlib
+from collections import deque
 from time import monotonic as time_monotonic
 from time import process_time, thread_time
 from typing import (
@@ -87,6 +90,10 @@ from ..graph.count_window import CountSlidingWindow
 from ..graph.edge import StreamEdge
 from ..graph.shared_window import SharedSlidingWindow
 from ..graph.window import SlidingWindow
+from .transport import (
+    RESULT_EMPTY, RESULT_ERROR, RESULT_PICKLED, RESULT_VIA_PIPE,
+    FacadeChannel, TransportError, WorkerChannel,
+)
 
 if TYPE_CHECKING:   # pragma: no cover - typing only
     from ..core.matches import Match
@@ -100,6 +107,12 @@ DEFAULT_BATCH_SIZE = 1024
 #: it exists to bound *hangs*, not to police slow batches; lower it per
 #: instance via :attr:`ShardedSession.rpc_timeout`.
 DEFAULT_RPC_TIMEOUT = 60.0
+
+#: Dispatch rounds in flight per ``push_many``/``ingest`` before the
+#: facade blocks collecting the oldest.  Two is enough to keep every
+#: shard busy while the facade stages the next round; deeper pipelines
+#: only add result latency.
+DEFAULT_OVERLAP_DEPTH = 2
 
 
 class ShardDeadError(RuntimeError):
@@ -239,13 +252,9 @@ class _ShardServer:
         return results
 
 
-def _shard_worker_main(conn) -> None:
-    """Entry point of a process-mode shard worker.
-
-    A plain request/response loop over the duplex pipe: receive
-    ``(cmd, payload)``, run it on the :class:`_ShardServer`, answer
-    ``("ok", result)`` or ``("error", exception)``.  Exits on
-    ``"shutdown"`` or when the facade end of the pipe disappears.
+def _serve_rpc(conn, server: "_ShardServer") -> bool:
+    """Serve exactly one pipe RPC; ``False`` when the worker must exit
+    (shutdown command, or the facade end of the pipe disappeared).
 
     Batch (de)serialisation CPU is charged to the shard's busy time:
     it is genuine per-shard stage cost the sharded layout pays and the
@@ -253,33 +262,113 @@ def _shard_worker_main(conn) -> None:
     see it.  ``process_time`` does not tick while ``recv`` blocks, so
     idle waiting is not counted.
     """
+    started = process_time()
+    try:
+        cmd, payload = conn.recv()
+    except (EOFError, OSError):            # facade gone: die quietly
+        return False
+    if cmd == "shutdown":
+        try:
+            conn.send(("ok", None))
+        except (BrokenPipeError, OSError):
+            pass
+        return False
+    try:
+        result = server.handle(cmd, payload)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - reported to facade
+        try:
+            conn.send(("error", exc))
+        except Exception:
+            conn.send(("error", RuntimeError(
+                f"shard worker error (unpicklable): {exc!r}")))
+    if cmd == "push_batch":
+        # Wire overhead around the handler (which already charged
+        # its own interval): recv deserialisation + result send.
+        server.busy_seconds += (process_time() - started) \
+            - server.last_batch_seconds
+    return True
+
+
+def _shard_worker_main(conn, transport_spec=None) -> None:
+    """Entry point of a process-mode shard worker.
+
+    Without a ``transport_spec`` this is a plain request/response loop
+    over the duplex pipe: receive ``(cmd, payload)``, run it on the
+    :class:`_ShardServer`, answer ``("ok", result)`` or ``("error",
+    exception)``.  With a spec the worker also attaches the facade's
+    shared-memory rings and serves batch frames off the data ring —
+    results answered through the result ring (or flagged
+    ``RESULT_VIA_PIPE`` and sent over the pipe when oversized) — while
+    the pipe keeps carrying control RPCs and fallback batches.
+
+    A torn ring frame is unrecoverable by construction
+    (:class:`~repro.concurrency.transport.TornFrameError`): the worker
+    dies and supervision restarts the tenant from its checkpoint.
+    """
     server = _ShardServer()
-    while True:
-        started = process_time()
-        try:
-            cmd, payload = conn.recv()
-        except (EOFError, OSError):        # facade gone: die quietly
-            return
-        if cmd == "shutdown":
-            try:
-                conn.send(("ok", None))
-            except (BrokenPipeError, OSError):
-                pass
-            return
-        try:
-            result = server.handle(cmd, payload)
-            conn.send(("ok", result))
-        except BaseException as exc:  # noqa: BLE001 - reported to facade
-            try:
-                conn.send(("error", exc))
-            except Exception:
-                conn.send(("error", RuntimeError(
-                    f"shard worker error (unpicklable): {exc!r}")))
-        if cmd == "push_batch":
-            # Wire overhead around the handler (which already charged
-            # its own interval): recv deserialisation + result send.
-            server.busy_seconds += (process_time() - started) \
-                - server.last_batch_seconds
+    if transport_spec is None:
+        while _serve_rpc(conn, server):
+            pass
+        return
+    channel = WorkerChannel.attach(transport_spec)
+    parent = multiprocessing.parent_process()
+    active = 0
+    try:
+        while True:
+            payload = channel.try_read()    # raises on a torn frame
+            if payload is not None:
+                active = 64                 # stay hot through a burst
+                faults.fire("shard.ring.read")
+                started = process_time()
+                batches_before = server.batches
+                seq = channel.peek_seq(payload)
+                results: List[tuple] = []
+                try:
+                    _, rows = channel.decode(payload)
+                    results = server._push_batch(rows)
+                    if not results:
+                        status, blob = RESULT_EMPTY, b""
+                    else:
+                        blob = pickle.dumps(
+                            results, pickle.HIGHEST_PROTOCOL)
+                        if channel.result_fits(blob):
+                            status = RESULT_PICKLED
+                        else:
+                            status, blob = RESULT_VIA_PIPE, b""
+                except BaseException as exc:  # noqa: BLE001 - reported
+                    status = RESULT_ERROR
+                    try:
+                        blob = pickle.dumps(exc, pickle.HIGHEST_PROTOCOL)
+                    except Exception:
+                        blob = pickle.dumps(RuntimeError(
+                            f"shard worker error (unpicklable): {exc!r}"),
+                            pickle.HIGHEST_PROTOCOL)
+                handled = server.batches - batches_before
+                server.busy_seconds += (process_time() - started) \
+                    - (server.last_batch_seconds if handled else 0.0)
+                while not channel.try_send_result(seq, status, blob):
+                    if parent is not None and not parent.is_alive():
+                        return              # facade gone: die quietly
+                    time_module.sleep(0.0005)
+                if status == RESULT_VIA_PIPE:
+                    # The marker reserves the pipe's next message for
+                    # this batch (the facade never interleaves control
+                    # RPCs with outstanding batches).
+                    try:
+                        conn.send(("ok", results))
+                    except (BrokenPipeError, OSError):
+                        return
+                continue
+            # Idle ring: serve the pipe (control RPCs, fallback
+            # batches), with a tighter poll while a burst is running.
+            if conn.poll(0.0005 if active else 0.005):
+                if not _serve_rpc(conn, server):
+                    return
+            elif active:
+                active -= 1
+    finally:
+        channel.close()
 
 
 def _thread_worker_main(server: "_ShardServer", requests: "queue.Queue",
@@ -302,11 +391,32 @@ def _thread_worker_main(server: "_ShardServer", requests: "queue.Queue",
 # --------------------------------------------------------------------- #
 
 class _ProcessHandle:
-    """Facade-side endpoint of a process shard (duplex pipe + process)."""
+    """Facade-side endpoint of a process shard.
 
-    __slots__ = ("conn", "process")
+    Always carries the duplex pipe (control RPCs, oversized fallbacks);
+    under ``transport="shm"`` it additionally owns a
+    :class:`~repro.concurrency.transport.FacadeChannel` — a pair of
+    shared-memory rings the batch hot path rides with zero pickling.
+    When shared memory is unavailable the handle silently degrades to
+    pipe-only (``transport`` records what it actually got).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("conn", "process", "channel", "transport",
+                 "_result_backlog")
+
+    def __init__(self, transport: str = "shm") -> None:
+        self.channel: Optional[FacadeChannel] = None
+        self.transport = "pipe"
+        self._result_backlog: deque = deque()
+        spec = None
+        if transport == "shm":
+            try:
+                self.channel = FacadeChannel()
+            except (TransportError, OSError):
+                self.channel = None     # degraded: pipe carries batches
+            else:
+                self.transport = "shm"
+                spec = self.channel.spec()
         # The platform's default start method: forcing fork would be
         # faster but unsafe when workers are (re-)spawned from a
         # threaded host — e.g. Session.restore in an application with
@@ -315,9 +425,14 @@ class _ProcessHandle:
         # precisely so spawn/forkserver can import it.
         ctx = multiprocessing.get_context()
         self.conn, child = ctx.Pipe(duplex=True)
-        self.process = ctx.Process(
-            target=_shard_worker_main, args=(child,), daemon=True)
-        self.process.start()
+        try:
+            self.process = ctx.Process(
+                target=_shard_worker_main, args=(child, spec), daemon=True)
+            self.process.start()
+        except BaseException:
+            if self.channel is not None:
+                self.channel.close()
+            raise
         child.close()
 
     def kill(self) -> None:
@@ -328,6 +443,120 @@ class _ProcessHandle:
     def is_alive(self) -> bool:
         """Whether the worker process is still running."""
         return self.process.is_alive()
+
+    # -- ring transport ------------------------------------------------ #
+    @property
+    def ring_capable(self) -> bool:
+        """Whether batches can ride the shared-memory rings."""
+        return self.channel is not None
+
+    def encode_batch(self, rows):
+        """Encode one batch for the data ring; ``None`` when the frame
+        could never fit (caller takes the pipe fallback)."""
+        return self.channel.encode_batch(rows)
+
+    def ring_send(self, frame, timeout: Optional[float]) -> None:
+        """Publish one encoded batch frame, blocking while the data
+        ring is full.  The wait loop keeps draining the return path
+        into the backlog — the worker may itself be blocked publishing
+        results, and only the facade can break that cycle.
+        """
+        faults.fire("shard.ring.write", kill=self.kill)
+        channel = self.channel
+        deadline = None if timeout is None \
+            else time_monotonic() + timeout
+        try:
+            while not channel.try_send(frame):
+                drained = self._drain_results()
+                if not self.process.is_alive():
+                    raise ShardDeadError(
+                        f"shard worker died (exitcode="
+                        f"{self.process.exitcode})")
+                if deadline is not None and time_monotonic() > deadline:
+                    raise ShardDeadError(
+                        f"shard worker unresponsive past the {timeout}s "
+                        "RPC deadline (data ring full)")
+                if not drained:
+                    time_module.sleep(0.0005)
+        except TransportError as exc:
+            raise ShardDeadError(
+                f"shard ring transport failed: {exc}") from exc
+
+    def _drain_results(self) -> bool:
+        """Move every available result frame into the backlog (filling
+        via-pipe payloads opportunistically); ``True`` if anything
+        moved.  Keeps the worker's result ring from wedging while the
+        facade waits on the data ring."""
+        moved = False
+        while True:
+            got = self.channel.try_recv()
+            if got is None:
+                break
+            status, blob = got
+            # Via-pipe payloads are materialised lazily: [status, blob]
+            # with blob None until the pipe delivers it (strictly FIFO —
+            # the worker reserves the pipe's next message per marker).
+            self._result_backlog.append(
+                [status, None if status == RESULT_VIA_PIPE else blob])
+            moved = True
+        for entry in self._result_backlog:
+            if entry[0] != RESULT_VIA_PIPE or entry[1] is not None:
+                continue
+            try:
+                if not self.conn.poll(0):
+                    break
+                status, result = self.conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ShardDeadError(
+                    "shard worker died mid-result") from exc
+            if status == "error":   # pragma: no cover - defensive
+                raise result
+            entry[1] = result
+            moved = True
+            break       # at most one pending via-pipe payload at a time
+        return moved
+
+    def ring_recv(self, timeout: Optional[float]):
+        """Collect one ring batch's results (in dispatch order);
+        re-raises worker exceptions, same liveness/deadline contract as
+        :meth:`recv`."""
+        faults.fire("shard.ring.read", kill=self.kill)
+        deadline = None if timeout is None \
+            else time_monotonic() + timeout
+        try:
+            while not self._result_backlog:
+                if self._drain_results():
+                    continue
+                if not self.process.is_alive():
+                    # One final drain: the worker may have answered and
+                    # then exited between checks.
+                    if self._drain_results():
+                        continue
+                    raise ShardDeadError(
+                        f"shard worker died (exitcode="
+                        f"{self.process.exitcode})")
+                if deadline is not None and time_monotonic() > deadline:
+                    raise ShardDeadError(
+                        f"shard worker unresponsive past the {timeout}s "
+                        "RPC deadline")
+                time_module.sleep(0.0005)
+            status, blob = self._result_backlog.popleft()
+        except TransportError as exc:
+            raise ShardDeadError(
+                f"shard ring transport failed: {exc}") from exc
+        if status == RESULT_EMPTY:
+            return []
+        if status == RESULT_PICKLED:
+            return pickle.loads(blob)
+        if status == RESULT_VIA_PIPE:
+            if blob is not None:
+                return blob
+            result = self.recv(timeout)
+            return result
+        if status == RESULT_ERROR:
+            raise pickle.loads(blob)
+        raise ShardDeadError(             # pragma: no cover - defensive
+            f"unknown result status {status}")
 
     def send(self, cmd: str, payload) -> None:
         """Dispatch a command without waiting for its result."""
@@ -377,7 +606,8 @@ class _ProcessHandle:
         return result
 
     def shutdown(self) -> None:
-        """Stop the worker process (graceful, then terminate)."""
+        """Stop the worker process (graceful, then terminate) and
+        unlink the shared-memory rings."""
         try:
             self.conn.send(("shutdown", None))
             if self.conn.poll(2.0):
@@ -387,16 +617,33 @@ class _ProcessHandle:
         self.process.join(timeout=2.0)
         if self.process.is_alive():    # pragma: no cover - defensive
             self.process.terminate()
+            self.process.join(timeout=1.0)
         try:
             self.conn.close()
         except OSError:                # pragma: no cover - defensive
             pass
+        if self.channel is not None:
+            try:
+                self.channel.close()
+            except Exception:          # pragma: no cover - defensive
+                pass
+            self.channel = None
 
 
 class _ThreadHandle:
-    """Facade-side endpoint of a thread shard (request/response queues)."""
+    """Facade-side endpoint of a thread shard (request/response queues).
+
+    Never ring-capable: thread shards share the facade's address space,
+    so "serialisation" is already free — ``transport`` reads
+    ``"inline"`` in stats to make that explicit.
+    """
 
     __slots__ = ("requests", "responses", "thread", "server")
+
+    #: Thread shards pass objects by reference; rings would only add
+    #: copies.
+    ring_capable = False
+    transport = "inline"
 
     def __init__(self) -> None:
         self.server = _ShardServer(clock=thread_time)
@@ -449,9 +696,11 @@ class _ThreadHandle:
         self.thread.join(timeout=2.0)
 
 
-def _spawn_handle(mode: str):
-    """A fresh worker endpoint for ``mode`` (``"process"``/``"thread"``)."""
-    return _ProcessHandle() if mode == "process" else _ThreadHandle()
+def _spawn_handle(mode: str, transport: str = "shm"):
+    """A fresh worker endpoint for ``mode`` (``"process"``/``"thread"``);
+    ``transport`` picks the process batch path (``"shm"``/``"pipe"``)."""
+    return _ProcessHandle(transport) if mode == "process" \
+        else _ThreadHandle()
 
 
 def _shutdown_handles(handles: List) -> None:
@@ -571,17 +820,23 @@ class ShardedSession(Session):
                  duplicate_policy: Optional[str] = None,
                  routing: Optional[str] = None,
                  sharding: Optional[str] = None,
-                 shards: Optional[int] = None) -> None:
+                 shards: Optional[int] = None,
+                 transport: Optional[str] = None) -> None:
         super().__init__(window=window, config=config,
                          duplicate_policy=duplicate_policy, routing=routing,
-                         sharding=sharding, shards=shards)
+                         sharding=sharding, shards=shards,
+                         transport=transport)
         if self.config.sharding == "none":      # pragma: no cover
             raise ValueError("ShardedSession requires a sharding mode; "
                              "use Session for sharding='none'")
         self._mode = self.config.sharding
         self._shard_count = self.config.shards
+        self._transport = getattr(self.config, "transport", "shm")
         #: Arrivals staged per dispatch round (tunable per instance).
         self.batch_size = DEFAULT_BATCH_SIZE
+        #: Dispatch rounds in flight before ``push_many``/``ingest``
+        #: block collecting the oldest (1 = lock-step, no overlap).
+        self.overlap_depth = DEFAULT_OVERLAP_DEPTH
         #: Per-RPC deadline in seconds (``None`` disables the deadline;
         #: worker-death detection stays on either way).
         self.rpc_timeout: Optional[float] = DEFAULT_RPC_TIMEOUT
@@ -594,8 +849,9 @@ class ShardedSession(Session):
         self._target_cache: Dict = {}
         self._facade_seconds = 0.0
         self._closed = False
-        self._shards = [_ShardState(i, _spawn_handle(self._mode))
-                        for i in range(self._shard_count)]
+        self._shards = [
+            _ShardState(i, _spawn_handle(self._mode, self._transport))
+            for i in range(self._shard_count)]
         self._attach_finalizer()
 
     # ------------------------------------------------------------------ #
@@ -931,19 +1187,62 @@ class ShardedSession(Session):
             targeted += shard.members
         self.skipped_matchers += len(self._assignments) - targeted
 
-    def _dispatch(self, per_shard: List[list]) -> List[Tuple[str, Match]]:
-        """Send the staged batch, gather per-shard results, merge them in
-        ``(arrival, registration ordinal)`` order and deliver to sinks."""
-        sent = []
+    def _send_round(self, per_shard: List[list], drain=None):
+        """Dispatch one staged round without collecting; returns the
+        token :meth:`_collect_round` consumes.
+
+        Ring-capable shards get a zero-pickle frame on their data ring.
+        A batch too large for a ring (or staged for a pipe-only shard)
+        rides the pipe; for a ring-capable shard that fallback must not
+        overtake in-flight ring frames — the worker polls its ring
+        first — so ``drain`` (collect every outstanding round) runs
+        before the fallback is sent, and the fallback is collected
+        inline before this method returns.
+        """
+        pending: List[Tuple[_ShardState, bool]] = []
+        fallbacks: List[_ShardState] = []
         for shard in self._shards:
-            if per_shard[shard.index]:
+            rows = per_shard[shard.index]
+            if not rows:
+                continue
+            handle = shard.handle
+            if handle.ring_capable:
+                frame = handle.encode_batch(rows)
+                if frame is None:
+                    fallbacks.append(shard)
+                    continue
+                handle.ring_send(frame, self.rpc_timeout)
+                pending.append((shard, True))
+            else:
+                handle.send("push_batch", rows)
+                pending.append((shard, False))
+        inline: List[Tuple[int, str, Match]] = []
+        if fallbacks:
+            if drain is not None:
+                drain()
+            for shard in fallbacks:
                 shard.handle.send("push_batch", per_shard[shard.index])
-                sent.append(shard)
-        merged: List[Tuple[int, str, Match]] = []
+            errors: List[BaseException] = []
+            for shard in fallbacks:
+                try:
+                    inline.extend(shard.handle.recv(self.rpc_timeout))
+                except BaseException as exc:  # noqa: BLE001 - below
+                    errors.append(exc)
+            if errors:
+                raise errors[0]
+        return pending, inline
+
+    def _collect_round(self, token) -> List[Tuple[str, Match]]:
+        """Gather one dispatched round, merge it in ``(arrival,
+        registration ordinal)`` order and deliver to sinks."""
+        pending, merged = token
         errors: List[BaseException] = []
-        for shard in sent:
+        for shard, via_ring in pending:
             try:
-                merged.extend(shard.handle.recv(self.rpc_timeout))
+                if via_ring:
+                    merged.extend(shard.handle.ring_recv(self.rpc_timeout))
+                else:
+                    merged.extend(shard.handle.recv(self.rpc_timeout))
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors.append(exc)
         if errors:
@@ -956,6 +1255,11 @@ class ShardedSession(Session):
             results.append((name, match))
             self._deliver(name, match)
         return results
+
+    def _dispatch(self, per_shard: List[list]) -> List[Tuple[str, Match]]:
+        """Send one staged batch and gather it lock-step (the ``push``
+        path — nothing else may be outstanding when this runs)."""
+        return self._collect_round(self._send_round(per_shard))
 
     def _push_batch(self, edges: List[StreamEdge]) -> List[Tuple[str, Match]]:
         """Stage-and-dispatch one batch.  On a mid-batch rejection the
@@ -987,34 +1291,76 @@ class ShardedSession(Session):
         before the call returns, exactly like an unsharded push)."""
         return self._push_batch([edge])
 
+    def _pump(self, edges: Iterable[StreamEdge], consume) -> None:
+        """Overlapped batch driver for ``push_many``/``ingest``: stages
+        and dispatches round ``N+1`` while the shards are still chewing
+        round ``N``, keeping up to :attr:`overlap_depth` rounds in
+        flight.  ``consume`` receives each collected round's merged
+        ``(name, match)`` list, in round order.
+
+        The partial-progress contract matches :meth:`_push_batch`: a
+        mid-batch rejection still dispatches (and delivers) the staged
+        prefix — and every already-dispatched round — before the error
+        propagates.
+        """
+        self._check_open()
+        outstanding: deque = deque()
+        depth = max(1, self.overlap_depth)
+
+        def drain() -> None:
+            while outstanding:
+                consume(self._collect_round(outstanding.popleft()))
+
+        def flush(batch: List[StreamEdge]) -> None:
+            per_shard: List[list] = [[] for _ in self._shards]
+            try:
+                for idx, edge in enumerate(batch):
+                    self._stage(idx, edge, per_shard)
+            except BaseException:
+                outstanding.append(self._send_round(per_shard, drain))
+                raise
+            outstanding.append(self._send_round(per_shard, drain))
+
+        started = thread_time()
+        try:
+            try:
+                batch: List[StreamEdge] = []
+                for edge in edges:
+                    batch.append(edge)
+                    if len(batch) >= self.batch_size:
+                        flush(batch)
+                        batch = []
+                        while len(outstanding) >= depth:
+                            consume(self._collect_round(
+                                outstanding.popleft()))
+                if batch:
+                    flush(batch)
+            except BaseException:
+                drain()
+                raise
+            drain()
+        finally:
+            self._facade_seconds += thread_time() - started
+
     def push_many(self,
                   edges: Iterable[StreamEdge]) -> List[Tuple[str, Match]]:
         """Batch ingestion: arrivals are staged in :attr:`batch_size`
-        rounds, each fanned to the target shards in one message per
-        shard and merged deterministically."""
+        rounds, fanned to the target shards (overlapped — see
+        :attr:`overlap_depth`) and merged deterministically."""
         results: List[Tuple[str, Match]] = []
-        batch: List[StreamEdge] = []
-        for edge in edges:
-            batch.append(edge)
-            if len(batch) >= self.batch_size:
-                results.extend(self._push_batch(batch))
-                batch = []
-        if batch:
-            results.extend(self._push_batch(batch))
+        self._pump(edges, results.extend)
         return results
 
     def ingest(self, edges: Iterable[StreamEdge]) -> int:
         """Sink-driven batch ingestion returning only the match count
         (an unbounded stream never materialises its result list)."""
         delivered = 0
-        batch: List[StreamEdge] = []
-        for edge in edges:
-            batch.append(edge)
-            if len(batch) >= self.batch_size:
-                delivered += len(self._push_batch(batch))
-                batch = []
-        if batch:
-            delivered += len(self._push_batch(batch))
+
+        def consume(results: List[Tuple[str, Match]]) -> None:
+            nonlocal delivered
+            delivered += len(results)
+
+        self._pump(edges, consume)
         return delivered
 
     def advance_time(self, timestamp: float) -> None:
@@ -1086,15 +1432,23 @@ class ShardedSession(Session):
             per_shard.append({
                 "shard": shard.index,
                 "queries": shard.members,
+                "transport": shard.handle.transport,
                 "edges_received": timing["edges_received"],
                 "batches": timing["batches"],
                 "busy_seconds": round(timing["busy_seconds"], 4),
                 "routed_pushes": stats["routed_pushes"],
             })
+        if self._mode == "thread":
+            transport = "inline"
+        elif all(s.handle.ring_capable for s in self._shards):
+            transport = "shm"
+        else:
+            transport = "pipe"
         return {
             "routing": self._routing,
             "sharding": self._mode,
             "shards": self._shard_count,
+            "transport": transport,
             "queries": len(self._assignments),
             "shared_groups": len(self._mirrors),
             "edges_pushed": self.edges_pushed,
@@ -1142,8 +1496,15 @@ class ShardedSession(Session):
         sessions = state.pop("_shard_sessions")
         self.__dict__.update(state)
         self._closed = False
+        # Checkpoints written before the transport knob existed restore
+        # with the config's (defaulted) choice; rings are runtime wiring
+        # and are re-created fresh with each re-spawned worker.
+        self._transport = state.get("_transport") \
+            or getattr(self.config, "transport", "shm")
+        if "overlap_depth" not in state:
+            self.overlap_depth = DEFAULT_OVERLAP_DEPTH
         for shard, session in zip(self._shards, sessions):
-            shard.handle = _spawn_handle(self._mode)
+            shard.handle = _spawn_handle(self._mode, self._transport)
             self._call(shard, "adopt", session)
         self._attach_finalizer()
 

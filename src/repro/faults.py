@@ -60,6 +60,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 SITES = (
     "queue.put", "queue.get",
     "shard.rpc.send", "shard.rpc.recv",
+    "shard.ring.write", "shard.ring.read",
     "sink.write", "sink.flush",
     "tailer.read",
     "checkpoint.write",

@@ -54,7 +54,7 @@ import os
 from typing import Dict, List, Tuple
 
 from .. import faults as _faults
-from ..api import SHARDING_MODES, STORAGE_KINDS
+from ..api import SHARDING_MODES, STORAGE_KINDS, TRANSPORT_MODES
 from .queues import BACKPRESSURE_POLICIES
 
 try:
@@ -200,7 +200,7 @@ class TenantConfig:
     ``queries`` maps query names to DSL text (a ``file = ...`` entry in
     TOML is read at load time, relative to the config file).  The
     engine-facing knobs (``window``, ``storage``, ``sharding``,
-    ``shards``, ``duplicate_policy``) mirror
+    ``shards``, ``transport``, ``duplicate_policy``) mirror
     :class:`~repro.api.EngineConfig`; the queue knobs mirror
     :class:`~repro.service.queues.BoundedEdgeQueue`.
     """
@@ -211,6 +211,7 @@ class TenantConfig:
     storage: str = "mstree"
     sharding: str = "none"
     shards: int = 1
+    transport: str = "shm"
     duplicate_policy: str = "skip"
     queue_capacity: int = 10000
     backpressure: str = "block"
@@ -270,6 +271,10 @@ class TenantConfig:
                 f"tenant {self.name!r}: shards = {self.shards} has no "
                 "effect with sharding = \"none\" — set sharding to "
                 "\"thread\" or \"process\"")
+        if self.transport not in TRANSPORT_MODES:
+            raise ConfigError(
+                f"tenant {self.name!r}: unknown transport "
+                f"{self.transport!r} (expected one of {TRANSPORT_MODES})")
         if self.duplicate_policy not in ("raise", "skip", "count"):
             raise ConfigError(
                 f"tenant {self.name!r}: unknown duplicate_policy "
@@ -400,7 +405,7 @@ class ServerConfig:
 
 _SERVER_KEYS = {"host", "port", "state_dir", "checkpoint_interval",
                 "checkpoint_keep"}
-_DEFAULT_KEYS = {"window", "storage", "sharding", "shards",
+_DEFAULT_KEYS = {"window", "storage", "sharding", "shards", "transport",
                  "duplicate_policy", "queue_capacity", "backpressure",
                  "batch_size", "timestamps", "match_log", "rate_limit",
                  "max_restarts", "restart_window", "dead_letter_capacity",

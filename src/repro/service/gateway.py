@@ -292,6 +292,7 @@ class Tenant:
             storage=self.config.storage,
             sharding=self.config.sharding,
             shards=self.config.shards,
+            transport=self.config.transport,
             duplicate_policy=self.config.duplicate_policy)
         session = Session(window=self.config.window, config=config)
         for name, text in self.config.queries.items():

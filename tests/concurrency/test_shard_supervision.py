@@ -125,9 +125,11 @@ class TestRpcDeadline:
 
 class TestFaultInjectedKill:
     def test_kill_worker_fault_surfaces_as_shard_dead(self):
+        # Pin the pipe transport: under shm the batch hot path never
+        # touches shard.rpc.send (only control RPCs do).
         plan = faults.FaultPlan.parse(
             "seed=7;shard.rpc.send=kill_worker:at:5")
-        session = Session(sharding="process", shards=2)
+        session = Session(sharding="process", shards=2, transport="pipe")
         try:
             with faults.active(plan):
                 session.register("pair", PAIR_DSL)
@@ -135,6 +137,20 @@ class TestFaultInjectedKill:
                     for i in range(64):
                         session.push(edge(i))
             assert plan.report()["shard.rpc.send"]["fires"] == 1
+        finally:
+            session.close()
+
+    def test_kill_worker_on_ring_write_surfaces_as_shard_dead(self):
+        plan = faults.FaultPlan.parse(
+            "seed=7;shard.ring.write=kill_worker:at:5")
+        session = Session(sharding="process", shards=2, transport="shm")
+        try:
+            with faults.active(plan):
+                session.register("pair", PAIR_DSL)
+                with pytest.raises(ShardDeadError):
+                    for i in range(64):
+                        session.push(edge(i))
+            assert plan.report()["shard.ring.write"]["fires"] == 1
         finally:
             session.close()
 

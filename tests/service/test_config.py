@@ -149,6 +149,15 @@ class TestDataclassValidation:
     def test_sharded_tenant_accepted(self):
         self.tenant(shards=4, sharding="thread").validate()
 
+    def test_bad_transport(self):
+        with pytest.raises(ConfigError, match="transport"):
+            self.tenant(transport="carrier-pigeon").validate()
+
+    def test_transport_knob_accepted(self):
+        tenant = self.tenant(shards=2, sharding="process",
+                             transport="pipe").validate()
+        assert tenant.transport == "pipe"
+
     def test_bad_backpressure(self):
         with pytest.raises(ConfigError, match="backpressure"):
             self.tenant(backpressure="best_effort").validate()

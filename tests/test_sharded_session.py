@@ -16,6 +16,7 @@ only the transport differs.
 """
 
 import io
+import os
 from collections import Counter
 
 import pytest
@@ -31,10 +32,17 @@ from .test_session_routing import (
 
 MODES = ["thread", "process"]
 
+#: CI sets REPRO_TEST_TRANSPORT=shm|pipe to run the whole differential
+#: suite's process-mode scenarios over one shard transport; unset, the
+#: engine default applies.
+TRANSPORT = os.environ.get("REPRO_TEST_TRANSPORT")
+
 
 def make_session(mode, shards=2, **kwargs):
     if mode is None:
         return Session(**kwargs)
+    if mode == "process" and TRANSPORT and "transport" not in kwargs:
+        kwargs["transport"] = TRANSPORT
     return Session(sharding=mode, shards=shards, **kwargs)
 
 
@@ -405,6 +413,61 @@ class TestFacadeSurface:
         assert_equivalent(base, sharded)
 
 
+class TestTransports:
+    """The shm ring and the pipe fallback must be answer-identical —
+    the transport moves bytes, never meaning."""
+
+    @pytest.mark.parametrize("transport", ["shm", "pipe"])
+    def test_transport_differential(self, transport):
+        edges = labeled_stream(47, 400)
+        base = run_stream(make_session(None, window=6.0), edges,
+                          query_set())
+        session = make_session("process", window=6.0,
+                               transport=transport)
+        sharded = run_stream(session, edges, query_set())
+        stats = session.session_stats()
+        close(session)
+        assert stats["transport"] == transport
+        assert all(p["transport"] == transport
+                   for p in stats["per_shard"])
+        assert sum(base["counts"].values()) > 0
+        assert_equivalent(base, sharded)
+
+    def test_transport_validation_and_shorthand(self):
+        with pytest.raises(ValueError, match="transport"):
+            EngineConfig(transport="carrier-pigeon").validate()
+        session = Session(sharding="process", transport="pipe")
+        try:
+            assert session.config.transport == "pipe"
+            assert session.session_stats()["transport"] == "pipe"
+        finally:
+            close(session)
+
+    def test_thread_mode_reports_inline_transport(self):
+        session = make_session("thread")
+        try:
+            assert session.session_stats()["transport"] == "inline"
+        finally:
+            close(session)
+
+    def test_oversized_batch_rides_the_pipe_same_answer(self):
+        # Unique multi-KiB vertex ids make one 1024-edge batch outgrow
+        # the 1 MiB data ring: the facade must fall back to pickling
+        # that batch without reordering it against ring traffic.
+        big = "vertex-" * 480                       # ~3.4 KiB per id
+        edges = [StreamEdge(big + f"s{i}", big + f"t{i}", src_label="A",
+                            dst_label="B", timestamp=float(i), label="x")
+                 for i in range(300)]
+        queries = {"fat": labeled_path_query(1, elabels=("x",))}
+        base = run_stream(make_session(None, window=50.0), edges,
+                          dict(queries))
+        session = make_session("process", window=50.0, transport="shm")
+        sharded = run_stream(session, edges, dict(queries))
+        close(session)
+        assert len(base["tagged"]) > 0
+        assert_equivalent(base, sharded)
+
+
 class TestCheckpoint:
     @pytest.mark.parametrize("mode", MODES)
     def test_roundtrip_matches_uninterrupted_run(self, mode):
@@ -429,6 +492,28 @@ class TestCheckpoint:
         assert restored.result_counts() == base["counts"]
         assert restored.space_cells() == base["space"]
         close(restored)
+
+    @pytest.mark.parametrize("transport", ["shm", "pipe"])
+    def test_restore_preserves_transport(self, transport):
+        """Rings die with their processes; restore re-creates them (or
+        stays on the pipe) per the checkpointed config."""
+        edges = labeled_stream(53, 200)
+        base = run_stream(make_session(None, window=6.0), edges,
+                          query_set())
+        session = make_session("process", window=6.0,
+                               transport=transport)
+        for name, query in query_set().items():
+            session.register(name, query)
+        tagged = list(session.push_many(edges[:100]))
+        buffer = io.BytesIO()
+        session.checkpoint(buffer)
+        close(session)
+        buffer.seek(0)
+        restored = Session.restore(buffer)
+        assert restored.session_stats()["transport"] == transport
+        tagged += restored.push_many(edges[100:])
+        close(restored)
+        assert tagged == base["tagged"]
 
     def test_checkpoint_drops_sinks_and_callbacks(self):
         session = make_session("thread", window=6.0)
