@@ -79,7 +79,7 @@ from .concurrency.sharding import ShardDeadError, ShardedSession
 from .core.engine import TimingMatcher
 from .core.matches import Match, verify_match
 from .core.plan import explain
-from .core.query import ANY, QueryGraph
+from .core.query import ANY, Prefix, QueryGraph
 from .core.timing import TimingOrder
 from .graph.count_window import CountSlidingWindow
 from .graph.edge import StreamEdge
@@ -98,7 +98,7 @@ __version__ = "2.0.0"
 
 __all__ = [
     # queries and streams
-    "QueryGraph", "TimingOrder", "ANY",
+    "QueryGraph", "TimingOrder", "ANY", "Prefix",
     "StreamEdge", "GraphStream", "SlidingWindow", "CountSlidingWindow",
     "SharedSlidingWindow", "SharedWindowView", "SnapshotGraph",
     # the unified API

@@ -399,11 +399,15 @@ class MatcherBase:
         return bearer > edge.timestamp - duration
 
     def routing_signatures(self):
-        """``(exact_keys, has_generic)`` — the label-triple signature a
-        :class:`Session` compiles into its routing index at registration
-        (see :meth:`repro.core.query.QueryGraph.label_signatures`).  An
-        arrival whose triple key misses ``exact_keys`` can reach this
-        matcher only when ``has_generic``."""
+        """``(exact_keys, predicates, has_generic)`` — the label-triple
+        signature a :class:`Session` compiles into its routing index at
+        registration (see
+        :meth:`repro.core.query.QueryGraph.label_signatures`).  Exact
+        keys land in the dict index, predicate atom triples
+        (``ANY``/``Prefix`` labels) in the session's
+        :class:`~repro.core.labeltrie.PredicateRouter`, and an arrival
+        that hits neither can reach this matcher only when
+        ``has_generic``."""
         return self.query.label_signatures()
 
     def is_discardable(self, edge: StreamEdge) -> bool:
@@ -855,23 +859,25 @@ class _SharedGroup:
 class _ExpiryRouter:
     """A shared window's expiry subscriber.
 
-    Routes each expired edge through the session's label-triple index to
-    the pending queues of exactly the members that ingested it — an O(1)
-    dict probe plus the (typically tiny) hit list, instead of visiting
-    all Q matchers.  Holds the *same* mutable dict/list/set objects the
-    session owns, so registration churn is visible without re-wiring.
+    Routes each expired edge through the session's label-triple index
+    (dict probe) and predicate router (trie walk) to the pending queues
+    of exactly the members that ingested it — O(1 + label length) plus
+    the (typically tiny) hit list, instead of visiting all Q matchers.
+    Holds the *same* mutable dict/list/set/router objects the session
+    owns, so registration churn is visible without re-wiring.
     """
 
     __slots__ = ("group_key", "routes", "generic_entries", "members",
-                 "dirty")
+                 "dirty", "pred_router")
 
     def __init__(self, group_key, routes, generic_entries, members,
-                 dirty) -> None:
+                 dirty, pred_router) -> None:
         self.group_key = group_key
         self.routes = routes
         self.generic_entries = generic_entries
         self.members = members
         self.dirty = dirty
+        self.pred_router = pred_router
 
     def _candidate(self, name: str) -> Optional[_SharedMember]:
         member = self.members.get(name)
@@ -881,19 +887,24 @@ class _ExpiryRouter:
 
     def __call__(self, edge: StreamEdge) -> None:
         candidates: List[_SharedMember] = []
+        is_loop = edge.src == edge.dst
         try:
             hits = self.routes.get(
-                (edge.src_label, edge.label, edge.dst_label,
-                 edge.src == edge.dst), ())
+                (edge.src_label, edge.label, edge.dst_label, is_loop), ())
+            names = [name for _, name in hits]
+            if self.pred_router:
+                names.extend(token[1] for token in self.pred_router.match(
+                    edge.src_label, edge.label, edge.dst_label, is_loop))
         except TypeError:   # unhashable data label: no index probe
             candidates = [m for m in self.members.values()
                           if m.group_key == self.group_key]
         else:
-            for _, name in hits:
-                member = self._candidate(name)
-                if member is not None:
-                    candidates.append(member)
-            for _, name in self.generic_entries:
+            names.extend(name for _, name in self.generic_entries)
+            seen: set = set()
+            for name in names:
+                if name in seen:
+                    continue    # exact + predicate edges of one query
+                seen.add(name)
                 member = self._candidate(name)
                 if member is not None:
                     candidates.append(member)
@@ -1028,13 +1039,23 @@ class Session:
         # router records hold these same objects, so mutate them in place.
         self._routes: Dict[Tuple, List[Tuple[int, str]]] = {}
         self._route_keys: Dict[str, List[Tuple]] = {}
+        # Predicate-routable queries (ANY/Prefix labels) compile into a
+        # per-position trie router: O(label length) candidate resolution
+        # per arrival, flat in Q.  Tokens are (ordinal, name, i); the
+        # per-name token lists drive deregistration pruning.  (Lazy
+        # import: repro.core.engine imports this module at load time.)
+        from .core.labeltrie import PredicateRouter
+        self._pred_router = PredicateRouter()
+        self._pred_keys: Dict[str, List[Tuple]] = {}
         self._generic_entries: List[Tuple[int, str]] = []
         self._private_entries: List[Tuple[int, str]] = []
         self._dirty: set = set()
         # Memoised route-target lists keyed by label triple (None keys
-        # the index-miss list).  Invalidated on registration churn; only
-        # triples with index hits are cached, so adversarial label
-        # streams cannot grow it past the routing index itself.
+        # the index-miss list).  Invalidated on registration churn.
+        # Exact-only sessions cache only index-hit triples, bounding the
+        # cache by the routing index itself; prefix predicates make the
+        # hitting-triple space unbounded, so the cache self-clears at a
+        # fixed cap instead (see _route_targets).
         self._route_cache: Dict = {}
         # Refcounted shared sub-plan stores (empty under routing="fanout"
         # or subplan_sharing="private") — see SharedSubplanStore.
@@ -1162,7 +1183,8 @@ class Session:
             if self._current_time > float("-inf"):
                 shared.advance(self._current_time)
             router = _ExpiryRouter(key, self._routes, self._generic_entries,
-                                   self._members, self._dirty)
+                                   self._members, self._dirty,
+                                   self._pred_router)
             shared.subscribe(router)
             group = _SharedGroup(key, shared, router)
             self._groups[key] = group
@@ -1174,10 +1196,11 @@ class Session:
             group.raise_entries.append((ordinal, name))
         elif matcher.duplicate_policy == "count":
             group.count_entries.append((ordinal, name))
-        exact, generic = matcher.routing_signatures()
+        exact, predicates, generic = matcher.routing_signatures()
         if generic:
-            # Wildcard-bearing queries need a per-arrival scan anyway:
-            # always routed, no index entries.
+            # Opaque-labelled queries (tuples with inner wildcards,
+            # unhashable labels) need a per-arrival scan anyway: always
+            # routed, no index entries.
             self._generic_entries.append((ordinal, name))
             self._route_keys[name] = []
         else:
@@ -1186,6 +1209,16 @@ class Session:
                 self._routes.setdefault(triple, []).append((ordinal, name))
                 keys.append(triple)
             self._route_keys[name] = keys
+            tokens = []
+            for i, (src_atom, edge_atom, dst_atom, is_loop) \
+                    in enumerate(sorted(predicates, key=repr)):
+                token = (ordinal, name, i)
+                self._pred_router.add(token,
+                                      (src_atom, edge_atom, dst_atom),
+                                      is_loop)
+                tokens.append(token)
+            if tokens:
+                self._pred_keys[name] = tokens
         return True
 
     def _subplan_provider(self, backend, config: EngineConfig,
@@ -1249,6 +1282,10 @@ class Session:
                     entries[:] = [e for e in entries if e[1] != name]
                     if not entries:
                         del self._routes[triple]
+            for token in self._pred_keys.pop(name, ()):
+                # Refcounted removal prunes emptied trie nodes, so
+                # register/deregister churn cannot leak router state.
+                self._pred_router.remove(token)
             self._generic_entries[:] = [e for e in self._generic_entries
                                         if e[1] != name]
             if not group.member_names:
@@ -1357,25 +1394,40 @@ class Session:
                 self._flush_member(member)
         self._dirty.clear()
 
+    #: Route-cache entries before a wholesale clear: prefix predicates
+    #: make the set of index-hitting triples unbounded (every distinct
+    #: matching label caches its own target list), so the cache
+    #: self-clears instead of growing with stream label cardinality.
+    _ROUTE_CACHE_CAP = 8192
+
     def _route_targets(self, edge: StreamEdge) -> List[Tuple[int, str]]:
         """Matchers that must see this arrival, in registration order:
-        the routing-index hits for its label triple, the wildcard-bearing
+        the routing-index hits for its label triple, the predicate-router
+        hits (prefix-trie walk over its labels), the opaque-labelled
         (always-routed) members, and every privately-buffering matcher."""
         cache = self._route_cache
+        is_loop = edge.src == edge.dst
         try:
-            key = (edge.src_label, edge.label, edge.dst_label,
-                   edge.src == edge.dst)
+            key = (edge.src_label, edge.label, edge.dst_label, is_loop)
             cached = cache.get(key)
             if cached is not None:
                 return cached
             hits = self._routes.get(key, ())
+            if self._pred_router:
+                pred_hits = {(token[0], token[1]) for token in
+                             self._pred_router.match(edge.src_label,
+                                                     edge.label,
+                                                     edge.dst_label,
+                                                     is_loop)}
+            else:
+                pred_hits = None
         except TypeError:
             # Unhashable data label: no index probe possible — visit
             # everything (mirrors matching_edge_ids' linear fallback).
             return sorted([(m.ordinal, m.name)
                            for m in self._members.values()]
                           + self._private_entries)
-        if not hits:
+        if not hits and not pred_hits:
             # One shared list for every index miss: common on selective
             # query sets, and uncacheable per-triple without letting a
             # high-cardinality label stream grow the cache unboundedly.
@@ -1384,8 +1436,17 @@ class Session:
                 targets = cache[None] = sorted(
                     self._generic_entries + self._private_entries)
             return targets
-        targets = sorted(list(hits) + self._generic_entries
+        if pred_hits:
+            # A query can hit on an exact key and a predicate edge at
+            # once — dedupe by (ordinal, name) before ordering.
+            pred_hits.update(hits)
+            entries = list(pred_hits)
+        else:
+            entries = list(hits)
+        targets = sorted(entries + self._generic_entries
                          + self._private_entries)
+        if len(cache) >= self._ROUTE_CACHE_CAP:
+            cache.clear()
         cache[key] = targets
         return targets
 
@@ -1664,6 +1725,8 @@ class Session:
             "edges_pushed": self.edges_pushed,
             "routed_pushes": self.routed_pushes,
             "skipped_matchers": self.skipped_matchers,
+            "predicate_entries": len(self._pred_router),
+            "predicate_trie_nodes": self._pred_router.node_count(),
             "shared_window_cells": self.shared_window_cells(),
             "window_cells": self.window_cells(),
             "subplan_sharing": self.config.subplan_sharing,

@@ -1,6 +1,6 @@
 """Repeatable perf smokes: pinned workloads, JSON reports, CI gates.
 
-Six suites, selected with ``--suite``:
+Seven suites, selected with ``--suite``:
 
 ``indexing`` (PR 2, report ``BENCH_pr2.json``)
     The fig15-style default workload (seeded NetworkFlow stream, one
@@ -45,6 +45,16 @@ Six suites, selected with ``--suite``:
     parallelism is physically impossible on a single core; and (c) the
     pipe/shm wall ratio, enforced everywhere — the ring must never lose
     to pickling.
+
+``predicates`` (PR 10, report ``BENCH_pr10.json``)
+    A predicate-routing workload: single-edge prefix/wildcard queries
+    (a hot handful that match, a scalable cold tail that never can)
+    over a pinned port-labelled stream.  Two legs: trie-routed
+    ``routing="shared"`` vs brute-force ``"fanout"`` at 1,024 queries,
+    gating the trie-over-fanout speedup; and ``"shared"`` at 256 vs
+    2,048 queries, gating the per-edge wall-clock ratio (flat routing
+    cost in the registered-query count) while asserting the match
+    multisets are identical at both scales.
 
 ``service`` (PR 6, report ``BENCH_pr6.json``)
     The routing suite's pinned 16-query workload pushed through the
@@ -1249,6 +1259,237 @@ def check_wal_regression(report: dict, baseline: dict,
 
 
 # --------------------------------------------------------------------- #
+# Suite: predicates (PR 10)
+# --------------------------------------------------------------------- #
+
+#: Pinned predicate-routing workload: a port-labelled stream (ints in
+#: ``[PORT_LO, PORT_HI]``, so prefixes discriminate on decimal text) and
+#: a query population of single-edge prefix/wildcard queries — a fixed
+#: handful of *hot* prefixes that match ~1% of the port space each, two
+#: any-label queries, and a scalable tail of *cold* prefixes (distinct
+#: ``3…``-prefixed patterns that can never match a ``1…`` port).  Scaling
+#: the cold tail scales the registered-query count without changing the
+#: answer, which is exactly what separates routing cost from match cost:
+#:
+#: * the throughput leg runs ``shared`` (trie) vs ``fanout`` at 1,024
+#:   queries on the same stream slice and gates the speedup — fanout
+#:   pays O(Q) per arrival, the trie pays O(label length);
+#: * the scaling leg runs ``shared`` at 256 vs 2,048 queries over the
+#:   full stream and gates the per-edge wall-clock ratio (flat routing:
+#:   the 8x query population may cost at most ``FLATNESS_CEILING``), and
+#:   asserts the match multisets are *identical* at both scales — the
+#:   cold tail is provably routed around, never mis-matched.
+#:
+#: Every leg is timed best-of-N with the (name, match) multiset asserted
+#: identical on every repetition.
+PREDICATES_STREAM_EDGES = 2500
+PREDICATES_STREAM_SEED = 19
+PREDICATES_NUM_HOSTS = 64
+PREDICATES_PORT_LO = 10000
+PREDICATES_PORT_HI = 19999
+PREDICATES_WINDOW = 400.0
+PREDICATES_HOT_QUERIES = 8
+PREDICATES_WILDCARD_QUERIES = 2
+PREDICATES_THROUGHPUT_QUERIES = 1024
+#: The throughput leg's stream slice: fanout at 1,024 queries pays the
+#: full O(Q) per arrival, so the slice keeps the leg inside seconds.
+PREDICATES_THROUGHPUT_EDGES = 500
+PREDICATES_SCALING_QUERIES = (256, 2048)
+PREDICATES_REPETITIONS = 3
+
+#: Hard floor on the trie-over-fanout speedup at 1,024 queries.
+PREDICATES_SPEEDUP_FLOOR = 5.0
+
+#: Hard ceiling on the per-edge wall-clock ratio between the 2,048- and
+#: 256-query shared runs — the "flat per-edge routing cost" claim.
+PREDICATES_FLATNESS_CEILING = 1.5
+
+
+def build_predicates_stream() -> List:
+    """The pinned port-labelled stream (one edge per time unit)."""
+    from ..graph.edge import StreamEdge
+    rng = random.Random(PREDICATES_STREAM_SEED)
+    edges = []
+    for i in range(PREDICATES_STREAM_EDGES):
+        u = rng.randrange(PREDICATES_NUM_HOSTS)
+        v = rng.randrange(PREDICATES_NUM_HOSTS)
+        while v == u:
+            v = rng.randrange(PREDICATES_NUM_HOSTS)
+        edges.append(StreamEdge(
+            f"h{u}", f"h{v}", src_label="ip", dst_label="ip",
+            timestamp=float(i),
+            label=rng.randint(PREDICATES_PORT_LO, PREDICATES_PORT_HI)))
+    return edges
+
+
+def _one_edge_predicate_query(label) -> QueryGraph:
+    from ..core.query import Prefix  # noqa: F401  (documents the labels)
+    query = QueryGraph()
+    query.add_vertex("a", ANY)
+    query.add_vertex("b", ANY)
+    query.add_edge("e", "a", "b", label)
+    return query
+
+
+def build_predicate_queries(total: int) -> dict:
+    """``total`` single-edge queries: hot prefixes + wildcards + a cold
+    tail.  Populations are nested — the 2,048-query set contains the
+    256-query set — so answers must agree across scales."""
+    from ..core.query import Prefix
+    queries = {}
+    for i in range(PREDICATES_HOT_QUERIES):
+        # "10i" prefixes: each matches ports 10i00-10i99 (~1% of ports).
+        queries[f"hot{i}"] = _one_edge_predicate_query(Prefix(f"10{i}"))
+    for i in range(PREDICATES_WILDCARD_QUERIES):
+        queries[f"wild{i}"] = _one_edge_predicate_query(ANY)
+    for i in range(total - len(queries)):
+        # Distinct never-matching prefixes: ports never start with '3'.
+        queries[f"cold{i:05d}"] = _one_edge_predicate_query(
+            Prefix(f"3{i:06d}"))
+    return queries
+
+
+def _run_predicates_mode(queries: dict, edges: List, routing: str):
+    session = Session(window=PREDICATES_WINDOW, config=EngineConfig(
+        routing=routing))
+    for name, query in queries.items():
+        session.register(name, query)
+    started = time.perf_counter()
+    tagged = session.push_many(edges)
+    elapsed = time.perf_counter() - started
+    stats = session.session_stats()
+    report = {
+        "routing": routing,
+        "queries": len(queries),
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_edges_per_s": round(len(edges) / elapsed, 1),
+        "per_edge_us": round(elapsed / len(edges) * 1e6, 2),
+        "matches": len(tagged),
+        "predicate_entries": stats["predicate_entries"],
+        "predicate_trie_nodes": stats["predicate_trie_nodes"],
+    }
+    return report, Counter(tagged)
+
+
+def _best_predicates_run(queries: dict, edges: List, routing: str,
+                         reference: Optional[Counter], label: str):
+    """Best-of-N; every repetition must reproduce ``reference`` (when
+    given, else the first repetition) exactly."""
+    best = None
+    for _ in range(PREDICATES_REPETITIONS):
+        report, counted = _run_predicates_mode(queries, edges, routing)
+        if reference is None:
+            reference = counted
+        elif counted != reference:
+            raise AssertionError(
+                f"predicate routing changed the answer: {label} "
+                "(name, match) multisets differ across runs")
+        if best is None or report["elapsed_seconds"] \
+                < best["elapsed_seconds"]:
+            best = report
+    return best, reference
+
+
+def run_predicates_smoke() -> dict:
+    """Run the trie-vs-fanout throughput leg and the 256-vs-2,048 flat-
+    routing leg; returns the report dict."""
+    edges = build_predicates_stream()
+    slice_edges = edges[:PREDICATES_THROUGHPUT_EDGES]
+
+    # Answer gate at 1,024 queries: trie and fanout must agree, every
+    # repetition, on the exact (name, match) multiset.
+    q_mid = build_predicate_queries(PREDICATES_THROUGHPUT_QUERIES)
+    slice_run, slice_reference = _best_predicates_run(
+        q_mid, slice_edges, "shared", None, "shared@1024")
+    fanout_run, _ = _best_predicates_run(
+        q_mid, slice_edges, "fanout", slice_reference, "fanout@1024")
+    # Timing leg for the speedup: the same 1,024 queries over the full
+    # stream — 5x the work of the slice, so the per-edge figure is not
+    # dominated by timer noise the way a 20ms run would be.  The gated
+    # speedup is the per-edge ratio against fanout's slice run (fanout
+    # over the full stream would take minutes for no extra signal).
+    shared_run, reference = _best_predicates_run(
+        q_mid, edges, "shared", None, "shared@1024/full")
+
+    small_q, large_q = PREDICATES_SCALING_QUERIES
+    # Nested populations: hot+wildcard identical, cold tails silent —
+    # so all full-stream runs must produce the same multiset.
+    small_run, _ = _best_predicates_run(
+        build_predicate_queries(small_q), edges, "shared", reference,
+        f"shared@{small_q}")
+    large_run, _ = _best_predicates_run(
+        build_predicate_queries(large_q), edges, "shared", reference,
+        f"shared@{large_q}")
+
+    return {
+        "benchmark": "pr10-predicate-routing-perf-smoke",
+        "workload": {
+            "dataset": "synthetic port-labelled stream",
+            "stream_edges": PREDICATES_STREAM_EDGES,
+            "throughput_leg_edges": PREDICATES_THROUGHPUT_EDGES,
+            "stream_seed": PREDICATES_STREAM_SEED,
+            "num_hosts": PREDICATES_NUM_HOSTS,
+            "port_range": [PREDICATES_PORT_LO, PREDICATES_PORT_HI],
+            "window_units": PREDICATES_WINDOW,
+            "hot_queries": PREDICATES_HOT_QUERIES,
+            "wildcard_queries": PREDICATES_WILDCARD_QUERIES,
+            "throughput_queries": PREDICATES_THROUGHPUT_QUERIES,
+            "scaling_queries": list(PREDICATES_SCALING_QUERIES),
+            "repetitions": PREDICATES_REPETITIONS,
+            "storage": "mstree",
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "shared": shared_run,
+        "shared_slice": slice_run,
+        "fanout": fanout_run,
+        "scaling": {
+            "small": small_run,
+            "large": large_run,
+            # Cold queries are silent at both scales, so the multiset
+            # equality asserted above makes this a pure routing-cost
+            # ratio: match work is pinned constant by construction.
+            "per_edge_ratio": round(
+                large_run["per_edge_us"] / small_run["per_edge_us"], 3),
+        },
+        "speedup": round(
+            fanout_run["per_edge_us"] / shared_run["per_edge_us"], 2),
+    }
+
+
+def check_predicates_regression(report: dict, baseline: dict,
+                                tolerance: float) -> List[str]:
+    """Failure messages (empty = pass) for the predicates suite."""
+    failures = []
+    measured = report["speedup"]
+    recorded = baseline.get("speedup")
+    if measured < PREDICATES_SPEEDUP_FLOOR:
+        failures.append(
+            f"trie-over-fanout speedup {measured}x at "
+            f"{report['workload']['throughput_queries']} queries is below "
+            f"the {PREDICATES_SPEEDUP_FLOOR}x floor")
+    if recorded is not None and measured < (1.0 - tolerance) * recorded:
+        failures.append(
+            f"trie-over-fanout speedup regressed >{tolerance:.0%}: "
+            f"measured {measured}x vs committed baseline {recorded}x")
+    ratio = report["scaling"]["per_edge_ratio"]
+    if ratio > PREDICATES_FLATNESS_CEILING:
+        failures.append(
+            "per-edge routing cost is not flat in the query count: "
+            f"{report['workload']['scaling_queries'][0]} -> "
+            f"{report['workload']['scaling_queries'][1]} queries costs "
+            f"{ratio}x per edge, ceiling {PREDICATES_FLATNESS_CEILING}x")
+    if report["shared"]["matches"] != baseline.get(
+            "shared", {}).get("matches", report["shared"]["matches"]):
+        failures.append(
+            f"workload drifted: {report['shared']['matches']} matches vs "
+            f"baseline {baseline['shared']['matches']}")
+    return failures
+
+
+# --------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------- #
 
@@ -1326,6 +1567,23 @@ SUITES = {
             f"{r['kill_restore']['producer_replayed_edges']}) "
             f"→ match log equal: {r['kill_restore']['match_log_equal']}"),
     },
+    "predicates": {
+        "default_out": "BENCH_pr10.json",
+        "run": run_predicates_smoke,
+        "check": check_predicates_regression,
+        "summary": lambda r: (
+            f"shared: {r['shared']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['shared']['elapsed_seconds']}s), "
+            f"fanout: {r['fanout']['throughput_edges_per_s']:.0f} edges/s "
+            f"({r['fanout']['elapsed_seconds']}s) "
+            f"→ speedup {r['speedup']}x at "
+            f"{r['workload']['throughput_queries']} predicate queries; "
+            f"per-edge {r['scaling']['small']['per_edge_us']}us@"
+            f"{r['scaling']['small']['queries']} vs "
+            f"{r['scaling']['large']['per_edge_us']}us@"
+            f"{r['scaling']['large']['queries']} "
+            f"(ratio {r['scaling']['per_edge_ratio']})"),
+    },
     "service": {
         "default_out": "BENCH_pr6.json",
         "run": run_service_smoke,
@@ -1351,8 +1609,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "routing (shared vs fanout sessions), sharing "
                     "(shared vs private sub-plans), sharding "
                     "(process shards vs in-process), service "
-                    "(gateway pipeline vs direct push), and wal "
-                    "(durable WAL gateway vs plain gateway)")
+                    "(gateway pipeline vs direct push), wal "
+                    "(durable WAL gateway vs plain gateway), and "
+                    "predicates (trie-routed prefix/wildcard queries "
+                    "vs fanout)")
     parser.add_argument("--suite", choices=sorted(SUITES),
                         default="indexing",
                         help="which smoke to run (default: indexing)")

@@ -842,8 +842,13 @@ class ShardedSession(Session):
         self.rpc_timeout: Optional[float] = DEFAULT_RPC_TIMEOUT
         self._assignments: Dict[str, int] = {}
         self._ordinals: Dict[str, int] = {}
-        # name -> (group key, exact triples, generic?) for deregistration.
-        self._query_routes: Dict[str, Tuple[tuple, tuple, bool]] = {}
+        # name -> (group key, exact triples, predicate atom triples,
+        # generic?) for deregistration.  Predicate triples also register
+        # in the inherited ``_pred_router`` under (shard-index, name, i)
+        # tokens, so the facade resolves predicate-hit shards with the
+        # same O(label length) trie walk the unsharded session uses —
+        # consistent routing across sharding modes and transports.
+        self._query_routes: Dict[str, Tuple[tuple, tuple, tuple, bool]] = {}
         self._mirrors: Dict[tuple, _GroupMirror] = {}
         self._policy_windows: Dict[str, object] = {}
         self._target_cache: Dict = {}
@@ -998,7 +1003,7 @@ class ShardedSession(Session):
                 f"unknown duplicate policy: {policy!r} "
                 f"(expected one of {DUPLICATE_POLICIES})")
         query.validate()
-        exact, generic = query.label_signatures()
+        exact, predicates, generic = query.label_signatures()
         shard = self._shards[shard_of(name, self._shard_count)]
         # Worker first: a failed registration must leave the facade
         # untouched (and the worker's own register is transactional).
@@ -1022,13 +1027,20 @@ class ShardedSession(Session):
         elif policy == "count":
             mirror.count_members.add(name)
         exact_keys = () if generic else tuple(exact)
-        self._query_routes[name] = (group_key, exact_keys, generic)
+        pred_keys = () if generic else tuple(sorted(predicates, key=repr))
+        self._query_routes[name] = (group_key, exact_keys, pred_keys,
+                                    generic)
         shard.members += 1
         if generic:
             shard.generic += 1
         else:
             for triple in exact_keys:
                 shard.triples[triple] = shard.triples.get(triple, 0) + 1
+            for i, (src_atom, edge_atom, dst_atom, is_loop) \
+                    in enumerate(pred_keys):
+                self._pred_router.add((shard.index, name, i),
+                                      (src_atom, edge_atom, dst_atom),
+                                      is_loop)
         if group_key[0] == "count":
             shard.ballast += 1
         if not isinstance(window, (int, float)):
@@ -1049,7 +1061,8 @@ class ShardedSession(Session):
         self._call(shard, "deregister", name)
         del self._assignments[name]
         del self._ordinals[name]
-        group_key, exact_keys, generic = self._query_routes.pop(name)
+        group_key, exact_keys, pred_keys, generic = \
+            self._query_routes.pop(name)
         mirror = self._mirrors[group_key]
         mirror.discard(name)
         if not mirror.members:
@@ -1064,6 +1077,9 @@ class ShardedSession(Session):
                     shard.triples[triple] = count
                 else:
                     del shard.triples[triple]
+            for i in range(len(pred_keys)):
+                # Refcounted removal prunes emptied trie nodes.
+                self._pred_router.remove((shard.index, name, i))
         if group_key[0] == "count":
             shard.ballast -= 1
         self._policy_windows.pop(name, None)
@@ -1108,36 +1124,53 @@ class ShardedSession(Session):
     # ------------------------------------------------------------------ #
     # Streaming
     # ------------------------------------------------------------------ #
+    #: Same self-clearing policy as the base session's route cache:
+    #: prefix predicates make the hitting-triple space unbounded.
+    _TARGET_CACHE_CAP = 8192
+
     def _targets_for(self, edge: StreamEdge) -> List[_ShardState]:
         """The shards that must see this arrival (routing-index hits,
-        wildcard members, count-window ballast).
+        predicate-router hits, wildcard members, count-window ballast).
 
         Only triples with an index hit get their own cache entry; every
         miss shares one ``None``-keyed list (the always-routed shards),
         so a high-cardinality label stream cannot grow the cache past
-        the routing index itself — same policy as the base session's
-        route cache.
+        the routing index itself — and, once predicate queries make the
+        hitting space itself unbounded, the cache self-clears at a fixed
+        cap, same policy as the base session's route cache.
         """
         cache = self._target_cache
+        is_loop = edge.src == edge.dst
         try:
-            key = (edge.src_label, edge.label, edge.dst_label,
-                   edge.src == edge.dst)
+            key = (edge.src_label, edge.label, edge.dst_label, is_loop)
             targets = cache.get(key)
             if targets is not None:
                 return targets
             hit = any(key in s.triples for s in self._shards)
+            if self._pred_router:
+                pred_shards = {token[0] for token in
+                               self._pred_router.match(edge.src_label,
+                                                       edge.label,
+                                                       edge.dst_label,
+                                                       is_loop)}
+            else:
+                pred_shards = None
         except TypeError:
             # Unhashable data label: no index probe — every shard with
             # members must judge it (mirrors the unsharded fallback).
             return [s for s in self._shards if s.members]
-        if not hit:
+        if not hit and not pred_shards:
             targets = cache.get(None)
             if targets is None:
                 targets = cache[None] = [
                     s for s in self._shards
                     if s.members and (s.ballast or s.generic)]
             return targets
-        targets = cache[key] = [s for s in self._shards if s.wants(key)]
+        if len(cache) >= self._TARGET_CACHE_CAP:
+            cache.clear()
+        targets = cache[key] = [
+            s for s in self._shards
+            if s.wants(key) or (pred_shards and s.index in pred_shards)]
         return targets
 
     def _stage(self, idx: int, edge: StreamEdge,
@@ -1464,6 +1497,8 @@ class ShardedSession(Session):
             "subplan_store_cells": sum(
                 s["subplan_store_cells"] for s in inner),
             "subplan_reuses": sum(s["subplan_reuses"] for s in inner),
+            "predicate_entries": len(self._pred_router),
+            "predicate_trie_nodes": self._pred_router.node_count(),
             "facade_cpu_seconds": round(self._facade_seconds, 4),
             "per_shard": per_shard,
         }

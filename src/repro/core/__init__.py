@@ -14,7 +14,11 @@ from .join import ExtensionSpec, UnionSpec
 from .join_order import jn_join_order, joint_number, random_join_order
 from .matches import Match, build_vertex_mapping, satisfies_timing, verify_match
 from .mstree import MSTree, MSTreeNode, MSTreeTCStore, GlobalMSTreeStore
-from .query import ANY, QueryEdge, QueryGraph, QueryVertex, labels_compatible
+from .labeltrie import LabelTrie, PredicateRouter
+from .query import (
+    ANY, Prefix, QueryEdge, QueryGraph, QueryVertex, labels_compatible,
+    prefix_text, routing_atom,
+)
 from .stores import GlobalIndependentStore, IndependentTCStore
 from .tc import (
     find_timing_sequence, is_prefix_connected, is_tc_query,
@@ -23,7 +27,9 @@ from .tc import (
 from .timing import TimingCycleError, TimingOrder
 
 __all__ = [
-    "ANY", "QueryGraph", "QueryVertex", "QueryEdge", "labels_compatible",
+    "ANY", "Prefix", "QueryGraph", "QueryVertex", "QueryEdge",
+    "labels_compatible", "prefix_text", "routing_atom",
+    "LabelTrie", "PredicateRouter",
     "TimingOrder", "TimingCycleError",
     "Match", "verify_match", "build_vertex_mapping", "satisfies_timing",
     "TimingMatcher", "EngineStats",

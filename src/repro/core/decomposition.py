@@ -50,6 +50,13 @@ def subplan_signature(query: QueryGraph,
     Vertex and edge identifiers are deliberately absent: renaming either
     never changes matching behaviour.  Returns ``None`` when a label is
     unhashable (no cache key — the engine keeps a private store).
+
+    Predicate labels hash canonically, never by accident: ``ANY`` is a
+    singleton and :class:`~repro.core.query.Prefix` compares/hashes by
+    pattern value but is never equal to a plain string or int, so two
+    queries share a sub-plan store exactly when their predicates are the
+    same predicate — ``Prefix("44")`` can collide with neither the
+    literal label ``"44"`` nor ``Prefix("440")``.
     """
     first_ref: Dict[VertexId, Tuple[int, int]] = {}
     positions: List[Tuple] = []

@@ -44,20 +44,97 @@ class _Wildcard:
 ANY = _Wildcard()
 
 
+def prefix_text(value: Hashable) -> Optional[str]:
+    """The canonical text a prefix predicate tests against.
+
+    Strings are themselves; ints (but not bools) are their decimal form,
+    so ``Prefix("44")`` matches both ``4480`` and ``"4480"``.  Every other
+    type has no text form and returns ``None`` — prefix predicates never
+    match such labels.
+    """
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return str(value)
+    return None
+
+
+class Prefix:
+    """Prefix label predicate (DSL ``44*`` / ``prefix:44``).
+
+    Matches any str/int label whose :func:`prefix_text` starts with
+    ``prefix``.  Instances are hashable and compare by pattern value —
+    never equal to a plain string or int — so sub-plan signatures built
+    over predicate labels hash canonically instead of colliding with
+    concrete-labelled plans, and routing tries can be keyed on them.
+    """
+
+    __slots__ = ("prefix",)
+
+    def __init__(self, prefix: str) -> None:
+        if not isinstance(prefix, str) or not prefix:
+            raise ValueError("Prefix pattern must be a non-empty string; "
+                             "use ANY for an any-label position")
+        self.prefix = prefix
+
+    def matches(self, value: Hashable) -> bool:
+        text = prefix_text(value)
+        return text is not None and text.startswith(self.prefix)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Prefix) and other.prefix == self.prefix
+
+    def __hash__(self) -> int:
+        return hash((Prefix, self.prefix))
+
+    def __repr__(self) -> str:
+        return f"Prefix({self.prefix!r})"
+
+    def __reduce__(self) -> Tuple:
+        return (Prefix, (self.prefix,))
+
+
 def _label_is_concrete(label: Hashable) -> bool:
-    """Whether a query label contains no wildcard at any depth — for such
-    labels ``labels_compatible`` degenerates to plain equality."""
-    if label is ANY:
+    """Whether a query label contains no wildcard or predicate at any
+    depth — for such labels ``labels_compatible`` degenerates to plain
+    equality."""
+    if label is ANY or isinstance(label, Prefix):
         return False
     if isinstance(label, tuple):
         return all(_label_is_concrete(part) for part in label)
     return True
 
 
+def routing_atom(label: Hashable) -> Optional[Tuple]:
+    """The per-position routing atom for a query label, or ``None``.
+
+    Atoms are what the session-level :class:`~repro.core.labeltrie.
+    PredicateRouter` indexes: ``("eq", value)`` for concrete hashable
+    labels, ``("pre", prefix)`` for top-level :class:`Prefix` patterns,
+    ``("any",)`` for a top-level ``ANY``.  Labels with no atom (tuples
+    containing wildcards/predicates, unhashable values) force the whole
+    edge onto the always-routed generic path.
+    """
+    if label is ANY:
+        return ("any",)
+    if isinstance(label, Prefix):
+        return ("pre", label.prefix)
+    if _label_is_concrete(label):
+        try:
+            hash(label)
+        except TypeError:
+            return None
+        return ("eq", label)
+    return None
+
+
 def labels_compatible(query_label: Hashable, data_label: Hashable) -> bool:
-    """Wildcard-aware label comparison (query side may contain ``ANY``)."""
+    """Wildcard/predicate-aware label comparison (query side may contain
+    ``ANY`` or :class:`Prefix` at any tuple depth)."""
     if query_label is ANY:
         return True
+    if isinstance(query_label, Prefix):
+        return query_label.matches(data_label)
     if isinstance(query_label, tuple):
         if not isinstance(data_label, tuple) or len(query_label) != len(data_label):
             return False
@@ -109,9 +186,10 @@ class QueryGraph:
         self._vertices: Dict[VertexId, QueryVertex] = {}
         self._edges: Dict[EdgeId, QueryEdge] = {}
         self.timing = TimingOrder()
-        # (src-label, edge-label, dst-label, is-loop) → query edges, built
-        # once at validation time; ``None`` until built / after mutation.
-        self._label_index: Optional[Tuple[Dict, List]] = None
+        # (src-label, edge-label, dst-label, is-loop) → query edges, plus
+        # the predicate/generic residues, built once at validation time;
+        # ``None`` until built / after mutation.
+        self._label_index: Optional[Tuple[Dict, List, List]] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -200,29 +278,38 @@ class QueryGraph:
                                       stream_edge.dst_label)
                 and labels_compatible(qedge.label, stream_edge.label))
 
-    def _build_label_index(self) -> Tuple[Dict, List]:
+    def _build_label_index(self) -> Tuple[Dict, List, List]:
         """Bucket query edges by concrete (src-label, edge-label, dst-label,
-        is-loop) key; wildcard-bearing (or unhashable-labelled) edges stay
-        in a linear-scan residue.  For fully concrete labels,
+        is-loop) key; predicate-routable edges (every position reduces to a
+        :func:`routing_atom`) go to a middle tier carrying their atom
+        triples; the rest — tuples with inner wildcards, unhashable labels
+        — stay in a linear-scan residue.  For fully concrete labels,
         ``labels_compatible`` is plain equality, so a dict hit is exactly
         :meth:`edge_matches` — no re-verification needed."""
         exact: Dict[Tuple, List[Tuple[int, EdgeId]]] = {}
+        predicates: List[Tuple[int, EdgeId, Tuple]] = []
         generic: List[Tuple[int, EdgeId]] = []
         for ordinal, (eid, qedge) in enumerate(self._edges.items()):
             src_label = self._vertices[qedge.src].label
             dst_label = self._vertices[qedge.dst].label
             entry = (ordinal, eid)
+            is_loop = qedge.src == qedge.dst
             if (_label_is_concrete(src_label) and _label_is_concrete(dst_label)
                     and _label_is_concrete(qedge.label)):
-                key = (src_label, qedge.label, dst_label,
-                       qedge.src == qedge.dst)
+                key = (src_label, qedge.label, dst_label, is_loop)
                 try:
                     exact.setdefault(key, []).append(entry)
                 except TypeError:
                     generic.append(entry)
+                continue
+            atoms = (routing_atom(src_label), routing_atom(qedge.label),
+                     routing_atom(dst_label))
+            if all(atom is not None for atom in atoms):
+                predicates.append((ordinal, eid,
+                                   (atoms[0], atoms[1], atoms[2], is_loop)))
             else:
                 generic.append(entry)
-        self._label_index = (exact, generic)
+        self._label_index = (exact, predicates, generic)
         return self._label_index
 
     def matching_edge_ids(self, stream_edge: StreamEdge) -> List[EdgeId]:
@@ -230,13 +317,13 @@ class QueryGraph:
 
         O(1) dict probe for the concrete-labelled query edges (the common
         case on the hot path — this runs once per arrival) plus a scan of
-        only the wildcard-bearing residue; result order is edge insertion
-        order, exactly as the historical full scan produced.
+        only the wildcard/predicate-bearing residue; result order is edge
+        insertion order, exactly as the historical full scan produced.
         """
         index = self._label_index
         if index is None:
             index = self._build_label_index()
-        exact, generic = index
+        exact, predicates, generic = index
         key = (stream_edge.src_label, stream_edge.label,
                stream_edge.dst_label, stream_edge.src == stream_edge.dst)
         try:
@@ -244,34 +331,43 @@ class QueryGraph:
         except TypeError:       # unhashable data label: no dict probe
             return [eid for eid in self._edges
                     if self.edge_matches(eid, stream_edge)]
-        if not generic:
+        if not predicates and not generic:
             return [eid for _, eid in hits]
         matched = list(hits)
+        matched.extend(entry[:2] for entry in predicates
+                       if self.edge_matches(entry[1], stream_edge))
         matched.extend(entry for entry in generic
                        if self.edge_matches(entry[1], stream_edge))
-        if hits:
-            matched.sort()      # interleave by insertion ordinal
+        matched.sort()          # interleave by insertion ordinal
         return [eid for _, eid in matched]
 
-    def label_signatures(self) -> Tuple[FrozenSet[Tuple], bool]:
-        """The query's routing signature: ``(exact_keys, has_generic)``.
+    def label_signatures(self) -> Tuple[FrozenSet[Tuple], FrozenSet[Tuple],
+                                        bool]:
+        """The query's routing signature:
+        ``(exact_keys, predicates, has_generic)``.
 
         ``exact_keys`` is the set of concrete ``(src-label, edge-label,
         dst-label, is-loop)`` triples this query's wildcard-free edges
         probe for — the same keys :meth:`matching_edge_ids` hashes a
-        stream edge into.  ``has_generic`` is ``True`` when some query
-        edge carries a wildcard (or unhashable) label and therefore needs
-        a per-arrival compatibility scan.  A stream edge whose key is
-        outside ``exact_keys`` provably matches no query edge unless
-        ``has_generic`` — which is what lets a multi-query
+        stream edge into.  ``predicates`` is the set of ``(src-atom,
+        edge-atom, dst-atom, is-loop)`` :func:`routing_atom` triples for
+        edges carrying top-level ``ANY``/:class:`Prefix` labels — a
+        :class:`~repro.core.labeltrie.PredicateRouter` resolves them in
+        O(label length) per arrival.  ``has_generic`` is ``True`` only
+        for the opaque residue (tuple labels with inner wildcards,
+        unhashable labels) that needs a per-arrival compatibility scan.
+        A stream edge that hits none of the three tiers provably matches
+        no query edge — which is what lets a multi-query
         :class:`~repro.api.Session` route arrivals to only the queries
         that can consume them.
         """
         index = self._label_index
         if index is None:
             index = self._build_label_index()
-        exact, generic = index
-        return frozenset(exact), bool(generic)
+        exact, predicates, generic = index
+        return (frozenset(exact),
+                frozenset(atoms for _, _, atoms in predicates),
+                bool(generic))
 
     def distinct_term_labels(self) -> int:
         """Number of distinct (src-label, edge-label, dst-label) triples.

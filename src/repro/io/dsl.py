@@ -24,15 +24,31 @@ Grammar:
 * ``order e1 < e2 < … `` — a timing chain (each ``<`` one constraint);
 * ``window <seconds>`` — optional window duration hint.
 
-``parse_query`` returns ``(QueryGraph, window_or_None)``;
-``format_query`` serialises back to the DSL (round-trip tested).
+Label predicates (PR 10) apply to vertex labels, edge labels and tuple
+components alike:
+
+* ``*`` alone is the any-label wildcard (``ANY``);
+* a trailing ``*`` makes a prefix pattern — ``44*`` matches ``4480``
+  and ``"44x"`` (ints match on their decimal text);
+* ``prefix:44`` is the explicit spelling of the same pattern (useful
+  when the prefix itself could read as a directive);
+* a ``*`` anywhere else (``4*4``, ``*44``, ``44**``) is rejected with a
+  line-numbered error, as is an empty ``prefix:``.
+
+Vertex labels are otherwise kept as raw strings (no int conversion —
+the historical semantics); edge-label components are int-parsed when
+possible.  ``parse_query`` returns ``(QueryGraph, window_or_None)``;
+``format_query`` serialises back to the DSL (round-trip tested; a
+*literal* string label ending in ``*`` or starting with ``prefix:``
+cannot round-trip — the formatter has no escape syntax and re-reads it
+as a pattern).
 """
 
 from __future__ import annotations
 
 from typing import Hashable, List, Optional, Tuple
 
-from ..core.query import ANY, QueryGraph
+from ..core.query import ANY, Prefix, QueryGraph
 
 
 class DSLError(ValueError):
@@ -43,18 +59,55 @@ class DSLError(ValueError):
         self.line_no = line_no
 
 
-def _parse_label_component(text: str) -> Hashable:
-    text = text.strip()
+def _parse_pattern(text: str) -> Optional[Hashable]:
+    """The predicate a label token spells, or ``None`` for a literal.
+
+    Raises ``ValueError`` (wrapped into a line-numbered :class:`DSLError`
+    by ``parse_query``) on malformed patterns, with the accepted
+    spellings named so the error is actionable.
+    """
     if text == "*":
         return ANY
+    if text.startswith("prefix:"):
+        prefix = text[len("prefix:"):]
+        if not prefix:
+            raise ValueError(
+                "'prefix:' needs a non-empty prefix (e.g. 'prefix:44'); "
+                "use '*' for an any-label position")
+        if "*" in prefix:
+            raise ValueError(
+                f"'prefix:' patterns take no '*' (got {text!r}); "
+                "write 'prefix:44' or the shorthand '44*'")
+        return Prefix(prefix)
+    if "*" in text:
+        if text.endswith("*") and text.count("*") == 1:
+            return Prefix(text[:-1])
+        raise ValueError(
+            f"'*' must stand alone or end a prefix pattern (got {text!r}); "
+            "write '*', '44*' or 'prefix:44'")
+    return None
+
+
+def _parse_label_component(text: str) -> Hashable:
+    text = text.strip()
+    pattern = _parse_pattern(text)
+    if pattern is not None:
+        return pattern
     try:
         return int(text)
     except ValueError:
         return text
 
 
+def _parse_vertex_label(text: str) -> Hashable:
+    """Vertex labels: same predicate spellings, but literals stay raw
+    strings (no int conversion — the historical vertex semantics)."""
+    pattern = _parse_pattern(text)
+    return text if pattern is None else pattern
+
+
 def _parse_label(text: str) -> Hashable:
-    """``[...]`` contents → label value (ANY / scalar / tuple)."""
+    """``[...]`` contents → label value (ANY / Prefix / scalar / tuple)."""
     if "," in text:
         return tuple(_parse_label_component(part)
                      for part in text.split(","))
@@ -62,7 +115,11 @@ def _parse_label(text: str) -> Hashable:
 
 
 def _format_label_component(value: Hashable) -> str:
-    return "*" if value is ANY else str(value)
+    if value is ANY:
+        return "*"
+    if isinstance(value, Prefix):
+        return f"{value.prefix}*"
+    return str(value)
 
 
 def _format_label(value: Hashable) -> str:
@@ -85,7 +142,7 @@ def parse_query(text: str) -> Tuple[QueryGraph, Optional[float]]:
             if keyword == "vertex":
                 if len(tokens) != 3:
                     raise DSLError(line_no, "expected: vertex <id> <label>")
-                query.add_vertex(tokens[1], tokens[2])
+                query.add_vertex(tokens[1], _parse_vertex_label(tokens[2]))
             elif keyword == "edge":
                 _parse_edge_line(query, tokens, line, line_no)
             elif keyword == "order":
@@ -134,7 +191,8 @@ def format_query(query: QueryGraph, window: Optional[float] = None) -> str:
     """Serialise a query graph back into DSL text (stable ordering)."""
     lines: List[str] = []
     for vertex in query.vertices():
-        lines.append(f"vertex {vertex.vertex_id} {vertex.label}")
+        lines.append(f"vertex {vertex.vertex_id} "
+                     f"{_format_label_component(vertex.label)}")
     for edge in query.edges():
         suffix = ""
         if edge.label is not ANY:

@@ -58,7 +58,13 @@ from .api import MatcherBase, Session
 #: :class:`CheckpointCorruptError` (path + reason) that the service
 #: layer catches to fall back down its keep-last-K checkpoint chain.
 #: Meta grew WAL bookkeeping (``wal_lsn``, the dedup-window snapshot).)
-CHECKPOINT_VERSION = 8
+#: v9: trie-compiled predicate routing — sessions and sharded facades
+#: carry a :class:`~repro.core.labeltrie.PredicateRouter` (per-position
+#: label tries serialized as flat pattern lists and rebuilt on load),
+#: query label indexes are three-way (exact / predicate atoms / generic),
+#: and the facade's ``_query_routes`` records gained the predicate atom
+#: triples.  Labels may be :class:`~repro.core.query.Prefix` patterns.
+CHECKPOINT_VERSION = 9
 
 _MAGIC = b"timingsubg-checkpoint"
 #: On-disk container prefix for the v8 CRC frame; files without it are

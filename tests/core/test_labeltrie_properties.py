@@ -1,0 +1,187 @@
+"""Property suite for the predicate-routing primitives.
+
+The trie walk is the hot-path structure of PR 10: a session resolves the
+candidate matcher set for an arriving label in O(label length), so the
+trie must agree *exactly* with the brute-force definition ("every stored
+pattern that is a prefix of the text") under arbitrary insert/remove
+churn, and must prune nodes on removal so deregistration-heavy sessions
+cannot leak.  The router on top adds per-position composition (src/edge/
+dst atoms plus the loop flag), pinned against its own brute force.
+"""
+
+import pickle
+import random
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labeltrie import LabelTrie, PredicateRouter
+from repro.core.query import prefix_text
+
+#: Small alphabet so random patterns collide and share prefixes often —
+#: shared-prefix paths are exactly what the walk must get right.
+ALPHABET = "ab4"
+
+patterns = st.text(alphabet=ALPHABET, min_size=1, max_size=6)
+texts = st.text(alphabet=ALPHABET, min_size=0, max_size=10)
+
+
+def brute_force_walk(stored, text):
+    """The specification: tokens of every pattern that prefixes text."""
+    return {token for pattern, tokens in stored.items()
+            if text.startswith(pattern) for token in tokens}
+
+
+class TestLabelTrieProperties:
+    @given(st.lists(patterns, min_size=0, max_size=30), st.lists(
+        texts, min_size=1, max_size=20))
+    def test_walk_equals_brute_force(self, pats, probes):
+        trie = LabelTrie()
+        stored = defaultdict(set)
+        for i, pattern in enumerate(pats):
+            trie.insert(pattern, i)
+            stored[pattern].add(i)
+        for text in probes:
+            assert set(trie.walk(text)) == brute_force_walk(stored, text)
+
+    @given(st.lists(patterns, min_size=1, max_size=30),
+           st.integers(0, 2**32 - 1))
+    def test_churn_keeps_walk_exact_and_prunes(self, pats, seed):
+        rng = random.Random(seed)
+        trie = LabelTrie()
+        stored = defaultdict(set)
+        live = []
+        for i, pattern in enumerate(pats):
+            if live and rng.random() < 0.4:
+                victim = rng.randrange(len(live))
+                rpat, rtok = live.pop(victim)
+                trie.remove(rpat, rtok)
+                stored[rpat].discard(rtok)
+                if not stored[rpat]:
+                    del stored[rpat]
+            trie.insert(pattern, i)
+            stored[pattern].add(i)
+            live.append((pattern, i))
+            probe = rng.choice(pats) + rng.choice(["", "a", "4"])
+            assert set(trie.walk(probe)) == brute_force_walk(stored, probe)
+        assert len(trie) == len(live)
+        for pattern, token in live:
+            trie.remove(pattern, token)
+        # Full removal prunes every node but the root: churn cannot leak.
+        assert trie.node_count() == 1
+        assert len(trie) == 0
+        assert trie.walk("a" * 8) == []
+
+    @given(st.lists(patterns, min_size=0, max_size=20))
+    def test_pickle_round_trip(self, pats):
+        trie = LabelTrie()
+        for i, pattern in enumerate(pats):
+            trie.insert(pattern, i)
+        clone = pickle.loads(pickle.dumps(trie))
+        assert len(clone) == len(trie)
+        assert clone.node_count() == trie.node_count()
+        for probe in set(pats) | {"", "a4ab"}:
+            assert set(clone.walk(probe)) == set(trie.walk(probe))
+
+    def test_insert_remove_contract(self):
+        trie = LabelTrie()
+        with pytest.raises(ValueError):
+            trie.insert("", "t")
+        trie.insert("44", "t")
+        with pytest.raises(ValueError):
+            trie.insert("44", "t")          # duplicate token
+        with pytest.raises(KeyError):
+            trie.remove("4", "t")           # pattern absent
+        with pytest.raises(KeyError):
+            trie.remove("44", "other")      # token absent
+        trie.insert("448", "u")
+        trie.remove("448", "u")
+        # Removing the longer pattern prunes its suffix but keeps the
+        # shared "44" path alive for the surviving token.
+        assert set(trie.walk("4480")) == {"t"}
+
+
+# ---------------------------------------------------------------------- #
+# PredicateRouter: per-position composition against its own brute force.
+# ---------------------------------------------------------------------- #
+
+VALUES = ["a", "ab", "4", "44", "448", 4, 44, 448, "b4"]
+
+atom = st.one_of(
+    st.just(("any",)),
+    st.tuples(st.just("eq"), st.sampled_from(VALUES)),
+    st.tuples(st.just("pre"), patterns),
+)
+entries = st.lists(
+    st.tuples(atom, atom, atom, st.booleans()), min_size=0, max_size=25)
+arrivals = st.lists(
+    st.tuples(st.sampled_from(VALUES), st.sampled_from(VALUES),
+              st.sampled_from(VALUES), st.booleans()),
+    min_size=1, max_size=25)
+
+
+def atom_accepts(a, value):
+    kind = a[0]
+    if kind == "any":
+        return True
+    if kind == "eq":
+        return a[1] == value
+    text = prefix_text(value)
+    return text is not None and text.startswith(a[1])
+
+
+def brute_force_match(registered, src, edge, dst, is_loop):
+    return {token for token, (atoms, loop, _) in registered.items()
+            if loop == is_loop
+            and all(atom_accepts(a, v)
+                    for a, v in zip(atoms, (src, edge, dst)))}
+
+
+def router_mirror(entry_list):
+    router = PredicateRouter()
+    registered = {}
+    for i, (sa, ea, da, loop) in enumerate(entry_list):
+        required = sum(1 for a in (sa, ea, da) if a[0] != "any")
+        router.add(i, (sa, ea, da), loop)
+        registered[i] = ((sa, ea, da), loop, required)
+    return router, registered
+
+
+class TestPredicateRouterProperties:
+    @given(entries, arrivals)
+    def test_match_equals_brute_force(self, entry_list, probe_list):
+        router, registered = router_mirror(entry_list)
+        for src, edge, dst, is_loop in probe_list:
+            assert router.match(src, edge, dst, is_loop) == \
+                brute_force_match(registered, src, edge, dst, is_loop)
+
+    @given(entries, arrivals, st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_churn_and_serialization(self, entry_list, probe_list, seed):
+        rng = random.Random(seed)
+        router, registered = router_mirror(entry_list)
+        for token in list(registered):
+            if rng.random() < 0.5:
+                router.remove(token)
+                del registered[token]
+        clone = pickle.loads(pickle.dumps(router))
+        for target in (router, clone):
+            for src, edge, dst, is_loop in probe_list:
+                assert target.match(src, edge, dst, is_loop) == \
+                    brute_force_match(registered, src, edge, dst, is_loop)
+        for token in list(registered):
+            router.remove(token)
+        # Full removal prunes every trie node (three bare roots remain).
+        assert router.node_count() == 3
+        assert len(router) == 0
+
+    def test_duplicate_token_rejected(self):
+        router = PredicateRouter()
+        router.add("t", (("any",), ("eq", 1), ("any",)), False)
+        with pytest.raises(ValueError):
+            router.add("t", (("any",), ("any",), ("any",)), False)
+        router.remove("t")
+        with pytest.raises(KeyError):
+            router.remove("t")

@@ -1,0 +1,190 @@
+"""DSL label predicates: parsing, fuzzled round-trips, golden files.
+
+PR 10's grammar extension — ``*`` (any), trailing-``*`` shorthand and
+``prefix:`` spellings on vertex labels, edge labels and tuple components
+— must parse to the predicate objects the router compiles
+(:data:`~repro.core.query.ANY` / :class:`~repro.core.query.Prefix`),
+reject malformed patterns with actionable line-numbered errors, and stay
+stable under parse → format → parse for arbitrary predicate-bearing
+queries (hypothesis-generated).  The committed golden ``.tq`` files under
+``examples/queries/`` are parsed here so they cannot rot.
+"""
+
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ANY, Prefix
+from repro.io.dsl import DSLError, format_query, parse_query
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples" / "queries"
+
+
+class TestPredicateParsing:
+    def test_vertex_predicates(self):
+        query, _ = parse_query(
+            "vertex a srv*\nvertex b *\nvertex c prefix:db\n"
+            "edge e a -> b\nedge f b -> c\n")
+        assert query.vertex_label("a") == Prefix("srv")
+        assert query.vertex_label("b") is ANY
+        assert query.vertex_label("c") == Prefix("db")
+
+    def test_edge_predicates_scalar_and_tuple(self):
+        query, _ = parse_query(
+            "vertex a A\nvertex b B\n"
+            "edge e a -> b [44*]\n"
+            "edge f b -> a [*, prefix:80, tcp]\n")
+        assert query.edge("e").label == Prefix("44")
+        assert query.edge("f").label == (ANY, Prefix("80"), "tcp")
+
+    def test_shorthand_equals_explicit_spelling(self):
+        short, _ = parse_query("vertex a A\nvertex b B\nedge e a -> b [44*]\n")
+        explicit, _ = parse_query(
+            "vertex a A\nvertex b B\nedge e a -> b [prefix:44]\n")
+        assert short.edge("e").label == explicit.edge("e").label
+
+    def test_vertex_literals_stay_raw_strings(self):
+        # No int conversion on vertex labels — historical semantics.
+        query, _ = parse_query(
+            "vertex a 80\nvertex b B\nedge e a -> b [80]\n")
+        assert query.vertex_label("a") == "80"
+        assert query.edge("e").label == 80
+
+
+class TestPredicateErrors:
+    @pytest.mark.parametrize("token", ["4*4", "*44", "44**", "*4*"])
+    def test_star_must_be_alone_or_trailing(self, token):
+        with pytest.raises(DSLError, match="stand alone or end"):
+            parse_query(f"vertex a A\nvertex b B\nedge e a -> b [{token}]\n")
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(DSLError, match="non-empty prefix"):
+            parse_query("vertex a A\nvertex b B\nedge e a -> b [prefix:]\n")
+
+    def test_star_inside_prefix_spelling_rejected(self):
+        with pytest.raises(DSLError, match="no '\\*'"):
+            parse_query("vertex a A\nvertex b B\nedge e a -> b [prefix:4*]\n")
+
+    def test_vertex_pattern_errors_carry_line_number(self):
+        with pytest.raises(DSLError) as info:
+            parse_query("vertex a A\nvertex b 4*4\nedge e a -> b\n")
+        assert info.value.line_no == 2
+
+    def test_tuple_component_errors_carry_line_number(self):
+        with pytest.raises(DSLError) as info:
+            parse_query("vertex a A\nvertex b B\n"
+                        "edge e a -> b [tcp]\n"
+                        "edge f b -> a [80, *4*, tcp]\n")
+        assert info.value.line_no == 4
+
+
+# ---------------------------------------------------------------------- #
+# Fuzzled round-trips: parse(format(q)) preserves labels and structure,
+# and format is a fixpoint after one round.
+# ---------------------------------------------------------------------- #
+
+#: Literal alphabets chosen so literals can never be re-read as
+#: something else: vertex/string literals are non-numeric and contain
+#: no '*' / 'prefix:' spelling, per the documented round-trip limits.
+literal_strings = st.text(alphabet="abcz", min_size=1, max_size=4)
+prefix_patterns = st.builds(
+    Prefix, st.text(alphabet="abcz49", min_size=1, max_size=4))
+
+vertex_labels = st.one_of(st.just(ANY), prefix_patterns, literal_strings)
+components = st.one_of(
+    st.just(ANY), prefix_patterns, literal_strings,
+    st.integers(0, 9999))
+edge_labels = st.one_of(
+    components,
+    st.lists(components, min_size=2, max_size=3).map(tuple))
+
+
+@st.composite
+def predicate_queries(draw):
+    n_edges = draw(st.integers(1, 3))
+    lines = []
+    vlabels = {}
+    for i in range(n_edges + 1):
+        vlabels[f"v{i}"] = draw(vertex_labels)
+    elabels = {f"e{i}": draw(edge_labels) for i in range(n_edges)}
+    window = draw(st.one_of(st.none(), st.just(7.5)))
+    from repro import QueryGraph
+    q = QueryGraph()
+    for vid, label in vlabels.items():
+        q.add_vertex(vid, label)
+    for i in range(n_edges):
+        q.add_edge(f"e{i}", f"v{i}", f"v{i + 1}", elabels[f"e{i}"])
+    if n_edges > 1:
+        q.add_timing_chain(*[f"e{i}" for i in range(n_edges)])
+    del lines
+    return q, window
+
+
+class TestRoundTripFuzz:
+    @given(predicate_queries())
+    @settings(max_examples=80, deadline=None)
+    def test_parse_format_parse_stable(self, query_window):
+        query, window = query_window
+        text = format_query(query, window)
+        reparsed, window2 = parse_query(text)
+        assert window2 == window
+        for vertex in query.vertices():
+            assert reparsed.vertex_label(vertex.vertex_id) == vertex.label, \
+                text
+        for edge in query.edges():
+            clone = reparsed.edge(edge.edge_id)
+            assert (clone.src, clone.dst, clone.label) == \
+                (edge.src, edge.dst, edge.label), text
+        for before, after in query.timing.direct_constraints():
+            assert reparsed.timing.precedes(before, after)
+        # One round reaches the fixpoint: format ∘ parse ∘ format = format.
+        assert format_query(reparsed, window2) == text
+
+    @given(predicate_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_routing_signatures_survive_round_trip(self, query_window):
+        """The routing compiler sees identical atoms either side of the
+        DSL — predicates are first-class values, not spellings."""
+        query, window = query_window
+        reparsed, _ = parse_query(format_query(query, window))
+        assert reparsed.label_signatures() == query.label_signatures()
+
+
+class TestGoldenFiles:
+    def test_all_goldens_parse(self):
+        paths = sorted(GOLDEN_DIR.glob("*.tq"))
+        assert len(paths) >= 4        # beaconing, exfiltration + PR 10 pair
+        for path in paths:
+            query, window = parse_query(path.read_text())
+            assert query.num_edges >= 1, path.name
+            assert window is None or window > 0, path.name
+
+    def test_ephemeral_ports_golden(self):
+        query, window = parse_query(
+            (GOLDEN_DIR / "ephemeral_ports.tq").read_text())
+        assert window == 15.0
+        assert query.edge("c1").label == (Prefix("44"), "tcp")
+        assert query.edge("c2").label == (Prefix("44"), "tcp")
+        assert query.timing.precedes("c1", "c2")
+
+    def test_wildcard_fanout_golden(self):
+        query, window = parse_query(
+            (GOLDEN_DIR / "wildcard_fanout.tq").read_text())
+        assert window == 10.0
+        assert query.vertex_label("A") == Prefix("srv")
+        assert query.vertex_label("B") is ANY
+        assert query.edge("m1").label is ANY
+        # Nothing here routes generically: all predicate entries.
+        exact, predicates, generic = query.label_signatures()
+        assert not generic
+        assert predicates
+
+    def test_goldens_round_trip(self):
+        for path in sorted(GOLDEN_DIR.glob("*.tq")):
+            query, window = parse_query(path.read_text())
+            text = format_query(query, window)
+            reparsed, window2 = parse_query(text)
+            assert window2 == window, path.name
+            assert format_query(reparsed, window2) == text, path.name
